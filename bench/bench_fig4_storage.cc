@@ -1,0 +1,47 @@
+// Figure 4: storage size of the purchase-order collection under the four
+// storage methods (JSON / BSON / OSON / REL incl. PK+FK index estimate).
+
+#include "bench/harness.h"
+
+namespace fsdm {
+namespace {
+
+void Run() {
+  size_t docs = benchutil::DocCount(4000);
+  printf("=== Figure 4: storage size, %zu purchaseOrder docs ===\n", docs);
+  benchutil::PoDataset ds = benchutil::PoDataset::Build(docs);
+
+  size_t json_b = ds.text_table->EstimateStorageBytes();
+  size_t bson_b = ds.bson_table->EstimateStorageBytes();
+  size_t oson_b = ds.oson_table->EstimateStorageBytes();
+  // REL: both tables plus the primary/foreign key index estimate (8 bytes
+  // key + 8 bytes rowid per indexed row, as the paper's REL method counts
+  // its PK and FK indices).
+  size_t rel_tables = ds.master_tab->EstimateStorageBytes() +
+                      ds.detail_tab->EstimateStorageBytes();
+  size_t rel_index =
+      ds.master_tab->row_count() * 16 + ds.detail_tab->row_count() * 16;
+  size_t rel_b = rel_tables + rel_index;
+
+  benchutil::PrintHeader({"storage", "MB", "vs REL"});
+  auto mb = [](size_t b) { return benchutil::Fmt(b / (1024.0 * 1024.0)); };
+  auto ratio = [&](size_t b) {
+    return benchutil::Fmt(100.0 * b / rel_b, 1) + "%";
+  };
+  benchutil::PrintRow({"JSON", mb(json_b), ratio(json_b)});
+  benchutil::PrintRow({"BSON", mb(bson_b), ratio(bson_b)});
+  benchutil::PrintRow({"OSON", mb(oson_b), ratio(oson_b)});
+  benchutil::PrintRow({"REL (tables+idx)", mb(rel_b), "100.0%"});
+  printf(
+      "\nExpected shape (paper): BSON marginally biggest; JSON and OSON of\n"
+      "similar size; both ~20%% above REL, the price of self-contained\n"
+      "schema-flexible storage vs. a central dictionary (§6.3).\n");
+}
+
+}  // namespace
+}  // namespace fsdm
+
+int main() {
+  fsdm::Run();
+  return 0;
+}

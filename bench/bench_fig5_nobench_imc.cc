@@ -1,0 +1,52 @@
+// Figure 5: the eleven NOBENCH queries, TEXT-MODE (documents parsed from
+// buffer-cached JSON text per query) vs OSON-IMC-MODE (hidden OSON virtual
+// column populated once into the in-memory column store; queries navigate
+// the binary image directly, §5.2.2 / §6.4).
+
+#include "bench/nobench.h"
+
+namespace fsdm {
+namespace {
+
+void Run() {
+  size_t docs = benchutil::DocCount(8000);
+  printf("=== Figure 5: NOBENCH TEXT-MODE vs OSON-IMC-MODE, %zu docs ===\n",
+         docs);
+  benchutil::NbDataset ds = benchutil::NbDataset::Build(docs);
+
+  // Populate the IMC store: OSON() runs once per row here, not per query.
+  benchutil::Timer populate;
+  imc::ColumnStore store =
+      imc::ColumnStore::Populate(*ds.table, {"DID", "SYS_OSON"}).MoveValue();
+  printf("IMC population (OSON encode of %zu docs): %.1f ms, %.1f MB\n\n",
+         docs, populate.ElapsedMs(),
+         store.MemoryBytes() / (1024.0 * 1024.0));
+
+  benchutil::NbAccess text = benchutil::TextAccess(ds);
+  benchutil::NbAccess imc_access = benchutil::OsonImcAccess(&store);
+
+  benchutil::PrintHeader({"query", "TEXT-MODE ms", "OSON-IMC ms",
+                          "speedup"});
+  for (const auto& [name, query] : benchutil::NobenchQueries()) {
+    double t_text =
+        benchutil::TimeQuery([&] { return query(ds, text); }, /*reps=*/2);
+    double t_imc =
+        benchutil::TimeQuery([&] { return query(ds, imc_access); }, 2);
+    benchutil::PrintRow({name, benchutil::Fmt(t_text),
+                         benchutil::Fmt(t_imc),
+                         benchutil::Fmt(t_imc > 0 ? t_text / t_imc : 0, 1) +
+                             "x"});
+  }
+  printf(
+      "\nExpected shape (paper): OSON-IMC significantly faster on every\n"
+      "query — TEXT-MODE pays a full parse per document per query, the\n"
+      "IMC mode jumps through the pre-encoded OSON tree.\n");
+}
+
+}  // namespace
+}  // namespace fsdm
+
+int main() {
+  fsdm::Run();
+  return 0;
+}

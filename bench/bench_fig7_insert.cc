@@ -1,0 +1,81 @@
+// Figure 7: insertion time of 10k structurally identical NOBENCH documents
+// in three modes — no IS JSON constraint, IS JSON constraint, IS JSON +
+// DataGuide maintenance (§6.5). DataGuide maintenance piggybacks on the
+// constraint's parse, so for a homogeneous collection its marginal cost is
+// the structural hash-lookup walk only.
+
+#include "bench/harness.h"
+#include "index/search_index.h"
+
+namespace fsdm {
+namespace {
+
+using rdbms::ColumnDef;
+using rdbms::ColumnType;
+
+double InsertAll(const std::vector<std::string>& docs, bool is_json,
+                 bool dataguide) {
+  rdbms::Table table(
+      "NB", {{.name = "DID", .type = ColumnType::kNumber},
+             {.name = "JDOC",
+              .type = is_json ? ColumnType::kJson : ColumnType::kString,
+              .check_is_json = is_json}});
+  std::unique_ptr<index::JsonSearchIndex> idx;
+  if (dataguide) {
+    index::JsonSearchIndex::Options opts;
+    opts.maintain_postings = false;  // isolate the DataGuide cost
+    idx = index::JsonSearchIndex::Create(&table, "JDOC", opts).MoveValue();
+  }
+  benchutil::Timer t;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    Result<size_t> r = table.Insert(
+        {Value::Int64(static_cast<int64_t>(i)), Value::String(docs[i])});
+    if (!r.ok()) {
+      fprintf(stderr, "insert failed: %s\n", r.status().ToString().c_str());
+      exit(1);
+    }
+  }
+  return t.ElapsedMs();
+}
+
+void Run() {
+  size_t docs_n = benchutil::DocCount(10000);
+  printf("=== Figure 7: insert time of %zu identical-structure docs ===\n",
+         docs_n);
+  // Identical structure: one generated document reused for every row.
+  Rng rng(1);
+  std::string doc = workloads::Nobench(&rng, 0);
+  std::vector<std::string> docs(docs_n, doc);
+
+  double base = 1e300, json = 1e300, dg = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    base = std::min(base, InsertAll(docs, false, false));
+    json = std::min(json, InsertAll(docs, true, false));
+    dg = std::min(dg, InsertAll(docs, true, true));
+  }
+
+  benchutil::PrintHeader({"mode", "ms", "overhead vs base"});
+  auto pct = [&](double v) {
+    return benchutil::Fmt(100.0 * (v - base) / base, 1) + "%";
+  };
+  benchutil::PrintRow({"no-json-constraint", benchutil::Fmt(base), "-"});
+  benchutil::PrintRow({"json-constraint", benchutil::Fmt(json), pct(json)});
+  benchutil::PrintRow(
+      {"json-constraint-dataguide", benchutil::Fmt(dg), pct(dg)});
+  printf("dataguide marginal overhead vs json-constraint: %s\n",
+         benchutil::Fmt(100.0 * (dg - json) / json, 1).c_str());
+  printf(
+      "\nExpected shape (paper): IS JSON adds ~9%%, DataGuide a further\n"
+      "single-digit percentage for homogeneous collections (no $DG "
+      "writes\nafter the first document). Our base insert is far cheaper "
+      "than\nOracle's full row path, so percentages run higher; the "
+      "ordering\nand the small marginal DataGuide cost are the signal.\n");
+}
+
+}  // namespace
+}  // namespace fsdm
+
+int main() {
+  fsdm::Run();
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the format-level operations the
+// paper's macro results rest on: per-document field navigation and
+// encoding cost in each representation, plus OSON design ablations
+// (leaf-value dedup, field-id binary search vs. BSON's serial name scan).
+
+#include <benchmark/benchmark.h>
+
+#include "bson/bson.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "json/parser.h"
+#include "jsonpath/evaluator.h"
+#include "jsonpath/streaming.h"
+#include "oson/oson.h"
+#include "workloads/generators.h"
+
+namespace fsdm {
+namespace {
+
+std::string SampleDoc() {
+  Rng rng(123);
+  return workloads::PurchaseOrder(&rng, 1);
+}
+
+// --- JSON_VALUE-style navigation: $.purchaseOrder.items[2].unitprice ----
+
+void BM_Navigate_TextParse(benchmark::State& state) {
+  std::string doc = SampleDoc();
+  jsonpath::PathExpression path =
+      jsonpath::PathExpression::Parse("$.purchaseOrder.items[2].unitprice")
+          .MoveValue();
+  jsonpath::PathEvaluator eval(&path);
+  for (auto _ : state) {
+    auto tree = json::Parse(doc).MoveValue();  // per-document parse: the
+    json::TreeDom dom(tree.get());             // TEXT-mode cost
+    auto v = eval.FirstScalar(dom);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Navigate_TextParse);
+
+void BM_Navigate_TextStreaming(benchmark::State& state) {
+  // The §5.1 streaming engine: no DOM, stops at the first match.
+  std::string doc = SampleDoc();
+  jsonpath::PathExpression path =
+      jsonpath::PathExpression::Parse("$.purchaseOrder.costcenter")
+          .MoveValue();
+  for (auto _ : state) {
+    auto v = jsonpath::StreamingPathEngine::FirstScalar(doc, path);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Navigate_TextStreaming);
+
+void BM_Navigate_Bson(benchmark::State& state) {
+  std::string bytes = bson::EncodeFromText(SampleDoc()).MoveValue();
+  jsonpath::PathExpression path =
+      jsonpath::PathExpression::Parse("$.purchaseOrder.items[2].unitprice")
+          .MoveValue();
+  jsonpath::PathEvaluator eval(&path);
+  for (auto _ : state) {
+    auto dom = bson::BsonDom::Open(bytes).MoveValue();
+    auto v = eval.FirstScalar(dom);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Navigate_Bson);
+
+void BM_Navigate_Oson(benchmark::State& state) {
+  std::string bytes = oson::EncodeFromText(SampleDoc()).MoveValue();
+  jsonpath::PathExpression path =
+      jsonpath::PathExpression::Parse("$.purchaseOrder.items[2].unitprice")
+          .MoveValue();
+  jsonpath::PathEvaluator eval(&path);
+  for (auto _ : state) {
+    auto dom = oson::OsonDom::Open(bytes).MoveValue();
+    auto v = eval.FirstScalar(dom);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Navigate_Oson);
+
+// --- Field lookup in a wide object: binary search vs serial scan --------
+
+std::string WideObject(int n_fields) {
+  std::string doc = "{";
+  for (int i = 0; i < n_fields; ++i) {
+    if (i) doc += ",";
+    doc += "\"field_" + std::to_string(i) + "\":" + std::to_string(i);
+  }
+  doc += "}";
+  return doc;
+}
+
+void BM_WideLookup_Bson(benchmark::State& state) {
+  std::string bytes =
+      bson::EncodeFromText(WideObject(static_cast<int>(state.range(0))))
+          .MoveValue();
+  auto dom = bson::BsonDom::Open(bytes).MoveValue();
+  std::string last = "field_" + std::to_string(state.range(0) - 1);
+  for (auto _ : state) {
+    auto ref = dom.GetFieldValue(dom.root(), last);  // serial name scan
+    benchmark::DoNotOptimize(ref);
+  }
+}
+BENCHMARK(BM_WideLookup_Bson)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_WideLookup_Oson(benchmark::State& state) {
+  std::string bytes =
+      oson::EncodeFromText(WideObject(static_cast<int>(state.range(0))))
+          .MoveValue();
+  auto dom = oson::OsonDom::Open(bytes).MoveValue();
+  std::string last = "field_" + std::to_string(state.range(0) - 1);
+  uint32_t hash = FieldNameHash(last);
+  uint32_t cache = ~0u;
+  for (auto _ : state) {
+    auto ref = dom.GetFieldValueHashed(dom.root(), last, hash, &cache);
+    benchmark::DoNotOptimize(ref);  // hash-id binary search + look-back
+  }
+}
+BENCHMARK(BM_WideLookup_Oson)->Arg(16)->Arg(128)->Arg(1024);
+
+// --- Encoding cost ------------------------------------------------------
+
+void BM_Encode_Bson(benchmark::State& state) {
+  std::string doc = SampleDoc();
+  for (auto _ : state) {
+    auto bytes = bson::EncodeFromText(doc);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_Encode_Bson);
+
+void BM_Encode_Oson(benchmark::State& state) {
+  std::string doc = SampleDoc();
+  for (auto _ : state) {
+    auto bytes = oson::EncodeFromText(doc);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_Encode_Oson);
+
+// --- Ablation: leaf-value dedup space effect ----------------------------
+
+void BM_Ablation_OsonDedup(benchmark::State& state) {
+  Rng rng(7);
+  std::string doc = workloads::Collection("SensorData", &rng, 1, 0.01);
+  oson::EncodeOptions opts;
+  opts.dedup_leaf_values = state.range(0) == 1;
+  size_t size = 0;
+  for (auto _ : state) {
+    auto bytes = oson::EncodeFromText(doc, opts);
+    size = bytes.value().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["image_bytes"] = static_cast<double>(size);
+}
+BENCHMARK(BM_Ablation_OsonDedup)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace fsdm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,287 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+
+#include "bson/bson.h"
+#include "oson/oson.h"
+
+namespace fsdm::benchutil {
+
+size_t DocCount(size_t default_count) {
+  const char* env = getenv("FSDM_DOCS");
+  if (env != nullptr) {
+    long v = atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return default_count;
+}
+
+void PrintHeader(const std::vector<std::string>& cols) {
+  std::string line, rule;
+  for (const std::string& c : cols) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%-22s", c.c_str());
+    line += buf;
+  }
+  rule.assign(line.size(), '-');
+  printf("%s\n%s\n", line.c_str(), rule.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  std::string line;
+  for (const std::string& c : cells) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%-22s", c.c_str());
+    line += buf;
+  }
+  printf("%s\n", line.c_str());
+}
+
+std::string Fmt(double v, int decimals) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+const char* PoStorageName(PoStorage storage) {
+  switch (storage) {
+    case PoStorage::kText:
+      return "JSON";
+    case PoStorage::kBson:
+      return "BSON";
+    case PoStorage::kOson:
+      return "OSON";
+    case PoStorage::kRel:
+      return "REL";
+  }
+  return "?";
+}
+
+PoDataset PoDataset::Build(size_t n_docs, uint64_t seed) {
+  PoDataset ds;
+  using rdbms::ColumnDef;
+  using rdbms::ColumnType;
+
+  ds.text_table =
+      ds.db.CreateTable("PO_TEXT",
+                        {{.name = "DID", .type = ColumnType::kNumber},
+                         {.name = "JDOC",
+                          .type = ColumnType::kJson,
+                          .max_length = 4000,
+                          .check_is_json = true}})
+          .MoveValue();
+  ds.bson_table =
+      ds.db.CreateTable("PO_BSON",
+                        {{.name = "DID", .type = ColumnType::kNumber},
+                         {.name = "JDOC", .type = ColumnType::kRaw}})
+          .MoveValue();
+  ds.oson_table =
+      ds.db.CreateTable("PO_OSON",
+                        {{.name = "DID", .type = ColumnType::kNumber},
+                         {.name = "JDOC", .type = ColumnType::kRaw}})
+          .MoveValue();
+  ds.master_tab =
+      ds.db.CreateTable("PURCHASE_MASTER_TAB",
+                        {{.name = "ID", .type = ColumnType::kNumber},
+                         {.name = "REFERENCE", .type = ColumnType::kString},
+                         {.name = "REQUESTOR", .type = ColumnType::kString},
+                         {.name = "COSTCENTER", .type = ColumnType::kString},
+                         {.name = "PODATE", .type = ColumnType::kString},
+                         {.name = "INSTRUCTIONS",
+                          .type = ColumnType::kString}})
+          .MoveValue();
+  ds.detail_tab =
+      ds.db.CreateTable("LINEITEM_DETAIL_TAB",
+                        {{.name = "PO_ID", .type = ColumnType::kNumber},
+                         {.name = "ITEMNO", .type = ColumnType::kNumber},
+                         {.name = "PARTNO", .type = ColumnType::kString},
+                         {.name = "DESCRIPTION", .type = ColumnType::kString},
+                         {.name = "QUANTITY", .type = ColumnType::kNumber},
+                         {.name = "UNITPRICE", .type = ColumnType::kNumber}})
+          .MoveValue();
+
+  Rng rng(seed);
+  for (size_t i = 0; i < n_docs; ++i) {
+    workloads::PurchaseOrderRelational po =
+        workloads::PurchaseOrderRows(&rng, static_cast<int64_t>(i + 1));
+    std::string text = workloads::RenderPurchaseOrder(po);
+    Value did = Value::Int64(static_cast<int64_t>(i + 1));
+
+    auto insert_or_die = [&](Result<size_t> r, const char* what) {
+      if (!r.ok()) {
+        fprintf(stderr, "%s insert failed: %s\n", what,
+                r.status().ToString().c_str());
+        exit(1);
+      }
+    };
+    insert_or_die(ds.text_table->Insert({did, Value::String(text)}), "text");
+    insert_or_die(ds.bson_table->Insert(
+                      {did, Value::Binary(bson::EncodeFromText(text)
+                                              .MoveValue())}),
+                  "bson");
+    insert_or_die(ds.oson_table->Insert(
+                      {did, Value::Binary(oson::EncodeFromText(text)
+                                              .MoveValue())}),
+                  "oson");
+    insert_or_die(
+        ds.master_tab->Insert({Value::Int64(po.id),
+                               Value::String(po.reference),
+                               Value::String(po.requestor),
+                               Value::String(po.costcenter),
+                               Value::String(po.podate),
+                               Value::String(po.instructions)}),
+        "master");
+    for (const auto& item : po.items) {
+      insert_or_die(
+          ds.detail_tab->Insert(
+              {Value::Int64(po.id), Value::Int64(item.itemno),
+               Value::String(item.partno), Value::String(item.description),
+               Value::Int64(item.quantity),
+               Value::Dec(Decimal::FromString(item.unitprice).MoveValue())}),
+          "detail");
+      if (ds.sample_partnos.size() < 3 &&
+          (ds.sample_partnos.empty() ||
+           ds.sample_partnos.back() != item.partno)) {
+        ds.sample_partnos.push_back(item.partno);
+      }
+    }
+    if (i == n_docs / 2) {
+      ds.sample_reference = po.reference;
+      ds.sample_requestor = po.requestor;
+      ds.sample_partno = po.items[0].partno;
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+using rdbms::Col;
+using sqljson::JsonStorage;
+using sqljson::JsonTableColumn;
+using sqljson::JsonTableDef;
+using sqljson::Returning;
+
+JsonStorage ToJsonStorage(PoStorage storage) {
+  switch (storage) {
+    case PoStorage::kText:
+      return JsonStorage::kText;
+    case PoStorage::kBson:
+      return JsonStorage::kBson;
+    default:
+      return JsonStorage::kOson;
+  }
+}
+
+const rdbms::Table* JsonTableFor(const PoDataset& ds, PoStorage storage) {
+  switch (storage) {
+    case PoStorage::kText:
+      return ds.text_table;
+    case PoStorage::kBson:
+      return ds.bson_table;
+    default:
+      return ds.oson_table;
+  }
+}
+
+JsonTableDef MvDef() {
+  JsonTableDef def;
+  def.columns = {
+      {"ID", "$.purchaseOrder.id", Returning::kNumber},
+      {"REFERENCE", "$.purchaseOrder.reference", Returning::kString},
+      {"REQUESTOR", "$.purchaseOrder.requestor", Returning::kString},
+      {"COSTCENTER", "$.purchaseOrder.costcenter", Returning::kString},
+      {"PODATE", "$.purchaseOrder.podate", Returning::kString},
+      {"INSTRUCTIONS", "$.purchaseOrder.instructions", Returning::kString},
+  };
+  return def;
+}
+
+JsonTableDef DmdvDef() {
+  JsonTableDef def = MvDef();
+  JsonTableDef items;
+  items.row_path = "$.purchaseOrder.items[*]";
+  items.columns = {
+      {"ITEMNO", "$.itemno", Returning::kNumber},
+      {"PARTNO", "$.partno", Returning::kString},
+      {"DESCRIPTION", "$.description", Returning::kString},
+      {"QUANTITY", "$.quantity", Returning::kNumber},
+      {"UNITPRICE", "$.unitprice", Returning::kNumber},
+  };
+  def.nested.push_back(std::move(items));
+  return def;
+}
+
+}  // namespace
+
+Result<rdbms::OperatorPtr> PoMv(const PoDataset& ds, PoStorage storage) {
+  if (storage == PoStorage::kRel) {
+    return rdbms::Scan(ds.master_tab);
+  }
+  const rdbms::Table* table = JsonTableFor(ds, storage);
+  return sqljson::JsonTable(rdbms::Scan(table), "JDOC",
+                            ToJsonStorage(storage), MvDef());
+}
+
+Result<rdbms::OperatorPtr> PoItemDmdv(const PoDataset& ds,
+                                      PoStorage storage) {
+  if (storage == PoStorage::kRel) {
+    // Master-detail join: the de-normalized view over physically shredded
+    // tables (§6.3's REL method pays a hash join here).
+    return rdbms::HashJoin(rdbms::Scan(ds.detail_tab),
+                           rdbms::Scan(ds.master_tab), {Col("PO_ID")},
+                           {Col("ID")}, rdbms::JoinType::kInner);
+  }
+  const rdbms::Table* table = JsonTableFor(ds, storage);
+  return sqljson::JsonTable(rdbms::Scan(table), "JDOC",
+                            ToJsonStorage(storage), DmdvDef());
+}
+
+namespace {
+
+Result<rdbms::OperatorPtr> FilteredSource(const PoDataset& ds,
+                                          PoStorage storage,
+                                          const std::string& exists_path) {
+  const rdbms::Table* table = JsonTableFor(ds, storage);
+  FSDM_ASSIGN_OR_RETURN(
+      rdbms::ExprPtr exists,
+      sqljson::JsonExists("JDOC", exists_path, ToJsonStorage(storage)));
+  return rdbms::Filter(rdbms::Scan(table), std::move(exists));
+}
+
+}  // namespace
+
+Result<rdbms::OperatorPtr> PoItemDmdvPushdown(const PoDataset& ds,
+                                              PoStorage storage,
+                                              const std::string& exists_path) {
+  if (storage == PoStorage::kRel) return PoItemDmdv(ds, storage);
+  FSDM_ASSIGN_OR_RETURN(rdbms::OperatorPtr src,
+                        FilteredSource(ds, storage, exists_path));
+  return sqljson::JsonTable(std::move(src), "JDOC", ToJsonStorage(storage),
+                            DmdvDef());
+}
+
+Result<rdbms::OperatorPtr> PoMvPushdown(const PoDataset& ds,
+                                        PoStorage storage,
+                                        const std::string& exists_path) {
+  if (storage == PoStorage::kRel) return PoMv(ds, storage);
+  FSDM_ASSIGN_OR_RETURN(rdbms::OperatorPtr src,
+                        FilteredSource(ds, storage, exists_path));
+  return sqljson::JsonTable(std::move(src), "JDOC", ToJsonStorage(storage),
+                            MvDef());
+}
+
+Result<size_t> Drain(rdbms::Operator* op) {
+  FSDM_RETURN_NOT_OK(op->Open());
+  rdbms::Row row;
+  size_t n = 0;
+  while (true) {
+    FSDM_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+    if (!more) break;
+    ++n;
+  }
+  op->Close();
+  return n;
+}
+
+}  // namespace fsdm::benchutil

@@ -1,0 +1,222 @@
+#include "bench/nobench.h"
+
+#include "json/parser.h"
+
+namespace fsdm::benchutil {
+
+namespace {
+using rdbms::AggSpec;
+using rdbms::Col;
+using rdbms::Lit;
+using rdbms::OperatorPtr;
+using sqljson::JsonStorage;
+using sqljson::JsonValue;
+using sqljson::Returning;
+}  // namespace
+
+NbDataset NbDataset::Build(size_t n_docs, uint64_t seed) {
+  NbDataset ds;
+  using rdbms::ColumnDef;
+  using rdbms::ColumnType;
+  ds.table = ds.db.CreateTable(
+                   "NB", {{.name = "DID", .type = ColumnType::kNumber},
+                          {.name = "JDOC",
+                           .type = ColumnType::kJson,
+                           .max_length = 4000,
+                           .check_is_json = true}})
+                 .MoveValue();
+  // Hidden OSON image (§5.2.2) and the three JSON_VALUE VCs (§6.4).
+  ColumnDef oson_vc;
+  oson_vc.name = "SYS_OSON";
+  oson_vc.type = ColumnType::kRaw;
+  oson_vc.hidden = true;
+  oson_vc.virtual_expr = sqljson::OsonConstructor("JDOC");
+  (void)ds.table->AddVirtualColumn(std::move(oson_vc));
+
+  auto add_vc = [&](const char* name, const char* path, Returning ret) {
+    ColumnDef vc;
+    vc.name = name;
+    vc.type = ret == Returning::kNumber ? ColumnType::kNumber
+                                        : ColumnType::kString;
+    vc.virtual_expr =
+        JsonValue("JDOC", path, JsonStorage::kText, ret).MoveValue();
+    // Hidden: TEXT-MODE scans must not pay for materializing the VCs;
+    // the IMC store requests them by name at population time (§5.2.1).
+    vc.hidden = true;
+    (void)ds.table->AddVirtualColumn(std::move(vc));
+  };
+  add_vc("STR1_VC", "$.str1", Returning::kString);
+  add_vc("NUM_VC", "$.num", Returning::kNumber);
+  add_vc("DYN1_VC", "$.dyn1", Returning::kNumber);
+
+  Rng rng(seed);
+  for (size_t i = 0; i < n_docs; ++i) {
+    std::string doc = workloads::Nobench(&rng, static_cast<int64_t>(i));
+    Result<size_t> ins = ds.table->Insert(
+        {Value::Int64(static_cast<int64_t>(i)), Value::String(doc)});
+    if (!ins.ok()) {
+      fprintf(stderr, "NOBENCH insert failed: %s\n",
+              ins.status().ToString().c_str());
+      exit(1);
+    }
+    if (i == n_docs / 3) {
+      // Sample predicate parameters from a real document.
+      auto parsed = json::Parse(doc).MoveValue();
+      ds.q5_str1 = parsed->GetField("str1")->scalar().AsString();
+      for (size_t f = 0; f < parsed->field_count(); ++f) {
+        if (parsed->field_name(f).rfind("sparse_", 0) == 0) {
+          ds.q9_sparse_field = parsed->field_name(f);
+          break;
+        }
+      }
+      ds.q8_word =
+          parsed->GetField("nested_arr")->element(0)->scalar().AsString();
+    }
+  }
+  ds.num_lo = 100000;
+  ds.num_hi = 150000;  // ~5% selectivity over [0, 1e6)
+  return ds;
+}
+
+NbAccess TextAccess(const NbDataset& ds) {
+  NbAccess a;
+  const rdbms::Table* table = ds.table;
+  a.source = [table] { return rdbms::Scan(table); };
+  a.json_column = "JDOC";
+  a.storage = JsonStorage::kText;
+  return a;
+}
+
+NbAccess OsonImcAccess(const imc::ColumnStore* store) {
+  NbAccess a;
+  a.source = [store] {
+    return store->Scan({"DID", "SYS_OSON"});
+  };
+  a.json_column = "SYS_OSON";
+  a.storage = JsonStorage::kOson;
+  return a;
+}
+
+namespace {
+
+Result<rdbms::ExprPtr> JV(const NbAccess& a, const char* path,
+                          Returning ret = Returning::kAny) {
+  return JsonValue(a.json_column, path, a.storage, ret);
+}
+
+// Projection queries Q1-Q4.
+Result<OperatorPtr> ProjectPaths(const NbAccess& a,
+                                 std::vector<const char*> paths) {
+  std::vector<std::pair<std::string, rdbms::ExprPtr>> cols;
+  for (const char* p : paths) {
+    FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr e, JV(a, p));
+    cols.emplace_back(p, std::move(e));
+  }
+  return rdbms::Project(a.source(), std::move(cols));
+}
+
+Result<OperatorPtr> Q1(const NbDataset&, const NbAccess& a) {
+  return ProjectPaths(a, {"$.str1", "$.num"});
+}
+Result<OperatorPtr> Q2(const NbDataset&, const NbAccess& a) {
+  return ProjectPaths(a, {"$.nested_obj.str", "$.nested_obj.num"});
+}
+Result<OperatorPtr> Q3(const NbDataset&, const NbAccess& a) {
+  return ProjectPaths(a, {"$.sparse_110", "$.sparse_119"});
+}
+Result<OperatorPtr> Q4(const NbDataset&, const NbAccess& a) {
+  return ProjectPaths(a, {"$.sparse_550", "$.sparse_559"});
+}
+
+Result<OperatorPtr> Q5(const NbDataset& ds, const NbAccess& a) {
+  // WHERE str1 = ?
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr str1, JV(a, "$.str1",
+                                                Returning::kString));
+  return rdbms::Filter(a.source(),
+                       rdbms::Eq(std::move(str1),
+                                 Lit(Value::String(ds.q5_str1))));
+}
+
+Result<OperatorPtr> Q6(const NbDataset& ds, const NbAccess& a) {
+  // WHERE num BETWEEN lo AND hi.
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr num, JV(a, "$.num",
+                                               Returning::kNumber));
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr num2, JV(a, "$.num",
+                                                Returning::kNumber));
+  return rdbms::Filter(
+      a.source(),
+      rdbms::And(rdbms::Ge(std::move(num), Lit(Value::Int64(ds.num_lo))),
+                 rdbms::Le(std::move(num2), Lit(Value::Int64(ds.num_hi)))));
+}
+
+Result<OperatorPtr> Q7(const NbDataset& ds, const NbAccess& a) {
+  // WHERE dyn1 BETWEEN lo AND hi (dynamically typed; strings -> NULL).
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr d1, JV(a, "$.dyn1",
+                                              Returning::kNumber));
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr d2, JV(a, "$.dyn1",
+                                              Returning::kNumber));
+  return rdbms::Filter(
+      a.source(),
+      rdbms::And(rdbms::Ge(std::move(d1), Lit(Value::Int64(ds.num_lo))),
+                 rdbms::Le(std::move(d2), Lit(Value::Int64(ds.num_hi)))));
+}
+
+Result<OperatorPtr> Q8(const NbDataset& ds, const NbAccess& a) {
+  // WHERE ? IN nested_arr.
+  FSDM_ASSIGN_OR_RETURN(
+      rdbms::ExprPtr exists,
+      sqljson::JsonExists(a.json_column,
+                          "$.nested_arr?(@ == \"" + ds.q8_word + "\")",
+                          a.storage));
+  return rdbms::Filter(a.source(), std::move(exists));
+}
+
+Result<OperatorPtr> Q9(const NbDataset& ds, const NbAccess& a) {
+  // WHERE sparse_XXX IS NOT NULL (sparse-field probe).
+  FSDM_ASSIGN_OR_RETURN(
+      rdbms::ExprPtr exists,
+      sqljson::JsonExists(a.json_column, "$." + ds.q9_sparse_field,
+                          a.storage));
+  return rdbms::Filter(a.source(), std::move(exists));
+}
+
+Result<OperatorPtr> Q10(const NbDataset& ds, const NbAccess& a) {
+  // SELECT thousandth, count(*) WHERE num BETWEEN ... GROUP BY thousandth.
+  FSDM_ASSIGN_OR_RETURN(OperatorPtr filtered, Q6(ds, a));
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr th, JV(a, "$.thousandth",
+                                              Returning::kNumber));
+  return rdbms::GroupBy(std::move(filtered), {std::move(th)}, {"THOUSANDTH"},
+                        {{AggSpec::Kind::kCountStar, nullptr, "CNT"}});
+}
+
+Result<OperatorPtr> Q11(const NbDataset& ds, const NbAccess& a) {
+  // Self-join: left.nested_obj.str = right.str1, left side narrowed by the
+  // num range (NOBENCH's join query shape).
+  FSDM_ASSIGN_OR_RETURN(OperatorPtr left, Q6(ds, a));
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr lkey, JV(a, "$.nested_obj.str",
+                                                Returning::kString));
+  OperatorPtr right = a.source();
+  FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr rkey, JV(a, "$.str1",
+                                                Returning::kString));
+  // Project join keys before the join so each side decodes its documents
+  // exactly once.
+  OperatorPtr lproj = rdbms::Project(
+      std::move(left), {{"LKEY", std::move(lkey)}});
+  OperatorPtr rproj = rdbms::Project(
+      std::move(right), {{"RKEY", std::move(rkey)}});
+  return rdbms::HashJoin(std::move(lproj), std::move(rproj), {Col("LKEY")},
+                         {Col("RKEY")}, rdbms::JoinType::kInner);
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, NbQuery>>& NobenchQueries() {
+  static const auto* queries =
+      new std::vector<std::pair<std::string, NbQuery>>{
+          {"Q1", Q1}, {"Q2", Q2}, {"Q3", Q3}, {"Q4", Q4},
+          {"Q5", Q5}, {"Q6", Q6}, {"Q7", Q7}, {"Q8", Q8},
+          {"Q9", Q9}, {"Q10", Q10}, {"Q11", Q11}};
+  return *queries;
+}
+
+}  // namespace fsdm::benchutil

@@ -1,0 +1,48 @@
+#ifndef FSDM_BENCH_NOBENCH_H_
+#define FSDM_BENCH_NOBENCH_H_
+
+// Shared NOBENCH fixture for Figures 5 and 6: the document table with its
+// hidden OSON virtual column and the three JSON_VALUE virtual columns
+// ($.str1, $.num, $.dyn1) of §6.4, plus the eleven NOBENCH query plans
+// parameterized by document access mode.
+
+#include "bench/harness.h"
+#include "imc/column_store.h"
+
+namespace fsdm::benchutil {
+
+struct NbDataset {
+  rdbms::Database db;
+  rdbms::Table* table = nullptr;
+  // Predicate parameters sampled from the generated data.
+  std::string q5_str1;
+  int64_t num_lo = 0, num_hi = 0;
+  std::string q8_word;
+  std::string q9_sparse_field;
+
+  static NbDataset Build(size_t n_docs, uint64_t seed = 42);
+};
+
+/// How a query accesses documents.
+struct NbAccess {
+  /// Row source factory (table scan or IMC scan).
+  std::function<rdbms::OperatorPtr()> source;
+  /// JSON column name within the source and its storage kind.
+  std::string json_column;
+  sqljson::JsonStorage storage;
+};
+
+/// TEXT-MODE: scan the base table, evaluate over JSON text.
+NbAccess TextAccess(const NbDataset& ds);
+/// OSON-IMC-MODE: scan an IMC store holding the hidden OSON column.
+NbAccess OsonImcAccess(const imc::ColumnStore* store);
+
+/// The eleven NOBENCH queries as plan factories. 1-based indexing;
+/// queries[0] is Q1.
+using NbQuery = std::function<Result<rdbms::OperatorPtr>(const NbDataset&,
+                                                         const NbAccess&)>;
+const std::vector<std::pair<std::string, NbQuery>>& NobenchQueries();
+
+}  // namespace fsdm::benchutil
+
+#endif  // FSDM_BENCH_NOBENCH_H_

@@ -1,0 +1,89 @@
+// The §3.2.1 schema-evolution walk-through: the paper's exact documents
+// (Tables 1, 3, 5) inserted one by one, showing how $DG grows deeper when
+// a child hierarchy appears and wider when a sibling hierarchy appears —
+// without any DDL.
+
+#include <cstdio>
+
+#include "index/search_index.h"
+#include "rdbms/table.h"
+
+using namespace fsdm;
+
+namespace {
+
+constexpr const char* kDoc1 =
+    R"({"purchaseOrder":{"id":1,"podate":"2014-09-08",
+        "items":[{"name":"phone","price":100,"quantity":2},
+                 {"name":"ipad","price":350.86,"quantity":3}]}})";
+constexpr const char* kDoc2 =
+    R"({"purchaseOrder":{"id":2,"podate":"2015-03-04",
+        "items":[{"name":"table","price":52.78,"quantity":2},
+                 {"name":"chair","price":35.24,"quantity":4}]}})";
+// Table 3: new child hierarchy "parts" under items + top-level foreign_id.
+constexpr const char* kDoc3 =
+    R"({"purchaseOrder":{"id":2,"podate":"2015-06-03","foreign_id":"CDEG35",
+        "items":[
+          {"name":"TV","price":345.55,"quantity":1,
+           "parts":[{"partName":"remoteCon","partQuantity":"1"}]},
+          {"name":"PC","price":546.78,"quantity":10,
+           "parts":[{"partName":"mouse","partQuantity":"2"},
+                    {"partName":"keyboard","partQuantity":"1"}]}]}})";
+// Table 5: new sibling hierarchy "discount_items".
+constexpr const char* kDoc5 =
+    R"({"purchaseOrder":{"id":4,"podate":"2015-08-03",
+        "items":[{"name":"SSD","price":200,"quantity":1}],
+        "discount_items":[
+          {"dis_itemName":"cable","dis_itemPrice":5,"dis_itemQuanitty":2,
+           "dis_parts":[{"dis_partName":"plug","dis_partQuantity":3}]}]}})";
+
+void PrintDg(const index::JsonSearchIndex& idx) {
+  printf("  %-55s %s\n", "PATH", "TYPE");
+  for (const rdbms::Row& row : idx.DgRows()) {
+    printf("  %-55s %s\n", row[0].AsString().c_str(),
+           row[1].AsString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  rdbms::Database db;
+  rdbms::Table* po =
+      db.CreateTable("PO", {{.name = "DID", .type = rdbms::ColumnType::kNumber},
+                            {.name = "JDOC",
+                             .type = rdbms::ColumnType::kJson,
+                             .check_is_json = true}})
+          .MoveValue();
+  auto idx = index::JsonSearchIndex::Create(po, "JDOC").MoveValue();
+
+  auto insert = [&](int64_t id, const char* doc) {
+    size_t before = idx->dataguide().distinct_path_count();
+    auto r = po->Insert({Value::Int64(id), Value::String(doc)});
+    if (!r.ok()) {
+      fprintf(stderr, "insert failed: %s\n", r.status().ToString().c_str());
+      exit(1);
+    }
+    return idx->dataguide().distinct_path_count() - before;
+  };
+
+  printf("== after the two documents of Table 1 ==\n");
+  insert(1, kDoc1);
+  insert(2, kDoc2);
+  PrintDg(*idx);
+
+  printf("\n== Table 3's document: the DataGuide grows DEEPER ==\n");
+  size_t added = insert(3, kDoc3);
+  printf("(%zu new $DG rows — the parts hierarchy and foreign_id)\n", added);
+  PrintDg(*idx);
+
+  printf("\n== Table 5's document: the DataGuide grows WIDER ==\n");
+  added = insert(4, kDoc5);
+  printf("(%zu new $DG rows — the sibling discount_items hierarchy)\n",
+         added);
+  PrintDg(*idx);
+
+  printf("\n== getDataGuide() hierarchical form ==\n%s\n",
+         idx->GetDataGuide(/*hierarchical=*/true).c_str());
+  return 0;
+}

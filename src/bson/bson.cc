@@ -1,0 +1,406 @@
+#include "bson/bson.h"
+
+#include <cstring>
+
+#include "common/varint.h"
+#include "json/parser.h"
+
+namespace fsdm::bson {
+
+namespace {
+
+// BSON element type bytes.
+constexpr uint8_t kTypeDouble = 0x01;
+constexpr uint8_t kTypeString = 0x02;
+constexpr uint8_t kTypeDocument = 0x03;
+constexpr uint8_t kTypeArray = 0x04;
+constexpr uint8_t kTypeBool = 0x08;
+constexpr uint8_t kTypeDatetime = 0x09;
+constexpr uint8_t kTypeNull = 0x0A;
+constexpr uint8_t kTypeInt32 = 0x10;
+constexpr uint8_t kTypeInt64 = 0x12;
+
+void PutInt32At(std::string* out, size_t pos, int32_t v) {
+  EncodeFixed32(reinterpret_cast<uint8_t*>(out->data() + pos),
+                static_cast<uint32_t>(v));
+}
+
+void PutInt64(std::string* out, int64_t v) {
+  PutFixed32(out, static_cast<uint32_t>(static_cast<uint64_t>(v)));
+  PutFixed32(out, static_cast<uint32_t>(static_cast<uint64_t>(v) >> 32));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutInt64(out, static_cast<int64_t>(bits));
+}
+
+Status EncodeValue(const json::JsonNode& node, std::string* out,
+                   uint8_t* type_out);
+
+Status EncodeDocument(const json::JsonNode& node, bool as_array,
+                      std::string* out) {
+  size_t len_pos = out->size();
+  PutFixed32(out, 0);  // patched below
+  size_t count = as_array ? node.array_size() : node.field_count();
+  for (size_t i = 0; i < count; ++i) {
+    std::string name;
+    const json::JsonNode* child;
+    if (as_array) {
+      name = std::to_string(i);
+      child = node.element(i);
+    } else {
+      name = node.field_name(i);
+      child = node.field_value(i);
+    }
+    if (name.find('\0') != std::string::npos) {
+      return Status::InvalidArgument(
+          "BSON cannot encode a field name containing NUL");
+    }
+    size_t type_pos = out->size();
+    out->push_back(0);  // type patched below
+    out->append(name);
+    out->push_back('\0');
+    uint8_t type = 0;
+    FSDM_RETURN_NOT_OK(EncodeValue(*child, out, &type));
+    (*out)[type_pos] = static_cast<char>(type);
+  }
+  out->push_back('\0');
+  PutInt32At(out, len_pos, static_cast<int32_t>(out->size() - len_pos));
+  return Status::Ok();
+}
+
+Status EncodeValue(const json::JsonNode& node, std::string* out,
+                   uint8_t* type_out) {
+  switch (node.kind()) {
+    case json::NodeKind::kObject:
+      *type_out = kTypeDocument;
+      return EncodeDocument(node, /*as_array=*/false, out);
+    case json::NodeKind::kArray:
+      *type_out = kTypeArray;
+      return EncodeDocument(node, /*as_array=*/true, out);
+    case json::NodeKind::kScalar:
+      break;
+  }
+  const Value& v = node.scalar();
+  switch (v.type()) {
+    case ScalarType::kNull:
+      *type_out = kTypeNull;
+      return Status::Ok();
+    case ScalarType::kBool:
+      *type_out = kTypeBool;
+      out->push_back(v.AsBool() ? 1 : 0);
+      return Status::Ok();
+    case ScalarType::kInt64: {
+      int64_t i = v.AsInt64();
+      if (i >= INT32_MIN && i <= INT32_MAX) {
+        *type_out = kTypeInt32;
+        PutFixed32(out, static_cast<uint32_t>(static_cast<int32_t>(i)));
+      } else {
+        *type_out = kTypeInt64;
+        PutInt64(out, i);
+      }
+      return Status::Ok();
+    }
+    case ScalarType::kDouble:
+      *type_out = kTypeDouble;
+      PutDouble(out, v.AsDouble());
+      return Status::Ok();
+    case ScalarType::kDecimal:
+      // BSON (without decimal128) approximates decimals as doubles.
+      *type_out = kTypeDouble;
+      PutDouble(out, v.AsDecimal().ToDouble());
+      return Status::Ok();
+    case ScalarType::kString: {
+      *type_out = kTypeString;
+      PutFixed32(out, static_cast<uint32_t>(v.AsString().size() + 1));
+      out->append(v.AsString());
+      out->push_back('\0');
+      return Status::Ok();
+    }
+    case ScalarType::kTimestamp:
+      *type_out = kTypeDatetime;
+      PutInt64(out, v.AsTimestamp() / 1000);  // BSON datetime is millis
+      return Status::Ok();
+    case ScalarType::kDate:
+      *type_out = kTypeDatetime;
+      PutInt64(out, static_cast<int64_t>(v.AsDate()) * 86400000);
+      return Status::Ok();
+    case ScalarType::kBinary:
+      return Status::Unsupported("BSON binary subtype encoding not supported");
+  }
+  return Status::Internal("unhandled scalar type");
+}
+
+}  // namespace
+
+Result<std::string> Encode(const json::JsonNode& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("BSON root must be a JSON object");
+  }
+  std::string out;
+  FSDM_RETURN_NOT_OK(EncodeDocument(doc, /*as_array=*/false, &out));
+  return out;
+}
+
+Result<std::string> EncodeFromText(std::string_view json_text) {
+  FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> doc,
+                        json::Parse(json_text));
+  return Encode(*doc);
+}
+
+// ---------------------------------------------------------------------------
+// BsonDom
+// ---------------------------------------------------------------------------
+
+Result<BsonDom> BsonDom::Open(std::string_view bytes) {
+  if (bytes.size() < 5) return Status::Corruption("BSON image too small");
+  uint32_t len =
+      DecodeFixed32(reinterpret_cast<const uint8_t*>(bytes.data()));
+  if (len != bytes.size()) {
+    return Status::Corruption("BSON length header mismatch");
+  }
+  if (bytes.back() != '\0') {
+    return Status::Corruption("BSON document missing terminator");
+  }
+  return BsonDom(bytes);
+}
+
+json::Dom::NodeRef BsonDom::root() const { return MakeRef(0, kTypeDocument); }
+
+json::NodeKind BsonDom::GetNodeType(NodeRef node) const {
+  switch (RefType(node)) {
+    case kTypeDocument:
+      return json::NodeKind::kObject;
+    case kTypeArray:
+      return json::NodeKind::kArray;
+    default:
+      return json::NodeKind::kScalar;
+  }
+}
+
+bool BsonDom::NextElement(size_t* cursor, std::string_view* name,
+                          uint8_t* type, size_t* value_offset) const {
+  if (*cursor >= data_.size()) return false;
+  uint8_t t = static_cast<uint8_t>(data_[*cursor]);
+  if (t == 0) return false;  // document terminator
+  size_t name_start = *cursor + 1;
+  size_t nul = data_.find('\0', name_start);
+  if (nul == std::string_view::npos) return false;
+  *name = data_.substr(name_start, nul - name_start);
+  *type = t;
+  *value_offset = nul + 1;
+  size_t vsize = ValueSize(t, *value_offset);
+  if (vsize == SIZE_MAX) return false;
+  *cursor = *value_offset + vsize;
+  return true;
+}
+
+size_t BsonDom::ValueSize(uint8_t type, size_t offset) const {
+  switch (type) {
+    case kTypeDouble:
+    case kTypeDatetime:
+    case kTypeInt64:
+      return 8;
+    case kTypeBool:
+      return 1;
+    case kTypeNull:
+      return 0;
+    case kTypeInt32:
+      return 4;
+    case kTypeString: {
+      if (offset + 4 > data_.size()) return SIZE_MAX;
+      uint32_t len = DecodeFixed32(
+          reinterpret_cast<const uint8_t*>(data_.data() + offset));
+      return 4 + len;
+    }
+    case kTypeDocument:
+    case kTypeArray: {
+      if (offset + 4 > data_.size()) return SIZE_MAX;
+      return DecodeFixed32(
+          reinterpret_cast<const uint8_t*>(data_.data() + offset));
+    }
+    default:
+      return SIZE_MAX;
+  }
+}
+
+size_t BsonDom::GetFieldCount(NodeRef object) const {
+  size_t cursor = RefOffset(object) + 4;
+  std::string_view name;
+  uint8_t type;
+  size_t voff;
+  size_t count = 0;
+  while (NextElement(&cursor, &name, &type, &voff)) ++count;
+  return count;
+}
+
+void BsonDom::GetFieldAt(NodeRef object, size_t i, std::string_view* name,
+                         NodeRef* child) const {
+  size_t cursor = RefOffset(object) + 4;
+  uint8_t type;
+  size_t voff;
+  size_t index = 0;
+  while (NextElement(&cursor, name, &type, &voff)) {
+    if (index == i) {
+      *child = MakeRef(voff, type);
+      return;
+    }
+    ++index;
+  }
+  *child = kInvalidNode;
+}
+
+json::Dom::NodeRef BsonDom::GetFieldValue(NodeRef object,
+                                    std::string_view target) const {
+  size_t cursor = RefOffset(object) + 4;
+  std::string_view name;
+  uint8_t type;
+  size_t voff;
+  while (NextElement(&cursor, &name, &type, &voff)) {
+    if (name == target) return MakeRef(voff, type);
+  }
+  return kInvalidNode;
+}
+
+size_t BsonDom::GetArrayLength(NodeRef array) const {
+  return GetFieldCount(array);
+}
+
+json::Dom::NodeRef BsonDom::GetArrayElement(NodeRef array, size_t index) const {
+  size_t cursor = RefOffset(array) + 4;
+  std::string_view name;
+  uint8_t type;
+  size_t voff;
+  size_t i = 0;
+  while (NextElement(&cursor, &name, &type, &voff)) {
+    if (i == index) return MakeRef(voff, type);
+    ++i;
+  }
+  return kInvalidNode;
+}
+
+ScalarType BsonDom::GetScalarType(NodeRef scalar) const {
+  switch (RefType(scalar)) {
+    case kTypeDouble:
+      return ScalarType::kDouble;
+    case kTypeString:
+      return ScalarType::kString;
+    case kTypeBool:
+      return ScalarType::kBool;
+    case kTypeDatetime:
+      return ScalarType::kTimestamp;
+    case kTypeInt32:
+    case kTypeInt64:
+      return ScalarType::kInt64;
+    default:
+      return ScalarType::kNull;
+  }
+}
+
+Status BsonDom::GetScalarValue(NodeRef scalar, Value* out) const {
+  size_t off = RefOffset(scalar);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data_.data()) + off;
+  switch (RefType(scalar)) {
+    case kTypeDouble: {
+      if (off + 8 > data_.size()) return Status::Corruption("truncated double");
+      uint64_t bits = static_cast<uint64_t>(DecodeFixed32(p)) |
+                      (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      return Status::Ok();
+    }
+    case kTypeString: {
+      if (off + 4 > data_.size()) return Status::Corruption("truncated string");
+      uint32_t len = DecodeFixed32(p);
+      if (len == 0 || off + 4 + len > data_.size()) {
+        return Status::Corruption("bad string length");
+      }
+      *out = Value::String(std::string(data_.substr(off + 4, len - 1)));
+      return Status::Ok();
+    }
+    case kTypeBool:
+      if (off + 1 > data_.size()) return Status::Corruption("truncated bool");
+      *out = Value::Bool(data_[off] != 0);
+      return Status::Ok();
+    case kTypeDatetime: {
+      if (off + 8 > data_.size()) return Status::Corruption("truncated date");
+      uint64_t bits = static_cast<uint64_t>(DecodeFixed32(p)) |
+                      (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+      *out = Value::Timestamp(static_cast<int64_t>(bits) * 1000);
+      return Status::Ok();
+    }
+    case kTypeNull:
+      *out = Value::Null();
+      return Status::Ok();
+    case kTypeInt32: {
+      if (off + 4 > data_.size()) return Status::Corruption("truncated int32");
+      *out = Value::Int64(static_cast<int32_t>(DecodeFixed32(p)));
+      return Status::Ok();
+    }
+    case kTypeInt64: {
+      if (off + 8 > data_.size()) return Status::Corruption("truncated int64");
+      uint64_t bits = static_cast<uint64_t>(DecodeFixed32(p)) |
+                      (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+      *out = Value::Int64(static_cast<int64_t>(bits));
+      return Status::Ok();
+    }
+    default:
+      return Status::Corruption("not a scalar node");
+  }
+}
+
+namespace {
+
+Result<std::unique_ptr<json::JsonNode>> DecodeNode(const BsonDom& dom,
+                                                   json::Dom::NodeRef ref) {
+  switch (dom.GetNodeType(ref)) {
+    case json::NodeKind::kObject: {
+      auto obj = json::JsonNode::MakeObject();
+      size_t n = dom.GetFieldCount(ref);
+      for (size_t i = 0; i < n; ++i) {
+        std::string_view name;
+        json::Dom::NodeRef child;
+        dom.GetFieldAt(ref, i, &name, &child);
+        if (child == json::Dom::kInvalidNode) {
+          return Status::Corruption("BSON element walk failed");
+        }
+        FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> sub,
+                              DecodeNode(dom, child));
+        obj->AddField(std::string(name), std::move(sub));
+      }
+      return obj;
+    }
+    case json::NodeKind::kArray: {
+      auto arr = json::JsonNode::MakeArray();
+      size_t n = dom.GetArrayLength(ref);
+      for (size_t i = 0; i < n; ++i) {
+        json::Dom::NodeRef child = dom.GetArrayElement(ref, i);
+        if (child == json::Dom::kInvalidNode) {
+          return Status::Corruption("BSON array walk failed");
+        }
+        FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> sub,
+                              DecodeNode(dom, child));
+        arr->Append(std::move(sub));
+      }
+      return arr;
+    }
+    case json::NodeKind::kScalar: {
+      Value v;
+      FSDM_RETURN_NOT_OK(dom.GetScalarValue(ref, &v));
+      return json::JsonNode::MakeScalar(std::move(v));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<json::JsonNode>> Decode(std::string_view bytes) {
+  FSDM_ASSIGN_OR_RETURN(BsonDom dom, BsonDom::Open(bytes));
+  return DecodeNode(dom, dom.root());
+}
+
+}  // namespace fsdm::bson

@@ -1,0 +1,75 @@
+#ifndef FSDM_BSON_BSON_H_
+#define FSDM_BSON_BSON_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "json/dom.h"
+#include "json/node.h"
+
+namespace fsdm::bson {
+
+/// BSON (bsonspec.org) encoder/decoder — the baseline binary format the
+/// paper compares OSON against (§2, §6). Supported element types:
+///   0x01 double, 0x02 string, 0x03 document, 0x04 array, 0x08 bool,
+///   0x09 UTC datetime, 0x0A null, 0x10 int32, 0x12 int64.
+/// JSON numbers encode as int32/int64 when integral, double otherwise
+/// (decimal values beyond double precision lose digits — BSON without
+/// decimal128 cannot represent them, which is part of the gap the paper
+/// identifies).
+///
+/// The root must be a JSON object (BSON documents are maps).
+Result<std::string> Encode(const json::JsonNode& doc);
+
+/// Parses JSON text and encodes it in one step.
+Result<std::string> EncodeFromText(std::string_view json_text);
+
+/// Full decode back to a node tree.
+Result<std::unique_ptr<json::JsonNode>> Decode(std::string_view bytes);
+
+/// Dom implementation over serialized BSON bytes. Navigation is the
+/// serial/skip scan the paper describes: finding a field walks the element
+/// list comparing NUL-terminated names, skipping child containers via their
+/// leading length words; array access by index skips i elements. No random
+/// field access — that is OSON's advantage.
+class BsonDom final : public json::Dom {
+ public:
+  /// Validates the outer document framing. `bytes` must outlive the Dom.
+  static Result<BsonDom> Open(std::string_view bytes);
+
+  NodeRef root() const override;
+  json::NodeKind GetNodeType(NodeRef node) const override;
+  size_t GetFieldCount(NodeRef object) const override;
+  void GetFieldAt(NodeRef object, size_t i, std::string_view* name,
+                  NodeRef* child) const override;
+  NodeRef GetFieldValue(NodeRef object, std::string_view name) const override;
+  size_t GetArrayLength(NodeRef array) const override;
+  NodeRef GetArrayElement(NodeRef array, size_t index) const override;
+  ScalarType GetScalarType(NodeRef scalar) const override;
+  Status GetScalarValue(NodeRef scalar, Value* out) const override;
+
+ private:
+  explicit BsonDom(std::string_view bytes) : data_(bytes) {}
+
+  // NodeRef packs (value offset << 8) | bson type byte.
+  static NodeRef MakeRef(size_t offset, uint8_t type) {
+    return (static_cast<NodeRef>(offset) << 8) | type;
+  }
+  static size_t RefOffset(NodeRef ref) { return ref >> 8; }
+  static uint8_t RefType(NodeRef ref) { return ref & 0xff; }
+
+  // Iterates elements of the container at `doc_offset`; returns false when
+  // exhausted or malformed.
+  bool NextElement(size_t* cursor, std::string_view* name, uint8_t* type,
+                   size_t* value_offset) const;
+  // Size in bytes of a value of `type` at `offset`; SIZE_MAX on corruption.
+  size_t ValueSize(uint8_t type, size_t offset) const;
+
+  std::string_view data_;
+};
+
+}  // namespace fsdm::bson
+
+#endif  // FSDM_BSON_BSON_H_

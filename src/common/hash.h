@@ -1,0 +1,34 @@
+#ifndef FSDM_COMMON_HASH_H_
+#define FSDM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fsdm {
+
+/// FNV-1a 32-bit. Used for OSON field-name hash ids (§4.2.1): the same
+/// function must be applied at encode time and at SQL/JSON path compile time
+/// so that pre-computed hash ids in the query plan match the per-document
+/// dictionary.
+inline uint32_t FieldNameHash(std::string_view name) {
+  uint32_t h = 2166136261u;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// FNV-1a 64-bit for general hashing (hash join keys, interning).
+inline uint64_t Hash64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace fsdm
+
+#endif  // FSDM_COMMON_HASH_H_

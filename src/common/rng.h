@@ -1,0 +1,55 @@
+#ifndef FSDM_COMMON_RNG_H_
+#define FSDM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fsdm {
+
+/// Deterministic xorshift64* generator for workload synthesis. Seeded
+/// explicitly so every benchmark and test run regenerates identical
+/// collections.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x853c49e6748fea9bull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t Uniform(uint64_t bound) { return bound ? Next() % bound : 0; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  /// Lowercase alphanumeric string of the given length.
+  std::string AlphaNum(size_t len) {
+    static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s.push_back(kChars[Uniform(36)]);
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fsdm
+
+#endif  // FSDM_COMMON_RNG_H_

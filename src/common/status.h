@@ -1,0 +1,133 @@
+#ifndef FSDM_COMMON_STATUS_H_
+#define FSDM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fsdm {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention: every fallible public function returns a Status (or a
+/// Result<T>); exceptions never cross the API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,      ///< malformed JSON / path / binary image
+  kNotFound,        ///< named entity (table, column, path) absent
+  kAlreadyExists,   ///< duplicate name on creation
+  kOutOfRange,      ///< index or offset outside the valid range
+  kCorruption,      ///< binary image fails structural validation
+  kConstraintViolation,  ///< e.g. IS JSON check constraint rejected a row
+  kUnsupported,     ///< valid request outside the implemented subset
+  kInternal,
+};
+
+/// Return-value error channel. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>"; for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error, in the spirit of arrow::Result. The error case carries a
+/// non-OK Status; the value case holds T.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; callers must have checked ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define FSDM_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::fsdm::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression and binds its value, or propagates the
+/// error Status.
+#define FSDM_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto FSDM_CONCAT_(_res, __LINE__) = (expr);   \
+  if (!FSDM_CONCAT_(_res, __LINE__).ok())       \
+    return FSDM_CONCAT_(_res, __LINE__).status(); \
+  lhs = FSDM_CONCAT_(_res, __LINE__).MoveValue()
+
+#define FSDM_CONCAT_IMPL_(a, b) a##b
+#define FSDM_CONCAT_(a, b) FSDM_CONCAT_IMPL_(a, b)
+
+}  // namespace fsdm
+
+#endif  // FSDM_COMMON_STATUS_H_

@@ -1,0 +1,85 @@
+#include "common/varint.h"
+
+namespace fsdm {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* limit,
+                           uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = *p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* limit,
+                           uint32_t* value) {
+  uint64_t v64 = 0;
+  const uint8_t* q = GetVarint64(p, limit, &v64);
+  if (q == nullptr || v64 > UINT32_MAX) return nullptr;
+  *value = static_cast<uint32_t>(v64);
+  return q;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  dst->push_back(static_cast<char>(value & 0xff));
+  dst->push_back(static_cast<char>(value >> 8));
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  dst->push_back(static_cast<char>(value & 0xff));
+  dst->push_back(static_cast<char>((value >> 8) & 0xff));
+  dst->push_back(static_cast<char>((value >> 16) & 0xff));
+  dst->push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+uint16_t DecodeFixed16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | (static_cast<uint16_t>(p[1]) << 8);
+}
+
+uint32_t DecodeFixed32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void EncodeFixed16(uint8_t* p, uint16_t value) {
+  p[0] = static_cast<uint8_t>(value & 0xff);
+  p[1] = static_cast<uint8_t>(value >> 8);
+}
+
+void EncodeFixed32(uint8_t* p, uint32_t value) {
+  p[0] = static_cast<uint8_t>(value & 0xff);
+  p[1] = static_cast<uint8_t>((value >> 8) & 0xff);
+  p[2] = static_cast<uint8_t>((value >> 16) & 0xff);
+  p[3] = static_cast<uint8_t>((value >> 24) & 0xff);
+}
+
+}  // namespace fsdm

@@ -1,0 +1,37 @@
+#ifndef FSDM_COMMON_VARINT_H_
+#define FSDM_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fsdm {
+
+/// LEB128-style unsigned varint, used for counts and lengths in the binary
+/// codecs. At most 5 bytes for a uint32, 10 for a uint64.
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Decodes a varint from [p, limit). Returns the byte past the varint, or
+/// nullptr on truncated/overlong input.
+const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* limit,
+                           uint32_t* value);
+const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* limit,
+                           uint64_t* value);
+
+/// Number of bytes PutVarint32 would append.
+int VarintLength(uint64_t value);
+
+/// Fixed-width little-endian writers/readers used where random access needs
+/// a predictable width (OSON node offsets).
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+uint16_t DecodeFixed16(const uint8_t* p);
+uint32_t DecodeFixed32(const uint8_t* p);
+void EncodeFixed16(uint8_t* p, uint16_t value);
+void EncodeFixed32(uint8_t* p, uint32_t value);
+
+}  // namespace fsdm
+
+#endif  // FSDM_COMMON_VARINT_H_

@@ -1,0 +1,91 @@
+#ifndef FSDM_DATAGUIDE_VIEWS_H_
+#define FSDM_DATAGUIDE_VIEWS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataguide/dataguide.h"
+#include "rdbms/executor.h"
+#include "rdbms/table.h"
+#include "sqljson/json_table.h"
+#include "sqljson/operators.h"
+
+namespace fsdm::dataguide {
+
+/// Options shared by the view/column generators.
+struct GenerateOptions {
+  /// Project a path only when it occurs in at least this fraction of
+  /// documents (CreateViewOnPath's frequency threshold, §3.3.2: eliminates
+  /// sparse and outlier fields from the DMDV).
+  double min_frequency_fraction = 0.0;
+  /// Prefix for generated column names: "<prefix>$<leaf>", mirroring the
+  /// paper's "JCOL$id" convention.
+  std::string column_prefix;
+  /// User annotations on the computed DataGuide (§3.2.2): rename the
+  /// column generated for an absolute path ("$.purchaseOrder.id" ->
+  /// "PO_ID"). Renamed columns skip the prefix convention.
+  std::map<std::string, std::string> column_renames;
+};
+
+/// AddVC() (§3.3.1): adds one JSON_VALUE virtual column to `table` for
+/// every singleton scalar path in the guide. Returns the added column
+/// names. Columns are named "<prefix>$<leafname>" (suffix-deduplicated).
+Result<std::vector<std::string>> AddVc(rdbms::Table* table,
+                                       const std::string& json_column,
+                                       sqljson::JsonStorage storage,
+                                       const DataGuide& guide,
+                                       const GenerateOptions& options = {});
+
+/// A generated De-normalized Master-Detail View (§3.3.2).
+struct DmdvView {
+  std::string name;
+  const rdbms::Table* table = nullptr;
+  std::string json_column;
+  sqljson::JsonStorage storage = sqljson::JsonStorage::kText;
+  sqljson::JsonTableDef def;
+  /// Pass-through key columns from the base table (e.g. DID).
+  std::vector<std::string> passthrough_columns;
+
+  /// All view output column names (passthrough + JSON_TABLE columns).
+  std::vector<std::string> OutputColumns() const;
+
+  /// Builds the executable plan: Scan(table) -> JSON_TABLE(def) ->
+  /// Project(output columns).
+  Result<rdbms::OperatorPtr> MakePlan() const;
+
+  /// Renders the equivalent CREATE VIEW ... JSON_TABLE(...) SQL statement
+  /// — the paper's Table 8 form, with NESTED PATH blocks for each array.
+  std::string ToSqlText() const;
+};
+
+/// CreateViewOnPath() (§3.3.2): derives the DMDV JSON_TABLE definition for
+/// `root_path` ('$' for the whole document) from the guide. Scalars above
+/// arrays become parent columns; each array introduces a NESTED PATH block
+/// (child = left outer join, siblings = union join), recursively.
+Result<DmdvView> CreateViewOnPath(const rdbms::Table* table,
+                                  const std::string& json_column,
+                                  sqljson::JsonStorage storage,
+                                  const DataGuide& guide,
+                                  const std::string& root_path,
+                                  const std::string& view_name,
+                                  const GenerateOptions& options = {});
+
+/// JSON_DataGuideAgg() (§3.4): an executor aggregate whose input is a JSON
+/// document column and whose result is the DataGuide of the group rendered
+/// as a single JSON document (flat or hierarchical form).
+enum class AggForm { kFlat, kHierarchical };
+rdbms::AggSpec JsonDataGuideAgg(rdbms::ExprPtr json_column_expr,
+                                std::string output_name,
+                                AggForm form = AggForm::kFlat);
+
+/// Like JsonDataGuideAgg but hands back the structured DataGuide through
+/// `sink` (one DataGuide per group, in group output order) — used when the
+/// caller wants the guide itself rather than its JSON rendering.
+rdbms::AggSpec JsonDataGuideAggInto(rdbms::ExprPtr json_column_expr,
+                                    std::string output_name,
+                                    std::vector<DataGuide>* sink);
+
+}  // namespace fsdm::dataguide
+
+#endif  // FSDM_DATAGUIDE_VIEWS_H_

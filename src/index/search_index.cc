@@ -1,0 +1,356 @@
+#include "index/search_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "json/parser.h"
+
+namespace fsdm::index {
+
+namespace {
+
+void InsertPosting(std::vector<size_t>* postings, size_t row_id) {
+  auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
+  if (it == postings->end() || *it != row_id) postings->insert(it, row_id);
+}
+
+void ErasePosting(std::vector<size_t>* postings, size_t row_id) {
+  auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
+  if (it != postings->end() && *it == row_id) postings->erase(it);
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeKeywords(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (unsigned char c : text) {
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+Result<std::unique_ptr<JsonSearchIndex>> JsonSearchIndex::Create(
+    rdbms::Table* table, const std::string& json_column,
+    const Options& options) {
+  // Resolve the column's position within the *physical* row layout, since
+  // observers receive physical rows.
+  size_t pos = rdbms::Schema::npos;
+  const std::vector<size_t>& physical = table->physical_columns();
+  for (size_t i = 0; i < physical.size(); ++i) {
+    if (table->columns()[physical[i]].name == json_column) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == rdbms::Schema::npos) {
+    return Status::NotFound("physical column '" + json_column + "' on " +
+                            table->name());
+  }
+  if (table->columns()[table->physical_columns()[pos]].type !=
+      rdbms::ColumnType::kJson) {
+    return Status::InvalidArgument("JSON search index requires a JSON column");
+  }
+
+  std::unique_ptr<JsonSearchIndex> idx(
+      new JsonSearchIndex(table, pos, options));
+  idx->dg_table_ = std::make_unique<rdbms::Table>(
+      table->name() + "$DG",
+      std::vector<rdbms::ColumnDef>{
+          {.name = "PATH", .type = rdbms::ColumnType::kString},
+          {.name = "TYPE", .type = rdbms::ColumnType::kString}});
+  // Back-fill existing rows.
+  for (size_t r = 0; r < table->row_count(); ++r) {
+    if (!table->IsLive(r)) continue;
+    FSDM_RETURN_NOT_OK(idx->IndexDocument(r, table->StoredRow(r)[pos]));
+  }
+  table->AddObserver(idx.get());
+  return idx;
+}
+
+JsonSearchIndex::~JsonSearchIndex() { Detach(); }
+
+void JsonSearchIndex::Detach() {
+  if (!detached_ && table_ != nullptr) {
+    table_->RemoveObserver(this);
+    detached_ = true;
+  }
+}
+
+Status JsonSearchIndex::OnInsert(size_t row_id, const rdbms::Row& row) {
+  return IndexDocument(row_id, row[json_col_pos_]);
+}
+
+Status JsonSearchIndex::OnDelete(size_t row_id, const rdbms::Row& row) {
+  return UnindexDocument(row_id, row[json_col_pos_]);
+}
+
+Status JsonSearchIndex::OnReplace(size_t row_id, const rdbms::Row& old_row,
+                                  const rdbms::Row& new_row) {
+  FSDM_RETURN_NOT_OK(UnindexDocument(row_id, old_row[json_col_pos_]));
+  return IndexDocument(row_id, new_row[json_col_pos_]);
+}
+
+namespace {
+
+/// Shared walk for index/unindex: visits every node with its path.
+template <typename Visit>
+Status WalkPaths(const json::Dom& dom, json::Dom::NodeRef node,
+                 std::string* path, const Visit& visit) {
+  FSDM_RETURN_NOT_OK(visit(*path, node));
+  switch (dom.GetNodeType(node)) {
+    case json::NodeKind::kObject: {
+      size_t n = dom.GetFieldCount(node);
+      for (size_t i = 0; i < n; ++i) {
+        std::string_view name;
+        json::Dom::NodeRef child;
+        dom.GetFieldAt(node, i, &name, &child);
+        size_t mark = path->size();
+        path->push_back('.');
+        path->append(name);
+        FSDM_RETURN_NOT_OK(WalkPaths(dom, child, path, visit));
+        path->resize(mark);
+      }
+      return Status::Ok();
+    }
+    case json::NodeKind::kArray: {
+      size_t n = dom.GetArrayLength(node);
+      for (size_t i = 0; i < n; ++i) {
+        // Elements share the array's path (the index is positional-blind,
+        // like the paper's path postings).
+        FSDM_RETURN_NOT_OK(
+            WalkPaths(dom, dom.GetArrayElement(node, i), path, visit));
+      }
+      return Status::Ok();
+    }
+    case json::NodeKind::kScalar:
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status JsonSearchIndex::IndexDocument(size_t row_id, const Value& doc) {
+  if (doc.is_null()) return Status::Ok();
+  // Reuse the DOM the IS JSON constraint parsed on this DML when
+  // available (§3.2.1); otherwise (back-fill path) parse here.
+  std::unique_ptr<json::JsonNode> owned;
+  const json::JsonNode* tree = table_->ParsedJsonForObserver(json_col_pos_);
+  if (tree == nullptr) {
+    FSDM_ASSIGN_OR_RETURN(owned, json::Parse(doc.AsString()));
+    tree = owned.get();
+  }
+  json::TreeDom dom(tree);
+
+  if (options_.maintain_postings) {
+    std::string path = "$";
+    Status st = WalkPaths(
+        dom, dom.root(), &path,
+        [&](const std::string& p, json::Dom::NodeRef node) -> Status {
+          InsertPosting(&path_postings_[p], row_id);
+          if (dom.GetNodeType(node) == json::NodeKind::kScalar) {
+            Value v;
+            FSDM_RETURN_NOT_OK(dom.GetScalarValue(node, &v));
+            if (!v.is_null()) {
+              InsertPosting(&value_postings_[{p, v.ToDisplayString()}],
+                            row_id);
+              if (v.type() == ScalarType::kString) {
+                for (const std::string& tok :
+                     TokenizeKeywords(v.AsString())) {
+                  InsertPosting(&keyword_postings_[{p, tok}], row_id);
+                }
+              }
+            }
+          }
+          return Status::Ok();
+        });
+    FSDM_RETURN_NOT_OK(st);
+  }
+
+  if (options_.maintain_dataguide) {
+    std::vector<const dataguide::PathEntry*> new_entries;
+    FSDM_ASSIGN_OR_RETURN(int new_paths,
+                          dataguide_.AddDocument(dom, &new_entries));
+    // Persisting to $DG only happens when structure actually changed —
+    // the common case terminates after the in-memory structural check.
+    if (new_paths > 0) {
+      ++dg_writes_;
+      for (const dataguide::PathEntry* e : new_entries) {
+        FSDM_RETURN_NOT_OK(
+            dg_table_
+                ->Insert({Value::String(e->path),
+                          Value::String(e->TypeString())})
+                .status());
+      }
+    }
+  }
+  ++indexed_docs_;
+  return Status::Ok();
+}
+
+Status JsonSearchIndex::UnindexDocument(size_t row_id, const Value& doc) {
+  if (doc.is_null()) return Status::Ok();
+  if (options_.maintain_postings) {
+    FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> tree,
+                          json::Parse(doc.AsString()));
+    json::TreeDom dom(tree.get());
+    std::string path = "$";
+    Status st = WalkPaths(
+        dom, dom.root(), &path,
+        [&](const std::string& p, json::Dom::NodeRef node) -> Status {
+          ErasePosting(&path_postings_[p], row_id);
+          if (dom.GetNodeType(node) == json::NodeKind::kScalar) {
+            Value v;
+            FSDM_RETURN_NOT_OK(dom.GetScalarValue(node, &v));
+            if (!v.is_null()) {
+              ErasePosting(&value_postings_[{p, v.ToDisplayString()}],
+                           row_id);
+              if (v.type() == ScalarType::kString) {
+                for (const std::string& tok :
+                     TokenizeKeywords(v.AsString())) {
+                  ErasePosting(&keyword_postings_[{p, tok}], row_id);
+                }
+              }
+            }
+          }
+          return Status::Ok();
+        });
+    FSDM_RETURN_NOT_OK(st);
+  }
+  // The DataGuide is additive: no path removal on delete (§3.4).
+  if (indexed_docs_ > 0) --indexed_docs_;
+  return Status::Ok();
+}
+
+std::vector<size_t> JsonSearchIndex::DocsWithPath(
+    const std::string& path) const {
+  auto it = path_postings_.find(path);
+  return it == path_postings_.end() ? std::vector<size_t>{} : it->second;
+}
+
+std::vector<size_t> JsonSearchIndex::DocsWithValue(const std::string& path,
+                                                   const Value& value) const {
+  auto it = value_postings_.find({path, value.ToDisplayString()});
+  return it == value_postings_.end() ? std::vector<size_t>{} : it->second;
+}
+
+std::vector<size_t> JsonSearchIndex::DocsWithKeyword(
+    const std::string& path, const std::string& keyword) const {
+  std::vector<std::string> tokens = TokenizeKeywords(keyword);
+  if (tokens.empty()) return {};
+  // Conjunction over the keyword's tokens.
+  std::vector<size_t> acc;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    auto it = keyword_postings_.find({path, tokens[i]});
+    if (it == keyword_postings_.end()) return {};
+    if (i == 0) {
+      acc = it->second;
+    } else {
+      std::vector<size_t> merged;
+      std::set_intersection(acc.begin(), acc.end(), it->second.begin(),
+                            it->second.end(), std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+  }
+  return acc;
+}
+
+rdbms::Schema JsonSearchIndex::DgSchema() const {
+  return rdbms::Schema({"PATH", "TYPE", "LENGTH", "FREQUENCY", "NULL_COUNT",
+                        "MIN", "MAX"});
+}
+
+std::vector<rdbms::Row> JsonSearchIndex::DgRows() const {
+  std::vector<rdbms::Row> rows;
+  for (const dataguide::PathEntry* e : dataguide_.SortedEntries()) {
+    rdbms::Row row;
+    row.push_back(Value::String(e->path));
+    row.push_back(Value::String(e->TypeString()));
+    row.push_back(e->kind == json::NodeKind::kScalar
+                      ? Value::Int64(static_cast<int64_t>(e->max_length))
+                      : Value::Null());
+    row.push_back(Value::Int64(static_cast<int64_t>(e->frequency)));
+    row.push_back(Value::Int64(static_cast<int64_t>(e->null_count)));
+    row.push_back(e->min_value.value_or(Value::Null()));
+    row.push_back(e->max_value.value_or(Value::Null()));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string JsonSearchIndex::GetDataGuide(bool hierarchical) const {
+  return hierarchical ? dataguide_.ToHierarchicalJson()
+                      : dataguide_.ToFlatJson();
+}
+
+namespace {
+
+/// Row source over a posting list: materializes only the matching rows.
+class PostingScanOp final : public rdbms::Operator {
+ public:
+  PostingScanOp(const rdbms::Table* table, std::vector<size_t> row_ids)
+      : table_(table), row_ids_(std::move(row_ids)) {
+    schema_ = table->OutputSchema();
+  }
+
+  Status Open() override {
+    next_ = 0;
+    return Status::Ok();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    while (next_ < row_ids_.size()) {
+      size_t id = row_ids_[next_++];
+      if (!table_->IsLive(id)) continue;
+      FSDM_ASSIGN_OR_RETURN(*out, table_->MaterializeRow(id));
+      return true;
+    }
+    return false;
+  }
+
+  void Close() override {}
+
+ private:
+  const rdbms::Table* table_;
+  std::vector<size_t> row_ids_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+rdbms::OperatorPtr IndexedPathScan(const rdbms::Table* table,
+                                   const JsonSearchIndex* index,
+                                   std::string path) {
+  return std::make_unique<PostingScanOp>(table, index->DocsWithPath(path));
+}
+
+rdbms::OperatorPtr IndexedValueScan(const rdbms::Table* table,
+                                    const JsonSearchIndex* index,
+                                    std::string path, Value value) {
+  return std::make_unique<PostingScanOp>(table,
+                                         index->DocsWithValue(path, value));
+}
+
+rdbms::OperatorPtr IndexedKeywordScan(const rdbms::Table* table,
+                                      const JsonSearchIndex* index,
+                                      std::string path, std::string keyword) {
+  return std::make_unique<PostingScanOp>(
+      table, index->DocsWithKeyword(path, keyword));
+}
+
+size_t JsonSearchIndex::posting_count() const {
+  size_t n = 0;
+  for (const auto& [k, v] : path_postings_) n += v.size();
+  for (const auto& [k, v] : value_postings_) n += v.size();
+  for (const auto& [k, v] : keyword_postings_) n += v.size();
+  return n;
+}
+
+}  // namespace fsdm::index

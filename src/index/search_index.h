@@ -1,0 +1,143 @@
+#ifndef FSDM_INDEX_SEARCH_INDEX_H_
+#define FSDM_INDEX_SEARCH_INDEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataguide/dataguide.h"
+#include "rdbms/executor.h"
+#include "rdbms/table.h"
+
+namespace fsdm::index {
+
+/// Schema-agnostic JSON search index (§3.2.1): an inverted index over every
+/// JSON field path and every leaf scalar value of a JSON text column
+/// (strings tokenized into keywords for full-text search), maintained
+/// incrementally as a TableObserver on the base table's DML path.
+///
+/// The persistent JSON DataGuide is a component of this index: structural
+/// analysis happens on the same parse the IS JSON constraint already paid
+/// for, and new paths are persisted into the $DG side table. For documents
+/// that introduce no new structure the DataGuide step is a pure hash-lookup
+/// pass (the paper's fast common case).
+///
+/// The persistent DataGuide is additive: deletes remove postings but never
+/// remove $DG rows (§3.4).
+class JsonSearchIndex final : public rdbms::TableObserver {
+ public:
+  struct Options {
+    /// Maintain the persistent DataGuide ($DG) alongside the postings.
+    bool maintain_dataguide = true;
+    /// Maintain inverted postings (paths/values/keywords). Disable to
+    /// isolate DataGuide maintenance cost in benchmarks.
+    bool maintain_postings = true;
+  };
+
+  /// Attaches to `table` as an observer and back-fills from existing rows.
+  /// The index does not own the table; call Detach() (or destroy the
+  /// index) before the table goes away.
+  static Result<std::unique_ptr<JsonSearchIndex>> Create(
+      rdbms::Table* table, const std::string& json_column,
+      const Options& options);
+  static Result<std::unique_ptr<JsonSearchIndex>> Create(
+      rdbms::Table* table, const std::string& json_column) {
+    return Create(table, json_column, Options());
+  }
+
+  ~JsonSearchIndex() override;
+  void Detach();
+
+  // --- TableObserver --------------------------------------------------------
+  Status OnInsert(size_t row_id, const rdbms::Row& row) override;
+  Status OnDelete(size_t row_id, const rdbms::Row& row) override;
+  Status OnReplace(size_t row_id, const rdbms::Row& old_row,
+                   const rdbms::Row& new_row) override;
+
+  // --- Ad-hoc queries (JSON_EXISTS / JSON_VALUE / JSON_TEXTCONTAINS
+  //     pushdown) --------------------------------------------------------
+  /// Row ids of documents containing the structural path ("$.a.b").
+  std::vector<size_t> DocsWithPath(const std::string& path) const;
+  /// Row ids of documents where `path` holds exactly `value` (scalar
+  /// comparison by canonical display form).
+  std::vector<size_t> DocsWithValue(const std::string& path,
+                                    const Value& value) const;
+  /// Row ids of documents where any string under `path` contains the
+  /// keyword (lowercased token match).
+  std::vector<size_t> DocsWithKeyword(const std::string& path,
+                                      const std::string& keyword) const;
+
+  // --- Persistent DataGuide --------------------------------------------
+  const dataguide::DataGuide& dataguide() const { return dataguide_; }
+
+  /// Renders the $DG side table (§3.2.1, Tables 2/4/6): one row per
+  /// distinct path with its type string and statistics. Schema:
+  /// (PATH, TYPE, LENGTH, FREQUENCY, NULL_COUNT, MIN, MAX).
+  rdbms::Schema DgSchema() const;
+  std::vector<rdbms::Row> DgRows() const;
+
+  /// The live $DG side table maintained incrementally on the DML path
+  /// (PATH, TYPE columns; statistics live in DgRows()).
+  const rdbms::Table* dg_table() const { return dg_table_.get(); }
+
+  /// getDataGuide(): flat or hierarchical JSON rendering (§3.2.2).
+  std::string GetDataGuide(bool hierarchical = false) const;
+
+  // --- Introspection ----------------------------------------------------
+  size_t indexed_document_count() const { return indexed_docs_; }
+  size_t posting_count() const;
+  /// Number of $DG persistence events (documents that introduced at least
+  /// one new path) — what Figures 7/8 measure indirectly.
+  size_t dg_write_count() const { return dg_writes_; }
+
+ private:
+  JsonSearchIndex(rdbms::Table* table, size_t json_col_pos, Options options)
+      : table_(table), json_col_pos_(json_col_pos), options_(options) {}
+
+  Status IndexDocument(size_t row_id, const Value& doc);
+  Status UnindexDocument(size_t row_id, const Value& doc);
+
+  rdbms::Table* table_;
+  size_t json_col_pos_;  // position within the physical row
+  Options options_;
+
+  // (path, canonical scalar display) -> sorted row ids.
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      value_postings_;
+  // path -> sorted row ids.
+  std::map<std::string, std::vector<size_t>> path_postings_;
+  // (path, lowercased token) -> sorted row ids.
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      keyword_postings_;
+
+  dataguide::DataGuide dataguide_;
+  // The persistent $DG side table (§3.2.1): one row per distinct path,
+  // appended when a document introduces new structure.
+  std::unique_ptr<rdbms::Table> dg_table_;
+  size_t indexed_docs_ = 0;
+  size_t dg_writes_ = 0;
+  bool detached_ = false;
+};
+
+/// Splits a string into lowercase alphanumeric tokens (the tokenizer the
+/// keyword postings use).
+std::vector<std::string> TokenizeKeywords(std::string_view text);
+
+/// Index-backed access paths (§3.2.1: JSON_EXISTS / JSON_VALUE equality /
+/// JSON_TEXTCONTAINS predicates evaluated through the inverted index
+/// instead of scanning every document). Emits the base table's rows (in
+/// row-id order) whose documents the index reports as matching.
+rdbms::OperatorPtr IndexedPathScan(const rdbms::Table* table,
+                                   const JsonSearchIndex* index,
+                                   std::string path);
+rdbms::OperatorPtr IndexedValueScan(const rdbms::Table* table,
+                                    const JsonSearchIndex* index,
+                                    std::string path, Value value);
+rdbms::OperatorPtr IndexedKeywordScan(const rdbms::Table* table,
+                                      const JsonSearchIndex* index,
+                                      std::string path, std::string keyword);
+
+}  // namespace fsdm::index
+
+#endif  // FSDM_INDEX_SEARCH_INDEX_H_

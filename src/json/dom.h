@@ -1,0 +1,126 @@
+#ifndef FSDM_JSON_DOM_H_
+#define FSDM_JSON_DOM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "json/node.h"
+
+namespace fsdm::json {
+
+/// Read-only navigation interface over any JSON representation. This is the
+/// paper's JSON DOM path-engine contract (§5.1): the SQL/JSON path evaluator
+/// is written once against this interface and runs unchanged over
+///   - TreeDom  (in-memory node tree built by the text parser),
+///   - OsonDom  (zero-copy navigation of serialized OSON bytes),
+///   - BsonDom  (serial-scan navigation of BSON bytes).
+/// Node handles are opaque 64-bit "addresses"; for OSON they are byte
+/// offsets into the tree-node navigation segment, mirroring the paper.
+class Dom {
+ public:
+  using NodeRef = uint64_t;
+  static constexpr NodeRef kInvalidNode = ~0ull;
+
+  virtual ~Dom() = default;
+
+  /// Root node of the document.
+  virtual NodeRef root() const = 0;
+
+  /// JsonDomGetNodeType(treeNodeAddress).
+  virtual NodeKind GetNodeType(NodeRef node) const = 0;
+
+  /// Number of key/value pairs in an object node.
+  virtual size_t GetFieldCount(NodeRef object) const = 0;
+
+  /// i-th field (for wildcard steps and full iteration). Name views remain
+  /// valid while the Dom is alive.
+  virtual void GetFieldAt(NodeRef object, size_t i, std::string_view* name,
+                          NodeRef* child) const = 0;
+
+  /// JsonDomGetFieldValue(treeNodeAddress, fieldName): child node for a
+  /// field name, or kInvalidNode when the field is absent.
+  virtual NodeRef GetFieldValue(NodeRef object,
+                                std::string_view name) const = 0;
+
+  /// Number of elements in an array node.
+  virtual size_t GetArrayLength(NodeRef array) const = 0;
+
+  /// JsonDomGetArrayElement: positional access, kInvalidNode out of range.
+  virtual NodeRef GetArrayElement(NodeRef array, size_t index) const = 0;
+
+  /// Field lookup with query-compile-time hints: `hash` is the field name's
+  /// FieldNameHash computed when the path was parsed, and *cached_field_id
+  /// is a caller-owned slot remembering the id this name resolved to on the
+  /// previous document (the paper's single-row look-back, §4.2.1). The
+  /// default implementation ignores the hints; OsonDom overrides it.
+  /// Pass cached_field_id = nullptr to disable caching.
+  virtual NodeRef GetFieldValueHashed(NodeRef object, std::string_view name,
+                                      uint32_t hash,
+                                      uint32_t* cached_field_id) const {
+    (void)hash;
+    (void)cached_field_id;
+    return GetFieldValue(object, name);
+  }
+
+  /// Scalar type without materializing the value.
+  virtual ScalarType GetScalarType(NodeRef scalar) const = 0;
+
+  /// JsonDomGetScalarInfo: materializes the scalar as an engine Value.
+  virtual Status GetScalarValue(NodeRef scalar, Value* out) const = 0;
+};
+
+/// Dom over a JsonNode tree; NodeRef is the node pointer.
+class TreeDom final : public Dom {
+ public:
+  /// Does not take ownership; `root` must outlive this Dom.
+  explicit TreeDom(const JsonNode* root) : root_(root) {}
+
+  NodeRef root() const override { return ToRef(root_); }
+  NodeKind GetNodeType(NodeRef node) const override {
+    return FromRef(node)->kind();
+  }
+  size_t GetFieldCount(NodeRef object) const override {
+    return FromRef(object)->field_count();
+  }
+  void GetFieldAt(NodeRef object, size_t i, std::string_view* name,
+                  NodeRef* child) const override {
+    const JsonNode* obj = FromRef(object);
+    *name = obj->field_name(i);
+    *child = ToRef(obj->field_value(i));
+  }
+  NodeRef GetFieldValue(NodeRef object, std::string_view name) const override {
+    const JsonNode* child = FromRef(object)->GetField(name);
+    return child ? ToRef(child) : kInvalidNode;
+  }
+  size_t GetArrayLength(NodeRef array) const override {
+    return FromRef(array)->array_size();
+  }
+  NodeRef GetArrayElement(NodeRef array, size_t index) const override {
+    const JsonNode* arr = FromRef(array);
+    if (index >= arr->array_size()) return kInvalidNode;
+    return ToRef(arr->element(index));
+  }
+  ScalarType GetScalarType(NodeRef scalar) const override {
+    return FromRef(scalar)->scalar().type();
+  }
+  Status GetScalarValue(NodeRef scalar, Value* out) const override {
+    *out = FromRef(scalar)->scalar();
+    return Status::Ok();
+  }
+
+ private:
+  static NodeRef ToRef(const JsonNode* node) {
+    return reinterpret_cast<NodeRef>(node);
+  }
+  static const JsonNode* FromRef(NodeRef ref) {
+    return reinterpret_cast<const JsonNode*>(ref);
+  }
+
+  const JsonNode* root_;
+};
+
+}  // namespace fsdm::json
+
+#endif  // FSDM_JSON_DOM_H_

@@ -1,0 +1,88 @@
+#include "json/node.h"
+
+namespace fsdm::json {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kObject:
+      return "object";
+    case NodeKind::kArray:
+      return "array";
+    case NodeKind::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+const JsonNode* JsonNode::GetField(std::string_view name) const {
+  for (const auto& [key, child] : fields_) {
+    if (key == name) return child.get();
+  }
+  return nullptr;
+}
+
+JsonNode* JsonNode::AddField(std::string name,
+                             std::unique_ptr<JsonNode> child) {
+  fields_.emplace_back(std::move(name), std::move(child));
+  return fields_.back().second.get();
+}
+
+JsonNode* JsonNode::Append(std::unique_ptr<JsonNode> child) {
+  elements_.push_back(std::move(child));
+  return elements_.back().get();
+}
+
+bool JsonNode::Equals(const JsonNode& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case NodeKind::kObject: {
+      if (fields_.size() != other.fields_.size()) return false;
+      // Order-insensitive field comparison (JSON object semantics).
+      for (const auto& [key, child] : fields_) {
+        const JsonNode* theirs = other.GetField(key);
+        if (theirs == nullptr || !child->Equals(*theirs)) return false;
+      }
+      return true;
+    }
+    case NodeKind::kArray: {
+      if (elements_.size() != other.elements_.size()) return false;
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (!elements_[i]->Equals(*other.elements_[i])) return false;
+      }
+      return true;
+    }
+    case NodeKind::kScalar: {
+      if (scalar_.is_null() || other.scalar_.is_null()) {
+        return scalar_.is_null() && other.scalar_.is_null();
+      }
+      if (scalar_.IsNumeric() != other.scalar_.IsNumeric()) return false;
+      Result<int> cmp = scalar_.CompareTo(other.scalar_);
+      return cmp.ok() && cmp.value() == 0;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<JsonNode> JsonNode::Clone() const {
+  switch (kind_) {
+    case NodeKind::kObject: {
+      auto copy = MakeObject();
+      for (const auto& [key, child] : fields_) {
+        copy->AddField(key, child->Clone());
+      }
+      return copy;
+    }
+    case NodeKind::kArray: {
+      auto copy = MakeArray();
+      for (const auto& child : elements_) {
+        copy->Append(child->Clone());
+      }
+      return copy;
+    }
+    case NodeKind::kScalar:
+      return MakeScalar(scalar_);
+  }
+  return nullptr;
+}
+
+}  // namespace fsdm::json

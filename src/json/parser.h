@@ -1,0 +1,58 @@
+#ifndef FSDM_JSON_PARSER_H_
+#define FSDM_JSON_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "json/node.h"
+
+namespace fsdm::json {
+
+/// SAX-style event sink for the streaming parser. The paper's TEXT-mode
+/// query engine (§5.1) consumes these events; the DOM parser is a builder
+/// layered on top of the same event stream.
+class JsonEventHandler {
+ public:
+  virtual ~JsonEventHandler() = default;
+
+  virtual Status OnStartObject() = 0;
+  virtual Status OnEndObject() = 0;
+  virtual Status OnStartArray() = 0;
+  virtual Status OnEndArray() = 0;
+  /// Key of the upcoming member value. View valid only during the call.
+  virtual Status OnKey(std::string_view key) = 0;
+  virtual Status OnString(std::string_view value) = 0;
+  /// Raw number text (JSON grammar); handler decides the numeric type.
+  virtual Status OnNumber(std::string_view text) = 0;
+  virtual Status OnBool(bool value) = 0;
+  virtual Status OnNull() = 0;
+};
+
+struct ParseOptions {
+  /// Maximum container nesting depth before kParseError.
+  int max_depth = 512;
+  /// Reject objects containing duplicate keys.
+  bool reject_duplicate_keys = false;
+};
+
+/// Streaming parse: drives `handler` over `text`. Strict RFC 8259 grammar,
+/// full \uXXXX escape handling with surrogate pairs.
+Status ParseEvents(std::string_view text, JsonEventHandler* handler,
+                   const ParseOptions& options = {});
+
+/// DOM parse. Numbers become Value::Int64 when integral and in range,
+/// otherwise exact Decimal.
+Result<std::unique_ptr<JsonNode>> Parse(std::string_view text,
+                                        const ParseOptions& options = {});
+
+/// Converts raw JSON number text into the engine Value (int64 fast path,
+/// Decimal otherwise). Shared by the DOM builder and the binary encoders.
+Result<Value> NumberTextToValue(std::string_view text);
+
+/// Validates without building a DOM — the IS JSON check constraint path.
+Status Validate(std::string_view text, const ParseOptions& options = {});
+
+}  // namespace fsdm::json
+
+#endif  // FSDM_JSON_PARSER_H_

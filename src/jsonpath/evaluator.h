@@ -1,0 +1,75 @@
+#ifndef FSDM_JSONPATH_EVALUATOR_H_
+#define FSDM_JSONPATH_EVALUATOR_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "json/dom.h"
+#include "jsonpath/path.h"
+
+namespace fsdm::jsonpath {
+
+/// DOM-based SQL/JSON path engine (paper §5.1). Works against the abstract
+/// json::Dom interface, so the same compiled path runs over TreeDom (text
+/// mode), BsonDom and OsonDom. Field steps call Dom::GetFieldValueHashed
+/// with the hash precomputed at parse time and the step's cached field id,
+/// which OsonDom turns into a dictionary binary search with single-document
+/// look-back (§4.2.1).
+///
+/// Lax-mode semantics: member steps applied to an array iterate its
+/// elements (one implicit unwrap level); subscript steps applied to a
+/// non-array treat the node as a singleton array.
+class PathEvaluator {
+ public:
+  /// The path must outlive the evaluator. The evaluator may be reused
+  /// across documents (and should be — that is what makes the field-id
+  /// cache effective).
+  explicit PathEvaluator(const PathExpression* path) : path_(path) {}
+
+  /// Calls `visit` for every node the path selects, in document order.
+  /// The visitor may set *stop to end the traversal early.
+  using Visitor = std::function<Status(json::Dom::NodeRef, bool* stop)>;
+  Status Evaluate(const json::Dom& dom, const Visitor& visit) const;
+
+  /// Evaluates with `context` standing in for '$' — JSON_TABLE NESTED PATH
+  /// applies column and child row paths relative to the current row node.
+  Status EvaluateFrom(const json::Dom& dom, json::Dom::NodeRef context,
+                      const Visitor& visit) const;
+
+  /// FirstScalar relative to a context node.
+  Result<std::optional<Value>> FirstScalarFrom(const json::Dom& dom,
+                                               json::Dom::NodeRef context) const;
+
+  /// JSON_EXISTS: true when the path selects at least one node.
+  Result<bool> Exists(const json::Dom& dom) const;
+
+  /// JSON_VALUE: the first selected node's scalar value, or nullopt when
+  /// the path selects nothing or selects a non-scalar.
+  Result<std::optional<Value>> FirstScalar(const json::Dom& dom) const;
+
+  /// All selected nodes (materialized; for JSON_QUERY and tests).
+  Result<std::vector<json::Dom::NodeRef>> Select(const json::Dom& dom) const;
+
+  const PathExpression& path() const { return *path_; }
+
+ private:
+  Status EvalSteps(const json::Dom& dom, json::Dom::NodeRef node,
+                   const std::vector<Step>& steps, size_t idx,
+                   const Visitor& visit, bool* stop) const;
+  bool EvalFilter(const json::Dom& dom, json::Dom::NodeRef node,
+                  const FilterExpr& expr) const;
+  // True if the relative path from `node` yields any node satisfying
+  // `pred` (pred == nullptr means mere existence).
+  bool AnyRelMatch(const json::Dom& dom, json::Dom::NodeRef node,
+                   const std::vector<Step>& rel,
+                   const std::function<bool(json::Dom::NodeRef)>& pred) const;
+
+  const PathExpression* path_;
+};
+
+}  // namespace fsdm::jsonpath
+
+#endif  // FSDM_JSONPATH_EVALUATOR_H_

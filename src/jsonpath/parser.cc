@@ -1,0 +1,461 @@
+#include <cctype>
+
+#include "common/hash.h"
+#include "jsonpath/path.h"
+
+namespace fsdm::jsonpath {
+
+namespace {
+
+/// Recursive-descent parser for the path grammar in path.h.
+class Parser {
+ public:
+  explicit Parser(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()), begin_(text.data()) {}
+
+  Status Run(std::vector<Step>* steps) {
+    SkipWs();
+    if (p_ >= end_ || *p_ != '$') return Error("path must start with '$'");
+    ++p_;
+    FSDM_RETURN_NOT_OK(ParseSteps(steps, /*relative=*/false));
+    SkipWs();
+    if (p_ != end_) return Error("trailing characters in path");
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("path: " + msg + " at offset " +
+                              std::to_string(p_ - begin_));
+  }
+
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t')) ++p_;
+  }
+
+  bool NameChar(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || static_cast<unsigned char>(c) >= 0x80;
+  }
+
+  Status ParseName(std::string* out) {
+    SkipWs();
+    if (p_ < end_ && *p_ == '"') {
+      ++p_;
+      out->clear();
+      while (p_ < end_ && *p_ != '"') {
+        if (*p_ == '\\' && p_ + 1 < end_) ++p_;
+        out->push_back(*p_++);
+      }
+      if (p_ >= end_) return Error("unterminated quoted name");
+      ++p_;
+      if (out->empty()) return Error("empty quoted name");
+      return Status::Ok();
+    }
+    const char* start = p_;
+    while (p_ < end_ && NameChar(*p_)) ++p_;
+    if (p_ == start) return Error("expected field name");
+    out->assign(start, p_ - start);
+    return Status::Ok();
+  }
+
+  Status ParseInt(int64_t* out) {
+    SkipWs();
+    bool neg = false;
+    if (p_ < end_ && *p_ == '-') {
+      neg = true;
+      ++p_;
+    }
+    if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return Error("expected integer");
+    }
+    int64_t v = 0;
+    while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) {
+      v = v * 10 + (*p_ - '0');
+      ++p_;
+    }
+    *out = neg ? -v : v;
+    return Status::Ok();
+  }
+
+  // `relative` restricts the grammar for '@' paths inside filters (no
+  // nested filters / descendants).
+  Status ParseSteps(std::vector<Step>* steps, bool relative) {
+    while (true) {
+      SkipWs();
+      if (p_ >= end_) return Status::Ok();
+      if (*p_ == '.') {
+        ++p_;
+        if (p_ < end_ && *p_ == '.') {
+          if (relative) return Error("descendant step not allowed after '@'");
+          ++p_;
+          Step s;
+          s.kind = StepKind::kDescendant;
+          FSDM_RETURN_NOT_OK(ParseName(&s.name));
+          s.name_hash = FieldNameHash(s.name);
+          steps->push_back(std::move(s));
+          continue;
+        }
+        if (p_ < end_ && *p_ == '*') {
+          ++p_;
+          Step s;
+          s.kind = StepKind::kMemberWildcard;
+          steps->push_back(std::move(s));
+          continue;
+        }
+        Step s;
+        s.kind = StepKind::kMember;
+        FSDM_RETURN_NOT_OK(ParseName(&s.name));
+        s.name_hash = FieldNameHash(s.name);
+        steps->push_back(std::move(s));
+        continue;
+      }
+      if (*p_ == '[') {
+        ++p_;
+        SkipWs();
+        if (p_ < end_ && *p_ == '*') {
+          ++p_;
+          SkipWs();
+          if (p_ >= end_ || *p_ != ']') return Error("expected ']'");
+          ++p_;
+          Step s;
+          s.kind = StepKind::kArrayWildcard;
+          steps->push_back(std::move(s));
+          continue;
+        }
+        Step s;
+        s.kind = StepKind::kArraySubscript;
+        while (true) {
+          ArrayRange r;
+          FSDM_RETURN_NOT_OK(ParseInt(&r.lo));
+          r.hi = r.lo;
+          SkipWs();
+          if (end_ - p_ >= 2 && p_[0] == 't' && p_[1] == 'o') {
+            p_ += 2;
+            FSDM_RETURN_NOT_OK(ParseInt(&r.hi));
+            SkipWs();
+          }
+          if (r.lo < 0 || r.hi < r.lo) return Error("invalid subscript range");
+          s.ranges.push_back(r);
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          break;
+        }
+        if (p_ >= end_ || *p_ != ']') return Error("expected ']'");
+        ++p_;
+        steps->push_back(std::move(s));
+        continue;
+      }
+      if (*p_ == '?') {
+        if (relative) return Error("nested filter not allowed");
+        ++p_;
+        SkipWs();
+        if (p_ >= end_ || *p_ != '(') return Error("expected '(' after '?'");
+        ++p_;
+        Step s;
+        s.kind = StepKind::kFilter;
+        std::shared_ptr<const FilterExpr> expr;
+        FSDM_RETURN_NOT_OK(ParseOr(&expr));
+        SkipWs();
+        if (p_ >= end_ || *p_ != ')') return Error("expected ')'");
+        ++p_;
+        s.filter = std::move(expr);
+        steps->push_back(std::move(s));
+        continue;
+      }
+      return Status::Ok();  // caller checks for trailing characters
+    }
+  }
+
+  Status ParseOr(std::shared_ptr<const FilterExpr>* out) {
+    std::shared_ptr<const FilterExpr> left;
+    FSDM_RETURN_NOT_OK(ParseAnd(&left));
+    SkipWs();
+    if (end_ - p_ >= 2 && p_[0] == '|' && p_[1] == '|') {
+      auto node = std::make_shared<FilterExpr>();
+      node->kind = FilterExpr::Kind::kOr;
+      node->children.push_back(std::move(left));
+      while (end_ - p_ >= 2 && p_[0] == '|' && p_[1] == '|') {
+        p_ += 2;
+        std::shared_ptr<const FilterExpr> right;
+        FSDM_RETURN_NOT_OK(ParseAnd(&right));
+        node->children.push_back(std::move(right));
+        SkipWs();
+      }
+      *out = std::move(node);
+      return Status::Ok();
+    }
+    *out = std::move(left);
+    return Status::Ok();
+  }
+
+  Status ParseAnd(std::shared_ptr<const FilterExpr>* out) {
+    std::shared_ptr<const FilterExpr> left;
+    FSDM_RETURN_NOT_OK(ParsePrimary(&left));
+    SkipWs();
+    if (end_ - p_ >= 2 && p_[0] == '&' && p_[1] == '&') {
+      auto node = std::make_shared<FilterExpr>();
+      node->kind = FilterExpr::Kind::kAnd;
+      node->children.push_back(std::move(left));
+      while (end_ - p_ >= 2 && p_[0] == '&' && p_[1] == '&') {
+        p_ += 2;
+        std::shared_ptr<const FilterExpr> right;
+        FSDM_RETURN_NOT_OK(ParsePrimary(&right));
+        node->children.push_back(std::move(right));
+        SkipWs();
+      }
+      *out = std::move(node);
+      return Status::Ok();
+    }
+    *out = std::move(left);
+    return Status::Ok();
+  }
+
+  Status ParsePrimary(std::shared_ptr<const FilterExpr>* out) {
+    SkipWs();
+    if (p_ >= end_) return Error("unexpected end of filter");
+    if (*p_ == '!') {
+      ++p_;
+      auto node = std::make_shared<FilterExpr>();
+      node->kind = FilterExpr::Kind::kNot;
+      std::shared_ptr<const FilterExpr> child;
+      FSDM_RETURN_NOT_OK(ParsePrimary(&child));
+      node->children.push_back(std::move(child));
+      *out = std::move(node);
+      return Status::Ok();
+    }
+    if (*p_ == '(') {
+      ++p_;
+      FSDM_RETURN_NOT_OK(ParseOr(out));
+      SkipWs();
+      if (p_ >= end_ || *p_ != ')') return Error("expected ')'");
+      ++p_;
+      return Status::Ok();
+    }
+    if (end_ - p_ >= 6 && std::string_view(p_, 6) == "exists") {
+      p_ += 6;
+      SkipWs();
+      if (p_ >= end_ || *p_ != '(') return Error("expected '(' after exists");
+      ++p_;
+      auto node = std::make_shared<FilterExpr>();
+      node->kind = FilterExpr::Kind::kExists;
+      FSDM_RETURN_NOT_OK(ParseRelPath(&node->rel_path));
+      SkipWs();
+      if (p_ >= end_ || *p_ != ')') return Error("expected ')'");
+      ++p_;
+      *out = std::move(node);
+      return Status::Ok();
+    }
+    // Comparison: @relpath op literal.
+    auto node = std::make_shared<FilterExpr>();
+    node->kind = FilterExpr::Kind::kCompare;
+    FSDM_RETURN_NOT_OK(ParseRelPath(&node->rel_path));
+    SkipWs();
+    FSDM_RETURN_NOT_OK(ParseCompareOp(&node->op));
+    FSDM_RETURN_NOT_OK(ParseLiteral(&node->literal));
+    *out = std::move(node);
+    return Status::Ok();
+  }
+
+  Status ParseRelPath(std::vector<Step>* steps) {
+    SkipWs();
+    if (p_ >= end_ || *p_ != '@') return Error("expected '@'");
+    ++p_;
+    return ParseSteps(steps, /*relative=*/true);
+  }
+
+  Status ParseCompareOp(FilterExpr::CompareOp* op) {
+    SkipWs();
+    if (p_ >= end_) return Error("expected comparison operator");
+    if (*p_ == '=') {
+      ++p_;
+      if (p_ < end_ && *p_ == '=') ++p_;
+      *op = FilterExpr::CompareOp::kEq;
+      return Status::Ok();
+    }
+    if (*p_ == '!') {
+      ++p_;
+      if (p_ >= end_ || *p_ != '=') return Error("expected '=' after '!'");
+      ++p_;
+      *op = FilterExpr::CompareOp::kNe;
+      return Status::Ok();
+    }
+    if (*p_ == '<') {
+      ++p_;
+      if (p_ < end_ && *p_ == '=') {
+        ++p_;
+        *op = FilterExpr::CompareOp::kLe;
+      } else {
+        *op = FilterExpr::CompareOp::kLt;
+      }
+      return Status::Ok();
+    }
+    if (*p_ == '>') {
+      ++p_;
+      if (p_ < end_ && *p_ == '=') {
+        ++p_;
+        *op = FilterExpr::CompareOp::kGe;
+      } else {
+        *op = FilterExpr::CompareOp::kGt;
+      }
+      return Status::Ok();
+    }
+    return Error("expected comparison operator");
+  }
+
+  Status ParseLiteral(Value* out) {
+    SkipWs();
+    if (p_ >= end_) return Error("expected literal");
+    if (*p_ == '"' || *p_ == '\'') {
+      char quote = *p_++;
+      std::string s;
+      while (p_ < end_ && *p_ != quote) {
+        if (*p_ == '\\' && p_ + 1 < end_) ++p_;
+        s.push_back(*p_++);
+      }
+      if (p_ >= end_) return Error("unterminated string literal");
+      ++p_;
+      *out = Value::String(std::move(s));
+      return Status::Ok();
+    }
+    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "true") {
+      p_ += 4;
+      *out = Value::Bool(true);
+      return Status::Ok();
+    }
+    if (end_ - p_ >= 5 && std::string_view(p_, 5) == "false") {
+      p_ += 5;
+      *out = Value::Bool(false);
+      return Status::Ok();
+    }
+    if (end_ - p_ >= 4 && std::string_view(p_, 4) == "null") {
+      p_ += 4;
+      *out = Value::Null();
+      return Status::Ok();
+    }
+    // Number literal.
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                         *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                         *p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) return Error("expected literal");
+    Result<Decimal> d = Decimal::FromString(std::string_view(start, p_ - start));
+    if (!d.ok()) return Error("bad number literal");
+    if (d.value().IsInteger()) {
+      Result<int64_t> i = d.value().ToInt64();
+      if (i.ok()) {
+        *out = Value::Int64(i.value());
+        return Status::Ok();
+      }
+    }
+    *out = Value::Dec(d.MoveValue());
+    return Status::Ok();
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* begin_;
+};
+
+std::string StepToString(const Step& step);
+
+std::string FilterToString(const FilterExpr& f) {
+  auto rel = [](const std::vector<Step>& steps) {
+    std::string s = "@";
+    for (const Step& st : steps) s += StepToString(st);
+    return s;
+  };
+  switch (f.kind) {
+    case FilterExpr::Kind::kAnd:
+    case FilterExpr::Kind::kOr: {
+      std::string s = "(";
+      const char* sep = f.kind == FilterExpr::Kind::kAnd ? " && " : " || ";
+      for (size_t i = 0; i < f.children.size(); ++i) {
+        if (i) s += sep;
+        s += FilterToString(*f.children[i]);
+      }
+      s += ")";
+      return s;
+    }
+    case FilterExpr::Kind::kNot:
+      return "!" + FilterToString(*f.children[0]);
+    case FilterExpr::Kind::kExists:
+      return "exists(" + rel(f.rel_path) + ")";
+    case FilterExpr::Kind::kCompare: {
+      const char* ops[] = {"==", "!=", "<", "<=", ">", ">="};
+      std::string lit =
+          f.literal.type() == ScalarType::kString
+              ? "\"" + f.literal.AsString() + "\""
+              : f.literal.ToDisplayString();
+      return rel(f.rel_path) + " " + ops[static_cast<int>(f.op)] + " " + lit;
+    }
+  }
+  return "?";
+}
+
+std::string StepToString(const Step& step) {
+  switch (step.kind) {
+    case StepKind::kMember: {
+      // Quote names that need it.
+      bool plain = !step.name.empty();
+      for (char c : step.name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '-' || static_cast<unsigned char>(c) >= 0x80)) {
+          plain = false;
+          break;
+        }
+      }
+      return plain ? "." + step.name : ".\"" + step.name + "\"";
+    }
+    case StepKind::kMemberWildcard:
+      return ".*";
+    case StepKind::kDescendant:
+      return ".." + step.name;
+    case StepKind::kArrayWildcard:
+      return "[*]";
+    case StepKind::kArraySubscript: {
+      std::string s = "[";
+      for (size_t i = 0; i < step.ranges.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(step.ranges[i].lo);
+        if (step.ranges[i].hi != step.ranges[i].lo) {
+          s += " to " + std::to_string(step.ranges[i].hi);
+        }
+      }
+      s += "]";
+      return s;
+    }
+    case StepKind::kFilter:
+      return "?(" + FilterToString(*step.filter) + ")";
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<PathExpression> PathExpression::Parse(std::string_view text) {
+  PathExpression expr;
+  Parser parser(text);
+  FSDM_RETURN_NOT_OK(parser.Run(&expr.steps_));
+  return expr;
+}
+
+std::string PathExpression::ToString() const {
+  std::string s = "$";
+  for (const Step& step : steps_) s += StepToString(step);
+  return s;
+}
+
+bool PathExpression::IsSingleton() const {
+  for (const Step& step : steps_) {
+    if (step.kind != StepKind::kMember) return false;
+  }
+  return true;
+}
+
+}  // namespace fsdm::jsonpath

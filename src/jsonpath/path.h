@@ -1,0 +1,106 @@
+#ifndef FSDM_JSONPATH_PATH_H_
+#define FSDM_JSONPATH_PATH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace fsdm::jsonpath {
+
+/// One step of a SQL/JSON path. The grammar implemented here is the subset
+/// the paper's evaluation exercises plus the usual conveniences:
+///
+///   path      := '$' step*
+///   step      := '.' name | '."..."' | '.*' | '..' name
+///              | '[' subscript (',' subscript)* ']' | '[*]'
+///              | '?(' filter ')'
+///   subscript := int | int 'to' int
+///   filter    := or; or := and ('||' and)*; and := prim ('&&' prim)*
+///   prim      := '!' prim | '(' or ')' | 'exists' '(' relpath ')'
+///              | relpath cmp literal
+///   relpath   := '@' ('.' name | '[' int ']' | '[*]')*
+///   cmp       := '==' | '!=' | '<' | '<=' | '>' | '>=' ;
+///                ('=' accepted as '==')
+///
+/// Member steps follow Oracle's lax-mode semantics: applied to an array they
+/// iterate its elements (one level of implicit unwrapping). This matches the
+/// paper's DataGuide path vocabulary, where "$.purchaseOrder.items.name" has
+/// type "array of string".
+enum class StepKind : uint8_t {
+  kMember,          ///< .name
+  kMemberWildcard,  ///< .*
+  kDescendant,      ///< ..name — all descendants with the field name
+  kArraySubscript,  ///< [0], [1 to 3], [0, 2]
+  kArrayWildcard,   ///< [*]
+  kFilter,          ///< ?( ... ) predicate on the current node
+};
+
+struct FilterExpr;
+
+/// Inclusive element range; a single index has lo == hi.
+struct ArrayRange {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+struct Step {
+  StepKind kind = StepKind::kMember;
+  std::string name;     // kMember/kDescendant
+  uint32_t name_hash = 0;  // precomputed at parse (query-compile) time
+  std::vector<ArrayRange> ranges;       // kArraySubscript
+  std::shared_ptr<const FilterExpr> filter;  // kFilter
+
+  /// Per-step field-id resolution cache for OSON navigation (§4.2.1's
+  /// single-row look-back): remembers the id this name resolved to on the
+  /// previous document. Mutable execution state, not part of the compiled
+  /// path's identity.
+  mutable uint32_t cached_field_id = kNoCachedId;
+  static constexpr uint32_t kNoCachedId = ~0u;
+};
+
+/// Filter predicate AST.
+struct FilterExpr {
+  enum class Kind : uint8_t {
+    kAnd,
+    kOr,
+    kNot,
+    kExists,
+    kCompare,
+  };
+  enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  Kind kind = Kind::kExists;
+  std::vector<std::shared_ptr<const FilterExpr>> children;  // and/or/not
+  std::vector<Step> rel_path;  // exists/compare: steps after '@'
+  CompareOp op = CompareOp::kEq;
+  Value literal;  // compare RHS
+};
+
+/// A compiled SQL/JSON path expression. Parsing happens once per query
+/// (compile time); evaluation reuses the compiled form across documents.
+class PathExpression {
+ public:
+  static Result<PathExpression> Parse(std::string_view text);
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// Canonical text form ("$.a[*].b").
+  std::string ToString() const;
+
+  /// True when every step is a plain member step — such a path addresses at
+  /// most one node in any document (the paper's "singleton scalar" notion
+  /// used for virtual columns, §3.3.1).
+  bool IsSingleton() const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace fsdm::jsonpath
+
+#endif  // FSDM_JSONPATH_PATH_H_

@@ -1,0 +1,39 @@
+#ifndef FSDM_JSONPATH_STREAMING_H_
+#define FSDM_JSONPATH_STREAMING_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "jsonpath/path.h"
+
+namespace fsdm::jsonpath {
+
+/// Streaming SQL/JSON evaluation over raw text (§5.1): simple operators run
+/// directly on the parser's event stream, with no DOM materialization at
+/// all. Supported paths are chains of member steps (lax array unwrapping
+/// included), optionally ending in a single [*] — the JSON_VALUE /
+/// JSON_EXISTS shapes. Richer paths (filters, subscripts, descendants,
+/// mid-path wildcards) return kUnsupported, and callers fall back to the
+/// DOM engine — mirroring the paper's split between the streaming engine
+/// and the DOM-based engine for complex operators.
+class StreamingPathEngine {
+ public:
+  /// True when the path's shape is streamable by this engine.
+  static bool CanStream(const PathExpression& path);
+
+  /// JSON_EXISTS over text: stops parsing at the first match when
+  /// possible. kUnsupported when the path isn't streamable; kParseError on
+  /// malformed text.
+  static Result<bool> Exists(std::string_view json_text,
+                             const PathExpression& path);
+
+  /// JSON_VALUE over text: the first scalar the path selects, nullopt when
+  /// the path misses or selects a container.
+  static Result<std::optional<Value>> FirstScalar(std::string_view json_text,
+                                                  const PathExpression& path);
+};
+
+}  // namespace fsdm::jsonpath
+
+#endif  // FSDM_JSONPATH_STREAMING_H_

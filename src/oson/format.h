@@ -1,0 +1,57 @@
+#ifndef FSDM_OSON_FORMAT_H_
+#define FSDM_OSON_FORMAT_H_
+
+#include <cstdint>
+
+namespace fsdm::oson::internal {
+
+// Image header layout (little-endian fixed-width fields):
+//   0..3   magic "OSON"
+//   4      version
+//   5      flags
+//   6..9   u32 field_count
+//   10..13 u32 dict_names_size
+//   14..17 u32 tree_size
+//   18..21 u32 values_size
+//   22..25 u32 root_offset (within tree segment)
+// followed by: hash array (4B * field_count, sorted by (hash, name)),
+// name-offset array (off_width * field_count, offsets into the name blob),
+// name blob (varint length + bytes each), tree segment, value segment.
+inline constexpr char kMagic[4] = {'O', 'S', 'O', 'N'};
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderSize = 26;
+
+// Flag bits.
+inline constexpr uint8_t kFlagWideOffsets = 0x01;  // 4-byte offsets
+inline constexpr uint8_t kFlagUnsharedLeaves = 0x02;  // in-place updatable
+inline constexpr uint8_t kFlagIdWidthShift = 2;  // bits 2-3: 0->1B,1->2B,2->4B
+// Set-encoded image (§7): no dictionary segment; field ids reference an
+// external SharedDictionary supplied at open time.
+inline constexpr uint8_t kFlagExternalDict = 0x10;
+
+// Tree node header byte: bits 6-7 node kind, bits 0-3 scalar subtype.
+inline constexpr uint8_t kKindObject = 0x00;
+inline constexpr uint8_t kKindArray = 0x40;
+inline constexpr uint8_t kKindScalar = 0x80;
+inline constexpr uint8_t kKindMask = 0xC0;
+inline constexpr uint8_t kSubtypeMask = 0x0F;
+
+// Scalar subtypes. Null/true/false are inline in the header byte; the rest
+// carry an offset into the leaf-scalar-value segment.
+enum Subtype : uint8_t {
+  kSubNull = 0,
+  kSubTrue = 1,
+  kSubFalse = 2,
+  kSubDecimal = 3,   // varint length + Decimal binary image
+  kSubDouble = 4,    // 8 bytes LE
+  kSubString = 5,    // varint length + UTF-8 bytes
+  kSubDate = 6,      // 4 bytes LE, days since epoch
+  kSubTimestamp = 7,  // 8 bytes LE, micros since epoch
+  kSubBinary = 8,    // varint length + bytes
+};
+
+inline bool SubtypeIsInline(uint8_t sub) { return sub <= kSubFalse; }
+
+}  // namespace fsdm::oson::internal
+
+#endif  // FSDM_OSON_FORMAT_H_

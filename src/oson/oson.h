@@ -1,0 +1,168 @@
+#ifndef FSDM_OSON_OSON_H_
+#define FSDM_OSON_OSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "json/dom.h"
+#include "json/node.h"
+
+namespace fsdm::oson {
+
+class SharedDictionary;  // set_encoding.h (§7 set-encoded images)
+
+/// OSON: the paper's self-contained, query-friendly binary JSON encoding
+/// (§4). An image has three segments after a fixed header:
+///
+///   [header 26B]
+///   [field-id-name dictionary]   hash-id array sorted by hash; the ordinal
+///                                position of an entry IS the field id
+///   [tree-node navigation]       object/array/scalar nodes addressed by
+///                                byte offset; object children sorted by
+///                                field id for binary search
+///   [leaf-scalar values]         concatenated scalar bytes, numbers in the
+///                                engine-native Decimal binary format
+///
+/// Offsets inside the tree/value segments use 2 bytes when the encoded image
+/// fits, 4 bytes otherwise (header flag bit 0). Field ids use 1/2/4 bytes
+/// depending on the distinct-field count.
+struct EncodeOptions {
+  /// Encode JSON numbers as IEEE double instead of Decimal (§4.2.3 mentions
+  /// both encodings; Decimal is the default).
+  bool numbers_as_double = false;
+  /// Share identical leaf values between scalar nodes. Saves space on
+  /// repetitive documents but makes in-place leaf updates unsafe, so the
+  /// encoder disables sharing when `updatable` is set.
+  bool dedup_leaf_values = true;
+  /// Reserve per-leaf slots for in-place updates (implies no dedup).
+  bool updatable = false;
+};
+
+/// Encodes a DOM tree. Any root kind (object/array/scalar) is allowed.
+Result<std::string> Encode(const json::JsonNode& doc,
+                           const EncodeOptions& options = {});
+
+/// Parses JSON text and encodes it in one step.
+Result<std::string> EncodeFromText(std::string_view json_text,
+                                   const EncodeOptions& options = {});
+
+/// Full decode back to a node tree (for export / verification).
+Result<std::unique_ptr<json::JsonNode>> Decode(std::string_view bytes);
+
+/// Summary of an image's segment layout; feeds the paper's Table 11.
+struct SegmentStats {
+  size_t total_size = 0;
+  size_t header_size = 0;
+  size_t dictionary_size = 0;
+  size_t tree_size = 0;
+  size_t values_size = 0;
+  size_t field_count = 0;
+};
+
+/// Zero-copy Dom over OSON bytes. NodeRefs are byte offsets into the
+/// tree-node navigation segment, exactly as in the paper (§4.2.2).
+class OsonDom final : public json::Dom {
+ public:
+  /// Validates the header and segment bounds; `bytes` must outlive the Dom.
+  static Result<OsonDom> Open(std::string_view bytes);
+
+  NodeRef root() const override { return root_offset_; }
+  json::NodeKind GetNodeType(NodeRef node) const override;
+  size_t GetFieldCount(NodeRef object) const override;
+  void GetFieldAt(NodeRef object, size_t i, std::string_view* name,
+                  NodeRef* child) const override;
+  NodeRef GetFieldValue(NodeRef object, std::string_view name) const override;
+  NodeRef GetFieldValueHashed(NodeRef object, std::string_view name,
+                              uint32_t hash,
+                              uint32_t* cached_field_id) const override;
+  size_t GetArrayLength(NodeRef array) const override;
+  NodeRef GetArrayElement(NodeRef array, size_t index) const override;
+  ScalarType GetScalarType(NodeRef scalar) const override;
+  Status GetScalarValue(NodeRef scalar, Value* out) const override;
+
+  // --- OSON-specific fast paths -------------------------------------------
+
+  /// Number of distinct field names in the dictionary.
+  uint32_t field_count() const { return field_count_; }
+
+  /// Resolves a field name to its per-document field id using the caller's
+  /// pre-computed hash (the path engine computes hashes once at query
+  /// compile time, §4.2.1). Binary search over the hash-id array plus a
+  /// string check for collisions.
+  std::optional<uint32_t> LookupFieldId(std::string_view name,
+                                        uint32_t hash) const;
+
+  /// Field name / hash for a field id (id < field_count()).
+  std::string_view FieldName(uint32_t field_id) const;
+  uint32_t FieldHash(uint32_t field_id) const;
+
+  /// Child lookup by resolved field id: binary search over the object's
+  /// sorted child field-id array. This is the per-step hot path.
+  NodeRef GetFieldValueById(NodeRef object, uint32_t field_id) const;
+
+  SegmentStats segment_stats() const;
+
+ private:
+  friend Result<OsonDom> OpenSetImage(std::string_view bytes,
+                                      const SharedDictionary* dictionary);
+
+  OsonDom() = default;
+
+  static Result<OsonDom> OpenInternal(std::string_view bytes,
+                                      const SharedDictionary* dictionary);
+
+  const uint8_t* TreePtr(NodeRef node) const {
+    return reinterpret_cast<const uint8_t*>(data_.data()) + tree_start_ + node;
+  }
+  // Field id of the i-th child of an object node whose id array starts at p.
+  uint32_t ReadFieldId(const uint8_t* p, size_t i) const;
+  NodeRef ReadOffset(const uint8_t* p, size_t i) const;
+  // Decodes an object/array node header at `node`: child count plus
+  // pointers to its id/offset arrays (ids nullptr for arrays).
+  bool DecodeContainer(NodeRef node, uint32_t* count, const uint8_t** ids,
+                       const uint8_t** offsets) const;
+
+  std::string_view data_;
+  // Non-null for set-encoded images: field names/hashes resolve through
+  // the shared dictionary instead of the in-image segment.
+  const SharedDictionary* ext_dict_ = nullptr;
+  uint32_t field_count_ = 0;
+  size_t dict_hash_start_ = 0;   // hash array (4B per field)
+  size_t dict_nameoff_start_ = 0;  // name-offset array (off_width_ per field)
+  size_t dict_names_start_ = 0;  // name blob
+  size_t dict_names_size_ = 0;
+  size_t tree_start_ = 0;
+  size_t tree_size_ = 0;
+  size_t values_start_ = 0;
+  size_t values_size_ = 0;
+  NodeRef root_offset_ = 0;
+  uint8_t off_width_ = 2;   // 2 or 4
+  uint8_t id_width_ = 1;    // 1, 2 or 4
+};
+
+/// In-place partial update of leaf scalar values (§4.2.3): the only update
+/// OSON supports without re-encoding. Fixed-width leaves (double, date,
+/// timestamp) always update in place; variable-width leaves (number,
+/// string) update when the new encoding fits the existing slot. The image
+/// must have been encoded with `updatable = true` (leaf slots unshared).
+class OsonUpdater {
+ public:
+  /// `image` must outlive the updater and stay unmoved while in use.
+  explicit OsonUpdater(std::string* image) : image_(image) {}
+
+  /// Replaces the value of the scalar node `ref` (a NodeRef from an OsonDom
+  /// opened over the same image). Fails with kUnsupported when the new
+  /// value doesn't fit the slot or changes the scalar type class.
+  Status UpdateLeaf(json::Dom::NodeRef ref, const Value& new_value);
+
+ private:
+  std::string* image_;
+};
+
+}  // namespace fsdm::oson
+
+#endif  // FSDM_OSON_OSON_H_

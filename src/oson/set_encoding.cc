@@ -1,0 +1,108 @@
+#include "oson/set_encoding.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "oson/format.h"
+
+namespace fsdm::oson {
+
+// Defined in encoder.cc.
+Result<std::string> EncodeWithSharedDictionary(const json::JsonNode& doc,
+                                               const EncodeOptions& options,
+                                               const SharedDictionary& dict);
+
+void SharedDictionary::Builder::AddName(std::string_view name) {
+  names_.emplace(std::string(name), FieldNameHash(name));
+}
+
+void SharedDictionary::Builder::CollectNames(const json::JsonNode& doc) {
+  switch (doc.kind()) {
+    case json::NodeKind::kObject:
+      for (size_t i = 0; i < doc.field_count(); ++i) {
+        AddName(doc.field_name(i));
+        CollectNames(*doc.field_value(i));
+      }
+      break;
+    case json::NodeKind::kArray:
+      for (size_t i = 0; i < doc.array_size(); ++i) {
+        CollectNames(*doc.element(i));
+      }
+      break;
+    case json::NodeKind::kScalar:
+      break;
+  }
+}
+
+SharedDictionary SharedDictionary::Builder::Build() && {
+  // (hash, name) order — the same ordering rule as per-instance
+  // dictionaries, so lookup logic is identical.
+  std::vector<std::pair<uint32_t, std::string>> entries;
+  entries.reserve(names_.size());
+  for (auto& [name, hash] : names_) entries.emplace_back(hash, name);
+  std::sort(entries.begin(), entries.end());
+  SharedDictionary dict;
+  dict.names_.reserve(entries.size());
+  dict.hashes_.reserve(entries.size());
+  for (auto& [hash, name] : entries) {
+    dict.hashes_.push_back(hash);
+    dict.names_.push_back(std::move(name));
+  }
+  return dict;
+}
+
+std::optional<uint32_t> SharedDictionary::LookupId(std::string_view name,
+                                                   uint32_t hash) const {
+  auto it = std::lower_bound(hashes_.begin(), hashes_.end(), hash);
+  for (uint32_t i = static_cast<uint32_t>(it - hashes_.begin());
+       i < hashes_.size() && hashes_[i] == hash; ++i) {
+    if (names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t SharedDictionary::MemoryBytes() const {
+  size_t n = hashes_.size() * 4;
+  for (const std::string& s : names_) n += s.size() + sizeof(std::string);
+  return n;
+}
+
+Status SetEncoder::FinalizeDictionary() {
+  if (dict_ != nullptr) {
+    return Status::InvalidArgument("dictionary already finalized");
+  }
+  dict_ = std::make_shared<SharedDictionary>(std::move(builder_).Build());
+  return Status::Ok();
+}
+
+Result<std::string> SetEncoder::Encode(const json::JsonNode& doc) const {
+  if (dict_ == nullptr) {
+    return Status::InvalidArgument(
+        "FinalizeDictionary() must run before Encode()");
+  }
+  return EncodeWithSharedDictionary(doc, options_, *dict_);
+}
+
+Result<OsonDom> OpenSetImage(std::string_view bytes,
+                             const SharedDictionary* dictionary) {
+  if (dictionary == nullptr) {
+    return Status::InvalidArgument("OpenSetImage requires a dictionary");
+  }
+  return OsonDom::OpenInternal(bytes, dictionary);
+}
+
+// Shims used by dom.cc (which only forward-declares SharedDictionary).
+std::string_view SharedDictFieldName(const SharedDictionary& dict,
+                                     uint32_t id) {
+  return dict.FieldName(id);
+}
+uint32_t SharedDictFieldHash(const SharedDictionary& dict, uint32_t id) {
+  return dict.FieldHash(id);
+}
+std::optional<uint32_t> SharedDictLookupId(const SharedDictionary& dict,
+                                           std::string_view name,
+                                           uint32_t hash) {
+  return dict.LookupId(name, hash);
+}
+
+}  // namespace fsdm::oson

@@ -1,0 +1,100 @@
+#ifndef FSDM_OSON_SET_ENCODING_H_
+#define FSDM_OSON_SET_ENCODING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "json/node.h"
+#include "oson/oson.h"
+
+namespace fsdm::oson {
+
+/// §7 (future work): OSON *set encoding* for the in-memory store. The
+/// common field-id-name dictionary segments are extracted from the
+/// instances of a collection and merged into a single shared dictionary;
+/// per-document images then carry no dictionary segment and reference the
+/// shared one by global field id. This trades self-containment for
+/// memory (one dictionary instead of N) and query speed: field-name-to-id
+/// resolution happens once for the whole store, and the per-step cached
+/// field id never misses across documents. Unlike Dremel, heterogeneous
+/// collections remain fully supported — the dictionary is just names; the
+/// per-instance tree segments still describe arbitrary structure.
+class SharedDictionary {
+ public:
+  /// Collects distinct field names, then freezes the dictionary.
+  class Builder {
+   public:
+    /// Adds every field name in `doc`.
+    void CollectNames(const json::JsonNode& doc);
+    /// Adds one name.
+    void AddName(std::string_view name);
+    /// Freezes into the (hash, name)-sorted dictionary.
+    SharedDictionary Build() &&;
+
+   private:
+    std::map<std::string, uint32_t> names_;  // name -> hash
+  };
+
+  uint32_t field_count() const {
+    return static_cast<uint32_t>(names_.size());
+  }
+  std::string_view FieldName(uint32_t id) const { return names_[id]; }
+  uint32_t FieldHash(uint32_t id) const { return hashes_[id]; }
+  /// Binary search over the hash-sorted entries; nullopt when absent.
+  std::optional<uint32_t> LookupId(std::string_view name,
+                                   uint32_t hash) const;
+
+  /// Bytes of the dictionary payload (for memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class Builder;
+  std::vector<std::string> names_;   // indexed by id, (hash,name)-sorted
+  std::vector<uint32_t> hashes_;     // parallel to names_
+};
+
+/// Encodes documents against a shared dictionary. Two-phase use:
+///   SetEncoder enc;
+///   for (doc : collection) enc.CollectNames(doc);   // phase 1
+///   enc.FinalizeDictionary();
+///   for (doc : collection) images.push_back(enc.Encode(doc));  // phase 2
+/// The produced images have the kFlagExternalDict flag and MUST be opened
+/// with OpenSetImage() + the encoder's dictionary.
+class SetEncoder {
+ public:
+  explicit SetEncoder(EncodeOptions options = {}) : options_(options) {}
+
+  void CollectNames(const json::JsonNode& doc) {
+    builder_.CollectNames(doc);
+  }
+  Status FinalizeDictionary();
+
+  const SharedDictionary& dictionary() const { return *dict_; }
+  /// Transfers dictionary ownership (call after encoding everything).
+  std::shared_ptr<const SharedDictionary> shared_dictionary() const {
+    return dict_;
+  }
+
+  /// Encodes one document without a dictionary segment. Fails if a field
+  /// name was not collected in phase 1.
+  Result<std::string> Encode(const json::JsonNode& doc) const;
+
+ private:
+  EncodeOptions options_;
+  SharedDictionary::Builder builder_;
+  std::shared_ptr<const SharedDictionary> dict_;
+};
+
+/// Opens a set-encoded image against its shared dictionary. The returned
+/// Dom behaves exactly like a self-contained OsonDom (all Dom methods,
+/// LookupFieldId, GetFieldValueHashed with look-back).
+Result<OsonDom> OpenSetImage(std::string_view bytes,
+                             const SharedDictionary* dictionary);
+
+}  // namespace fsdm::oson
+
+#endif  // FSDM_OSON_SET_ENCODING_H_

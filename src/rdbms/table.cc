@@ -1,0 +1,247 @@
+#include "rdbms/table.h"
+
+#include "json/parser.h"
+
+namespace fsdm::rdbms {
+
+Table::Table(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].is_virtual()) physical_.push_back(i);
+  }
+}
+
+size_t Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Schema::npos;
+}
+
+Status Table::AddVirtualColumn(ColumnDef def) {
+  if (!def.is_virtual()) {
+    return Status::InvalidArgument("AddVirtualColumn requires an expression");
+  }
+  if (ColumnIndex(def.name) != Schema::npos) {
+    return Status::AlreadyExists("column '" + def.name + "' exists on " +
+                                 name_);
+  }
+  columns_.push_back(std::move(def));
+  return Status::Ok();
+}
+
+namespace {
+
+bool TypeAccepts(ColumnType type, const Value& v) {
+  if (v.is_null()) return true;
+  switch (type) {
+    case ColumnType::kNumber:
+      return v.IsNumeric();
+    case ColumnType::kString:
+    case ColumnType::kJson:
+      return v.type() == ScalarType::kString;
+    case ColumnType::kBool:
+      return v.type() == ScalarType::kBool;
+    case ColumnType::kDate:
+      // ISO date strings or day numbers both accepted.
+      return v.type() == ScalarType::kDate ||
+             v.type() == ScalarType::kString;
+    case ColumnType::kTimestamp:
+      return v.type() == ScalarType::kTimestamp;
+    case ColumnType::kRaw:
+      return v.type() == ScalarType::kBinary;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Table::ValidateRow(const Row& physical_values) {
+  dml_parsed_.clear();
+  if (physical_values.size() != physical_.size()) {
+    return Status::InvalidArgument(
+        name_ + ": expected " + std::to_string(physical_.size()) +
+        " values, got " + std::to_string(physical_values.size()));
+  }
+  for (size_t i = 0; i < physical_.size(); ++i) {
+    const ColumnDef& def = columns_[physical_[i]];
+    const Value& v = physical_values[i];
+    if (!TypeAccepts(def.type, v)) {
+      return Status::InvalidArgument(
+          name_ + "." + def.name + ": value type " +
+          std::string(ScalarTypeName(v.type())) + " not accepted");
+    }
+    if (def.check_is_json && !v.is_null()) {
+      // The IS JSON check constraint: full syntactic validation. The
+      // parsed DOM is kept through the observer callbacks so index and
+      // DataGuide maintenance reuse this parse (§3.2.1).
+      Result<std::unique_ptr<json::JsonNode>> parsed =
+          json::Parse(v.AsString());
+      if (!parsed.ok()) {
+        return Status::ConstraintViolation(name_ + "." + def.name +
+                                           " IS JSON failed: " +
+                                           parsed.status().message());
+      }
+      dml_parsed_[i] = parsed.MoveValue();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Table::Insert(Row physical_values) {
+  FSDM_RETURN_NOT_OK(ValidateRow(physical_values));
+  size_t row_id = rows_.size();
+  rows_.push_back(std::move(physical_values));
+  live_.push_back(true);
+  for (TableObserver* obs : observers_) {
+    Status st = obs->OnInsert(row_id, rows_.back());
+    if (!st.ok()) {
+      // Roll the row back so observers and storage stay consistent.
+      rows_.pop_back();
+      live_.pop_back();
+      dml_parsed_.clear();
+      return st;
+    }
+  }
+  dml_parsed_.clear();
+  return row_id;
+}
+
+const json::JsonNode* Table::ParsedJsonForObserver(
+    size_t physical_pos) const {
+  auto it = dml_parsed_.find(physical_pos);
+  return it == dml_parsed_.end() ? nullptr : it->second.get();
+}
+
+Status Table::Delete(size_t row_id) {
+  if (row_id >= rows_.size() || !live_[row_id]) {
+    return Status::NotFound("row " + std::to_string(row_id));
+  }
+  for (TableObserver* obs : observers_) {
+    FSDM_RETURN_NOT_OK(obs->OnDelete(row_id, rows_[row_id]));
+  }
+  live_[row_id] = false;
+  return Status::Ok();
+}
+
+Status Table::Replace(size_t row_id, Row physical_values) {
+  if (row_id >= rows_.size() || !live_[row_id]) {
+    return Status::NotFound("row " + std::to_string(row_id));
+  }
+  FSDM_RETURN_NOT_OK(ValidateRow(physical_values));
+  for (TableObserver* obs : observers_) {
+    FSDM_RETURN_NOT_OK(obs->OnReplace(row_id, rows_[row_id], physical_values));
+  }
+  rows_[row_id] = std::move(physical_values);
+  return Status::Ok();
+}
+
+Schema Table::OutputSchema(bool include_hidden) const {
+  std::vector<std::string> names;
+  for (const ColumnDef& def : columns_) {
+    if (def.hidden && !include_hidden) continue;
+    names.push_back(def.name);
+  }
+  return Schema(std::move(names));
+}
+
+Result<Row> Table::MaterializeRow(size_t row_id, bool include_hidden) const {
+  if (row_id >= rows_.size() || !live_[row_id]) {
+    return Status::NotFound("row " + std::to_string(row_id));
+  }
+  // Virtual expressions see the physical columns by name.
+  std::vector<std::string> phys_names;
+  phys_names.reserve(physical_.size());
+  for (size_t idx : physical_) phys_names.push_back(columns_[idx].name);
+  Schema phys_schema(std::move(phys_names));
+  RowContext ctx{&phys_schema, &rows_[row_id]};
+
+  Row out;
+  size_t phys_i = 0;
+  for (const ColumnDef& def : columns_) {
+    if (def.is_virtual()) {
+      if (def.hidden && !include_hidden) continue;
+      FSDM_ASSIGN_OR_RETURN(Value v, def.virtual_expr->Eval(ctx));
+      out.push_back(std::move(v));
+    } else {
+      Value v = rows_[row_id][phys_i];
+      ++phys_i;
+      if (def.hidden && !include_hidden) continue;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+void Table::RemoveObserver(TableObserver* observer) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (*it == observer) {
+      observers_.erase(it);
+      return;
+    }
+  }
+}
+
+size_t ValueStorageBytes(const Value& v) {
+  switch (v.type()) {
+    case ScalarType::kNull:
+      return 1;
+    case ScalarType::kBool:
+      return 1;
+    case ScalarType::kInt64: {
+      std::string enc;
+      Decimal::FromInt64(v.AsInt64()).EncodeBinary(&enc);
+      return enc.size();
+    }
+    case ScalarType::kDouble:
+      return 8;
+    case ScalarType::kDecimal: {
+      std::string enc;
+      v.AsDecimal().EncodeBinary(&enc);
+      return enc.size();
+    }
+    case ScalarType::kString:
+      return v.AsString().size() + 1;  // length byte, varchar-style
+    case ScalarType::kDate:
+      return 4;
+    case ScalarType::kTimestamp:
+      return 8;
+    case ScalarType::kBinary:
+      return v.AsBinary().size() + 2;
+  }
+  return 0;
+}
+
+size_t Table::EstimateStorageBytes() const {
+  size_t total = 0;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (!live_[r]) continue;
+    total += 3;  // row header
+    for (const Value& v : rows_[r]) total += ValueStorageBytes(v);
+  }
+  return total;
+}
+
+Result<Table*> Database::CreateTable(std::string name,
+                                     std::vector<ColumnDef> columns) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(columns));
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("table " + name);
+  return Status::Ok();
+}
+
+}  // namespace fsdm::rdbms

@@ -1,0 +1,140 @@
+#ifndef FSDM_RDBMS_TABLE_H_
+#define FSDM_RDBMS_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "json/node.h"
+#include "rdbms/expression.h"
+
+namespace fsdm::rdbms {
+
+/// Declared column types. kJson is a text column carrying the IS JSON check
+/// constraint (the paper's storage for JSON collections); kRaw holds binary
+/// images (BSON/OSON).
+enum class ColumnType : uint8_t {
+  kNumber,
+  kString,
+  kBool,
+  kDate,
+  kTimestamp,
+  kJson,
+  kRaw,
+};
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  /// varchar2(n)-style declared max length; 0 = unbounded. Informational
+  /// except for DataGuide-driven column sizing.
+  size_t max_length = 0;
+  /// IS JSON check constraint (only meaningful on kJson columns).
+  bool check_is_json = false;
+  /// Virtual column: evaluated from the row on access, never stored.
+  ExprPtr virtual_expr;
+  /// Hidden columns are excluded from SELECT * / scans unless requested —
+  /// used for the implicit OSON virtual column of §5.2.2.
+  bool hidden = false;
+
+  bool is_virtual() const { return virtual_expr != nullptr; }
+};
+
+/// Observes row-level changes; the JSON search index (and with it the
+/// persistent DataGuide) registers one of these so index maintenance runs
+/// inside the DML path, as in §3.2.1.
+class TableObserver {
+ public:
+  virtual ~TableObserver() = default;
+  virtual Status OnInsert(size_t row_id, const Row& row) = 0;
+  virtual Status OnDelete(size_t row_id, const Row& row) = 0;
+  virtual Status OnReplace(size_t row_id, const Row& old_row,
+                           const Row& new_row) = 0;
+};
+
+/// Heap row store with typed columns, check constraints, virtual columns
+/// and change observers. Single-threaded by design (the evaluation never
+/// needs concurrent DML).
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  /// Positions of physical (stored) columns within columns().
+  const std::vector<size_t>& physical_columns() const { return physical_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Index into columns() by name; Schema::npos if absent.
+  size_t ColumnIndex(const std::string& name) const;
+
+  /// Appends a virtual column (AddVC / hidden OSON column). Fails on
+  /// duplicate name.
+  Status AddVirtualColumn(ColumnDef def);
+
+  /// Inserts one row of *physical* column values (in physical_columns()
+  /// order). Runs type checks, the IS JSON constraint where declared, and
+  /// observers. Returns the new row id.
+  Result<size_t> Insert(Row physical_values);
+
+  Status Delete(size_t row_id);
+  Status Replace(size_t row_id, Row physical_values);
+
+  /// Stored values of a row (physical columns only).
+  const Row& StoredRow(size_t row_id) const { return rows_[row_id]; }
+  bool IsLive(size_t row_id) const { return live_[row_id]; }
+
+  /// Materializes a full output row: physical values plus evaluated
+  /// virtual columns (hidden ones included only when `include_hidden`).
+  /// The matching schema comes from OutputSchema(include_hidden).
+  Result<Row> MaterializeRow(size_t row_id, bool include_hidden = false) const;
+  Schema OutputSchema(bool include_hidden = false) const;
+
+  void AddObserver(TableObserver* observer) { observers_.push_back(observer); }
+  void RemoveObserver(TableObserver* observer);
+
+  /// During observer callbacks only: the DOM the IS JSON check constraint
+  /// already parsed for the physical column at `physical_pos`, or nullptr.
+  /// Lets index/DataGuide maintenance piggyback on the constraint's parse
+  /// instead of re-parsing (§3.2.1).
+  const json::JsonNode* ParsedJsonForObserver(size_t physical_pos) const;
+
+  /// Approximate stored byte size: sum over rows of value payload sizes.
+  /// This is what the storage-size comparisons (Fig. 4) report.
+  size_t EstimateStorageBytes() const;
+
+ private:
+  Status ValidateRow(const Row& physical_values);
+
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<size_t> physical_;  // indexes of stored columns
+  std::vector<Row> rows_;        // stored values, physical order
+  std::vector<bool> live_;       // tombstones for Delete
+  std::vector<TableObserver*> observers_;
+  // Parse results of the current DML's IS JSON checks, shared with
+  // observers; cleared after the callbacks run.
+  std::map<size_t, std::unique_ptr<json::JsonNode>> dml_parsed_;
+};
+
+/// Named table/view registry.
+class Database {
+ public:
+  Result<Table*> CreateTable(std::string name, std::vector<ColumnDef> columns);
+  Result<Table*> GetTable(const std::string& name);
+  Status DropTable(const std::string& name);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+/// Size in bytes a Value occupies in our simulated row storage; shared by
+/// Table::EstimateStorageBytes and the benchmarks.
+size_t ValueStorageBytes(const Value& v);
+
+}  // namespace fsdm::rdbms
+
+#endif  // FSDM_RDBMS_TABLE_H_

@@ -1,0 +1,86 @@
+#ifndef FSDM_SQL_PARSER_H_
+#define FSDM_SQL_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rdbms/executor.h"
+#include "rdbms/table.h"
+#include "sqljson/operators.h"
+
+namespace fsdm::sql {
+
+/// A small SQL text interface over the executor — the "declarative set
+/// query language" face of the library. Supported subset (enough for every
+/// query shape in the paper's evaluation):
+///
+///   SELECT <expr [AS alias], ... | *>
+///   FROM <table>
+///   [WHERE <expr>]
+///   [GROUP BY <expr, ...>]
+///   [ORDER BY <expr> [ASC|DESC], ...]
+///   [LIMIT <n>]
+///
+/// Expressions: literals (numbers, 'strings', TRUE/FALSE/NULL), column
+/// identifiers, + - * /, comparison (= != <> < <= > >=), AND/OR/NOT,
+/// IN (...), IS [NOT] NULL, scalar functions (SUBSTR, INSTR, LENGTH,
+/// UPPER, LOWER, CONCAT, NVL, TO_NUMBER), aggregates (COUNT(*), COUNT,
+/// SUM, MIN, MAX, AVG), and the SQL/JSON operators:
+///   JSON_VALUE(col, 'path' [RETURNING NUMBER|VARCHAR2])
+///   JSON_EXISTS(col, 'path')
+///   JSON_QUERY(col, 'path')
+///   JSON_TEXTCONTAINS(col, 'path', 'keyword')
+///
+/// Not supported (use the C++ operator API): joins, subqueries, HAVING,
+/// window functions, DISTINCT.
+///
+/// Aggregates anywhere in the SELECT list switch the query to grouped
+/// execution (with the GROUP BY expressions as keys, or a single global
+/// group). Identifiers are case-sensitive for column names; keywords are
+/// case-insensitive.
+class SqlSession {
+ public:
+  /// `db` must outlive the session. JSON columns default to text storage;
+  /// call UseOsonFor(table, column) to transparently rewrite that column's
+  /// SQL/JSON operators onto its hidden OSON virtual column (§5.2.2).
+  explicit SqlSession(rdbms::Database* db) : db_(db) {}
+
+  /// Compiles a SELECT statement into an executable plan.
+  Result<rdbms::OperatorPtr> Prepare(const std::string& sql);
+
+  /// Prepare + run, returning display-formatted rows ("a|b|c").
+  Result<std::vector<std::string>> Query(const std::string& sql);
+
+  /// Enables the §5.2.2 rewrite for a JSON column: installs the hidden
+  /// OSON virtual column and redirects JSON_VALUE/JSON_EXISTS/... over
+  /// `json_column` to it.
+  Status UseOsonFor(const std::string& table, const std::string& json_column);
+
+ /// Internal accessors used by the planner.
+  rdbms::Database* db() { return db_; }
+  /// Hidden OSON column for (table, json column); nullptr when not enabled.
+  const std::string* OsonRewriteFor(const std::string& table,
+                                    const std::string& column) const {
+    auto it = oson_rewrites_.find({table, column});
+    return it == oson_rewrites_.end() ? nullptr : &it->second;
+  }
+  /// True when any column of `table` has an OSON rewrite (the scan must
+  /// expose hidden columns).
+  bool TableHasOsonRewrites(const std::string& table) const {
+    for (const auto& [key, col] : oson_rewrites_) {
+      if (key.first == table) return true;
+    }
+    return false;
+  }
+
+ private:
+  rdbms::Database* db_;
+  // (table, json column) -> hidden OSON column name.
+  std::map<std::pair<std::string, std::string>, std::string> oson_rewrites_;
+};
+
+}  // namespace fsdm::sql
+
+#endif  // FSDM_SQL_PARSER_H_

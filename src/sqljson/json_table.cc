@@ -1,0 +1,219 @@
+#include "sqljson/json_table.h"
+
+namespace fsdm::sqljson {
+
+namespace {
+
+using json::Dom;
+using rdbms::Row;
+
+/// Compiled form of a JsonTableDef: parsed paths with persistent
+/// evaluators (field-id caches live across input documents).
+struct CompiledDef {
+  jsonpath::PathExpression row_path;
+  std::unique_ptr<jsonpath::PathEvaluator> row_eval;
+  struct CompiledColumn {
+    // Heap-allocated so the evaluator's pointer survives vector moves.
+    std::unique_ptr<jsonpath::PathExpression> path;
+    std::unique_ptr<jsonpath::PathEvaluator> eval;
+    Returning returning;
+  };
+  std::vector<CompiledColumn> columns;
+  std::vector<std::unique_ptr<CompiledDef>> nested;
+  size_t own_width = 0;    // columns.size()
+  size_t total_width = 0;  // own + sum of nested totals
+
+  static Result<std::unique_ptr<CompiledDef>> Compile(
+      const JsonTableDef& def) {
+    auto out = std::make_unique<CompiledDef>();
+    FSDM_ASSIGN_OR_RETURN(out->row_path,
+                          jsonpath::PathExpression::Parse(def.row_path));
+    out->row_eval =
+        std::make_unique<jsonpath::PathEvaluator>(&out->row_path);
+    for (const JsonTableColumn& col : def.columns) {
+      CompiledColumn cc;
+      FSDM_ASSIGN_OR_RETURN(jsonpath::PathExpression parsed,
+                            jsonpath::PathExpression::Parse(col.path));
+      cc.path = std::make_unique<jsonpath::PathExpression>(std::move(parsed));
+      cc.eval = std::make_unique<jsonpath::PathEvaluator>(cc.path.get());
+      cc.returning = col.returning;
+      out->columns.push_back(std::move(cc));
+    }
+    out->own_width = out->columns.size();
+    out->total_width = out->own_width;
+    for (const JsonTableDef& n : def.nested) {
+      FSDM_ASSIGN_OR_RETURN(std::unique_ptr<CompiledDef> child, Compile(n));
+      out->total_width += child->total_width;
+      out->nested.push_back(std::move(child));
+    }
+    return out;
+  }
+};
+
+Value CoerceColumn(Value v, Returning returning) {
+  if (v.is_null()) return v;
+  switch (returning) {
+    case Returning::kAny:
+      return v;
+    case Returning::kNumber:
+      if (v.IsNumeric()) return v;
+      if (v.type() == ScalarType::kString) {
+        Result<Decimal> d = Decimal::FromString(v.AsString());
+        if (!d.ok()) return Value::Null();
+        if (d.value().IsInteger()) {
+          Result<int64_t> i = d.value().ToInt64();
+          if (i.ok()) return Value::Int64(i.value());
+        }
+        return Value::Dec(d.MoveValue());
+      }
+      return Value::Null();
+    case Returning::kString:
+      return Value::String(v.ToDisplayString());
+  }
+  return v;
+}
+
+/// Generates the rows of one definition for one context node, appending
+/// them to `out`. Each produced Row has exactly def.total_width values.
+Status GenerateRows(const Dom& dom, Dom::NodeRef parent_context,
+                    const CompiledDef& def, std::vector<Row>* out) {
+  Status inner = Status::Ok();
+  Status st = def.row_eval->EvaluateFrom(
+      dom, parent_context, [&](Dom::NodeRef ctx, bool*) -> Status {
+        // Own column values for this row context.
+        Row own(def.own_width);
+        for (size_t i = 0; i < def.columns.size(); ++i) {
+          const auto& cc = def.columns[i];
+          FSDM_ASSIGN_OR_RETURN(std::optional<Value> v,
+                                cc.eval->FirstScalarFrom(dom, ctx));
+          own[i] = v.has_value() ? CoerceColumn(std::move(*v), cc.returning)
+                                 : Value::Null();
+        }
+
+        if (def.nested.empty()) {
+          out->push_back(std::move(own));
+          return Status::Ok();
+        }
+
+        // Child rows per nested definition.
+        std::vector<std::vector<Row>> child_rows(def.nested.size());
+        bool any_child = false;
+        for (size_t n = 0; n < def.nested.size(); ++n) {
+          FSDM_RETURN_NOT_OK(
+              GenerateRows(dom, ctx, *def.nested[n], &child_rows[n]));
+          if (!child_rows[n].empty()) any_child = true;
+        }
+
+        // Union join across siblings; left outer against the parent.
+        if (!any_child) {
+          Row row = own;
+          row.resize(def.total_width, Value::Null());
+          out->push_back(std::move(row));
+          return Status::Ok();
+        }
+        // Byte offsets of each nested block within the output row.
+        for (size_t n = 0; n < def.nested.size(); ++n) {
+          for (Row& crow : child_rows[n]) {
+            Row row;
+            row.reserve(def.total_width);
+            row.insert(row.end(), own.begin(), own.end());
+            for (size_t m = 0; m < def.nested.size(); ++m) {
+              if (m == n) {
+                for (Value& v : crow) row.push_back(std::move(v));
+              } else {
+                row.insert(row.end(), def.nested[m]->total_width,
+                           Value::Null());
+              }
+            }
+            out->push_back(std::move(row));
+          }
+        }
+        return Status::Ok();
+      });
+  FSDM_RETURN_NOT_OK(st);
+  return inner;
+}
+
+class JsonTableOp final : public rdbms::Operator {
+ public:
+  JsonTableOp(rdbms::OperatorPtr input, std::string json_column,
+              JsonStorage storage, std::unique_ptr<CompiledDef> def,
+              std::vector<std::string> jt_columns)
+      : input_(std::move(input)),
+        json_column_(std::move(json_column)),
+        source_(storage),
+        def_(std::move(def)) {
+    std::vector<std::string> names = input_->schema().columns();
+    for (std::string& n : jt_columns) names.push_back(std::move(n));
+    schema_ = rdbms::Schema(std::move(names));
+  }
+
+  Status Open() override {
+    json_col_idx_ = input_->schema().IndexOf(json_column_);
+    if (json_col_idx_ == rdbms::Schema::npos) {
+      return Status::NotFound("JSON column '" + json_column_ +
+                              "' not in input");
+    }
+    FSDM_RETURN_NOT_OK(input_->Open());
+    pending_.clear();
+    pending_idx_ = 0;
+    return Status::Ok();
+  }
+
+  Result<bool> Next(Row* out) override {
+    while (true) {
+      if (pending_idx_ < pending_.size()) {
+        *out = current_input_;
+        Row& jt = pending_[pending_idx_++];
+        for (Value& v : jt) out->push_back(std::move(v));
+        return true;
+      }
+      FSDM_ASSIGN_OR_RETURN(bool more, input_->Next(&current_input_));
+      if (!more) return false;
+      pending_.clear();
+      pending_idx_ = 0;
+      const Value& doc = current_input_[json_col_idx_];
+      if (doc.is_null()) continue;  // no rows for NULL documents
+      FSDM_ASSIGN_OR_RETURN(const Dom* dom, source_.Open(doc));
+      FSDM_RETURN_NOT_OK(GenerateRows(*dom, dom->root(), *def_, &pending_));
+    }
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  rdbms::OperatorPtr input_;
+  std::string json_column_;
+  size_t json_col_idx_ = rdbms::Schema::npos;
+  DomSource source_;
+  std::unique_ptr<CompiledDef> def_;
+  Row current_input_;
+  std::vector<Row> pending_;
+  size_t pending_idx_ = 0;
+};
+
+void AppendColumns(const JsonTableDef& def, std::vector<std::string>* out) {
+  for (const JsonTableColumn& c : def.columns) out->push_back(c.name);
+  for (const JsonTableDef& n : def.nested) AppendColumns(n, out);
+}
+
+}  // namespace
+
+std::vector<std::string> JsonTableOutputColumns(const JsonTableDef& def) {
+  std::vector<std::string> out;
+  AppendColumns(def, &out);
+  return out;
+}
+
+Result<rdbms::OperatorPtr> JsonTable(rdbms::OperatorPtr input,
+                                     std::string json_column,
+                                     JsonStorage storage, JsonTableDef def) {
+  FSDM_ASSIGN_OR_RETURN(std::unique_ptr<CompiledDef> compiled,
+                        CompiledDef::Compile(def));
+  std::vector<std::string> jt_columns = JsonTableOutputColumns(def);
+  return rdbms::OperatorPtr(
+      new JsonTableOp(std::move(input), std::move(json_column), storage,
+                      std::move(compiled), std::move(jt_columns)));
+}
+
+}  // namespace fsdm::sqljson

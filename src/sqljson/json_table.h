@@ -1,0 +1,51 @@
+#ifndef FSDM_SQLJSON_JSON_TABLE_H_
+#define FSDM_SQLJSON_JSON_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdbms/executor.h"
+#include "sqljson/operators.h"
+
+namespace fsdm::sqljson {
+
+/// One projected column of a JSON_TABLE: `path` is evaluated relative to
+/// the current row node ('$' = row context). Non-scalar and missing
+/// targets yield NULL.
+struct JsonTableColumn {
+  std::string name;
+  std::string path;
+  Returning returning = Returning::kAny;
+};
+
+/// A (possibly nested) JSON_TABLE definition. `row_path` generates row
+/// context nodes relative to the parent context ('$' = parent row node;
+/// for the root definition, the document root). Per §3.3.2:
+///   - child NESTED PATH definitions join LEFT OUTER: parent column values
+///     repeat per child row, and a parent with no child rows still emits
+///     one row with NULL child columns;
+///   - sibling NESTED PATH definitions combine by UNION JOIN: a row from
+///     one sibling carries NULLs for all other siblings' columns.
+struct JsonTableDef {
+  std::string row_path = "$";
+  std::vector<JsonTableColumn> columns;
+  std::vector<JsonTableDef> nested;
+};
+
+/// JSON_TABLE(json_column, def) applied to each row of `input`. The output
+/// schema is the input schema (pass-through columns, e.g. the key column
+/// the paper's PO.DID) followed by the definition's columns depth-first.
+/// Implemented as a row-source iterator with Open/Next/Close, recursing on
+/// NESTED PATH via the DOM-based path engine (§5.1).
+Result<rdbms::OperatorPtr> JsonTable(rdbms::OperatorPtr input,
+                                     std::string json_column,
+                                     JsonStorage storage, JsonTableDef def);
+
+/// All column names a definition produces, depth-first (the JSON_TABLE
+/// output schema minus pass-through columns).
+std::vector<std::string> JsonTableOutputColumns(const JsonTableDef& def);
+
+}  // namespace fsdm::sqljson
+
+#endif  // FSDM_SQLJSON_JSON_TABLE_H_

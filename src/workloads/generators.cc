@@ -1,0 +1,382 @@
+#include "workloads/generators.h"
+
+#include <algorithm>
+
+#include "json/serializer.h"
+
+namespace fsdm::workloads {
+
+namespace {
+
+void Kv(std::string* out, const char* key, const std::string& value,
+        bool quote = true) {
+  json::AppendQuoted(out, key);
+  out->push_back(':');
+  if (quote) {
+    json::AppendQuoted(out, value);
+  } else {
+    out->append(value);
+  }
+}
+
+void KvNum(std::string* out, const char* key, int64_t v) {
+  Kv(out, key, std::to_string(v), /*quote=*/false);
+}
+
+std::string Money(Rng* rng, int64_t lo, int64_t hi) {
+  return std::to_string(rng->Range(lo, hi)) + "." +
+         std::to_string(rng->Range(10, 99));
+}
+
+const char* kWords[] = {"alpha", "bravo",  "charlie", "delta", "echo",
+                        "foxtrot", "golf", "hotel",   "india", "juliet",
+                        "kilo",  "lima",   "mike",    "november", "oscar",
+                        "papa",  "quebec", "romeo",   "sierra", "tango"};
+
+std::string Sentence(Rng* rng, int words) {
+  std::string s;
+  for (int i = 0; i < words; ++i) {
+    if (i) s.push_back(' ');
+    s += kWords[rng->Uniform(20)];
+  }
+  return s;
+}
+
+std::string IsoDate(Rng* rng) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+           static_cast<int>(rng->Range(2013, 2016)),
+           static_cast<int>(rng->Range(1, 12)),
+           static_cast<int>(rng->Range(1, 28)));
+  return buf;
+}
+
+}  // namespace
+
+PurchaseOrderRelational PurchaseOrderRows(Rng* rng, int64_t id,
+                                          const PurchaseOrderOptions& opt) {
+  PurchaseOrderRelational po;
+  po.id = id;
+  int64_t requestor_id = rng->Range(0, opt.num_requestors - 1);
+  po.requestor = "requestor-" + std::to_string(requestor_id);
+  po.reference = po.requestor + "-" + std::to_string(id);
+  po.costcenter =
+      "CC" + std::to_string(rng->Range(1, opt.num_costcenters));
+  po.instructions = Sentence(rng, 14);
+  po.podate = IsoDate(rng);
+  int n_items =
+      static_cast<int>(rng->Range(opt.min_items, opt.max_items));
+  for (int i = 0; i < n_items; ++i) {
+    PurchaseOrderRelational::Item item;
+    item.itemno = i + 1;
+    item.partno =
+        "9736" + std::to_string(1000000 + rng->Range(0, opt.num_parts - 1));
+    item.description = Sentence(rng, 6);
+    item.quantity = rng->Range(1, 20);
+    item.unitprice = Money(rng, 5, 900);
+    po.items.push_back(std::move(item));
+  }
+  return po;
+}
+
+std::string RenderPurchaseOrder(const PurchaseOrderRelational& po) {
+  std::string out = "{\"purchaseOrder\":{";
+  KvNum(&out, "id", po.id);
+  out.push_back(',');
+  Kv(&out, "reference", po.reference);
+  out.push_back(',');
+  Kv(&out, "requestor", po.requestor);
+  out.push_back(',');
+  Kv(&out, "costcenter", po.costcenter);
+  out.push_back(',');
+  Kv(&out, "podate", po.podate);
+  out.push_back(',');
+  Kv(&out, "instructions", po.instructions);
+  out += ",\"items\":[";
+  for (size_t i = 0; i < po.items.size(); ++i) {
+    const auto& item = po.items[i];
+    if (i) out.push_back(',');
+    out.push_back('{');
+    KvNum(&out, "itemno", item.itemno);
+    out.push_back(',');
+    Kv(&out, "partno", item.partno);
+    out.push_back(',');
+    Kv(&out, "description", item.description);
+    out.push_back(',');
+    KvNum(&out, "quantity", item.quantity);
+    out.push_back(',');
+    Kv(&out, "unitprice", item.unitprice, /*quote=*/false);
+    out.push_back('}');
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string PurchaseOrder(Rng* rng, int64_t id,
+                          const PurchaseOrderOptions& options) {
+  return RenderPurchaseOrder(PurchaseOrderRows(rng, id, options));
+}
+
+std::string Nobench(Rng* rng, int64_t id, const NobenchOptions& opt) {
+  std::string out = "{";
+  Kv(&out, "str1", Sentence(rng, 1) + "-" + std::to_string(rng->Uniform(100)));
+  out.push_back(',');
+  Kv(&out, "str2", Sentence(rng, 2));
+  out.push_back(',');
+  KvNum(&out, "num", rng->Range(0, 1000000));
+  out.push_back(',');
+  Kv(&out, "bool", rng->NextBool() ? "true" : "false", /*quote=*/false);
+  out.push_back(',');
+  // dyn1/dyn2: dynamically typed (§NOBENCH) — number in half the docs,
+  // string in the other half.
+  if (rng->NextBool()) {
+    KvNum(&out, "dyn1", rng->Range(0, 1000000));
+  } else {
+    Kv(&out, "dyn1", std::to_string(rng->Range(0, 1000000)));
+  }
+  out.push_back(',');
+  if (rng->NextBool()) {
+    KvNum(&out, "dyn2", rng->Range(0, 100));
+  } else {
+    Kv(&out, "dyn2", Sentence(rng, 1));
+  }
+  out.push_back(',');
+  out += "\"nested_obj\":{";
+  Kv(&out, "str", Sentence(rng, 1) + "-" + std::to_string(rng->Uniform(100)));
+  out.push_back(',');
+  KvNum(&out, "num", rng->Range(0, 1000000));
+  out += "},\"nested_arr\":[";
+  int n_arr = static_cast<int>(rng->Range(2, 6));
+  for (int i = 0; i < n_arr; ++i) {
+    if (i) out.push_back(',');
+    json::AppendQuoted(&out, kWords[rng->Uniform(20)]);
+  }
+  out += "],";
+  KvNum(&out, "thousandth", rng->Range(0, 999));
+  // Sparse fields: a clustered window of the sparse id space.
+  int group = static_cast<int>(
+      rng->Uniform(opt.sparse_fields_total / opt.sparse_fields_per_doc));
+  for (int i = 0; i < opt.sparse_fields_per_doc; ++i) {
+    int sid = group * opt.sparse_fields_per_doc + i;
+    out.push_back(',');
+    std::string key = "sparse_" + std::to_string(sid);
+    Kv(&out, key.c_str(), Sentence(rng, 1));
+  }
+  if (opt.unique_field_per_doc) {
+    out.push_back(',');
+    std::string key = "uniq_" + std::to_string(id);
+    Kv(&out, key.c_str(), std::to_string(id), /*quote=*/false);
+  }
+  out += "}";
+  return out;
+}
+
+std::string Ycsb(Rng* rng, int64_t id) {
+  std::string out = "{";
+  Kv(&out, "key", "user" + std::to_string(id));
+  for (int f = 0; f < 10; ++f) {
+    out.push_back(',');
+    std::string key = "field" + std::to_string(f);
+    Kv(&out, key.c_str(), rng->AlphaNum(100));
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Generic nested-collection builder: emits `fields` scalar fields at each
+// of `levels` object levels plus a detail array of `fanout` small objects.
+std::string GenericDoc(Rng* rng, int64_t id, int top_fields, int levels,
+                       int level_fields, int fanout, int item_fields,
+                       const char* flavor) {
+  std::string out = "{";
+  Kv(&out, "docType", flavor);
+  out.push_back(',');
+  KvNum(&out, "id", id);
+  for (int f = 0; f < top_fields; ++f) {
+    out.push_back(',');
+    std::string key = std::string(flavor) + "_f" + std::to_string(f);
+    if (f % 3 == 0) {
+      KvNum(&out, key.c_str(), rng->Range(0, 100000));
+    } else {
+      Kv(&out, key.c_str(), Sentence(rng, 2));
+    }
+  }
+  // Nested single-child levels (grow deeper).
+  for (int l = 0; l < levels; ++l) {
+    out += ",\"level" + std::to_string(l) + "\":{";
+    for (int f = 0; f < level_fields; ++f) {
+      if (f) out.push_back(',');
+      std::string key = "l" + std::to_string(l) + "_f" + std::to_string(f);
+      if (f % 2 == 0) {
+        KvNum(&out, key.c_str(), rng->Range(0, 9999));
+      } else {
+        Kv(&out, key.c_str(), kWords[rng->Uniform(20)]);
+      }
+    }
+  }
+  for (int l = 0; l < levels; ++l) out += "}";
+  // Detail array (drives the DMDV fan-out of Table 12).
+  out += ",\"entries\":[";
+  for (int i = 0; i < fanout; ++i) {
+    if (i) out.push_back(',');
+    out.push_back('{');
+    for (int f = 0; f < item_fields; ++f) {
+      if (f) out.push_back(',');
+      std::string key = "e" + std::to_string(f);
+      if (f % 2 == 0) {
+        KvNum(&out, key.c_str(), rng->Range(0, 99999));
+      } else {
+        Kv(&out, key.c_str(), kWords[rng->Uniform(20)]);
+      }
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+// Twitter-style message: many optional fields -> large distinct path count.
+std::string TwitterMsg(Rng* rng, int64_t id) {
+  std::string out = "{";
+  KvNum(&out, "tweet_id", 500000000000ll + id);
+  out.push_back(',');
+  Kv(&out, "created_at", IsoDate(rng));
+  out.push_back(',');
+  Kv(&out, "text", Sentence(rng, static_cast<int>(rng->Range(6, 20))));
+  out += ",\"user\":{";
+  KvNum(&out, "uid", rng->Range(1, 10000000));
+  out.push_back(',');
+  Kv(&out, "screen_name", kWords[rng->Uniform(20)] +
+                              std::to_string(rng->Uniform(10000)));
+  out.push_back(',');
+  KvNum(&out, "followers", rng->Range(0, 100000));
+  out.push_back(',');
+  Kv(&out, "lang", rng->NextBool() ? "en" : "de");
+  // Optional profile block in half the docs.
+  if (rng->NextBool()) {
+    out += ",\"profile\":{";
+    Kv(&out, "bio", Sentence(rng, 8));
+    out.push_back(',');
+    Kv(&out, "location", kWords[rng->Uniform(20)]);
+    out += "}";
+  }
+  out += "}";
+  // Optional entity blocks: each subset occurrence contributes paths.
+  if (rng->NextBool()) {
+    out += ",\"entities\":{\"hashtags\":[";
+    int n = static_cast<int>(rng->Range(1, 4));
+    for (int i = 0; i < n; ++i) {
+      if (i) out.push_back(',');
+      out += "{\"tag\":";
+      json::AppendQuoted(&out, kWords[rng->Uniform(20)]);
+      out += ",\"pos\":" + std::to_string(rng->Uniform(140)) + "}";
+    }
+    out += "]";
+    if (rng->NextBool()) {
+      out += ",\"urls\":[{\"url\":\"https://t.co/";
+      out += rng->AlphaNum(8);
+      out += "\",\"expanded\":\"https://example.com/";
+      out += rng->AlphaNum(12);
+      out += "\"}]";
+    }
+    out += "}";
+  }
+  if (rng->NextBool(0.3)) {
+    out += ",\"retweeted_status\":{\"tweet_id\":" +
+           std::to_string(400000000000ll + rng->Uniform(1000000)) +
+           ",\"text\":";
+    json::AppendQuoted(&out, Sentence(rng, 10));
+    out += "}";
+  }
+  // A band of rarely-present fields to push the distinct path count up.
+  for (int i = 0; i < 40; ++i) {
+    if (rng->NextBool(0.08)) {
+      out += ",\"opt_" + std::to_string(i) + "\":";
+      if (i % 2) {
+        json::AppendQuoted(&out, kWords[rng->Uniform(20)]);
+      } else {
+        out += std::to_string(rng->Uniform(1000));
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string Collection(const std::string& name, Rng* rng, int64_t id,
+                       double scale) {
+  if (name == "workOrder") {
+    return GenericDoc(rng, id, 6, 2, 4, 4, 5, "wo");
+  }
+  if (name == "salesOrder") {
+    return GenericDoc(rng, id, 5, 1, 4, 2, 5, "so");
+  }
+  if (name == "eventMessage") {
+    return GenericDoc(rng, id, 14, 4, 8, 9, 6, "ev");
+  }
+  if (name == "purchaseOrder") {
+    return PurchaseOrder(rng, id);
+  }
+  if (name == "bookOrder") {
+    return GenericDoc(rng, id, 16, 4, 10, 11, 6, "bk");
+  }
+  if (name == "LoanNotes") {
+    // Very wide: many distinct (mostly short) fields.
+    return GenericDoc(rng, id, 60, 6, 12, 2, 8, "ln");
+  }
+  if (name == "TwitterMsg") {
+    return TwitterMsg(rng, id);
+  }
+  if (name == "AcquisionDoc") {
+    return GenericDoc(rng, id, 10, 3, 8, 28, 6, "aq");
+  }
+  if (name == "NOBENCHDoc") {
+    return Nobench(rng, id);
+  }
+  if (name == "YCSBDoc") {
+    return Ycsb(rng, id);
+  }
+  if (name == "TwitterMsgArchive") {
+    // A message archive: one document holding thousands of tweets
+    // (medium ~5MB at scale 1).
+    int n = std::max(2, static_cast<int>(5405 * scale));
+    std::string out = "{\"archive\":\"twitter\",\"messages\":[";
+    for (int i = 0; i < n; ++i) {
+      if (i) out.push_back(',');
+      out += TwitterMsg(rng, id * 100000 + i);
+    }
+    out += "]}";
+    return out;
+  }
+  if (name == "SensorData") {
+    // Large repetitive readings document (~40MB at scale 1).
+    int n = std::max(2, static_cast<int>(32100 * scale));
+    std::string out =
+        "{\"sensor\":{\"station\":\"st-" + std::to_string(id) +
+        "\",\"readings\":[";
+    for (int i = 0; i < n; ++i) {
+      if (i) out.push_back(',');
+      out += "{\"ts\":" + std::to_string(1400000000 + i * 60) +
+             ",\"temp\":" + Money(rng, -20, 45) +
+             ",\"hum\":" + std::to_string(rng->Range(0, 100)) +
+             ",\"pressure\":" + Money(rng, 950, 1050) + ",\"flags\":[" +
+             std::to_string(rng->Uniform(4)) + "," +
+             std::to_string(rng->Uniform(4)) + "]}";
+    }
+    out += "]}}";
+    return out;
+  }
+  return "{}";
+}
+
+std::vector<std::string> Table10CollectionNames() {
+  return {"workOrder",    "salesOrder", "eventMessage", "purchaseOrder",
+          "bookOrder",    "LoanNotes",  "TwitterMsg",   "AcquisionDoc",
+          "NOBENCHDoc",   "YCSBDoc",    "TwitterMsgArchive", "SensorData"};
+}
+
+}  // namespace fsdm::workloads

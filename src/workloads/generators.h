@@ -1,0 +1,87 @@
+#ifndef FSDM_WORKLOADS_GENERATORS_H_
+#define FSDM_WORKLOADS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fsdm::workloads {
+
+/// Deterministic JSON document generators for the paper's evaluation
+/// collections (§6.1, Tables 10-12). Customer data sets are proprietary;
+/// these synthetic equivalents match the *structural profile* the tables
+/// report — approximate document size, distinct path count, and DMDV
+/// fan-out — which is what the size/shape experiments measure.
+/// All emit compact (whitespace-free) JSON text.
+
+/// purchaseOrder (§6.3): master scalars + line-item detail array. The field
+/// vocabulary covers every column the Table 13 OLAP queries touch
+/// (reference, requestor, costcenter, instructions; itemno, partno,
+/// description, quantity, unitprice).
+struct PurchaseOrderOptions {
+  int min_items = 3;
+  int max_items = 7;
+  int num_costcenters = 20;
+  int num_requestors = 1000;
+  int num_parts = 2000;
+};
+std::string PurchaseOrder(Rng* rng, int64_t id,
+                          const PurchaseOrderOptions& options = {});
+
+/// Relational decomposition of a purchase order, for the REL storage method
+/// of §6.3 (master row + one row per line item).
+struct PurchaseOrderRelational {
+  // master
+  int64_t id;
+  std::string reference;
+  std::string requestor;
+  std::string costcenter;
+  std::string instructions;
+  std::string podate;
+  // details
+  struct Item {
+    int64_t itemno;
+    std::string partno;
+    std::string description;
+    int64_t quantity;
+    std::string unitprice;  // decimal text
+  };
+  std::vector<Item> items;
+};
+PurchaseOrderRelational PurchaseOrderRows(Rng* rng, int64_t id,
+                                          const PurchaseOrderOptions& options = {});
+/// Renders the relational form as the equivalent JSON document (the two
+/// representations stay consistent for REL-vs-document comparisons).
+std::string RenderPurchaseOrder(const PurchaseOrderRelational& po);
+
+/// NOBENCH [6]: 11 common fields + ~1000 sparse fields (10 per document,
+/// clustered), dynamic-typed dyn1, nested object and array. `unique_suffix`
+/// appends a per-document field for the heterogeneous-insert experiment
+/// (Fig. 8).
+struct NobenchOptions {
+  int sparse_fields_total = 1000;
+  int sparse_fields_per_doc = 10;
+  bool unique_field_per_doc = false;  // hetero mode: doc i adds "uniq_i"
+};
+std::string Nobench(Rng* rng, int64_t id, const NobenchOptions& options = {});
+
+/// YCSB [31]: 10 fields of 100-byte random strings.
+std::string Ycsb(Rng* rng, int64_t id);
+
+/// The remaining Table 10/12 collections, keyed by name. Supported names:
+/// workOrder, salesOrder, eventMessage, bookOrder, LoanNotes, TwitterMsg,
+/// AcquisionDoc, TwitterMsgArchive, SensorData.
+/// `scale` shrinks the large-document collections (1.0 = paper-like sizes;
+/// TwitterMsgArchive ~5MB and SensorData ~40MB at scale 1).
+std::string Collection(const std::string& name, Rng* rng, int64_t id,
+                       double scale = 1.0);
+
+/// All collection names of Table 10, in the paper's row order (including
+/// purchaseOrder / NOBENCHDoc / YCSBDoc).
+std::vector<std::string> Table10CollectionNames();
+
+}  // namespace fsdm::workloads
+
+#endif  // FSDM_WORKLOADS_GENERATORS_H_

@@ -1,0 +1,144 @@
+#include "bson/bson.h"
+
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+#include "json/serializer.h"
+
+namespace fsdm::bson {
+namespace {
+
+constexpr const char* kPo =
+    R"({"purchaseOrder":{"id":1,"podate":"2014-09-08","items":[)"
+    R"({"name":"phone","price":100,"quantity":2},)"
+    R"({"name":"ipad","price":350.86,"quantity":3}]}})";
+
+std::string MustEncode(std::string_view text) {
+  Result<std::string> r = EncodeFromText(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(BsonTest, EncodeDecodeRoundTrip) {
+  for (const char* text :
+       {"{}", R"({"a":1})", R"({"a":{"b":{"c":[1,2,3]}}})",
+        R"({"s":"hello","t":true,"f":false,"n":null})",
+        R"({"neg":-42,"big":9999999999999,"d":2.5})", kPo}) {
+    std::string bytes = MustEncode(text);
+    Result<std::unique_ptr<json::JsonNode>> back = Decode(bytes);
+    ASSERT_TRUE(back.ok()) << text << ": " << back.status().ToString();
+    auto original = json::Parse(text).MoveValue();
+    EXPECT_TRUE(original->Equals(*back.value())) << text << " -> "
+        << json::Serialize(*back.value());
+  }
+}
+
+TEST(BsonTest, RootMustBeObject) {
+  EXPECT_FALSE(EncodeFromText("[1,2]").ok());
+  EXPECT_FALSE(EncodeFromText("42").ok());
+}
+
+TEST(BsonTest, SpecFraming) {
+  // {"a": 1} per bsonspec: int32 len, 0x10 'a' 00, int32 1, 0x00.
+  std::string bytes = MustEncode(R"({"a":1})");
+  ASSERT_EQ(bytes.size(), 12u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 12);  // total length LE
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), 0x10);  // int32 element
+  EXPECT_EQ(bytes[5], 'a');
+  EXPECT_EQ(bytes[6], '\0');
+  EXPECT_EQ(static_cast<uint8_t>(bytes[7]), 1);
+  EXPECT_EQ(bytes.back(), '\0');
+}
+
+TEST(BsonTest, Int64VsInt32Selection) {
+  std::string small = MustEncode(R"({"v":100})");
+  EXPECT_EQ(static_cast<uint8_t>(small[4]), 0x10);  // int32
+  std::string big = MustEncode(R"({"v":99999999999})");
+  EXPECT_EQ(static_cast<uint8_t>(big[4]), 0x12);  // int64
+}
+
+TEST(BsonTest, DecimalBecomesDouble) {
+  std::string bytes = MustEncode(R"({"v":0.1})");
+  auto back = Decode(bytes).MoveValue();
+  EXPECT_EQ(back->GetField("v")->scalar().type(), ScalarType::kDouble);
+  EXPECT_DOUBLE_EQ(back->GetField("v")->scalar().AsDouble(), 0.1);
+}
+
+TEST(BsonDomTest, SerialFieldNavigation) {
+  std::string bytes = MustEncode(kPo);
+  Result<BsonDom> dom_r = BsonDom::Open(bytes);
+  ASSERT_TRUE(dom_r.ok());
+  const BsonDom& dom = dom_r.value();
+
+  json::Dom::NodeRef root = dom.root();
+  EXPECT_EQ(dom.GetNodeType(root), json::NodeKind::kObject);
+  EXPECT_EQ(dom.GetFieldCount(root), 1u);
+
+  json::Dom::NodeRef po = dom.GetFieldValue(root, "purchaseOrder");
+  ASSERT_NE(po, json::Dom::kInvalidNode);
+  json::Dom::NodeRef id = dom.GetFieldValue(po, "id");
+  Value v;
+  ASSERT_TRUE(dom.GetScalarValue(id, &v).ok());
+  EXPECT_EQ(v.AsInt64(), 1);
+
+  json::Dom::NodeRef items = dom.GetFieldValue(po, "items");
+  EXPECT_EQ(dom.GetNodeType(items), json::NodeKind::kArray);
+  EXPECT_EQ(dom.GetArrayLength(items), 2u);
+  json::Dom::NodeRef second = dom.GetArrayElement(items, 1);
+  json::Dom::NodeRef name = dom.GetFieldValue(second, "name");
+  ASSERT_TRUE(dom.GetScalarValue(name, &v).ok());
+  EXPECT_EQ(v.AsString(), "ipad");
+
+  EXPECT_EQ(dom.GetFieldValue(po, "nope"), json::Dom::kInvalidNode);
+  EXPECT_EQ(dom.GetArrayElement(items, 2), json::Dom::kInvalidNode);
+}
+
+TEST(BsonDomTest, GetFieldAtIteratesInOrder) {
+  std::string bytes = MustEncode(R"({"z":1,"a":2,"m":3})");
+  BsonDom dom = BsonDom::Open(bytes).MoveValue();
+  std::string_view name;
+  json::Dom::NodeRef child;
+  dom.GetFieldAt(dom.root(), 0, &name, &child);
+  EXPECT_EQ(name, "z");
+  dom.GetFieldAt(dom.root(), 2, &name, &child);
+  EXPECT_EQ(name, "m");
+  dom.GetFieldAt(dom.root(), 3, &name, &child);
+  EXPECT_EQ(child, json::Dom::kInvalidNode);
+}
+
+TEST(BsonDomTest, OpenRejectsCorruptImages) {
+  EXPECT_FALSE(BsonDom::Open("").ok());
+  EXPECT_FALSE(BsonDom::Open("\x05\x00\x00").ok());
+  std::string good = MustEncode(R"({"a":1})");
+  std::string bad_len = good;
+  bad_len[0] = 50;
+  EXPECT_FALSE(BsonDom::Open(bad_len).ok());
+  std::string no_term = good;
+  no_term.back() = 'x';
+  EXPECT_FALSE(BsonDom::Open(no_term).ok());
+}
+
+TEST(BsonTest, BooleansAndNull) {
+  std::string bytes = MustEncode(R"({"t":true,"f":false,"n":null})");
+  auto back = Decode(bytes).MoveValue();
+  EXPECT_TRUE(back->GetField("t")->scalar().AsBool());
+  EXPECT_FALSE(back->GetField("f")->scalar().AsBool());
+  EXPECT_TRUE(back->GetField("n")->scalar().is_null());
+}
+
+TEST(BsonTest, NestedEmptyContainers) {
+  std::string bytes = MustEncode(R"({"o":{},"a":[]})");
+  auto back = Decode(bytes).MoveValue();
+  EXPECT_EQ(back->GetField("o")->field_count(), 0u);
+  EXPECT_EQ(back->GetField("a")->array_size(), 0u);
+}
+
+TEST(BsonTest, Utf8FieldNamesAndValues) {
+  std::string bytes = MustEncode(R"({"clé":"café"})");
+  auto back = Decode(bytes).MoveValue();
+  EXPECT_EQ(back->GetField("cl\xc3\xa9")->scalar().AsString(),
+            "caf\xc3\xa9");
+}
+
+}  // namespace
+}  // namespace fsdm::bson

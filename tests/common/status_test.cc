@@ -1,0 +1,80 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fsdm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::ConstraintViolation("").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::Unsupported("").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = r.MoveValue();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailingHelper() { return Status::Corruption("inner"); }
+
+Status PropagatingHelper() {
+  FSDM_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = PropagatingHelper();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Status UseAssignOrReturn(int* out) {
+  FSDM_ASSIGN_OR_RETURN(int v, GiveSeven());
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(StatusTest, AssignOrReturnMacroBindsValue) {
+  int v = 0;
+  ASSERT_TRUE(UseAssignOrReturn(&v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+}  // namespace
+}  // namespace fsdm

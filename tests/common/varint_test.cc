@@ -1,0 +1,91 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace fsdm {
+namespace {
+
+TEST(VarintTest, RoundTrip32) {
+  const std::vector<uint32_t> cases = {0,    1,    127,        128,
+                                       255,  300,  16383,      16384,
+                                       1u << 21, (1u << 28) - 1, 1u << 28,
+                                       std::numeric_limits<uint32_t>::max()};
+  for (uint32_t v : cases) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    uint32_t decoded = 0;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+    const uint8_t* q = GetVarint32(p, p + buf.size(), &decoded);
+    ASSERT_NE(q, nullptr) << v;
+    EXPECT_EQ(q, p + buf.size());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, RoundTrip64) {
+  const std::vector<uint64_t> cases = {
+      0, 1, 1ull << 35, 1ull << 56, std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    uint64_t decoded = 0;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+    const uint8_t* q = GetVarint64(p, p + buf.size(), &decoded);
+    ASSERT_NE(q, nullptr) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputReturnsNull) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  uint64_t decoded;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  EXPECT_EQ(GetVarint64(p, p + buf.size() - 1, &decoded), nullptr);
+}
+
+TEST(VarintTest, Varint32RejectsOversizedValue) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
+  uint32_t decoded;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  EXPECT_EQ(GetVarint32(p, p + buf.size(), &decoded), nullptr);
+}
+
+TEST(VarintTest, SequentialDecodingAdvances) {
+  std::string buf;
+  for (uint32_t v = 0; v < 1000; v += 7) PutVarint32(&buf, v);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  const uint8_t* limit = p + buf.size();
+  for (uint32_t v = 0; v < 1000; v += 7) {
+    uint32_t decoded;
+    p = GetVarint32(p, limit, &decoded);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(FixedTest, RoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  EXPECT_EQ(DecodeFixed16(p), 0xBEEF);
+  EXPECT_EQ(DecodeFixed32(p + 2), 0xDEADBEEFu);
+}
+
+TEST(FixedTest, InPlaceEncode) {
+  uint8_t buf[4];
+  EncodeFixed16(buf, 513);
+  EXPECT_EQ(DecodeFixed16(buf), 513);
+  EncodeFixed32(buf, 70000);
+  EXPECT_EQ(DecodeFixed32(buf), 70000u);
+}
+
+}  // namespace
+}  // namespace fsdm

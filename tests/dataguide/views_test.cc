@@ -1,0 +1,298 @@
+#include "dataguide/views.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fsdm::dataguide {
+namespace {
+
+using rdbms::ColumnDef;
+using rdbms::ColumnType;
+using rdbms::Row;
+using rdbms::Table;
+using sqljson::JsonStorage;
+
+constexpr const char* kDoc1 =
+    R"({"purchaseOrder":{"id":1,"podate":"2014-09-08",
+        "items":[{"name":"phone","price":100,"quantity":2},
+                 {"name":"ipad","price":350.86,"quantity":3}]}})";
+
+constexpr const char* kDoc3 =
+    R"({"purchaseOrder":{"id":3,"podate":"2015-06-03","foreign_id":"CDEG35",
+        "items":[{"name":"TV","price":345.55,"quantity":1,
+                  "parts":[{"partName":"remoteCon","partQuantity":"1"}]}]}})";
+
+constexpr const char* kDoc5 =
+    R"({"purchaseOrder":{"id":5,"podate":"2015-08-03",
+        "items":[{"name":"SSD","price":200,"quantity":1}],
+        "discount_items":[{"dis_itemName":"cable","dis_itemPrice":5}]}})";
+
+struct Fixture {
+  std::unique_ptr<Table> table;
+  DataGuide guide;
+
+  explicit Fixture(std::vector<const char*> docs) {
+    table = std::make_unique<Table>(
+        "PO", std::vector<ColumnDef>{
+                  {.name = "DID", .type = ColumnType::kNumber},
+                  {.name = "JCOL",
+                   .type = ColumnType::kJson,
+                   .check_is_json = true},
+              });
+    int64_t id = 1;
+    for (const char* doc : docs) {
+      EXPECT_TRUE(
+          table->Insert({Value::Int64(id++), Value::String(doc)}).ok());
+      EXPECT_TRUE(guide.AddJsonText(doc).ok());
+    }
+  }
+};
+
+std::vector<std::string> RunView(const DmdvView& view) {
+  Result<rdbms::OperatorPtr> plan = view.MakePlan();
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<std::vector<std::string>> rows =
+      rdbms::CollectStrings(plan.value().get());
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? rows.MoveValue() : std::vector<std::string>{};
+}
+
+TEST(AddVcTest, AddsSingletonScalarColumns) {
+  Fixture fx({kDoc1, kDoc3});
+  Result<std::vector<std::string>> added =
+      AddVc(fx.table.get(), "JCOL", JsonStorage::kText, fx.guide);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  // Table 7's three virtual columns: id, podate, foreign_id.
+  std::vector<std::string> names = added.value();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"JCOL$foreign_id", "JCOL$id",
+                                             "JCOL$podate"}));
+
+  // The columns evaluate through JSON_VALUE on scan.
+  auto plan = rdbms::Project(
+      rdbms::Scan(fx.table.get()),
+      {{"id", rdbms::Col("JCOL$id")},
+       {"fid", rdbms::Col("JCOL$foreign_id")}});
+  Result<std::vector<std::string>> rows =
+      rdbms::CollectStrings(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(),
+            (std::vector<std::string>{"1|NULL", "3|CDEG35"}));
+}
+
+TEST(AddVcTest, FrequencyThresholdFiltersSparseFields) {
+  Fixture fx({kDoc1, kDoc1, kDoc1, kDoc3});  // foreign_id in 1 of 4 docs
+  GenerateOptions opts;
+  opts.min_frequency_fraction = 0.5;
+  Result<std::vector<std::string>> added =
+      AddVc(fx.table.get(), "JCOL", JsonStorage::kText, fx.guide, opts);
+  ASSERT_TRUE(added.ok());
+  for (const std::string& name : added.value()) {
+    EXPECT_EQ(name.find("foreign_id"), std::string::npos) << name;
+  }
+}
+
+TEST(CreateViewOnPathTest, FullDocumentDmdv) {
+  Fixture fx({kDoc1, kDoc3, kDoc5});
+  Result<DmdvView> view_r =
+      CreateViewOnPath(fx.table.get(), "JCOL", JsonStorage::kText, fx.guide,
+                       "$", "PO_RV");
+  ASSERT_TRUE(view_r.ok()) << view_r.status().ToString();
+  const DmdvView& view = view_r.value();
+
+  // Master columns + items nested + parts nested under items + sibling
+  // discount_items nested, like Table 8.
+  std::vector<std::string> cols = view.OutputColumns();
+  auto has = [&](const std::string& c) {
+    return std::find(cols.begin(), cols.end(), c) != cols.end();
+  };
+  EXPECT_TRUE(has("DID"));
+  EXPECT_TRUE(has("JCOL$id"));
+  EXPECT_TRUE(has("JCOL$podate"));
+  EXPECT_TRUE(has("JCOL$foreign_id"));
+  EXPECT_TRUE(has("JCOL$name"));
+  EXPECT_TRUE(has("JCOL$price"));
+  EXPECT_TRUE(has("JCOL$partName"));
+  EXPECT_TRUE(has("JCOL$dis_itemName"));
+
+  std::vector<std::string> rows = RunView(view);
+  // doc1: 2 items (no parts) -> 2 rows; doc3: 1 item with 1 part -> 1 row;
+  // doc5: 1 item + 1 discount (union join) -> 2 rows.
+  EXPECT_EQ(rows.size(), 5u);
+}
+
+TEST(CreateViewOnPathTest, MasterDetailLeftOuterAndUnionJoin) {
+  Fixture fx({kDoc5});
+  DmdvView view = CreateViewOnPath(fx.table.get(), "JCOL", JsonStorage::kText,
+                                   fx.guide, "$", "V")
+                      .MoveValue();
+  // Project a readable subset.
+  auto plan = view.MakePlan().MoveValue();
+  auto projected = rdbms::Project(
+      std::move(plan), {{"name", rdbms::Col("JCOL$name")},
+                        {"dis", rdbms::Col("JCOL$dis_itemName")}});
+  Result<std::vector<std::string>> rows =
+      rdbms::CollectStrings(projected.get());
+  ASSERT_TRUE(rows.ok());
+  // Sibling nested blocks emit in alphabetical order (discount_items
+  // before items); each row carries NULLs for the other sibling.
+  EXPECT_EQ(rows.value(),
+            (std::vector<std::string>{"NULL|cable", "SSD|NULL"}));
+}
+
+TEST(CreateViewOnPathTest, BranchRootedView) {
+  Fixture fx({kDoc1});
+  // CreateViewOnPath('$.purchaseOrder.items'): rows are the items.
+  DmdvView view =
+      CreateViewOnPath(fx.table.get(), "JCOL", JsonStorage::kText, fx.guide,
+                       "$.purchaseOrder.items", "ITEMS_V")
+          .MoveValue();
+  auto plan = view.MakePlan().MoveValue();
+  auto projected =
+      rdbms::Project(std::move(plan), {{"n", rdbms::Col("JCOL$name")},
+                                       {"q", rdbms::Col("JCOL$quantity")}});
+  Result<std::vector<std::string>> rows =
+      rdbms::CollectStrings(projected.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows.value(),
+            (std::vector<std::string>{"phone|2", "ipad|3"}));
+}
+
+TEST(CreateViewOnPathTest, UnknownPathFails) {
+  Fixture fx({kDoc1});
+  EXPECT_FALSE(CreateViewOnPath(fx.table.get(), "JCOL", JsonStorage::kText,
+                                fx.guide, "$.nothing", "V")
+                   .ok());
+}
+
+TEST(CreateViewOnPathTest, FrequencyThresholdPrunesDmdvColumns) {
+  Fixture fx({kDoc1, kDoc1, kDoc1, kDoc3});
+  GenerateOptions opts;
+  opts.min_frequency_fraction = 0.5;
+  DmdvView view = CreateViewOnPath(fx.table.get(), "JCOL", JsonStorage::kText,
+                                   fx.guide, "$", "V", opts)
+                      .MoveValue();
+  std::vector<std::string> cols = view.OutputColumns();
+  for (const std::string& c : cols) {
+    EXPECT_EQ(c.find("foreign_id"), std::string::npos) << c;
+    EXPECT_EQ(c.find("partName"), std::string::npos) << c;
+  }
+}
+
+
+TEST(CreateViewOnPathTest, ToSqlTextRendersTable8Shape) {
+  Fixture fx({kDoc1, kDoc3});
+  DmdvView view = CreateViewOnPath(fx.table.get(), "JCOL",
+                                   JsonStorage::kText, fx.guide, "$", "PO_RV")
+                      .MoveValue();
+  std::string sql = view.ToSqlText();
+  EXPECT_NE(sql.find("CREATE VIEW PO_RV AS"), std::string::npos);
+  EXPECT_NE(sql.find("JSON_TABLE(\"JCOL\" FORMAT JSON"), std::string::npos);
+  EXPECT_NE(sql.find("NESTED PATH '$.purchaseOrder.items[*]'"),
+            std::string::npos);
+  EXPECT_NE(sql.find("NESTED PATH '$.parts[*]'"), std::string::npos);
+  EXPECT_NE(sql.find("\"JCOL$id\" number path '$.purchaseOrder.id'"),
+            std::string::npos);
+  EXPECT_NE(sql.find("PO.DID"), std::string::npos);
+}
+
+
+TEST(AddVcTest, RenameAnnotationsOverrideNames) {
+  Fixture fx({kDoc3});
+  GenerateOptions opts;
+  opts.column_renames["$.purchaseOrder.id"] = "PO_ID";
+  Result<std::vector<std::string>> added =
+      AddVc(fx.table.get(), "JCOL", JsonStorage::kText, fx.guide, opts);
+  ASSERT_TRUE(added.ok());
+  bool saw_rename = false;
+  for (const std::string& n : added.value()) {
+    if (n == "PO_ID") saw_rename = true;
+    EXPECT_NE(n, "JCOL$id");
+  }
+  EXPECT_TRUE(saw_rename);
+}
+
+TEST(CreateViewOnPathTest, RenameAnnotationsInDmdv) {
+  Fixture fx({kDoc1});
+  GenerateOptions opts;
+  opts.column_renames["$.purchaseOrder.items.price"] = "ITEM_PRICE";
+  DmdvView view = CreateViewOnPath(fx.table.get(), "JCOL",
+                                   JsonStorage::kText, fx.guide, "$", "V",
+                                   opts)
+                      .MoveValue();
+  std::vector<std::string> cols = view.OutputColumns();
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "ITEM_PRICE"), cols.end());
+  EXPECT_EQ(std::find(cols.begin(), cols.end(), "JCOL$price"), cols.end());
+}
+
+TEST(JsonDataGuideAggTest, AggregatesOverQuery) {
+  Fixture fx({kDoc1, kDoc3});
+  // SELECT json_dataguideagg(JCOL) FROM PO (Q-style of Table 9).
+  auto plan = rdbms::GroupBy(
+      rdbms::Scan(fx.table.get()), {}, {},
+      {JsonDataGuideAgg(rdbms::Col("JCOL"), "dg")});
+  Result<std::vector<Row>> rows = rdbms::Collect(plan.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().size(), 1u);
+  const std::string& flat = rows.value()[0][0].AsString();
+  EXPECT_NE(flat.find("$.purchaseOrder.items.parts"), std::string::npos);
+  EXPECT_NE(flat.find("\"o:frequency\""), std::string::npos);
+}
+
+TEST(JsonDataGuideAggTest, GroupByProducesPerGroupGuides) {
+  Fixture fx({kDoc1, kDoc3});
+  // Group by DID parity: two groups, two guides.
+  std::vector<DataGuide> guides;
+  auto plan = rdbms::GroupBy(
+      rdbms::Scan(fx.table.get()), {rdbms::Col("DID")}, {"DID"},
+      {JsonDataGuideAggInto(rdbms::Col("JCOL"), "dg", &guides)});
+  Result<std::vector<Row>> rows = rdbms::Collect(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+  ASSERT_EQ(guides.size(), 2u);
+  // Only the group containing doc3 has the parts path.
+  int with_parts = 0;
+  for (const DataGuide& g : guides) {
+    if (g.Find("$.purchaseOrder.items.parts", json::NodeKind::kArray, true) !=
+        nullptr) {
+      ++with_parts;
+    }
+  }
+  EXPECT_EQ(with_parts, 1);
+}
+
+TEST(JsonDataGuideAggTest, FilteredAggregation) {
+  Fixture fx({kDoc1, kDoc3});
+  // Q3 of Table 9: only docs having foreign_id.
+  auto exists = sqljson::JsonExists("JCOL", "$.purchaseOrder.foreign_id",
+                                    JsonStorage::kText)
+                    .MoveValue();
+  std::vector<DataGuide> guides;
+  auto plan = rdbms::GroupBy(
+      rdbms::Filter(rdbms::Scan(fx.table.get()), exists), {}, {},
+      {JsonDataGuideAggInto(rdbms::Col("JCOL"), "dg", &guides)});
+  ASSERT_TRUE(rdbms::Collect(plan.get()).ok());
+  ASSERT_EQ(guides.size(), 1u);
+  EXPECT_EQ(guides[0].document_count(), 1u);  // only doc3
+}
+
+TEST(JsonDataGuideAggTest, SampledAggregationShrinksDocCount) {
+  Fixture fx({kDoc1});
+  // Insert many copies then sample 50%.
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        fx.table->Insert({Value::Int64(100 + i), Value::String(kDoc1)}).ok());
+  }
+  std::vector<DataGuide> guides;
+  auto plan = rdbms::GroupBy(
+      rdbms::Sample(rdbms::Scan(fx.table.get()), 50.0, /*seed=*/9), {}, {},
+      {JsonDataGuideAggInto(rdbms::Col("JCOL"), "dg", &guides)});
+  ASSERT_TRUE(rdbms::Collect(plan.get()).ok());
+  ASSERT_EQ(guides.size(), 1u);
+  EXPECT_GT(guides[0].document_count(), 120u);
+  EXPECT_LT(guides[0].document_count(), 280u);
+}
+
+}  // namespace
+}  // namespace fsdm::dataguide

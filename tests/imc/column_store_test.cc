@@ -1,0 +1,238 @@
+#include "imc/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include "sqljson/operators.h"
+
+namespace fsdm::imc {
+namespace {
+
+using rdbms::ColumnDef;
+using rdbms::ColumnType;
+using rdbms::CompareOp;
+using rdbms::Row;
+using rdbms::Table;
+
+std::vector<Value> Ints(std::initializer_list<int64_t> vs) {
+  std::vector<Value> out;
+  for (int64_t v : vs) out.push_back(Value::Int64(v));
+  return out;
+}
+
+TEST(ColumnVectorTest, EncodingSelection) {
+  EXPECT_EQ(ColumnVector::Build(Ints({1, 2, 3})).encoding(),
+            ColumnEncoding::kInt64);
+  EXPECT_EQ(ColumnVector::Build({Value::Int64(1), Value::Double(2.5)})
+                .encoding(),
+            ColumnEncoding::kNumber);
+  EXPECT_EQ(ColumnVector::Build({Value::Bool(true), Value::Null()})
+                .encoding(),
+            ColumnEncoding::kBool);
+  EXPECT_EQ(ColumnVector::Build({Value::String("a"), Value::String("b")})
+                .encoding(),
+            ColumnEncoding::kString);
+  EXPECT_EQ(ColumnVector::Build({Value::Int64(1), Value::String("x")})
+                .encoding(),
+            ColumnEncoding::kMixed);
+}
+
+TEST(ColumnVectorTest, DictionaryEncodingKicksInForRepetitiveStrings) {
+  std::vector<Value> vals;
+  for (int i = 0; i < 100; ++i) {
+    vals.push_back(Value::String(i % 3 == 0 ? "aa" : (i % 3 == 1 ? "bb" : "cc")));
+  }
+  ColumnVector col = ColumnVector::Build(vals);
+  EXPECT_EQ(col.encoding(), ColumnEncoding::kDictString);
+  EXPECT_EQ(col.GetValue(0).AsString(), "aa");
+  EXPECT_EQ(col.GetValue(1).AsString(), "bb");
+}
+
+TEST(ColumnVectorTest, NullsPreserved) {
+  ColumnVector col =
+      ColumnVector::Build({Value::Int64(1), Value::Null(), Value::Int64(3)});
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+  EXPECT_EQ(col.GetValue(2).AsInt64(), 3);
+}
+
+TEST(ColumnVectorTest, FilterCompareInt) {
+  ColumnVector col = ColumnVector::Build(Ints({5, 10, 15, 20, 25}));
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(
+      col.FilterCompare(CompareOp::kGt, Value::Int64(12), nullptr, &out)
+          .ok());
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 3, 4}));
+  // Chained selection.
+  std::vector<uint32_t> out2;
+  ASSERT_TRUE(
+      col.FilterCompare(CompareOp::kLt, Value::Int64(25), &out, &out2).ok());
+  EXPECT_EQ(out2, (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(ColumnVectorTest, FilterCompareFractionalLiteralOnIntColumn) {
+  ColumnVector col = ColumnVector::Build(Ints({1, 2, 3}));
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(col.FilterCompare(CompareOp::kGe,
+                                Value::Double(1.5), nullptr, &out)
+                  .ok());
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(ColumnVectorTest, FilterCompareDictString) {
+  std::vector<Value> vals;
+  for (int i = 0; i < 30; ++i) {
+    vals.push_back(Value::String(i % 2 ? "xx" : "yy"));
+  }
+  ColumnVector col = ColumnVector::Build(vals);
+  ASSERT_EQ(col.encoding(), ColumnEncoding::kDictString);
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(col.FilterCompare(CompareOp::kEq, Value::String("xx"), nullptr,
+                                &out)
+                  .ok());
+  EXPECT_EQ(out.size(), 15u);
+  out.clear();
+  ASSERT_TRUE(col.FilterCompare(CompareOp::kGt, Value::String("xx"), nullptr,
+                                &out)
+                  .ok());
+  EXPECT_EQ(out.size(), 15u);  // the "yy"s
+  out.clear();
+  ASSERT_TRUE(col.FilterCompare(CompareOp::kEq, Value::String("zz"), nullptr,
+                                &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ColumnVectorTest, NullsNeverMatchFilters) {
+  ColumnVector col =
+      ColumnVector::Build({Value::Int64(1), Value::Null(), Value::Int64(3)});
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(
+      col.FilterCompare(CompareOp::kGe, Value::Int64(0), nullptr, &out).ok());
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(ColumnVectorTest, TypeMismatchedFilterErrors) {
+  ColumnVector col = ColumnVector::Build(Ints({1}));
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(
+      col.FilterCompare(CompareOp::kEq, Value::String("x"), nullptr, &out)
+          .ok());
+}
+
+TEST(ColumnVectorTest, SumSelected) {
+  ColumnVector col = ColumnVector::Build(Ints({10, 20, 30}));
+  std::vector<uint32_t> sel = {0, 2};
+  EXPECT_DOUBLE_EQ(col.SumSelected(sel).value(), 40.0);
+  ColumnVector strs = ColumnVector::Build({Value::String("a")});
+  EXPECT_FALSE(strs.SumSelected(sel).ok());
+}
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(
+        "T", std::vector<ColumnDef>{
+                 {.name = "id", .type = ColumnType::kNumber},
+                 {.name = "doc",
+                  .type = ColumnType::kJson,
+                  .check_is_json = true},
+             });
+    // JSON_VALUE virtual column (the §5.2.1 columnar projection).
+    ColumnDef vc;
+    vc.name = "num_vc";
+    vc.type = ColumnType::kNumber;
+    vc.virtual_expr =
+        sqljson::JsonValue("doc", "$.num", sqljson::JsonStorage::kText,
+                           sqljson::Returning::kNumber)
+            .MoveValue();
+    ASSERT_TRUE(table_->AddVirtualColumn(vc).ok());
+    // Hidden OSON image column (§5.2.2).
+    ColumnDef oson;
+    oson.name = "SYS_OSON";
+    oson.type = ColumnType::kRaw;
+    oson.hidden = true;
+    oson.virtual_expr = sqljson::OsonConstructor("doc");
+    ASSERT_TRUE(table_->AddVirtualColumn(oson).ok());
+
+    for (int i = 0; i < 50; ++i) {
+      std::string doc = "{\"num\":" + std::to_string(i * 10) +
+                        ",\"tag\":\"t" + std::to_string(i % 4) + "\"}";
+      ASSERT_TRUE(
+          table_->Insert({Value::Int64(i), Value::String(doc)}).ok());
+    }
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(ColumnStoreTest, PopulateEvaluatesVirtualColumnsOnce) {
+  ColumnStore store =
+      ColumnStore::Populate(*table_, {"id", "num_vc"}).MoveValue();
+  EXPECT_EQ(store.row_count(), 50u);
+  const ColumnVector* vc = store.column("num_vc");
+  ASSERT_NE(vc, nullptr);
+  EXPECT_EQ(vc->encoding(), ColumnEncoding::kInt64);
+  EXPECT_EQ(vc->GetValue(7).AsInt64(), 70);
+}
+
+TEST_F(ColumnStoreTest, HiddenOsonColumnLoadsByName) {
+  ColumnStore store =
+      ColumnStore::Populate(*table_, {"id", "SYS_OSON"}).MoveValue();
+  const ColumnVector* img = store.column("SYS_OSON");
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->encoding(), ColumnEncoding::kBinary);
+  Value v = img->GetValue(3);
+  EXPECT_EQ(v.type(), ScalarType::kBinary);
+  EXPECT_EQ(v.AsBinary().substr(0, 4), "OSON");
+}
+
+TEST_F(ColumnStoreTest, PopulateSkipsDeletedRows) {
+  ASSERT_TRUE(table_->Delete(0).ok());
+  ASSERT_TRUE(table_->Delete(10).ok());
+  ColumnStore store = ColumnStore::Populate(*table_, {"id"}).MoveValue();
+  EXPECT_EQ(store.row_count(), 48u);
+}
+
+TEST_F(ColumnStoreTest, UnknownColumnFails) {
+  EXPECT_FALSE(ColumnStore::Populate(*table_, {"nope"}).ok());
+}
+
+TEST_F(ColumnStoreTest, ScanFeedsExecutorPlans) {
+  ColumnStore store =
+      ColumnStore::Populate(*table_, {"id", "num_vc"}).MoveValue();
+  auto plan = rdbms::Filter(store.Scan(),
+                            rdbms::Ge(rdbms::Col("num_vc"),
+                                      rdbms::Lit(Value::Int64(480))));
+  Result<std::vector<Row>> rows = rdbms::Collect(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);  // 480, 490
+}
+
+TEST_F(ColumnStoreTest, FilterScanVectorized) {
+  ColumnStore store =
+      ColumnStore::Populate(*table_, {"id", "num_vc"}).MoveValue();
+  Result<std::vector<Row>> rows = store.FilterScan(
+      {{"num_vc", CompareOp::kGe, Value::Int64(100)},
+       {"num_vc", CompareOp::kLt, Value::Int64(150)}},
+      {"id"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 5u);  // 100..140
+  EXPECT_EQ(rows.value()[0][0].AsInt64(), 10);
+}
+
+TEST_F(ColumnStoreTest, FilterPositionsEmptyPredicateMatchesAll) {
+  ColumnStore store = ColumnStore::Populate(*table_, {"id"}).MoveValue();
+  Result<std::vector<uint32_t>> pos = store.FilterPositions({});
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value().size(), 50u);
+}
+
+TEST_F(ColumnStoreTest, MemoryAccounting) {
+  ColumnStore store =
+      ColumnStore::Populate(*table_, {"id", "num_vc"}).MoveValue();
+  EXPECT_GT(store.MemoryBytes(), 50u * 8u);
+}
+
+}  // namespace
+}  // namespace fsdm::imc

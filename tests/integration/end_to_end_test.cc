@@ -1,0 +1,220 @@
+// Cross-module integration tests: the full "write without schema, read
+// with schema" pipeline — table + IS JSON + search index + DataGuide +
+// generated views + all three storages + the in-memory store — exercised
+// together on one collection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataguide/views.h"
+#include "imc/column_store.h"
+#include "index/search_index.h"
+#include "rdbms/executor.h"
+#include "sqljson/json_table.h"
+#include "workloads/generators.h"
+
+namespace fsdm {
+namespace {
+
+using rdbms::Col;
+using rdbms::ColumnDef;
+using rdbms::ColumnType;
+using rdbms::Row;
+using sqljson::JsonStorage;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = db_.CreateTable(
+                    "PO", {{.name = "DID", .type = ColumnType::kNumber},
+                           {.name = "JDOC",
+                            .type = ColumnType::kJson,
+                            .check_is_json = true}})
+                 .MoveValue();
+    index_ = index::JsonSearchIndex::Create(table_, "JDOC").MoveValue();
+
+    ColumnDef oson_vc;
+    oson_vc.name = "SYS_OSON";
+    oson_vc.type = ColumnType::kRaw;
+    oson_vc.hidden = true;
+    oson_vc.virtual_expr = sqljson::OsonConstructor("JDOC");
+    ASSERT_TRUE(table_->AddVirtualColumn(std::move(oson_vc)).ok());
+
+    Rng rng(4242);
+    for (int64_t i = 1; i <= 60; ++i) {
+      ASSERT_TRUE(table_
+                      ->Insert({Value::Int64(i),
+                                Value::String(
+                                    workloads::PurchaseOrder(&rng, i))})
+                      .ok());
+    }
+  }
+
+  rdbms::Database db_;
+  rdbms::Table* table_ = nullptr;
+  std::unique_ptr<index::JsonSearchIndex> index_;
+};
+
+TEST_F(EndToEndTest, DataGuideIsMaintainedOnDml) {
+  EXPECT_EQ(index_->indexed_document_count(), 60u);
+  // Homogeneous generator: exactly one $DG write.
+  EXPECT_EQ(index_->dg_write_count(), 1u);
+  EXPECT_NE(index_->dataguide().Find("$.purchaseOrder.items.partno",
+                                     json::NodeKind::kScalar, true),
+            nullptr);
+  EXPECT_EQ(index_->dg_table()->row_count(),
+            index_->dataguide().distinct_path_count());
+}
+
+TEST_F(EndToEndTest, DmdvOverAllStoragesAgrees) {
+  // Generate a view from the persistent DataGuide, run it over text; then
+  // recreate over OSON by re-pointing storage; row multisets must match.
+  auto text_view =
+      dataguide::CreateViewOnPath(table_, "JDOC", JsonStorage::kText,
+                                  index_->dataguide(), "$", "V")
+          .MoveValue();
+  auto text_rows =
+      rdbms::CollectStrings(text_view.MakePlan().MoveValue().get())
+          .MoveValue();
+
+  // OSON variant: same definition over the hidden OSON column.
+  dataguide::DmdvView oson_view = text_view;
+  oson_view.json_column = "SYS_OSON";
+  oson_view.storage = JsonStorage::kOson;
+  auto scan = rdbms::Scan(table_, /*include_hidden=*/true);
+  auto jt = sqljson::JsonTable(std::move(scan), "SYS_OSON",
+                               JsonStorage::kOson, oson_view.def)
+                .MoveValue();
+  std::vector<std::pair<std::string, rdbms::ExprPtr>> exprs;
+  for (const std::string& c : oson_view.OutputColumns()) {
+    exprs.emplace_back(c, Col(c));
+  }
+  auto plan = rdbms::Project(std::move(jt), std::move(exprs));
+  auto oson_rows = rdbms::CollectStrings(plan.get()).MoveValue();
+
+  ASSERT_EQ(text_rows.size(), oson_rows.size());
+  std::sort(text_rows.begin(), text_rows.end());
+  std::sort(oson_rows.begin(), oson_rows.end());
+  EXPECT_EQ(text_rows, oson_rows);
+}
+
+TEST_F(EndToEndTest, SearchIndexAgreesWithJsonExistsScan) {
+  // Pushed-down JSON_EXISTS over the scan must select exactly the rows the
+  // inverted index reports (index row ids == DID - 1 here).
+  auto exists = sqljson::JsonExists("JDOC", "$.purchaseOrder.items",
+                                    JsonStorage::kText)
+                    .MoveValue();
+  auto plan = rdbms::Project(rdbms::Filter(rdbms::Scan(table_), exists),
+                             {{"DID", Col("DID")}});
+  auto rows = rdbms::Collect(plan.get()).MoveValue();
+  std::vector<size_t> via_scan;
+  for (const Row& r : rows) {
+    via_scan.push_back(static_cast<size_t>(r[0].AsInt64() - 1));
+  }
+  EXPECT_EQ(via_scan, index_->DocsWithPath("$.purchaseOrder.items"));
+}
+
+TEST_F(EndToEndTest, ValueIndexAgreesWithPredicateScan) {
+  // Pick a real costcenter value and cross-check both access paths.
+  auto jv = sqljson::JsonValue("JDOC", "$.purchaseOrder.costcenter",
+                               JsonStorage::kText)
+                .MoveValue();
+  auto plan = rdbms::Project(
+      rdbms::Filter(rdbms::Scan(table_),
+                    rdbms::Eq(jv, rdbms::Lit(Value::String("CC7")))),
+      {{"DID", Col("DID")}});
+  auto rows = rdbms::Collect(plan.get()).MoveValue();
+  std::vector<size_t> via_scan;
+  for (const Row& r : rows) {
+    via_scan.push_back(static_cast<size_t>(r[0].AsInt64() - 1));
+  }
+  EXPECT_EQ(via_scan, index_->DocsWithValue("$.purchaseOrder.costcenter",
+                                            Value::String("CC7")));
+}
+
+TEST_F(EndToEndTest, ImcMatchesRowEngineOnSameQuery) {
+  // AddVC from the DataGuide, load into IMC, compare columnar vs row scan.
+  auto added = dataguide::AddVc(table_, "JDOC", JsonStorage::kText,
+                                index_->dataguide());
+  ASSERT_TRUE(added.ok());
+  imc::ColumnStore store =
+      imc::ColumnStore::Populate(*table_, {"DID", "JDOC$id"}).MoveValue();
+
+  auto imc_rows = store.FilterScan(
+      {{"JDOC$id", rdbms::CompareOp::kGt, Value::Int64(50)}}, {"DID"});
+  ASSERT_TRUE(imc_rows.ok());
+
+  auto row_plan = rdbms::Project(
+      rdbms::Filter(rdbms::Scan(table_),
+                    rdbms::Gt(Col("JDOC$id"), rdbms::Lit(Value::Int64(50)))),
+      {{"DID", Col("DID")}});
+  auto row_rows = rdbms::Collect(row_plan.get()).MoveValue();
+  ASSERT_EQ(imc_rows.value().size(), row_rows.size());
+  for (size_t i = 0; i < row_rows.size(); ++i) {
+    EXPECT_EQ(imc_rows.value()[i][0].AsInt64(), row_rows[i][0].AsInt64());
+  }
+}
+
+TEST_F(EndToEndTest, TransientAggMatchesPersistentGuide) {
+  // JSON_DataGuideAgg over the full collection must find exactly the
+  // persistent DataGuide's paths (it saw the same documents).
+  std::vector<dataguide::DataGuide> guides;
+  auto plan = rdbms::GroupBy(
+      rdbms::Scan(table_), {}, {},
+      {dataguide::JsonDataGuideAggInto(Col("JDOC"), "dg", &guides)});
+  ASSERT_TRUE(rdbms::Collect(plan.get()).ok());
+  ASSERT_EQ(guides.size(), 1u);
+  EXPECT_EQ(guides[0].distinct_path_count(),
+            index_->dataguide().distinct_path_count());
+  EXPECT_EQ(guides[0].ToFlatJson(), index_->GetDataGuide(false));
+}
+
+TEST_F(EndToEndTest, DeleteKeepsEverythingConsistent) {
+  ASSERT_TRUE(table_->Delete(0).ok());
+  ASSERT_TRUE(table_->Delete(30).ok());
+  // Scans skip deleted rows.
+  auto plan = rdbms::GroupBy(
+      rdbms::Scan(table_), {}, {},
+      {{rdbms::AggSpec::Kind::kCountStar, nullptr, "CNT"}});
+  auto rows = rdbms::Collect(plan.get()).MoveValue();
+  EXPECT_EQ(rows[0][0].AsInt64(), 58);
+  // Index postings no longer contain the rows.
+  auto docs = index_->DocsWithPath("$.purchaseOrder.items");
+  EXPECT_EQ(docs.size(), 58u);
+  EXPECT_TRUE(std::find(docs.begin(), docs.end(), 0u) == docs.end());
+  // IMC populated after the delete skips them too.
+  imc::ColumnStore store =
+      imc::ColumnStore::Populate(*table_, {"DID"}).MoveValue();
+  EXPECT_EQ(store.row_count(), 58u);
+}
+
+TEST_F(EndToEndTest, Q7RevenueIdenticalAcrossStorages) {
+  // A full OLAP aggregate (sum of quantity*unitprice by costcenter) must
+  // produce byte-identical results over text and OSON storages — exact
+  // Decimal arithmetic everywhere.
+  auto run = [&](const std::string& column, JsonStorage storage) {
+    sqljson::JsonTableDef def;
+    def.columns = {{"CC", "$.purchaseOrder.costcenter",
+                    sqljson::Returning::kString}};
+    sqljson::JsonTableDef items;
+    items.row_path = "$.purchaseOrder.items[*]";
+    items.columns = {{"Q", "$.quantity", sqljson::Returning::kNumber},
+                     {"P", "$.unitprice", sqljson::Returning::kNumber}};
+    def.nested.push_back(std::move(items));
+    auto jt = sqljson::JsonTable(rdbms::Scan(table_, true), column, storage,
+                                 def)
+                  .MoveValue();
+    auto agg = rdbms::Sort(
+        rdbms::GroupBy(std::move(jt), {Col("CC")}, {"CC"},
+                       {{rdbms::AggSpec::Kind::kSum,
+                         rdbms::Mul(Col("Q"), Col("P")), "REV"}}),
+        {{Col("CC"), true}});
+    return rdbms::CollectStrings(agg.get()).MoveValue();
+  };
+  EXPECT_EQ(run("JDOC", JsonStorage::kText),
+            run("SYS_OSON", JsonStorage::kOson));
+}
+
+}  // namespace
+}  // namespace fsdm

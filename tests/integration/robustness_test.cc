@@ -1,0 +1,217 @@
+// Failure-injection / robustness properties: corrupt binary images and
+// hostile inputs must produce Status errors, never crashes or silent
+// garbage.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bson/bson.h"
+#include "common/rng.h"
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "jsonpath/evaluator.h"
+#include "oson/oson.h"
+#include "workloads/generators.h"
+
+namespace fsdm {
+namespace {
+
+std::string SampleOson() {
+  Rng rng(5);
+  return oson::EncodeFromText(workloads::PurchaseOrder(&rng, 1)).MoveValue();
+}
+
+// Walks a whole Dom defensively; any Status error is fine, crashes and
+// infinite loops are not. Corrupted offsets can form cycles or DAG blowup
+// in the node graph, so the walk is visited-deduplicated and budgeted.
+void DefensiveWalkImpl(const json::Dom& dom, json::Dom::NodeRef node,
+                       int depth, std::set<json::Dom::NodeRef>* seen,
+                       size_t* budget) {
+  if (depth > 64 || *budget == 0) return;
+  --*budget;
+  if (!seen->insert(node).second) return;  // cycle / shared subtree
+  switch (dom.GetNodeType(node)) {
+    case json::NodeKind::kObject: {
+      size_t n = std::min<size_t>(dom.GetFieldCount(node), 4096);
+      for (size_t i = 0; i < n; ++i) {
+        std::string_view name;
+        json::Dom::NodeRef child = json::Dom::kInvalidNode;
+        dom.GetFieldAt(node, i, &name, &child);
+        if (child != json::Dom::kInvalidNode) {
+          DefensiveWalkImpl(dom, child, depth + 1, seen, budget);
+        }
+      }
+      break;
+    }
+    case json::NodeKind::kArray: {
+      size_t n = std::min<size_t>(dom.GetArrayLength(node), 4096);
+      for (size_t i = 0; i < n; ++i) {
+        json::Dom::NodeRef child = dom.GetArrayElement(node, i);
+        if (child != json::Dom::kInvalidNode) {
+          DefensiveWalkImpl(dom, child, depth + 1, seen, budget);
+        }
+      }
+      break;
+    }
+    case json::NodeKind::kScalar: {
+      Value v;
+      (void)dom.GetScalarValue(node, &v);
+      break;
+    }
+  }
+}
+
+void DefensiveWalk(const json::Dom& dom, json::Dom::NodeRef node, int) {
+  std::set<json::Dom::NodeRef> seen;
+  size_t budget = 100000;
+  DefensiveWalkImpl(dom, node, 0, &seen, &budget);
+}
+
+class CorruptionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptionTest, TruncatedOsonNeverCrashes) {
+  std::string image = SampleOson();
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    size_t cut = rng.Uniform(image.size());
+    std::string truncated = image.substr(0, cut);
+    Result<oson::OsonDom> dom = oson::OsonDom::Open(truncated);
+    if (dom.ok()) {
+      // If the header happened to validate, navigation must stay memory-
+      // safe and decode must fail or produce a tree, not crash.
+      DefensiveWalk(dom.value(), dom.value().root(), 0);
+      (void)oson::Decode(truncated);
+    }
+  }
+}
+
+TEST_P(CorruptionTest, BitFlippedOsonNeverCrashes) {
+  std::string image = SampleOson();
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string mutated = image;
+    // Flip 1-4 random bytes.
+    int flips = static_cast<int>(rng.Range(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Next() & 0xff);
+    }
+    Result<oson::OsonDom> dom = oson::OsonDom::Open(mutated);
+    if (dom.ok()) {
+      DefensiveWalk(dom.value(), dom.value().root(), 0);
+      (void)oson::Decode(mutated);
+    }
+  }
+}
+
+TEST_P(CorruptionTest, BitFlippedBsonNeverCrashes) {
+  Rng seed_rng(5);
+  std::string image =
+      bson::EncodeFromText(workloads::PurchaseOrder(&seed_rng, 1))
+          .MoveValue();
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string mutated = image;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(rng.Next() & 0xff);
+    Result<bson::BsonDom> dom = bson::BsonDom::Open(mutated);
+    if (dom.ok()) {
+      DefensiveWalk(dom.value(), dom.value().root(), 0);
+      (void)bson::Decode(mutated);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionTest,
+                         ::testing::Values(101, 202, 303));
+
+TEST(RobustnessTest, RandomGarbageImagesRejected) {
+  Rng rng(9);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string garbage = rng.AlphaNum(rng.Uniform(200));
+    EXPECT_FALSE(oson::Decode(garbage).ok());
+    (void)bson::BsonDom::Open(garbage);
+    (void)json::Parse(garbage);  // may parse (alphanum could be a number)
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedDocumentsBounded) {
+  // 400 nesting levels: parse succeeds (default cap 512); OSON round-trips
+  // without stack issues; path evaluation on a long chain works.
+  std::string open_doc, close;
+  for (int i = 0; i < 400; ++i) {
+    open_doc += "{\"a\":";
+    close += "}";
+  }
+  std::string doc = open_doc + "1" + close;
+  auto tree = json::Parse(doc);
+  ASSERT_TRUE(tree.ok());
+  auto image = oson::Encode(*tree.value());
+  ASSERT_TRUE(image.ok());
+  auto back = oson::Decode(image.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(tree.value()->Equals(*back.value()));
+
+  std::string path = "$";
+  for (int i = 0; i < 400; ++i) path += ".a";
+  auto p = jsonpath::PathExpression::Parse(path).MoveValue();
+  jsonpath::PathEvaluator eval(&p);
+  oson::OsonDom dom = oson::OsonDom::Open(image.value()).MoveValue();
+  auto v = eval.FirstScalar(dom);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.value().has_value());
+  EXPECT_EQ(v.value()->AsInt64(), 1);
+}
+
+TEST(RobustnessTest, HugeFieldNamesAndValues) {
+  std::string big_name(10000, 'k');
+  std::string big_value(100000, 'v');
+  std::string doc = "{\"" + big_name + "\":\"" + big_value + "\"}";
+  auto image = oson::EncodeFromText(doc);
+  ASSERT_TRUE(image.ok());
+  auto back = oson::Decode(image.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->GetField(big_name)->scalar().AsString(),
+            big_value);
+}
+
+TEST(RobustnessTest, ManyDistinctFieldsCrossIdWidths) {
+  // >255 distinct fields forces 2-byte field ids; >65535 would force 4.
+  std::string doc = "{";
+  for (int i = 0; i < 700; ++i) {
+    if (i) doc += ",";
+    doc += "\"f" + std::to_string(i) + "\":" + std::to_string(i);
+  }
+  doc += "}";
+  auto image = oson::EncodeFromText(doc);
+  ASSERT_TRUE(image.ok());
+  oson::OsonDom dom = oson::OsonDom::Open(image.value()).MoveValue();
+  EXPECT_EQ(dom.field_count(), 700u);
+  Value v;
+  json::Dom::NodeRef ref = dom.GetFieldValue(dom.root(), "f456");
+  ASSERT_NE(ref, json::Dom::kInvalidNode);
+  ASSERT_TRUE(dom.GetScalarValue(ref, &v).ok());
+  EXPECT_EQ(v.AsInt64(), 456);
+  auto back = oson::Decode(image.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()->field_count(), 700u);
+}
+
+TEST(RobustnessTest, RoundTripFuzzAcrossFormats) {
+  // Random documents survive text -> OSON -> text -> BSON -> text.
+  Rng rng(12321);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string doc = workloads::Nobench(&rng, iter);
+    auto oson_img = oson::EncodeFromText(doc).MoveValue();
+    auto via_oson = json::Serialize(*oson::Decode(oson_img).value());
+    auto bson_img = bson::EncodeFromText(via_oson).MoveValue();
+    auto via_bson = json::Serialize(*bson::Decode(bson_img).value());
+    auto a = json::Parse(doc).MoveValue();
+    auto b = json::Parse(via_bson).MoveValue();
+    EXPECT_TRUE(a->Equals(*b)) << doc;
+  }
+}
+
+}  // namespace
+}  // namespace fsdm

@@ -1,0 +1,91 @@
+#include "json/node.h"
+
+#include <gtest/gtest.h>
+
+#include "json/dom.h"
+#include "json/parser.h"
+
+namespace fsdm::json {
+namespace {
+
+TEST(NodeTest, BuildTreeManually) {
+  auto obj = JsonNode::MakeObject();
+  obj->AddField("name", JsonNode::MakeString("phone"));
+  obj->AddField("price", JsonNode::MakeNumber(int64_t{100}));
+  auto* items = obj->AddField("tags", JsonNode::MakeArray());
+  items->Append(JsonNode::MakeString("mobile"));
+  items->Append(JsonNode::MakeBool(true));
+  items->Append(JsonNode::MakeNull());
+
+  EXPECT_EQ(obj->field_count(), 3u);
+  EXPECT_EQ(obj->GetField("price")->scalar().AsInt64(), 100);
+  EXPECT_EQ(obj->GetField("tags")->array_size(), 3u);
+  EXPECT_EQ(obj->GetField("missing"), nullptr);
+}
+
+TEST(NodeTest, KindPredicates) {
+  EXPECT_TRUE(JsonNode::MakeObject()->is_object());
+  EXPECT_TRUE(JsonNode::MakeArray()->is_array());
+  EXPECT_TRUE(JsonNode::MakeNull()->is_scalar());
+  EXPECT_EQ(NodeKindName(NodeKind::kObject), "object");
+  EXPECT_EQ(NodeKindName(NodeKind::kArray), "array");
+  EXPECT_EQ(NodeKindName(NodeKind::kScalar), "scalar");
+}
+
+TEST(NodeTest, EqualsIsStructural) {
+  auto a = Parse(R"({"x":1,"y":[true,"s"]})").MoveValue();
+  auto b = Parse(R"({"y":[true,"s"],"x":1})").MoveValue();  // reordered
+  auto c = Parse(R"({"x":1,"y":[true,"t"]})").MoveValue();
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(NodeTest, EqualsNumericCoercion) {
+  auto a = Parse("[1.0]").MoveValue();
+  auto b = Parse("[1]").MoveValue();
+  EXPECT_TRUE(a->Equals(*b));  // 1.0 == 1 numerically
+  auto c = Parse("[\"1\"]").MoveValue();
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(NodeTest, CloneIsDeep) {
+  auto a = Parse(R"({"k":{"n":[1,2,3]}})").MoveValue();
+  auto b = a->Clone();
+  EXPECT_TRUE(a->Equals(*b));
+  // Mutate the clone; original unchanged.
+  b->mutable_field_value(0)->AddField("extra", JsonNode::MakeNull());
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST(TreeDomTest, NavigationMatchesTree) {
+  auto doc = Parse(R"({"a":{"b":[10,20]},"c":"str"})").MoveValue();
+  TreeDom dom(doc.get());
+
+  Dom::NodeRef root = dom.root();
+  EXPECT_EQ(dom.GetNodeType(root), NodeKind::kObject);
+  EXPECT_EQ(dom.GetFieldCount(root), 2u);
+
+  Dom::NodeRef a = dom.GetFieldValue(root, "a");
+  ASSERT_NE(a, Dom::kInvalidNode);
+  Dom::NodeRef b = dom.GetFieldValue(a, "b");
+  ASSERT_NE(b, Dom::kInvalidNode);
+  EXPECT_EQ(dom.GetNodeType(b), NodeKind::kArray);
+  EXPECT_EQ(dom.GetArrayLength(b), 2u);
+
+  Dom::NodeRef el = dom.GetArrayElement(b, 1);
+  Value v;
+  ASSERT_TRUE(dom.GetScalarValue(el, &v).ok());
+  EXPECT_EQ(v.AsInt64(), 20);
+
+  EXPECT_EQ(dom.GetArrayElement(b, 5), Dom::kInvalidNode);
+  EXPECT_EQ(dom.GetFieldValue(root, "zz"), Dom::kInvalidNode);
+
+  std::string_view name;
+  Dom::NodeRef child;
+  dom.GetFieldAt(root, 1, &name, &child);
+  EXPECT_EQ(name, "c");
+  EXPECT_EQ(dom.GetScalarType(child), ScalarType::kString);
+}
+
+}  // namespace
+}  // namespace fsdm::json

@@ -1,0 +1,74 @@
+#include "json/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+
+namespace fsdm::json {
+namespace {
+
+std::string RoundTrip(std::string_view text) {
+  auto doc = Parse(text).MoveValue();
+  return Serialize(*doc);
+}
+
+TEST(SerializerTest, CompactForm) {
+  EXPECT_EQ(RoundTrip(R"({ "a" : 1 , "b" : [ true , null ] })"),
+            R"({"a":1,"b":[true,null]})");
+  EXPECT_EQ(RoundTrip("{}"), "{}");
+  EXPECT_EQ(RoundTrip("[]"), "[]");
+  EXPECT_EQ(RoundTrip("\"x\""), "\"x\"");
+}
+
+TEST(SerializerTest, PreservesFieldOrder) {
+  EXPECT_EQ(RoundTrip(R"({"z":1,"a":2,"m":3})"), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(SerializerTest, NumbersCanonical) {
+  EXPECT_EQ(RoundTrip("12.500"), "12.5");
+  EXPECT_EQ(RoundTrip("1e2"), "100");
+  EXPECT_EQ(RoundTrip("-0.25"), "-0.25");
+}
+
+TEST(SerializerTest, EscapesSpecials) {
+  auto doc = Parse(R"(["a\"b\\c\nd"])").MoveValue();
+  EXPECT_EQ(Serialize(*doc), "[\"a\\\"b\\\\c\\nd\"]");
+}
+
+
+TEST(SerializerTest, ControlCharsUseUnicodeEscape) {
+  auto doc = Parse(R"(["\u0001\u001f"])").MoveValue();
+  EXPECT_EQ(Serialize(*doc), "[\"\\u0001\\u001f\"]");
+}
+
+TEST(SerializerTest, Utf8PassThrough) {
+  EXPECT_EQ(RoundTrip("[\"\xc3\xa9\"]"), "[\"\xc3\xa9\"]");
+}
+
+TEST(SerializerTest, PrettyForm) {
+  SerializeOptions opts;
+  opts.pretty = true;
+  auto doc = Parse(R"({"a":[1]})").MoveValue();
+  EXPECT_EQ(Serialize(*doc, opts), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(SerializerTest, FullRoundTripIdempotence) {
+  // serialize(parse(serialize(parse(x)))) == serialize(parse(x))
+  for (const char* text :
+       {R"({"purchaseOrder":{"id":1,"podate":"2014-09-08","items":[{"name":"phone","price":100,"quantity":2},{"name":"ipad","price":350.86,"quantity":3}]}})",
+        "[[[[]]]]", R"({"deep":{"er":{"est":[null,true,false,0.001]}}})"}) {
+    std::string once = RoundTrip(text);
+    EXPECT_EQ(RoundTrip(once), once);
+  }
+}
+
+TEST(SerializerTest, ParseSerializeEqualsStructurally) {
+  const char* text =
+      R"({"a":1,"b":[1.5,"x",{"c":null}],"d":true})";
+  auto original = Parse(text).MoveValue();
+  auto reparsed = Parse(Serialize(*original)).MoveValue();
+  EXPECT_TRUE(original->Equals(*reparsed));
+}
+
+}  // namespace
+}  // namespace fsdm::json

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bson/bson.h"
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "jsonpath/evaluator.h"
+#include "jsonpath/path.h"
+#include "oson/oson.h"
+
+namespace fsdm::jsonpath {
+namespace {
+
+constexpr const char* kDoc = R"({
+  "purchaseOrder": {
+    "id": 1,
+    "podate": "2014-09-08",
+    "items": [
+      {"name": "phone", "price": 100, "quantity": 2},
+      {"name": "ipad", "price": 350.86, "quantity": 3},
+      {"name": "tv", "price": 345.55, "quantity": 1,
+       "parts": [{"partName": "remote", "partQuantity": 1}]}
+    ]
+  }
+})";
+
+PathExpression MustParse(std::string_view text) {
+  Result<PathExpression> r = PathExpression::Parse(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.MoveValue();
+}
+
+// Evaluates `path` against `doc_text` and returns the selected scalar
+// values rendered as display strings.
+std::vector<std::string> Eval(std::string_view path_text,
+                              std::string_view doc_text) {
+  auto doc = json::Parse(doc_text).MoveValue();
+  json::TreeDom dom(doc.get());
+  PathExpression path = MustParse(path_text);
+  PathEvaluator eval(&path);
+  std::vector<std::string> out;
+  Status st = eval.Evaluate(dom, [&](json::Dom::NodeRef node, bool*) {
+    if (dom.GetNodeType(node) == json::NodeKind::kScalar) {
+      Value v;
+      EXPECT_TRUE(dom.GetScalarValue(node, &v).ok());
+      out.push_back(v.ToDisplayString());
+    } else {
+      out.push_back(dom.GetNodeType(node) == json::NodeKind::kObject
+                        ? "<object>"
+                        : "<array>");
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(PathParseTest, ParsesAndPrints) {
+  EXPECT_EQ(MustParse("$").ToString(), "$");
+  EXPECT_EQ(MustParse("$.a.b").ToString(), "$.a.b");
+  EXPECT_EQ(MustParse("$.a[*].b").ToString(), "$.a[*].b");
+  EXPECT_EQ(MustParse("$.a[0].b").ToString(), "$.a[0].b");
+  EXPECT_EQ(MustParse("$.a[1 to 3]").ToString(), "$.a[1 to 3]");
+  EXPECT_EQ(MustParse("$.a[0,2]").ToString(), "$.a[0,2]");
+  EXPECT_EQ(MustParse("$.*").ToString(), "$.*");
+  EXPECT_EQ(MustParse("$..name").ToString(), "$..name");
+  EXPECT_EQ(MustParse(R"($."weird name".x)").ToString(),
+            R"($."weird name".x)");
+  EXPECT_EQ(MustParse("$.a?(@.b > 5)").ToString(), "$.a?(@.b > 5)");
+  EXPECT_EQ(MustParse("$.a?(exists(@.b))").ToString(), "$.a?(exists(@.b))");
+  EXPECT_EQ(MustParse("$.a?(@.b == \"x\" && @.c < 2)").ToString(),
+            "$.a?((@.b == \"x\" && @.c < 2))");
+}
+
+TEST(PathParseTest, RoundTripThroughToString) {
+  for (const char* p :
+       {"$", "$.a.b.c", "$.a[*]", "$..deep", "$.x?(@.y >= 2.5)",
+        "$.a?(!(@.b == 1) || exists(@.c))"}) {
+    PathExpression once = MustParse(p);
+    PathExpression twice = MustParse(once.ToString());
+    EXPECT_EQ(once.ToString(), twice.ToString()) << p;
+  }
+}
+
+TEST(PathParseTest, RejectsMalformed) {
+  for (const char* bad :
+       {"", "a.b", "$.", "$[", "$[1", "$[a]", "$[-1]", "$[3 to 1]", "$.a?",
+        "$.a?(", "$.a?()", "$.a?(@.b >)", "$.a?(@.b ~ 1)", "$ x", "$..",
+        "$.a?(exists(@.b)", "$.\"\""}) {
+    EXPECT_FALSE(PathExpression::Parse(bad).ok()) << "should reject: " << bad;
+  }
+}
+
+TEST(PathParseTest, IsSingleton) {
+  EXPECT_TRUE(MustParse("$.a.b").IsSingleton());
+  EXPECT_TRUE(MustParse("$").IsSingleton());
+  EXPECT_FALSE(MustParse("$.a[*]").IsSingleton());
+  EXPECT_FALSE(MustParse("$.a[0]").IsSingleton());
+  EXPECT_FALSE(MustParse("$..a").IsSingleton());
+  EXPECT_FALSE(MustParse("$.*").IsSingleton());
+}
+
+TEST(PathEvalTest, MemberSteps) {
+  EXPECT_EQ(Eval("$.purchaseOrder.id", kDoc),
+            std::vector<std::string>{"1"});
+  EXPECT_EQ(Eval("$.purchaseOrder.podate", kDoc),
+            std::vector<std::string>{"2014-09-08"});
+  EXPECT_TRUE(Eval("$.purchaseOrder.missing", kDoc).empty());
+  EXPECT_TRUE(Eval("$.nothing.at.all", kDoc).empty());
+}
+
+TEST(PathEvalTest, LaxArrayUnwrapOnMemberStep) {
+  // .name applied to the items *array* iterates elements (lax mode).
+  EXPECT_EQ(Eval("$.purchaseOrder.items.name", kDoc),
+            (std::vector<std::string>{"phone", "ipad", "tv"}));
+  // Deep unwrap through two array levels requires explicit [*] for the
+  // second level only.
+  EXPECT_EQ(Eval("$.purchaseOrder.items.parts.partName", kDoc),
+            (std::vector<std::string>{"remote"}));
+}
+
+TEST(PathEvalTest, ArraySubscripts) {
+  EXPECT_EQ(Eval("$.purchaseOrder.items[0].name", kDoc),
+            std::vector<std::string>{"phone"});
+  EXPECT_EQ(Eval("$.purchaseOrder.items[2].name", kDoc),
+            std::vector<std::string>{"tv"});
+  EXPECT_TRUE(Eval("$.purchaseOrder.items[9].name", kDoc).empty());
+  EXPECT_EQ(Eval("$.purchaseOrder.items[0 to 1].name", kDoc),
+            (std::vector<std::string>{"phone", "ipad"}));
+  EXPECT_EQ(Eval("$.purchaseOrder.items[0,2].name", kDoc),
+            (std::vector<std::string>{"phone", "tv"}));
+  EXPECT_EQ(Eval("$.purchaseOrder.items[*].name", kDoc),
+            (std::vector<std::string>{"phone", "ipad", "tv"}));
+}
+
+TEST(PathEvalTest, LaxSingletonArrayTreatment) {
+  // Subscript [0] on a non-array selects the node itself.
+  EXPECT_EQ(Eval("$.purchaseOrder.id[0]", kDoc),
+            std::vector<std::string>{"1"});
+  EXPECT_TRUE(Eval("$.purchaseOrder.id[1]", kDoc).empty());
+  // [*] on a non-array selects the node itself.
+  EXPECT_EQ(Eval("$.purchaseOrder.id[*]", kDoc),
+            std::vector<std::string>{"1"});
+}
+
+TEST(PathEvalTest, Wildcards) {
+  EXPECT_EQ(Eval("$.purchaseOrder.items[0].*", kDoc),
+            (std::vector<std::string>{"phone", "100", "2"}));
+  std::vector<std::string> top = Eval("$.*", kDoc);
+  EXPECT_EQ(top, std::vector<std::string>{"<object>"});
+}
+
+TEST(PathEvalTest, DescendantStep) {
+  EXPECT_EQ(Eval("$..partName", kDoc), std::vector<std::string>{"remote"});
+  EXPECT_EQ(Eval("$..name", kDoc),
+            (std::vector<std::string>{"phone", "ipad", "tv"}));
+  EXPECT_EQ(Eval("$..quantity", kDoc),
+            (std::vector<std::string>{"2", "3", "1"}));
+}
+
+TEST(PathEvalTest, FilterPredicates) {
+  EXPECT_EQ(Eval("$.purchaseOrder.items[*]?(@.price > 200).name", kDoc),
+            (std::vector<std::string>{"ipad", "tv"}));
+  EXPECT_EQ(Eval("$.purchaseOrder.items[*]?(@.name == \"phone\").price",
+                 kDoc),
+            std::vector<std::string>{"100"});
+  EXPECT_EQ(Eval("$.purchaseOrder.items[*]?(exists(@.parts)).name", kDoc),
+            std::vector<std::string>{"tv"});
+  EXPECT_EQ(
+      Eval("$.purchaseOrder.items[*]?(@.price > 200 && @.quantity >= 3).name",
+           kDoc),
+      std::vector<std::string>{"ipad"});
+  EXPECT_EQ(
+      Eval("$.purchaseOrder.items[*]?(@.price < 200 || @.quantity == 1).name",
+           kDoc),
+      (std::vector<std::string>{"phone", "tv"}));
+  EXPECT_EQ(Eval("$.purchaseOrder.items[*]?(!exists(@.parts)).name", kDoc),
+            (std::vector<std::string>{"phone", "ipad"}));
+}
+
+TEST(PathEvalTest, FilterAppliedToArrayFiltersElements) {
+  // Lax mode: ?(...) directly on the array filters its elements.
+  EXPECT_EQ(Eval("$.purchaseOrder.items?(@.price > 300).name", kDoc),
+            (std::vector<std::string>{"ipad", "tv"}));
+}
+
+TEST(PathEvalTest, TypeMismatchedComparisonIsFalse) {
+  EXPECT_TRUE(Eval("$.purchaseOrder.items[*]?(@.name > 5).name", kDoc)
+                  .empty());
+}
+
+TEST(PathEvalTest, ExistsAndFirstScalar) {
+  auto doc = json::Parse(kDoc).MoveValue();
+  json::TreeDom dom(doc.get());
+  PathExpression p1 = MustParse("$.purchaseOrder.items[*].parts");
+  PathEvaluator e1(&p1);
+  EXPECT_TRUE(e1.Exists(dom).value());
+
+  PathExpression p2 = MustParse("$.purchaseOrder.ghost");
+  PathEvaluator e2(&p2);
+  EXPECT_FALSE(e2.Exists(dom).value());
+
+  PathExpression p3 = MustParse("$.purchaseOrder.id");
+  PathEvaluator e3(&p3);
+  auto v = e3.FirstScalar(dom).MoveValue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->AsInt64(), 1);
+
+  // Non-scalar target -> nullopt.
+  PathExpression p4 = MustParse("$.purchaseOrder.items");
+  PathEvaluator e4(&p4);
+  EXPECT_FALSE(e4.FirstScalar(dom).MoveValue().has_value());
+}
+
+// The same compiled path must select identical values over TreeDom, BsonDom
+// and OsonDom — the cross-format equivalence at the heart of §5.1.
+class CrossFormatTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrossFormatTest, AllDomsAgree) {
+  const char* path_text = GetParam();
+  auto doc = json::Parse(kDoc).MoveValue();
+  json::TreeDom tree_dom(doc.get());
+  std::string bson_bytes = bson::EncodeFromText(kDoc).MoveValue();
+  bson::BsonDom bson_dom = bson::BsonDom::Open(bson_bytes).MoveValue();
+  std::string oson_bytes = oson::EncodeFromText(kDoc).MoveValue();
+  oson::OsonDom oson_dom = oson::OsonDom::Open(oson_bytes).MoveValue();
+
+  PathExpression path = MustParse(path_text);
+  PathEvaluator eval(&path);
+
+  auto collect = [&](const json::Dom& dom) {
+    std::vector<std::string> out;
+    Status st = eval.Evaluate(dom, [&](json::Dom::NodeRef n, bool*) {
+      if (dom.GetNodeType(n) == json::NodeKind::kScalar) {
+        Value v;
+        EXPECT_TRUE(dom.GetScalarValue(n, &v).ok());
+        out.push_back(v.ToDisplayString());
+      } else {
+        out.push_back("<container>");
+      }
+      return Status::Ok();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  };
+
+  std::vector<std::string> via_tree = collect(tree_dom);
+  std::vector<std::string> via_bson = collect(bson_dom);
+  std::vector<std::string> via_oson = collect(oson_dom);
+  // OSON stores object children in field-id order, so wildcard member
+  // enumeration order is representation-specific; compare as multisets.
+  // (Array element order is covered by PathEvalTest.ArraySubscripts.)
+  std::sort(via_tree.begin(), via_tree.end());
+  std::sort(via_bson.begin(), via_bson.end());
+  std::sort(via_oson.begin(), via_oson.end());
+  EXPECT_EQ(via_tree, via_oson) << path_text;
+  EXPECT_EQ(via_tree, via_bson) << path_text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, CrossFormatTest,
+    ::testing::Values("$.purchaseOrder.id", "$.purchaseOrder.items[*].name",
+                      "$.purchaseOrder.items.price",
+                      "$.purchaseOrder.items[1 to 2].quantity",
+                      "$..partName", "$.purchaseOrder.items[*]?(@.price > 200).name",
+                      "$.purchaseOrder.items[0].*", "$.purchaseOrder.missing",
+                      "$.purchaseOrder.items?(exists(@.parts)).parts[*].partQuantity"));
+
+TEST(PathEvalTest, FieldIdCacheReuseAcrossDocuments) {
+  // Same evaluator over many OSON documents: the cached field id must keep
+  // resolving correctly even when the dictionary changes between docs.
+  PathExpression path = MustParse("$.a.b");
+  PathEvaluator eval(&path);
+  for (const char* text :
+       {R"({"a":{"b":1}})", R"({"a":{"b":2}})",
+        R"({"zzz":0,"a":{"b":3},"extra":1})", R"({"a":{"c":9}})",
+        R"({"a":{"b":4}})"}) {
+    std::string bytes = oson::EncodeFromText(text).MoveValue();
+    oson::OsonDom dom = oson::OsonDom::Open(bytes).MoveValue();
+    Result<std::optional<Value>> v = eval.FirstScalar(dom);
+    ASSERT_TRUE(v.ok());
+    std::string doc(text);
+    if (doc.find("\"b\"") != std::string::npos) {
+      ASSERT_TRUE(v.value().has_value()) << text;
+    } else {
+      EXPECT_FALSE(v.value().has_value()) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsdm::jsonpath

@@ -1,0 +1,316 @@
+#include "oson/oson.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "json/parser.h"
+#include "json/serializer.h"
+
+namespace fsdm::oson {
+namespace {
+
+constexpr const char* kPo =
+    R"({"purchaseOrder":{"id":1,"podate":"2014-09-08","items":[)"
+    R"({"name":"phone","price":100,"quantity":2},)"
+    R"({"name":"ipad","price":350.86,"quantity":3}]}})";
+
+std::string MustEncode(std::string_view text, const EncodeOptions& opts = {}) {
+  Result<std::string> r = EncodeFromText(text, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(OsonTest, EncodeDecodeRoundTrip) {
+  for (const char* text :
+       {"{}", "[]", "null", "true", "42", "\"str\"", R"({"a":1})",
+        R"([1,[2,[3,[4]]]])", R"({"a":{"b":{"c":[1,2,3]}}})",
+        R"({"s":"hello","t":true,"f":false,"n":null})",
+        R"({"neg":-42,"big":99999999999999999999,"d":0.125})", kPo}) {
+    std::string bytes = MustEncode(text);
+    Result<std::unique_ptr<json::JsonNode>> back = Decode(bytes);
+    ASSERT_TRUE(back.ok()) << text << ": " << back.status().ToString();
+    auto original = json::Parse(text).MoveValue();
+    EXPECT_TRUE(original->Equals(*back.value()))
+        << text << " -> " << json::Serialize(*back.value());
+  }
+}
+
+TEST(OsonTest, HeaderValidation) {
+  std::string bytes = MustEncode(kPo);
+  EXPECT_TRUE(OsonDom::Open(bytes).ok());
+  EXPECT_FALSE(OsonDom::Open("").ok());
+  EXPECT_FALSE(OsonDom::Open("OSONxxxx").ok());
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(OsonDom::Open(bad_magic).ok());
+  std::string bad_version = bytes;
+  bad_version[4] = 99;
+  EXPECT_FALSE(OsonDom::Open(bad_version).ok());
+  std::string truncated = bytes.substr(0, bytes.size() - 3);
+  EXPECT_FALSE(OsonDom::Open(truncated).ok());
+}
+
+TEST(OsonDomTest, NavigationAndFieldIds) {
+  std::string bytes = MustEncode(kPo);
+  OsonDom dom = OsonDom::Open(bytes).MoveValue();
+
+  // 7 distinct field names despite repetition inside the items array.
+  EXPECT_EQ(dom.field_count(), 7u);
+
+  json::Dom::NodeRef root = dom.root();
+  json::Dom::NodeRef po = dom.GetFieldValue(root, "purchaseOrder");
+  ASSERT_NE(po, json::Dom::kInvalidNode);
+
+  // Field-id resolution with a precomputed hash (query-compile-time path).
+  uint32_t hash = FieldNameHash("price");
+  std::optional<uint32_t> id = dom.LookupFieldId("price", hash);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(dom.FieldName(*id), "price");
+  EXPECT_EQ(dom.FieldHash(*id), hash);
+  EXPECT_FALSE(dom.LookupFieldId("absent", FieldNameHash("absent")));
+
+  json::Dom::NodeRef items = dom.GetFieldValue(po, "items");
+  EXPECT_EQ(dom.GetArrayLength(items), 2u);
+  json::Dom::NodeRef item1 = dom.GetArrayElement(items, 1);
+  json::Dom::NodeRef price = dom.GetFieldValueById(item1, *id);
+  ASSERT_NE(price, json::Dom::kInvalidNode);
+  Value v;
+  ASSERT_TRUE(dom.GetScalarValue(price, &v).ok());
+  EXPECT_EQ(v.AsDecimal().ToString(), "350.86");
+
+  // By-id miss on an object lacking the field.
+  std::optional<uint32_t> podate_id =
+      dom.LookupFieldId("podate", FieldNameHash("podate"));
+  EXPECT_EQ(dom.GetFieldValueById(item1, *podate_id),
+            json::Dom::kInvalidNode);
+}
+
+TEST(OsonDomTest, FieldIdsAreSortedByHash) {
+  std::string bytes = MustEncode(kPo);
+  OsonDom dom = OsonDom::Open(bytes).MoveValue();
+  for (uint32_t i = 0; i + 1 < dom.field_count(); ++i) {
+    EXPECT_LE(dom.FieldHash(i), dom.FieldHash(i + 1));
+  }
+}
+
+TEST(OsonDomTest, GetFieldAtReturnsNames) {
+  std::string bytes = MustEncode(R"({"b":1,"a":2})");
+  OsonDom dom = OsonDom::Open(bytes).MoveValue();
+  size_t n = dom.GetFieldCount(dom.root());
+  ASSERT_EQ(n, 2u);
+  bool saw_a = false, saw_b = false;
+  for (size_t i = 0; i < n; ++i) {
+    std::string_view name;
+    json::Dom::NodeRef child;
+    dom.GetFieldAt(dom.root(), i, &name, &child);
+    Value v;
+    ASSERT_TRUE(dom.GetScalarValue(child, &v).ok());
+    if (name == "a") {
+      saw_a = true;
+      EXPECT_EQ(v.AsInt64(), 2);
+    }
+    if (name == "b") {
+      saw_b = true;
+      EXPECT_EQ(v.AsInt64(), 1);
+    }
+  }
+  EXPECT_TRUE(saw_a && saw_b);
+}
+
+TEST(OsonTest, DictionaryStoresRepeatedNamesOnce) {
+  // 100-element array of identical objects: the dictionary segment must not
+  // grow with repetition — that is OSON's size advantage (§6.1).
+  std::string small = R"([{"alpha":1,"beta":2}])";
+  std::string big = "[";
+  for (int i = 0; i < 100; ++i) {
+    if (i) big += ",";
+    big += R"({"alpha":1,"beta":2})";
+  }
+  big += "]";
+  OsonDom d1 = OsonDom::Open(MustEncode(small)).MoveValue();
+  std::string big_bytes = MustEncode(big);
+  OsonDom d2 = OsonDom::Open(big_bytes).MoveValue();
+  EXPECT_EQ(d1.segment_stats().dictionary_size,
+            d2.segment_stats().dictionary_size);
+  EXPECT_EQ(d2.field_count(), 2u);
+}
+
+TEST(OsonTest, LeafDedupSharesIdenticalValues) {
+  std::string repeated = "[";
+  for (int i = 0; i < 50; ++i) {
+    if (i) repeated += ",";
+    repeated += "\"same-long-string-value\"";
+  }
+  repeated += "]";
+  EncodeOptions dedup;
+  EncodeOptions nodedup;
+  nodedup.dedup_leaf_values = false;
+  std::string with = MustEncode(repeated, dedup);
+  std::string without = MustEncode(repeated, nodedup);
+  EXPECT_LT(with.size(), without.size());
+  // Both decode identically.
+  EXPECT_TRUE(Decode(with).value()->Equals(*Decode(without).value()));
+}
+
+TEST(OsonTest, WideOffsetsKickInForLargeImages) {
+  // > 64KB of string data forces 4-byte offsets.
+  std::string big = "{\"data\":[";
+  for (int i = 0; i < 5000; ++i) {
+    if (i) big += ",";
+    big += "\"string-value-number-" + std::to_string(i) + "\"";
+  }
+  big += "]}";
+  std::string bytes = MustEncode(big);
+  EXPECT_GT(bytes.size(), 65535u);
+  auto back = Decode(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(json::Parse(big).value()->Equals(*back.value()));
+}
+
+TEST(OsonTest, NumbersAsDoubleOption) {
+  EncodeOptions opts;
+  opts.numbers_as_double = true;
+  std::string bytes = MustEncode(R"({"v":0.5,"i":3})", opts);
+  auto back = Decode(bytes).MoveValue();
+  EXPECT_EQ(back->GetField("v")->scalar().type(), ScalarType::kDouble);
+  EXPECT_EQ(back->GetField("i")->scalar().type(), ScalarType::kDouble);
+}
+
+TEST(OsonTest, SegmentStatsAddUp) {
+  std::string bytes = MustEncode(kPo);
+  OsonDom dom = OsonDom::Open(bytes).MoveValue();
+  SegmentStats s = dom.segment_stats();
+  EXPECT_EQ(s.header_size + s.dictionary_size + s.tree_size + s.values_size,
+            s.total_size);
+  EXPECT_EQ(s.field_count, 7u);
+  EXPECT_GT(s.dictionary_size, 0u);
+  EXPECT_GT(s.tree_size, 0u);
+  EXPECT_GT(s.values_size, 0u);
+}
+
+TEST(OsonUpdaterTest, InPlaceLeafUpdates) {
+  EncodeOptions opts;
+  opts.updatable = true;
+  std::string image = MustEncode(R"({"n":100,"s":"hello","b":true})", opts);
+  OsonDom dom = OsonDom::Open(image).MoveValue();
+  json::Dom::NodeRef n = dom.GetFieldValue(dom.root(), "n");
+  json::Dom::NodeRef s = dom.GetFieldValue(dom.root(), "s");
+  json::Dom::NodeRef b = dom.GetFieldValue(dom.root(), "b");
+
+  OsonUpdater updater(&image);
+  ASSERT_TRUE(updater.UpdateLeaf(n, Value::Int64(7)).ok());
+  ASSERT_TRUE(updater.UpdateLeaf(s, Value::String("hi")).ok());
+  ASSERT_TRUE(updater.UpdateLeaf(b, Value::Bool(false)).ok());
+
+  auto back = Decode(image).MoveValue();
+  EXPECT_EQ(back->GetField("n")->scalar().AsInt64(), 7);
+  EXPECT_EQ(back->GetField("s")->scalar().AsString(), "hi");
+  EXPECT_FALSE(back->GetField("b")->scalar().AsBool());
+}
+
+TEST(OsonUpdaterTest, RejectsOversizedAndRetyped) {
+  EncodeOptions opts;
+  opts.updatable = true;
+  std::string image = MustEncode(R"({"s":"ab","n":5})", opts);
+  OsonDom dom = OsonDom::Open(image).MoveValue();
+  json::Dom::NodeRef s = dom.GetFieldValue(dom.root(), "s");
+  json::Dom::NodeRef n = dom.GetFieldValue(dom.root(), "n");
+  json::Dom::NodeRef root = dom.root();
+
+  OsonUpdater updater(&image);
+  EXPECT_FALSE(updater.UpdateLeaf(s, Value::String("way-too-long")).ok());
+  EXPECT_FALSE(updater.UpdateLeaf(s, Value::Int64(1)).ok());
+  EXPECT_FALSE(updater.UpdateLeaf(n, Value::String("x")).ok());
+  EXPECT_FALSE(updater.UpdateLeaf(root, Value::Int64(1)).ok());
+}
+
+TEST(OsonUpdaterTest, RequiresUnsharedLeaves) {
+  std::string image = MustEncode(R"({"a":1,"b":1})");  // dedup on
+  OsonDom dom = OsonDom::Open(image).MoveValue();
+  json::Dom::NodeRef a = dom.GetFieldValue(dom.root(), "a");
+  OsonUpdater updater(&image);
+  Status st = updater.UpdateLeaf(a, Value::Int64(2));
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST(OsonTest, ExtendedScalarTypesRoundTrip) {
+  auto obj = json::JsonNode::MakeObject();
+  obj->AddField("d", json::JsonNode::MakeScalar(Value::Date(20000)));
+  obj->AddField("ts",
+                json::JsonNode::MakeScalar(Value::Timestamp(1234567890123456)));
+  obj->AddField("bin", json::JsonNode::MakeScalar(
+                           Value::Binary(std::string("\x00\x01\xff", 3))));
+  Result<std::string> enc = Encode(*obj);
+  ASSERT_TRUE(enc.ok());
+  auto back = Decode(enc.value()).MoveValue();
+  EXPECT_EQ(back->GetField("d")->scalar().AsDate(), 20000);
+  EXPECT_EQ(back->GetField("ts")->scalar().AsTimestamp(), 1234567890123456);
+  EXPECT_EQ(back->GetField("bin")->scalar().AsBinary(),
+            std::string("\x00\x01\xff", 3));
+}
+
+// Property: random documents round-trip through OSON, and OsonDom navigation
+// agrees with TreeDom navigation on random paths.
+class OsonPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::unique_ptr<json::JsonNode> RandomDoc(Rng* rng, int depth) {
+  double r = rng->NextDouble();
+  if (depth >= 4 || r < 0.45) {
+    switch (rng->Uniform(5)) {
+      case 0:
+        return json::JsonNode::MakeNull();
+      case 1:
+        return json::JsonNode::MakeBool(rng->NextBool());
+      case 2:
+        return json::JsonNode::MakeNumber(rng->Range(-1000000, 1000000));
+      case 3: {
+        Decimal d = Decimal::FromString(
+                        std::to_string(rng->Range(-999, 999)) + "." +
+                        std::to_string(rng->Range(1, 999)))
+                        .MoveValue();
+        return json::JsonNode::MakeScalar(Value::Dec(d));
+      }
+      default:
+        return json::JsonNode::MakeString(rng->AlphaNum(rng->Uniform(20)));
+    }
+  }
+  if (r < 0.75) {
+    auto obj = json::JsonNode::MakeObject();
+    size_t n = rng->Uniform(6);
+    for (size_t i = 0; i < n; ++i) {
+      obj->AddField("k" + std::to_string(rng->Uniform(40)) + "_" +
+                        std::to_string(i),
+                    RandomDoc(rng, depth + 1));
+    }
+    return obj;
+  }
+  auto arr = json::JsonNode::MakeArray();
+  size_t n = rng->Uniform(6);
+  for (size_t i = 0; i < n; ++i) arr->Append(RandomDoc(rng, depth + 1));
+  return arr;
+}
+
+TEST_P(OsonPropertyTest, RandomDocsRoundTripAndNavigate) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    auto doc = RandomDoc(&rng, 0);
+    Result<std::string> enc = Encode(*doc);
+    ASSERT_TRUE(enc.ok()) << enc.status().ToString();
+    Result<std::unique_ptr<json::JsonNode>> back = Decode(enc.value());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(doc->Equals(*back.value()))
+        << json::Serialize(*doc) << "\nvs\n" << json::Serialize(*back.value());
+
+    // Serialization through either Dom produces structurally equal text.
+    OsonDom odom = OsonDom::Open(enc.value()).MoveValue();
+    auto via_oson = json::Parse(json::Serialize(odom)).MoveValue();
+    EXPECT_TRUE(doc->Equals(*via_oson));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OsonPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace fsdm::oson

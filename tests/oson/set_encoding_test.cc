@@ -1,0 +1,169 @@
+#include "oson/set_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "json/parser.h"
+#include "json/serializer.h"
+#include "jsonpath/evaluator.h"
+#include "workloads/generators.h"
+
+namespace fsdm::oson {
+namespace {
+
+std::vector<std::string> SampleDocs(int n) {
+  Rng rng(31);
+  std::vector<std::string> docs;
+  for (int i = 0; i < n; ++i) {
+    docs.push_back(workloads::PurchaseOrder(&rng, i + 1));
+  }
+  return docs;
+}
+
+struct EncodedSet {
+  SetEncoder encoder;
+  std::vector<std::string> images;
+};
+
+EncodedSet EncodeAll(const std::vector<std::string>& docs) {
+  EncodedSet set;
+  std::vector<std::unique_ptr<json::JsonNode>> trees;
+  for (const std::string& text : docs) {
+    trees.push_back(json::Parse(text).MoveValue());
+    set.encoder.CollectNames(*trees.back());
+  }
+  EXPECT_TRUE(set.encoder.FinalizeDictionary().ok());
+  for (const auto& tree : trees) {
+    Result<std::string> img = set.encoder.Encode(*tree);
+    EXPECT_TRUE(img.ok()) << img.status().ToString();
+    set.images.push_back(img.MoveValue());
+  }
+  return set;
+}
+
+TEST(SharedDictionaryTest, BuildAndLookup) {
+  SharedDictionary::Builder builder;
+  builder.AddName("alpha");
+  builder.AddName("beta");
+  builder.AddName("alpha");  // duplicates collapse
+  SharedDictionary dict = std::move(builder).Build();
+  EXPECT_EQ(dict.field_count(), 2u);
+  auto id = dict.LookupId("alpha", FieldNameHash("alpha"));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(dict.FieldName(*id), "alpha");
+  EXPECT_EQ(dict.FieldHash(*id), FieldNameHash("alpha"));
+  EXPECT_FALSE(dict.LookupId("gamma", FieldNameHash("gamma")).has_value());
+  // Hash-sorted ids.
+  for (uint32_t i = 0; i + 1 < dict.field_count(); ++i) {
+    EXPECT_LE(dict.FieldHash(i), dict.FieldHash(i + 1));
+  }
+}
+
+TEST(SetEncodingTest, RoundTripThroughSharedDictionary) {
+  std::vector<std::string> docs = SampleDocs(10);
+  EncodedSet set = EncodeAll(docs);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    Result<OsonDom> dom = OpenSetImage(set.images[i],
+                                       &set.encoder.dictionary());
+    ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+    auto original = json::Parse(docs[i]).MoveValue();
+    auto roundtrip =
+        json::Parse(json::Serialize(dom.value())).MoveValue();
+    EXPECT_TRUE(original->Equals(*roundtrip)) << i;
+  }
+}
+
+TEST(SetEncodingTest, ImagesAreSmallerThanSelfContained) {
+  std::vector<std::string> docs = SampleDocs(20);
+  EncodedSet set = EncodeAll(docs);
+  size_t set_total = set.encoder.dictionary().MemoryBytes();
+  size_t self_total = 0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    set_total += set.images[i].size();
+    self_total += EncodeFromText(docs[i]).MoveValue().size();
+  }
+  // One dictionary instead of 20 dominates for homogeneous collections.
+  EXPECT_LT(set_total, self_total);
+}
+
+TEST(SetEncodingTest, RequiresDictionaryAtOpen) {
+  std::vector<std::string> docs = SampleDocs(1);
+  EncodedSet set = EncodeAll(docs);
+  // Plain Open refuses set images.
+  EXPECT_FALSE(OsonDom::Open(set.images[0]).ok());
+  EXPECT_FALSE(OpenSetImage(set.images[0], nullptr).ok());
+  // And self-contained images refuse a dictionary.
+  std::string self = EncodeFromText(docs[0]).MoveValue();
+  EXPECT_FALSE(OpenSetImage(self, &set.encoder.dictionary()).ok());
+}
+
+TEST(SetEncodingTest, EncodeBeforeFinalizeFails) {
+  SetEncoder enc;
+  auto doc = json::Parse(R"({"a":1})").MoveValue();
+  EXPECT_FALSE(enc.Encode(*doc).ok());
+}
+
+TEST(SetEncodingTest, UnknownFieldFailsEncode) {
+  SetEncoder enc;
+  auto known = json::Parse(R"({"a":1})").MoveValue();
+  enc.CollectNames(*known);
+  ASSERT_TRUE(enc.FinalizeDictionary().ok());
+  auto unknown = json::Parse(R"({"zz":1})").MoveValue();
+  EXPECT_FALSE(enc.Encode(*unknown).ok());
+}
+
+TEST(SetEncodingTest, HeterogeneousCollectionSupported) {
+  // Unlike Dremel (§7), differing types/positions per instance are fine.
+  std::vector<std::string> docs = {
+      R"({"name":"str"})", R"({"name":42})",
+      R"({"name":{"inner":1}})", R"({"name":[1,2]})"};
+  EncodedSet set = EncodeAll(docs);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    OsonDom dom =
+        OpenSetImage(set.images[i], &set.encoder.dictionary()).MoveValue();
+    auto original = json::Parse(docs[i]).MoveValue();
+    auto roundtrip = json::Parse(json::Serialize(dom)).MoveValue();
+    EXPECT_TRUE(original->Equals(*roundtrip)) << docs[i];
+  }
+}
+
+TEST(SetEncodingTest, PathEngineWithGlobalIdCache) {
+  // Global field ids mean the per-step look-back cache never misses
+  // across documents of the set.
+  std::vector<std::string> docs = SampleDocs(25);
+  EncodedSet set = EncodeAll(docs);
+  jsonpath::PathExpression path =
+      jsonpath::PathExpression::Parse("$.purchaseOrder.costcenter")
+          .MoveValue();
+  jsonpath::PathEvaluator eval(&path);
+  int found = 0;
+  for (const std::string& img : set.images) {
+    OsonDom dom = OpenSetImage(img, &set.encoder.dictionary()).MoveValue();
+    Result<std::optional<Value>> v = eval.FirstScalar(dom);
+    ASSERT_TRUE(v.ok());
+    if (v.value().has_value()) ++found;
+  }
+  EXPECT_EQ(found, 25);
+}
+
+TEST(SetEncodingTest, FieldLookupByNameWorks) {
+  std::vector<std::string> docs = SampleDocs(3);
+  EncodedSet set = EncodeAll(docs);
+  OsonDom dom =
+      OpenSetImage(set.images[0], &set.encoder.dictionary()).MoveValue();
+  json::Dom::NodeRef po = dom.GetFieldValue(dom.root(), "purchaseOrder");
+  ASSERT_NE(po, json::Dom::kInvalidNode);
+  json::Dom::NodeRef id = dom.GetFieldValue(po, "id");
+  Value v;
+  ASSERT_TRUE(dom.GetScalarValue(id, &v).ok());
+  EXPECT_EQ(v.AsInt64(), 1);
+  // GetFieldAt surfaces shared-dictionary names.
+  std::string_view name;
+  json::Dom::NodeRef child;
+  dom.GetFieldAt(dom.root(), 0, &name, &child);
+  EXPECT_EQ(name, "purchaseOrder");
+}
+
+}  // namespace
+}  // namespace fsdm::oson

@@ -1,0 +1,204 @@
+#include "rdbms/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace fsdm::rdbms {
+namespace {
+
+// A small orders table: (id, customer, amount).
+OperatorPtr OrdersSource() {
+  Schema schema({"id", "customer", "amount"});
+  std::vector<Row> rows = {
+      {Value::Int64(1), Value::String("acme"), Value::Int64(100)},
+      {Value::Int64(2), Value::String("acme"), Value::Int64(250)},
+      {Value::Int64(3), Value::String("globex"), Value::Int64(75)},
+      {Value::Int64(4), Value::String("initech"), Value::Int64(300)},
+      {Value::Int64(5), Value::String("globex"), Value::Null()},
+  };
+  return Values(schema, rows);
+}
+
+std::vector<std::string> Strings(OperatorPtr op) {
+  Result<std::vector<std::string>> r = CollectStrings(op.get());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.MoveValue() : std::vector<std::string>{};
+}
+
+TEST(ExecutorTest, ScanMaterializesVirtuals) {
+  Table t("T", {{.name = "x", .type = ColumnType::kNumber}});
+  ColumnDef vc;
+  vc.name = "x2";
+  vc.virtual_expr = Mul(Col("x"), Lit(Value::Int64(2)));
+  ASSERT_TRUE(t.AddVirtualColumn(vc).ok());
+  t.Insert({Value::Int64(3)});
+  t.Insert({Value::Int64(4)});
+  EXPECT_EQ(Strings(Scan(&t)), (std::vector<std::string>{"3|6", "4|8"}));
+}
+
+TEST(ExecutorTest, ScanSkipsDeletedRows) {
+  Table t("T", {{.name = "x", .type = ColumnType::kNumber}});
+  t.Insert({Value::Int64(1)});
+  t.Insert({Value::Int64(2)});
+  t.Insert({Value::Int64(3)});
+  t.Delete(1);
+  EXPECT_EQ(Strings(Scan(&t)), (std::vector<std::string>{"1", "3"}));
+}
+
+TEST(ExecutorTest, FilterKeepsTrueOnly) {
+  // NULL amount row must be rejected (UNKNOWN), not kept.
+  auto plan = Filter(OrdersSource(), Gt(Col("amount"), Lit(Value::Int64(90))));
+  EXPECT_EQ(Strings(std::move(plan)),
+            (std::vector<std::string>{"1|acme|100", "2|acme|250",
+                                      "4|initech|300"}));
+}
+
+TEST(ExecutorTest, ProjectComputesExpressions) {
+  auto plan = Project(OrdersSource(),
+                      {{"customer", Col("customer")},
+                       {"doubled", Mul(Col("amount"), Lit(Value::Int64(2)))}});
+  std::vector<std::string> rows = Strings(std::move(plan));
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], "acme|200");
+  EXPECT_EQ(rows[4], "globex|NULL");
+}
+
+TEST(ExecutorTest, LimitStopsEarly) {
+  EXPECT_EQ(Strings(Limit(OrdersSource(), 2)).size(), 2u);
+  EXPECT_EQ(Strings(Limit(OrdersSource(), 0)).size(), 0u);
+  EXPECT_EQ(Strings(Limit(OrdersSource(), 99)).size(), 5u);
+}
+
+TEST(ExecutorTest, SortOrdersRows) {
+  auto plan = Sort(OrdersSource(), {{Col("amount"), /*ascending=*/false}});
+  std::vector<std::string> rows = Strings(std::move(plan));
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], "4|initech|300");
+  EXPECT_EQ(rows[1], "2|acme|250");
+  // NULL sorts first ascending, therefore last descending.
+  EXPECT_EQ(rows[4], "5|globex|NULL");
+}
+
+TEST(ExecutorTest, SortIsStableOnTies) {
+  auto plan = Sort(OrdersSource(), {{Col("customer"), true}});
+  std::vector<std::string> rows = Strings(std::move(plan));
+  EXPECT_EQ(rows[0], "1|acme|100");  // original order within 'acme'
+  EXPECT_EQ(rows[1], "2|acme|250");
+}
+
+TEST(ExecutorTest, GroupByWithAggregates) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kCountStar, nullptr, "cnt"});
+  aggs.push_back({AggSpec::Kind::kSum, Col("amount"), "total"});
+  aggs.push_back({AggSpec::Kind::kMin, Col("amount"), "lo"});
+  aggs.push_back({AggSpec::Kind::kMax, Col("amount"), "hi"});
+  auto plan = GroupBy(OrdersSource(), {Col("customer")}, {"customer"},
+                      std::move(aggs));
+  auto sorted = Sort(std::move(plan), {{Col("customer"), true}});
+  EXPECT_EQ(Strings(std::move(sorted)),
+            (std::vector<std::string>{
+                "acme|2|350|100|250",
+                // SUM/MIN/MAX ignore the NULL amount; COUNT(*) does not.
+                "globex|2|75|75|75",
+                "initech|1|300|300|300"}));
+}
+
+TEST(ExecutorTest, GlobalAggregateOnEmptyInput) {
+  Schema schema({"x"});
+  auto plan = GroupBy(Values(schema, {}), {}, {},
+                      {{AggSpec::Kind::kCountStar, nullptr, "cnt"}});
+  EXPECT_EQ(Strings(std::move(plan)), std::vector<std::string>{"0"});
+}
+
+TEST(ExecutorTest, AvgAggregate) {
+  auto plan = GroupBy(OrdersSource(), {}, {},
+                      {{AggSpec::Kind::kAvg, Col("amount"), "avg"}});
+  std::vector<std::string> rows = Strings(std::move(plan));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "181.25");  // (100+250+75+300)/4, NULL excluded
+}
+
+OperatorPtr CustomersSource() {
+  Schema schema({"cname", "region"});
+  std::vector<Row> rows = {
+      {Value::String("acme"), Value::String("west")},
+      {Value::String("globex"), Value::String("east")},
+      {Value::String("hooli"), Value::String("west")},
+  };
+  return Values(schema, rows);
+}
+
+TEST(ExecutorTest, InnerHashJoin) {
+  auto plan =
+      HashJoin(OrdersSource(), CustomersSource(), {Col("customer")},
+               {Col("cname")}, JoinType::kInner);
+  auto sorted = Sort(std::move(plan), {{Col("id"), true}});
+  std::vector<std::string> rows = Strings(std::move(sorted));
+  ASSERT_EQ(rows.size(), 4u);  // initech has no customer row
+  EXPECT_EQ(rows[0], "1|acme|100|acme|west");
+  EXPECT_EQ(rows[3], "5|globex|NULL|globex|east");
+}
+
+TEST(ExecutorTest, LeftOuterHashJoin) {
+  auto plan =
+      HashJoin(OrdersSource(), CustomersSource(), {Col("customer")},
+               {Col("cname")}, JoinType::kLeftOuter);
+  auto sorted = Sort(std::move(plan), {{Col("id"), true}});
+  std::vector<std::string> rows = Strings(std::move(sorted));
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[3], "4|initech|300|NULL|NULL");  // unmatched left row
+}
+
+TEST(ExecutorTest, JoinSchemaConcatenation) {
+  auto plan =
+      HashJoin(OrdersSource(), CustomersSource(), {Col("customer")},
+               {Col("cname")}, JoinType::kInner);
+  EXPECT_EQ(plan->schema().columns(),
+            (std::vector<std::string>{"id", "customer", "amount", "cname",
+                                      "region"}));
+}
+
+TEST(ExecutorTest, UnionAll) {
+  auto plan = UnionAll([] {
+    std::vector<OperatorPtr> kids;
+    kids.push_back(Limit(OrdersSource(), 1));
+    kids.push_back(Limit(OrdersSource(), 2));
+    return kids;
+  }());
+  EXPECT_EQ(Strings(std::move(plan)).size(), 3u);
+}
+
+TEST(ExecutorTest, SampleIsDeterministicAndProportional) {
+  Schema schema({"x"});
+  std::vector<Row> rows;
+  for (int i = 0; i < 10000; ++i) rows.push_back({Value::Int64(i)});
+  auto plan1 = Sample(Values(schema, rows), 50.0, /*seed=*/7);
+  auto plan2 = Sample(Values(schema, rows), 50.0, /*seed=*/7);
+  std::vector<std::string> a = Strings(std::move(plan1));
+  std::vector<std::string> b = Strings(std::move(plan2));
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 4500u);
+  EXPECT_LT(a.size(), 5500u);
+}
+
+TEST(ExecutorTest, WindowLag) {
+  // Q6-style: LAG(amount, 1, amount) OVER (ORDER BY id).
+  auto plan = WindowLag(OrdersSource(), Col("amount"), 1, Col("amount"),
+                        {{Col("id"), true}}, "prev_amount");
+  std::vector<std::string> rows = Strings(std::move(plan));
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], "1|acme|100|100");  // default = own amount for first row
+  EXPECT_EQ(rows[1], "2|acme|250|100");
+  EXPECT_EQ(rows[2], "3|globex|75|250");
+}
+
+TEST(ExecutorTest, WindowLagNullDefault) {
+  auto plan = WindowLag(OrdersSource(), Col("amount"), 2, nullptr,
+                        {{Col("id"), true}}, "lag2");
+  std::vector<std::string> rows = Strings(std::move(plan));
+  EXPECT_EQ(rows[0], "1|acme|100|NULL");
+  EXPECT_EQ(rows[1], "2|acme|250|NULL");
+  EXPECT_EQ(rows[2], "3|globex|75|100");
+}
+
+}  // namespace
+}  // namespace fsdm::rdbms

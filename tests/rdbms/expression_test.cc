@@ -1,0 +1,161 @@
+#include "rdbms/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace fsdm::rdbms {
+namespace {
+
+Value EvalOn(const ExprPtr& expr, const Schema& schema, const Row& row) {
+  RowContext ctx{&schema, &row};
+  Result<Value> r = expr->Eval(ctx);
+  EXPECT_TRUE(r.ok()) << expr->ToString() << ": " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : Value::Null();
+}
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  Schema schema_{std::vector<std::string>{"a", "b", "s"}};
+  Row row_{Value::Int64(10), Value::Dec(Decimal::FromString("2.5").MoveValue()),
+           Value::String("hello-world")};
+};
+
+TEST_F(ExpressionTest, LiteralAndColumn) {
+  EXPECT_EQ(EvalOn(Lit(Value::Int64(5)), schema_, row_).AsInt64(), 5);
+  EXPECT_EQ(EvalOn(Col("a"), schema_, row_).AsInt64(), 10);
+  EXPECT_EQ(EvalOn(Col("s"), schema_, row_).AsString(), "hello-world");
+}
+
+TEST_F(ExpressionTest, UnknownColumnErrors) {
+  RowContext ctx{&schema_, &row_};
+  EXPECT_FALSE(Col("zzz")->Eval(ctx).ok());
+  ExprPtr c = Col("zzz");
+  EXPECT_FALSE(c->Bind(schema_).ok());
+}
+
+TEST_F(ExpressionTest, BindAcceleratesColumn) {
+  ExprPtr c = Col("b");
+  ASSERT_TRUE(c->Bind(schema_).ok());
+  EXPECT_EQ(EvalOn(c, schema_, row_).AsDecimal().ToString(), "2.5");
+}
+
+TEST_F(ExpressionTest, Comparisons) {
+  EXPECT_TRUE(EvalOn(Gt(Col("a"), Lit(Value::Int64(5))), schema_, row_).AsBool());
+  EXPECT_FALSE(EvalOn(Lt(Col("a"), Lit(Value::Int64(5))), schema_, row_).AsBool());
+  EXPECT_TRUE(EvalOn(Eq(Col("s"), Lit(Value::String("hello-world"))), schema_,
+                     row_)
+                  .AsBool());
+  // Mixed numeric kinds compare exactly.
+  EXPECT_TRUE(EvalOn(Gt(Col("a"), Col("b")), schema_, row_).AsBool());
+}
+
+TEST_F(ExpressionTest, NullComparisonsAreUnknown) {
+  Row row{Value::Null(), Value::Int64(1), Value::Null()};
+  EXPECT_TRUE(EvalOn(Eq(Col("a"), Lit(Value::Int64(0))), schema_, row).is_null());
+  EXPECT_TRUE(EvalOn(IsNull(Col("a")), schema_, row).AsBool());
+  EXPECT_FALSE(EvalOn(IsNotNull(Col("a")), schema_, row).AsBool());
+}
+
+TEST_F(ExpressionTest, ThreeValuedLogic) {
+  Row row{Value::Null(), Value::Int64(1), Value::String("x")};
+  ExprPtr unknown = Eq(Col("a"), Lit(Value::Int64(0)));
+  // UNKNOWN AND FALSE = FALSE.
+  EXPECT_FALSE(
+      EvalOn(And(unknown, Lit(Value::Bool(false))), schema_, row).AsBool());
+  // UNKNOWN AND TRUE = UNKNOWN.
+  EXPECT_TRUE(
+      EvalOn(And(unknown, Lit(Value::Bool(true))), schema_, row).is_null());
+  // UNKNOWN OR TRUE = TRUE.
+  EXPECT_TRUE(
+      EvalOn(Or(unknown, Lit(Value::Bool(true))), schema_, row).AsBool());
+  // NOT UNKNOWN = UNKNOWN.
+  EXPECT_TRUE(EvalOn(Not(unknown), schema_, row).is_null());
+}
+
+TEST_F(ExpressionTest, Arithmetic) {
+  EXPECT_EQ(EvalOn(Add(Col("a"), Lit(Value::Int64(5))), schema_, row_)
+                .AsInt64(),
+            15);
+  EXPECT_EQ(EvalOn(Mul(Col("a"), Col("b")), schema_, row_)
+                .AsDecimal()
+                .ToString(),
+            "25");
+  EXPECT_DOUBLE_EQ(
+      EvalOn(Div(Col("a"), Lit(Value::Int64(4))), schema_, row_).AsDouble(),
+      2.5);
+  RowContext ctx{&schema_, &row_};
+  EXPECT_FALSE(Div(Col("a"), Lit(Value::Int64(0)))->Eval(ctx).ok());
+  EXPECT_FALSE(Add(Col("s"), Lit(Value::Int64(1)))->Eval(ctx).ok());
+}
+
+TEST_F(ExpressionTest, Int64OverflowFallsBackToDecimal) {
+  Row row{Value::Int64(INT64_MAX), Value::Int64(1), Value::Null()};
+  Value v = EvalOn(Add(Col("a"), Col("b")), schema_, row);
+  EXPECT_EQ(v.type(), ScalarType::kDecimal);
+  EXPECT_EQ(v.AsDecimal().ToString(), "9223372036854775808");
+}
+
+TEST_F(ExpressionTest, InList) {
+  ExprPtr in = In(Col("a"), {Value::Int64(1), Value::Int64(10)});
+  EXPECT_TRUE(EvalOn(in, schema_, row_).AsBool());
+  ExprPtr not_in = In(Col("a"), {Value::Int64(1), Value::Int64(2)});
+  EXPECT_FALSE(EvalOn(not_in, schema_, row_).AsBool());
+  // x IN (..., NULL) is UNKNOWN when unmatched.
+  ExprPtr with_null = In(Col("a"), {Value::Int64(1), Value::Null()});
+  EXPECT_TRUE(EvalOn(with_null, schema_, row_).is_null());
+}
+
+TEST_F(ExpressionTest, StringFunctions) {
+  EXPECT_EQ(EvalOn(Func("SUBSTR", {Col("s"), Lit(Value::Int64(7))}), schema_,
+                   row_)
+                .AsString(),
+            "world");
+  EXPECT_EQ(EvalOn(Func("SUBSTR", {Col("s"), Lit(Value::Int64(1)),
+                                   Lit(Value::Int64(5))}),
+                   schema_, row_)
+                .AsString(),
+            "hello");
+  EXPECT_EQ(EvalOn(Func("INSTR", {Col("s"), Lit(Value::String("-"))}),
+                   schema_, row_)
+                .AsInt64(),
+            6);
+  EXPECT_EQ(EvalOn(Func("INSTR", {Col("s"), Lit(Value::String("zz"))}),
+                   schema_, row_)
+                .AsInt64(),
+            0);
+  EXPECT_EQ(EvalOn(Func("LENGTH", {Col("s")}), schema_, row_).AsInt64(), 11);
+  EXPECT_EQ(EvalOn(Func("UPPER", {Col("s")}), schema_, row_).AsString(),
+            "HELLO-WORLD");
+  EXPECT_EQ(EvalOn(Func("TO_NUMBER", {Lit(Value::String("42.5"))}), schema_,
+                   row_)
+                .AsDecimal()
+                .ToString(),
+            "42.5");
+  EXPECT_EQ(EvalOn(Func("NVL", {Lit(Value::Null()), Lit(Value::Int64(9))}),
+                   schema_, row_)
+                .AsInt64(),
+            9);
+}
+
+TEST_F(ExpressionTest, OracleSubstrEdgeCases) {
+  Row row{Value::Int64(0), Value::Int64(0), Value::String("abcdef")};
+  // Negative position counts from the end.
+  EXPECT_EQ(EvalOn(Func("SUBSTR", {Col("s"), Lit(Value::Int64(-2))}), schema_,
+                   row)
+                .AsString(),
+            "ef");
+  // Position past the end -> NULL.
+  EXPECT_TRUE(EvalOn(Func("SUBSTR", {Col("s"), Lit(Value::Int64(10))}),
+                     schema_, row)
+                  .is_null());
+}
+
+TEST_F(ExpressionTest, ToStringForms) {
+  EXPECT_EQ(Gt(Col("a"), Lit(Value::Int64(5)))->ToString(), "(a > 5)");
+  EXPECT_EQ(Func("SUBSTR", {Col("s"), Lit(Value::Int64(1))})->ToString(),
+            "SUBSTR(s, 1)");
+  EXPECT_EQ(And(Lit(Value::Bool(true)), Lit(Value::Bool(false)))->ToString(),
+            "(true AND false)");
+}
+
+}  // namespace
+}  // namespace fsdm::rdbms

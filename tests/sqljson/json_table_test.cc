@@ -1,0 +1,227 @@
+#include "sqljson/json_table.h"
+
+#include <gtest/gtest.h>
+
+#include "rdbms/executor.h"
+
+namespace fsdm::sqljson {
+namespace {
+
+using rdbms::Col;
+using rdbms::ColumnDef;
+using rdbms::ColumnType;
+using rdbms::Row;
+using rdbms::Schema;
+using rdbms::Table;
+using fsdm::Value;
+
+// Documents exercising the paper's Table 3 / Table 5 shapes: nested child
+// hierarchy (items.parts) and sibling hierarchy (discount_items).
+constexpr const char* kDoc1 =
+    R"({"purchaseOrder":{"id":1,"podate":"2014-09-08",
+        "items":[{"name":"phone","price":100,"quantity":2},
+                 {"name":"ipad","price":350.86,"quantity":3}]}})";
+
+constexpr const char* kDoc3 =
+    R"({"purchaseOrder":{"id":3,"podate":"2015-06-03","foreign_id":"CDEG35",
+        "items":[
+          {"name":"TV","price":345.55,"quantity":1,
+           "parts":[{"partName":"remoteCon","partQuantity":"1"}]},
+          {"name":"PC","price":546.78,"quantity":10,
+           "parts":[{"partName":"mouse","partQuantity":"2"},
+                    {"partName":"keyboard","partQuantity":"1"}]}]}})";
+
+constexpr const char* kDoc5 =
+    R"({"purchaseOrder":{"id":5,"podate":"2015-08-03",
+        "items":[{"name":"monitor","price":100,"quantity":1}],
+        "discount_items":[{"dis_itemName":"lamp","dis_itemPrice":10}]}})";
+
+constexpr const char* kDocNoItems =
+    R"({"purchaseOrder":{"id":9,"podate":"2016-01-01"}})";
+
+std::unique_ptr<Table> MakeTable(std::vector<const char*> docs) {
+  auto table = std::make_unique<Table>(
+      "PO", std::vector<ColumnDef>{
+                {.name = "DID", .type = ColumnType::kNumber},
+                {.name = "JDOC",
+                 .type = ColumnType::kJson,
+                 .check_is_json = true},
+            });
+  int64_t id = 1;
+  for (const char* doc : docs) {
+    EXPECT_TRUE(table->Insert({Value::Int64(id++), Value::String(doc)}).ok());
+  }
+  return table;
+}
+
+std::vector<std::string> RunPlan(rdbms::OperatorPtr plan) {
+  Result<std::vector<std::string>> r = rdbms::CollectStrings(plan.get());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.MoveValue() : std::vector<std::string>{};
+}
+
+JsonTableDef ItemsDef() {
+  JsonTableDef def;
+  def.row_path = "$";
+  def.columns = {{"po_id", "$.purchaseOrder.id", Returning::kNumber},
+                 {"podate", "$.purchaseOrder.podate", Returning::kString}};
+  JsonTableDef items;
+  items.row_path = "$.purchaseOrder.items[*]";
+  items.columns = {{"name", "$.name", Returning::kString},
+                   {"price", "$.price", Returning::kNumber},
+                   {"quantity", "$.quantity", Returning::kNumber}};
+  def.nested.push_back(std::move(items));
+  return def;
+}
+
+TEST(JsonTableTest, UnnestsArraysWithMasterRepetition) {
+  auto table = MakeTable({kDoc1});
+  auto jt = JsonTable(rdbms::Scan(table.get()), "JDOC", JsonStorage::kText,
+                      ItemsDef());
+  ASSERT_TRUE(jt.ok()) << jt.status().ToString();
+  auto plan =
+      rdbms::Project(jt.MoveValue(), {{"DID", Col("DID")},
+                                      {"po_id", Col("po_id")},
+                                      {"name", Col("name")},
+                                      {"price", Col("price")}});
+  EXPECT_EQ(RunPlan(std::move(plan)),
+            (std::vector<std::string>{"1|1|phone|100", "1|1|ipad|350.86"}));
+}
+
+TEST(JsonTableTest, OutputSchemaOrder) {
+  auto table = MakeTable({kDoc1});
+  auto jt = JsonTable(rdbms::Scan(table.get()), "JDOC", JsonStorage::kText,
+                      ItemsDef())
+                .MoveValue();
+  EXPECT_EQ(jt->schema().columns(),
+            (std::vector<std::string>{"DID", "JDOC", "po_id", "podate",
+                                      "name", "price", "quantity"}));
+}
+
+TEST(JsonTableTest, LeftOuterJoinKeepsMasterWithoutDetails) {
+  auto table = MakeTable({kDocNoItems});
+  auto jt = JsonTable(rdbms::Scan(table.get()), "JDOC", JsonStorage::kText,
+                      ItemsDef());
+  auto plan = rdbms::Project(
+      jt.MoveValue(),
+      {{"po_id", Col("po_id")}, {"name", Col("name")}});
+  EXPECT_EQ(RunPlan(std::move(plan)), std::vector<std::string>{"9|NULL"});
+}
+
+TEST(JsonTableTest, DoublyNestedPathsRecurse) {
+  // items -> parts, the "grow deeper" case of Table 3.
+  JsonTableDef def;
+  def.columns = {{"po_id", "$.purchaseOrder.id", Returning::kNumber}};
+  JsonTableDef items;
+  items.row_path = "$.purchaseOrder.items[*]";
+  items.columns = {{"name", "$.name", Returning::kString}};
+  JsonTableDef parts;
+  parts.row_path = "$.parts[*]";
+  parts.columns = {{"partName", "$.partName", Returning::kString},
+                   {"partQuantity", "$.partQuantity", Returning::kNumber}};
+  items.nested.push_back(std::move(parts));
+  def.nested.push_back(std::move(items));
+
+  auto table = MakeTable({kDoc3});
+  auto jt = JsonTable(rdbms::Scan(table.get()), "JDOC", JsonStorage::kText,
+                      def);
+  auto plan = rdbms::Project(jt.MoveValue(), {{"po_id", Col("po_id")},
+                                              {"name", Col("name")},
+                                              {"pn", Col("partName")},
+                                              {"pq", Col("partQuantity")}});
+  EXPECT_EQ(RunPlan(std::move(plan)),
+            (std::vector<std::string>{"3|TV|remoteCon|1", "3|PC|mouse|2",
+                                      "3|PC|keyboard|1"}));
+}
+
+TEST(JsonTableTest, SiblingNestedPathsUnionJoin) {
+  // items and discount_items are sibling hierarchies: rows from one carry
+  // NULLs for the other (§3.3.2's union join).
+  JsonTableDef def;
+  def.columns = {{"po_id", "$.purchaseOrder.id", Returning::kNumber}};
+  JsonTableDef items;
+  items.row_path = "$.purchaseOrder.items[*]";
+  items.columns = {{"name", "$.name", Returning::kString}};
+  JsonTableDef discounts;
+  discounts.row_path = "$.purchaseOrder.discount_items[*]";
+  discounts.columns = {{"dis_itemName", "$.dis_itemName", Returning::kString},
+                       {"dis_itemPrice", "$.dis_itemPrice",
+                        Returning::kNumber}};
+  def.nested.push_back(std::move(items));
+  def.nested.push_back(std::move(discounts));
+
+  auto table = MakeTable({kDoc5});
+  auto jt = JsonTable(rdbms::Scan(table.get()), "JDOC", JsonStorage::kText,
+                      def);
+  auto plan = rdbms::Project(
+      jt.MoveValue(), {{"po_id", Col("po_id")},
+                       {"name", Col("name")},
+                       {"dn", Col("dis_itemName")},
+                       {"dp", Col("dis_itemPrice")}});
+  EXPECT_EQ(RunPlan(std::move(plan)),
+            (std::vector<std::string>{"5|monitor|NULL|NULL",
+                                      "5|NULL|lamp|10"}));
+}
+
+TEST(JsonTableTest, MultipleInputRowsAndStorages) {
+  auto table = MakeTable({kDoc1, kDoc3, kDocNoItems});
+  for (JsonStorage storage :
+       {JsonStorage::kText, JsonStorage::kOson, JsonStorage::kBson}) {
+    rdbms::OperatorPtr source;
+    if (storage == JsonStorage::kText) {
+      source = rdbms::Scan(table.get());
+    } else {
+      // Re-encode the text column on the fly.
+      rdbms::ExprPtr enc = storage == JsonStorage::kOson
+                               ? OsonConstructor("JDOC")
+                               : BsonConstructor("JDOC");
+      source = rdbms::Project(rdbms::Scan(table.get()),
+                              {{"DID", Col("DID")}, {"JDOC", enc}});
+    }
+    auto jt = JsonTable(std::move(source), "JDOC", storage, ItemsDef());
+    ASSERT_TRUE(jt.ok());
+    auto plan = rdbms::Project(jt.MoveValue(), {{"po_id", Col("po_id")},
+                                                {"name", Col("name")}});
+    EXPECT_EQ(RunPlan(std::move(plan)),
+              (std::vector<std::string>{"1|phone", "1|ipad", "3|TV", "3|PC",
+                                        "9|NULL"}))
+        << "storage=" << static_cast<int>(storage);
+  }
+}
+
+TEST(JsonTableTest, AggregationOverJsonTable) {
+  // SELECT count(*), sum(price*quantity) FROM po_item_dmdv.
+  auto table = MakeTable({kDoc1, kDoc3});
+  auto jt = JsonTable(rdbms::Scan(table.get()), "JDOC", JsonStorage::kText,
+                      ItemsDef());
+  std::vector<rdbms::AggSpec> aggs;
+  aggs.push_back({rdbms::AggSpec::Kind::kCountStar, nullptr, "cnt"});
+  aggs.push_back({rdbms::AggSpec::Kind::kSum,
+                  rdbms::Mul(Col("price"), Col("quantity")), "total"});
+  auto plan = rdbms::GroupBy(jt.MoveValue(), {}, {}, std::move(aggs));
+  std::vector<std::string> rows = RunPlan(std::move(plan));
+  ASSERT_EQ(rows.size(), 1u);
+  // 100*2 + 350.86*3 + 345.55*1 + 546.78*10 = 200+1052.58+345.55+5467.8
+  EXPECT_EQ(rows[0], "4|7065.93");
+}
+
+TEST(JsonTableTest, MissingJsonColumnFailsAtOpen) {
+  auto table = MakeTable({kDoc1});
+  auto jt = JsonTable(rdbms::Scan(table.get()), "NOPE", JsonStorage::kText,
+                      ItemsDef());
+  ASSERT_TRUE(jt.ok());  // detected at Open
+  rdbms::OperatorPtr plan = jt.MoveValue();
+  EXPECT_FALSE(plan->Open().ok());
+}
+
+TEST(JsonTableTest, BadPathFailsAtConstruction) {
+  JsonTableDef def;
+  def.row_path = "totally wrong";
+  auto table = MakeTable({kDoc1});
+  EXPECT_FALSE(JsonTable(rdbms::Scan(table.get()), "JDOC",
+                         JsonStorage::kText, def)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace fsdm::sqljson

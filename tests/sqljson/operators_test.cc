@@ -1,0 +1,223 @@
+#include "sqljson/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "rdbms/executor.h"
+
+namespace fsdm::sqljson {
+namespace {
+
+using rdbms::Col;
+using rdbms::ColumnDef;
+using rdbms::ColumnType;
+using rdbms::Row;
+using rdbms::Schema;
+using rdbms::Table;
+using fsdm::Value;
+
+constexpr const char* kPo =
+    R"({"purchaseOrder":{"id":7,"podate":"2015-03-04","reference":"ACME-7",)"
+    R"("items":[{"name":"table","price":52.78,"quantity":2},)"
+    R"({"name":"chair","price":35.24,"quantity":4}]}})";
+
+// A table with the same document in all three storages.
+class OperatorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(
+        "PO", std::vector<ColumnDef>{
+                  {.name = "DID", .type = ColumnType::kNumber},
+                  {.name = "JTEXT",
+                   .type = ColumnType::kJson,
+                   .check_is_json = true},
+              });
+    ColumnDef oson_vc;
+    oson_vc.name = "JOSON";
+    oson_vc.type = ColumnType::kRaw;
+    oson_vc.virtual_expr = OsonConstructor("JTEXT");
+    ASSERT_TRUE(table_->AddVirtualColumn(oson_vc).ok());
+    ColumnDef bson_vc;
+    bson_vc.name = "JBSON";
+    bson_vc.type = ColumnType::kRaw;
+    bson_vc.virtual_expr = BsonConstructor("JTEXT");
+    ASSERT_TRUE(table_->AddVirtualColumn(bson_vc).ok());
+    ASSERT_TRUE(
+        table_->Insert({Value::Int64(1), Value::String(kPo)}).ok());
+  }
+
+  Value EvalExpr(const rdbms::ExprPtr& expr) {
+    Row row = table_->MaterializeRow(0).MoveValue();
+    Schema schema = table_->OutputSchema();
+    rdbms::RowContext ctx{&schema, &row};
+    Result<Value> r = expr->Eval(ctx);
+    EXPECT_TRUE(r.ok()) << expr->ToString() << ": " << r.status().ToString();
+    return r.ok() ? r.MoveValue() : Value::Null();
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+struct StorageCase {
+  const char* column;
+  JsonStorage storage;
+};
+
+TEST_F(OperatorsTest, JsonValueAcrossStorages) {
+  for (StorageCase sc : {StorageCase{"JTEXT", JsonStorage::kText},
+                         StorageCase{"JOSON", JsonStorage::kOson},
+                         StorageCase{"JBSON", JsonStorage::kBson}}) {
+    auto id = JsonValue(sc.column, "$.purchaseOrder.id", sc.storage)
+                  .MoveValue();
+    EXPECT_EQ(EvalExpr(id).AsInt64(), 7) << sc.column;
+    auto ref =
+        JsonValue(sc.column, "$.purchaseOrder.reference", sc.storage)
+            .MoveValue();
+    EXPECT_EQ(EvalExpr(ref).AsString(), "ACME-7") << sc.column;
+    auto missing =
+        JsonValue(sc.column, "$.purchaseOrder.ghost", sc.storage).MoveValue();
+    EXPECT_TRUE(EvalExpr(missing).is_null()) << sc.column;
+    // Non-scalar target -> NULL (NULL ON ERROR).
+    auto items =
+        JsonValue(sc.column, "$.purchaseOrder.items", sc.storage).MoveValue();
+    EXPECT_TRUE(EvalExpr(items).is_null()) << sc.column;
+  }
+}
+
+TEST_F(OperatorsTest, JsonValueReturningCoercions) {
+  auto as_number = JsonValue("JTEXT", "$.purchaseOrder.podate",
+                             JsonStorage::kText, Returning::kNumber)
+                       .MoveValue();
+  EXPECT_TRUE(EvalExpr(as_number).is_null());  // not a number
+
+  auto num_str = JsonValue("JTEXT", "$.purchaseOrder.id", JsonStorage::kText,
+                           Returning::kString)
+                     .MoveValue();
+  EXPECT_EQ(EvalExpr(num_str).AsString(), "7");
+
+  auto price_num =
+      JsonValue("JTEXT", "$.purchaseOrder.items[0].price", JsonStorage::kText,
+                Returning::kNumber)
+          .MoveValue();
+  EXPECT_EQ(EvalExpr(price_num).AsDecimal().ToString(), "52.78");
+}
+
+TEST_F(OperatorsTest, JsonExists) {
+  for (StorageCase sc : {StorageCase{"JTEXT", JsonStorage::kText},
+                         StorageCase{"JOSON", JsonStorage::kOson},
+                         StorageCase{"JBSON", JsonStorage::kBson}}) {
+    EXPECT_TRUE(EvalExpr(JsonExists(sc.column, "$.purchaseOrder.items",
+                                    sc.storage)
+                             .MoveValue())
+                    .AsBool());
+    EXPECT_FALSE(EvalExpr(JsonExists(sc.column, "$.purchaseOrder.foreign_id",
+                                     sc.storage)
+                              .MoveValue())
+                     .AsBool());
+    EXPECT_TRUE(
+        EvalExpr(JsonExists(sc.column,
+                            "$.purchaseOrder.items[*]?(@.price > 50)",
+                            sc.storage)
+                     .MoveValue())
+            .AsBool());
+  }
+}
+
+TEST_F(OperatorsTest, JsonQuerySerializesSubtree) {
+  auto q = JsonQuery("JTEXT", "$.purchaseOrder.items[1]", JsonStorage::kText)
+               .MoveValue();
+  EXPECT_EQ(EvalExpr(q).AsString(),
+            R"({"name":"chair","price":35.24,"quantity":4})");
+  auto arr = JsonQuery("JOSON", "$.purchaseOrder.items[*].quantity",
+                       JsonStorage::kOson)
+                 .MoveValue();
+  EXPECT_EQ(EvalExpr(arr).AsString(), "2");  // first match
+  auto none =
+      JsonQuery("JTEXT", "$.nothing", JsonStorage::kText).MoveValue();
+  EXPECT_TRUE(EvalExpr(none).is_null());
+}
+
+TEST_F(OperatorsTest, JsonTextContains) {
+  auto yes = JsonTextContains("JTEXT", "$.purchaseOrder.items[*].name",
+                              "CHAIR", JsonStorage::kText)
+                 .MoveValue();
+  EXPECT_TRUE(EvalExpr(yes).AsBool());
+  auto no = JsonTextContains("JTEXT", "$.purchaseOrder.items[*].name",
+                             "sofa", JsonStorage::kText)
+                .MoveValue();
+  EXPECT_FALSE(EvalExpr(no).AsBool());
+  // Numbers are not text-searchable.
+  auto num = JsonTextContains("JTEXT", "$.purchaseOrder.items[*].price",
+                              "52", JsonStorage::kText)
+                 .MoveValue();
+  EXPECT_FALSE(EvalExpr(num).AsBool());
+}
+
+TEST_F(OperatorsTest, ConstructorsProduceValidImages) {
+  Value oson = EvalExpr(OsonConstructor("JTEXT"));
+  ASSERT_EQ(oson.type(), ScalarType::kBinary);
+  EXPECT_TRUE(oson::OsonDom::Open(oson.AsBinary()).ok());
+  Value bson = EvalExpr(BsonConstructor("JTEXT"));
+  ASSERT_EQ(bson.type(), ScalarType::kBinary);
+  EXPECT_TRUE(bson::BsonDom::Open(bson.AsBinary()).ok());
+}
+
+TEST_F(OperatorsTest, BadPathFailsAtConstruction) {
+  EXPECT_FALSE(JsonValue("JTEXT", "not-a-path", JsonStorage::kText).ok());
+  EXPECT_FALSE(JsonExists("JTEXT", "$.[", JsonStorage::kText).ok());
+}
+
+TEST_F(OperatorsTest, NullDocumentYieldsNullOrFalse) {
+  ASSERT_TRUE(table_->Insert({Value::Int64(2), Value::Null()}).ok());
+  Row row = table_->MaterializeRow(1).MoveValue();
+  Schema schema = table_->OutputSchema();
+  rdbms::RowContext ctx{&schema, &row};
+  auto jv = JsonValue("JTEXT", "$.a", JsonStorage::kText).MoveValue();
+  EXPECT_TRUE(jv->Eval(ctx).MoveValue().is_null());
+  auto je = JsonExists("JTEXT", "$.a", JsonStorage::kText).MoveValue();
+  EXPECT_FALSE(je->Eval(ctx).MoveValue().AsBool());
+}
+
+
+TEST_F(OperatorsTest, EnsureHiddenOsonColumn) {
+  Result<std::string> name = EnsureHiddenOsonColumn(table_.get(), "JTEXT");
+  ASSERT_TRUE(name.ok()) << name.status().ToString();
+  EXPECT_EQ(name.value(), "JTEXT$OSON");
+  // Idempotent.
+  EXPECT_EQ(EnsureHiddenOsonColumn(table_.get(), "JTEXT").value(),
+            "JTEXT$OSON");
+  // Hidden: absent from the default schema, present with hidden columns.
+  EXPECT_EQ(table_->OutputSchema(false).IndexOf("JTEXT$OSON"),
+            rdbms::Schema::npos);
+  EXPECT_NE(table_->OutputSchema(true).IndexOf("JTEXT$OSON"),
+            rdbms::Schema::npos);
+  // Queries against the rewritten column produce the same answers.
+  auto via_oson =
+      JsonValue("JTEXT$OSON", "$.purchaseOrder.id", JsonStorage::kOson)
+          .MoveValue();
+  rdbms::Row row = table_->MaterializeRow(0, /*include_hidden=*/true)
+                       .MoveValue();
+  rdbms::Schema schema = table_->OutputSchema(true);
+  rdbms::RowContext ctx{&schema, &row};
+  EXPECT_EQ(via_oson->Eval(ctx).MoveValue().AsInt64(), 7);
+  // Non-JSON columns rejected.
+  EXPECT_FALSE(EnsureHiddenOsonColumn(table_.get(), "DID").ok());
+  EXPECT_FALSE(EnsureHiddenOsonColumn(table_.get(), "NOPE").ok());
+}
+
+TEST_F(OperatorsTest, WorksInsideFilterPlan) {
+  // SELECT DID FROM PO WHERE JSON_EXISTS(...) — the pushed-down predicate
+  // shape of §6.3.
+  auto exists =
+      JsonExists("JTEXT", "$.purchaseOrder.items[*]?(@.quantity >= 4)",
+                 JsonStorage::kText)
+          .MoveValue();
+  auto plan = rdbms::Project(
+      rdbms::Filter(rdbms::Scan(table_.get()), exists), {{"DID", Col("DID")}});
+  Result<std::vector<Row>> rows = rdbms::Collect(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0].AsInt64(), 1);
+}
+
+}  // namespace
+}  // namespace fsdm::sqljson

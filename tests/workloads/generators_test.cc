@@ -1,0 +1,165 @@
+#include "workloads/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "dataguide/dataguide.h"
+#include "json/parser.h"
+
+namespace fsdm::workloads {
+namespace {
+
+TEST(GeneratorsTest, PurchaseOrderIsValidJsonWithExpectedFields) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    std::string doc = PurchaseOrder(&rng, i);
+    auto parsed = json::Parse(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    const json::JsonNode* po = parsed.value()->GetField("purchaseOrder");
+    ASSERT_NE(po, nullptr);
+    for (const char* field :
+         {"id", "reference", "requestor", "costcenter", "podate",
+          "instructions", "items"}) {
+      EXPECT_NE(po->GetField(field), nullptr) << field;
+    }
+    const json::JsonNode* items = po->GetField("items");
+    ASSERT_TRUE(items->is_array());
+    ASSERT_GE(items->array_size(), 3u);
+    const json::JsonNode* item = items->element(0);
+    for (const char* field :
+         {"itemno", "partno", "description", "quantity", "unitprice"}) {
+      EXPECT_NE(item->GetField(field), nullptr) << field;
+    }
+  }
+}
+
+TEST(GeneratorsTest, PurchaseOrderRelationalMatchesJson) {
+  Rng rng1(7), rng2(7);
+  PurchaseOrderRelational rel = PurchaseOrderRows(&rng1, 42);
+  std::string doc = PurchaseOrder(&rng2, 42);
+  EXPECT_EQ(RenderPurchaseOrder(rel), doc);
+  EXPECT_EQ(rel.id, 42);
+  EXPECT_FALSE(rel.items.empty());
+  // Reference embeds the requestor + id (Q6's SUBSTR/INSTR target shape).
+  EXPECT_NE(rel.reference.find('-'), std::string::npos);
+}
+
+TEST(GeneratorsTest, GeneratorIsDeterministic) {
+  Rng a(99), b(99);
+  EXPECT_EQ(PurchaseOrder(&a, 1), PurchaseOrder(&b, 1));
+  Rng c(100);
+  EXPECT_NE(PurchaseOrder(&a, 1), PurchaseOrder(&c, 1));
+}
+
+TEST(GeneratorsTest, NobenchShape) {
+  Rng rng(5);
+  dataguide::DataGuide guide;
+  int dyn_number = 0, dyn_string = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string doc = Nobench(&rng, i);
+    auto parsed = json::Parse(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    const json::JsonNode* root = parsed.value().get();
+    for (const char* field : {"str1", "str2", "num", "bool", "dyn1", "dyn2",
+                              "nested_obj", "nested_arr", "thousandth"}) {
+      EXPECT_NE(root->GetField(field), nullptr) << field;
+    }
+    // Exactly 10 sparse fields per doc.
+    int sparse = 0;
+    for (size_t f = 0; f < root->field_count(); ++f) {
+      if (root->field_name(f).rfind("sparse_", 0) == 0) ++sparse;
+    }
+    EXPECT_EQ(sparse, 10);
+    if (root->GetField("dyn1")->scalar().IsNumeric()) {
+      ++dyn_number;
+    } else {
+      ++dyn_string;
+    }
+    ASSERT_TRUE(guide.AddJsonText(doc).ok());
+  }
+  // dyn1 is genuinely dynamically typed.
+  EXPECT_GT(dyn_number, 40);
+  EXPECT_GT(dyn_string, 40);
+  // Sparse universe: hundreds of distinct paths accumulate (NOBENCH's
+  // ~1000 sparse + 11 common fields; 200 docs cover a large fraction).
+  EXPECT_GT(guide.distinct_path_count(), 300u);
+}
+
+TEST(GeneratorsTest, NobenchHeterogeneousMode) {
+  Rng rng(5);
+  NobenchOptions opt;
+  opt.unique_field_per_doc = true;
+  dataguide::DataGuide guide;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(guide.AddJsonText(Nobench(&rng, i, opt)).ok());
+  }
+  // Every doc adds its own uniq_i path.
+  size_t uniq = 0;
+  for (const dataguide::PathEntry* e : guide.SortedEntries()) {
+    if (e->path.rfind("$.uniq_", 0) == 0) ++uniq;
+  }
+  EXPECT_EQ(uniq, 50u);
+}
+
+TEST(GeneratorsTest, YcsbShape) {
+  Rng rng(3);
+  std::string doc = Ycsb(&rng, 17);
+  auto parsed = json::Parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()->GetField("key")->scalar().AsString(), "user17");
+  for (int f = 0; f < 10; ++f) {
+    const json::JsonNode* field =
+        parsed.value()->GetField("field" + std::to_string(f));
+    ASSERT_NE(field, nullptr);
+    EXPECT_EQ(field->scalar().AsString().size(), 100u);
+  }
+  // 10 fields + key -> 12 distinct paths incl. '$' (Table 12's YCSB row).
+  dataguide::DataGuide guide;
+  ASSERT_TRUE(guide.AddJsonText(doc).ok());
+  EXPECT_EQ(guide.distinct_path_count(), 12u);
+}
+
+TEST(GeneratorsTest, AllTable10CollectionsParse) {
+  for (const std::string& name : Table10CollectionNames()) {
+    Rng rng(11);
+    std::string doc = Collection(name, &rng, 1, /*scale=*/0.002);
+    ASSERT_FALSE(doc.empty()) << name;
+    EXPECT_TRUE(json::Validate(doc).ok()) << name;
+  }
+}
+
+TEST(GeneratorsTest, LargeCollectionsScale) {
+  Rng rng(2);
+  std::string small = Collection("SensorData", &rng, 1, 0.001);
+  Rng rng2(2);
+  std::string bigger = Collection("SensorData", &rng2, 1, 0.01);
+  EXPECT_GT(bigger.size(), small.size() * 5);
+  // Repetitive structure: distinct paths stay constant as size grows.
+  dataguide::DataGuide g1, g2;
+  ASSERT_TRUE(g1.AddJsonText(small).ok());
+  ASSERT_TRUE(g2.AddJsonText(bigger).ok());
+  EXPECT_EQ(g1.distinct_path_count(), g2.distinct_path_count());
+}
+
+TEST(GeneratorsTest, CollectionSizeOrderingMatchesTable10) {
+  // salesOrder < workOrder < purchaseOrder < eventMessage < bookOrder —
+  // the relative size ordering of Table 10's small collections.
+  auto avg_size = [](const std::string& name) {
+    Rng rng(42);
+    size_t total = 0;
+    for (int i = 0; i < 30; ++i) {
+      total += Collection(name, &rng, i).size();
+    }
+    return total / 30;
+  };
+  EXPECT_LT(avg_size("salesOrder"), avg_size("workOrder"));
+  EXPECT_LT(avg_size("workOrder"), avg_size("eventMessage"));
+  EXPECT_LT(avg_size("eventMessage"), avg_size("bookOrder"));
+}
+
+TEST(GeneratorsTest, UnknownCollectionYieldsEmptyObject) {
+  Rng rng(1);
+  EXPECT_EQ(Collection("nope", &rng, 1), "{}");
+}
+
+}  // namespace
+}  // namespace fsdm::workloads
