@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_olap.dir/bench_fig3_olap.cc.o"
+  "CMakeFiles/bench_fig3_olap.dir/bench_fig3_olap.cc.o.d"
+  "bench_fig3_olap"
+  "bench_fig3_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nobench_imc.dir/bench_fig5_nobench_imc.cc.o"
+  "CMakeFiles/bench_fig5_nobench_imc.dir/bench_fig5_nobench_imc.cc.o.d"
+  "bench_fig5_nobench_imc"
+  "bench_fig5_nobench_imc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nobench_imc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_vc_imc.dir/bench_fig6_vc_imc.cc.o"
+  "CMakeFiles/bench_fig6_vc_imc.dir/bench_fig6_vc_imc.cc.o.d"
+  "bench_fig6_vc_imc"
+  "bench_fig6_vc_imc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vc_imc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_hetero.cc" "bench/CMakeFiles/bench_fig8_hetero.dir/bench_fig8_hetero.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_hetero.dir/bench_fig8_hetero.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fsdm_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataguide/CMakeFiles/fsdm_dataguide.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fsdm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fsdm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/imc/CMakeFiles/fsdm_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqljson/CMakeFiles/fsdm_sqljson.dir/DependInfo.cmake"
+  "/root/repo/build/src/oson/CMakeFiles/fsdm_oson.dir/DependInfo.cmake"
+  "/root/repo/build/src/bson/CMakeFiles/fsdm_bson.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdbms/CMakeFiles/fsdm_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fsdm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hetero.dir/bench_fig8_hetero.cc.o"
+  "CMakeFiles/bench_fig8_hetero.dir/bench_fig8_hetero.cc.o.d"
+  "bench_fig8_hetero"
+  "bench_fig8_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

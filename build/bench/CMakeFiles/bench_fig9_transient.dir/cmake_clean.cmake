@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_transient.dir/bench_fig9_transient.cc.o"
+  "CMakeFiles/bench_fig9_transient.dir/bench_fig9_transient.cc.o.d"
+  "bench_fig9_transient"
+  "bench_fig9_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_navigation.dir/bench_micro_navigation.cc.o"
+  "CMakeFiles/bench_micro_navigation.dir/bench_micro_navigation.cc.o.d"
+  "bench_micro_navigation"
+  "bench_micro_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_segments.dir/bench_table11_segments.cc.o"
+  "CMakeFiles/bench_table11_segments.dir/bench_table11_segments.cc.o.d"
+  "bench_table11_segments"
+  "bench_table11_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

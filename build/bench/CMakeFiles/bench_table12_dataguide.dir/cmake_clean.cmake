@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_dataguide.dir/bench_table12_dataguide.cc.o"
+  "CMakeFiles/bench_table12_dataguide.dir/bench_table12_dataguide.cc.o.d"
+  "bench_table12_dataguide"
+  "bench_table12_dataguide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_dataguide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

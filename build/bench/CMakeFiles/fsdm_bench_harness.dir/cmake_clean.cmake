@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/fsdm_bench_harness.dir/harness.cc.o.d"
+  "CMakeFiles/fsdm_bench_harness.dir/nobench.cc.o"
+  "CMakeFiles/fsdm_bench_harness.dir/nobench.cc.o.d"
+  "libfsdm_bench_harness.a"
+  "libfsdm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

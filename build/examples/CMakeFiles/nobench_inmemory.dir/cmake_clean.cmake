@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nobench_inmemory.dir/nobench_inmemory.cpp.o"
+  "CMakeFiles/nobench_inmemory.dir/nobench_inmemory.cpp.o.d"
+  "nobench_inmemory"
+  "nobench_inmemory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nobench_inmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

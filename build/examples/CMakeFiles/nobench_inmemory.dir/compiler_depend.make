@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nobench_inmemory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purchase_orders.dir/purchase_orders.cpp.o"
+  "CMakeFiles/purchase_orders.dir/purchase_orders.cpp.o.d"
+  "purchase_orders"
+  "purchase_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purchase_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("bson")
+subdirs("oson")
+subdirs("jsonpath")
+subdirs("rdbms")
+subdirs("sqljson")
+subdirs("sql")
+subdirs("index")
+subdirs("dataguide")
+subdirs("imc")
+subdirs("workloads")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_bson.dir/bson.cc.o"
+  "CMakeFiles/fsdm_bson.dir/bson.cc.o.d"
+  "libfsdm_bson.a"
+  "libfsdm_bson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_bson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_common.dir/decimal.cc.o"
+  "CMakeFiles/fsdm_common.dir/decimal.cc.o.d"
+  "CMakeFiles/fsdm_common.dir/status.cc.o"
+  "CMakeFiles/fsdm_common.dir/status.cc.o.d"
+  "CMakeFiles/fsdm_common.dir/value.cc.o"
+  "CMakeFiles/fsdm_common.dir/value.cc.o.d"
+  "CMakeFiles/fsdm_common.dir/varint.cc.o"
+  "CMakeFiles/fsdm_common.dir/varint.cc.o.d"
+  "libfsdm_common.a"
+  "libfsdm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

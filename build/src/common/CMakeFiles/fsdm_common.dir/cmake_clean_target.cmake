@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsdm_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_dataguide.dir/dataguide.cc.o"
+  "CMakeFiles/fsdm_dataguide.dir/dataguide.cc.o.d"
+  "CMakeFiles/fsdm_dataguide.dir/views.cc.o"
+  "CMakeFiles/fsdm_dataguide.dir/views.cc.o.d"
+  "libfsdm_dataguide.a"
+  "libfsdm_dataguide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_dataguide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

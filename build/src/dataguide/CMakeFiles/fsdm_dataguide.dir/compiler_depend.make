@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsdm_dataguide.
+# This may be replaced when dependencies are built.

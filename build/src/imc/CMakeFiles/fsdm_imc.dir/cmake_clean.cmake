@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_imc.dir/column_store.cc.o"
+  "CMakeFiles/fsdm_imc.dir/column_store.cc.o.d"
+  "libfsdm_imc.a"
+  "libfsdm_imc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_imc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_index.dir/search_index.cc.o"
+  "CMakeFiles/fsdm_index.dir/search_index.cc.o.d"
+  "libfsdm_index.a"
+  "libfsdm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_json.dir/node.cc.o"
+  "CMakeFiles/fsdm_json.dir/node.cc.o.d"
+  "CMakeFiles/fsdm_json.dir/parser.cc.o"
+  "CMakeFiles/fsdm_json.dir/parser.cc.o.d"
+  "CMakeFiles/fsdm_json.dir/serializer.cc.o"
+  "CMakeFiles/fsdm_json.dir/serializer.cc.o.d"
+  "libfsdm_json.a"
+  "libfsdm_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jsonpath/evaluator.cc" "src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/evaluator.cc.o" "gcc" "src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/evaluator.cc.o.d"
+  "/root/repo/src/jsonpath/parser.cc" "src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/parser.cc.o" "gcc" "src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/parser.cc.o.d"
+  "/root/repo/src/jsonpath/streaming.cc" "src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/streaming.cc.o" "gcc" "src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/fsdm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

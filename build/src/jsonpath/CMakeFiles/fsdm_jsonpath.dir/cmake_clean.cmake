@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_jsonpath.dir/evaluator.cc.o"
+  "CMakeFiles/fsdm_jsonpath.dir/evaluator.cc.o.d"
+  "CMakeFiles/fsdm_jsonpath.dir/parser.cc.o"
+  "CMakeFiles/fsdm_jsonpath.dir/parser.cc.o.d"
+  "CMakeFiles/fsdm_jsonpath.dir/streaming.cc.o"
+  "CMakeFiles/fsdm_jsonpath.dir/streaming.cc.o.d"
+  "libfsdm_jsonpath.a"
+  "libfsdm_jsonpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_jsonpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsdm_jsonpath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oson/dom.cc" "src/oson/CMakeFiles/fsdm_oson.dir/dom.cc.o" "gcc" "src/oson/CMakeFiles/fsdm_oson.dir/dom.cc.o.d"
+  "/root/repo/src/oson/encoder.cc" "src/oson/CMakeFiles/fsdm_oson.dir/encoder.cc.o" "gcc" "src/oson/CMakeFiles/fsdm_oson.dir/encoder.cc.o.d"
+  "/root/repo/src/oson/set_encoding.cc" "src/oson/CMakeFiles/fsdm_oson.dir/set_encoding.cc.o" "gcc" "src/oson/CMakeFiles/fsdm_oson.dir/set_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/fsdm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

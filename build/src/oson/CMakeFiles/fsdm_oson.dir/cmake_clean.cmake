@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_oson.dir/dom.cc.o"
+  "CMakeFiles/fsdm_oson.dir/dom.cc.o.d"
+  "CMakeFiles/fsdm_oson.dir/encoder.cc.o"
+  "CMakeFiles/fsdm_oson.dir/encoder.cc.o.d"
+  "CMakeFiles/fsdm_oson.dir/set_encoding.cc.o"
+  "CMakeFiles/fsdm_oson.dir/set_encoding.cc.o.d"
+  "libfsdm_oson.a"
+  "libfsdm_oson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_oson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fsdm_oson.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdbms/executor.cc" "src/rdbms/CMakeFiles/fsdm_rdbms.dir/executor.cc.o" "gcc" "src/rdbms/CMakeFiles/fsdm_rdbms.dir/executor.cc.o.d"
+  "/root/repo/src/rdbms/expression.cc" "src/rdbms/CMakeFiles/fsdm_rdbms.dir/expression.cc.o" "gcc" "src/rdbms/CMakeFiles/fsdm_rdbms.dir/expression.cc.o.d"
+  "/root/repo/src/rdbms/table.cc" "src/rdbms/CMakeFiles/fsdm_rdbms.dir/table.cc.o" "gcc" "src/rdbms/CMakeFiles/fsdm_rdbms.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/fsdm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_rdbms.dir/executor.cc.o"
+  "CMakeFiles/fsdm_rdbms.dir/executor.cc.o.d"
+  "CMakeFiles/fsdm_rdbms.dir/expression.cc.o"
+  "CMakeFiles/fsdm_rdbms.dir/expression.cc.o.d"
+  "CMakeFiles/fsdm_rdbms.dir/table.cc.o"
+  "CMakeFiles/fsdm_rdbms.dir/table.cc.o.d"
+  "libfsdm_rdbms.a"
+  "libfsdm_rdbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_rdbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsdm_rdbms.
+# This may be replaced when dependencies are built.

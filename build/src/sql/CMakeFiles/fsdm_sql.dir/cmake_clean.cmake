@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_sql.dir/parser.cc.o"
+  "CMakeFiles/fsdm_sql.dir/parser.cc.o.d"
+  "libfsdm_sql.a"
+  "libfsdm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_sqljson.dir/json_table.cc.o"
+  "CMakeFiles/fsdm_sqljson.dir/json_table.cc.o.d"
+  "CMakeFiles/fsdm_sqljson.dir/operators.cc.o"
+  "CMakeFiles/fsdm_sqljson.dir/operators.cc.o.d"
+  "libfsdm_sqljson.a"
+  "libfsdm_sqljson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_sqljson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

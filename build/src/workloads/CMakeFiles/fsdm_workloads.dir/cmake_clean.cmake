@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdm_workloads.dir/generators.cc.o"
+  "CMakeFiles/fsdm_workloads.dir/generators.cc.o.d"
+  "libfsdm_workloads.a"
+  "libfsdm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bson_test.dir/bson/bson_test.cc.o"
+  "CMakeFiles/bson_test.dir/bson/bson_test.cc.o.d"
+  "bson_test"
+  "bson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataguide/dataguide_test.cc" "tests/CMakeFiles/dataguide_test.dir/dataguide/dataguide_test.cc.o" "gcc" "tests/CMakeFiles/dataguide_test.dir/dataguide/dataguide_test.cc.o.d"
+  "/root/repo/tests/dataguide/views_test.cc" "tests/CMakeFiles/dataguide_test.dir/dataguide/views_test.cc.o" "gcc" "tests/CMakeFiles/dataguide_test.dir/dataguide/views_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataguide/CMakeFiles/fsdm_dataguide.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqljson/CMakeFiles/fsdm_sqljson.dir/DependInfo.cmake"
+  "/root/repo/build/src/oson/CMakeFiles/fsdm_oson.dir/DependInfo.cmake"
+  "/root/repo/build/src/bson/CMakeFiles/fsdm_bson.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdbms/CMakeFiles/fsdm_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fsdm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataguide_test.dir/dataguide/dataguide_test.cc.o"
+  "CMakeFiles/dataguide_test.dir/dataguide/dataguide_test.cc.o.d"
+  "CMakeFiles/dataguide_test.dir/dataguide/views_test.cc.o"
+  "CMakeFiles/dataguide_test.dir/dataguide/views_test.cc.o.d"
+  "dataguide_test"
+  "dataguide_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataguide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

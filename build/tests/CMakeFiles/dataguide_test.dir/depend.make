@@ -1,0 +1,2 @@
+# Empty dependencies file for dataguide_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_test.dir/imc/column_store_test.cc.o"
+  "CMakeFiles/imc_test.dir/imc/column_store_test.cc.o.d"
+  "imc_test"
+  "imc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

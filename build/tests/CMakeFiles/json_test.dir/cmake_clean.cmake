@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_test.dir/json/node_test.cc.o"
+  "CMakeFiles/json_test.dir/json/node_test.cc.o.d"
+  "CMakeFiles/json_test.dir/json/parser_test.cc.o"
+  "CMakeFiles/json_test.dir/json/parser_test.cc.o.d"
+  "CMakeFiles/json_test.dir/json/serializer_test.cc.o"
+  "CMakeFiles/json_test.dir/json/serializer_test.cc.o.d"
+  "json_test"
+  "json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jsonpath/path_test.cc" "tests/CMakeFiles/jsonpath_test.dir/jsonpath/path_test.cc.o" "gcc" "tests/CMakeFiles/jsonpath_test.dir/jsonpath/path_test.cc.o.d"
+  "/root/repo/tests/jsonpath/streaming_test.cc" "tests/CMakeFiles/jsonpath_test.dir/jsonpath/streaming_test.cc.o" "gcc" "tests/CMakeFiles/jsonpath_test.dir/jsonpath/streaming_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jsonpath/CMakeFiles/fsdm_jsonpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/oson/CMakeFiles/fsdm_oson.dir/DependInfo.cmake"
+  "/root/repo/build/src/bson/CMakeFiles/fsdm_bson.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fsdm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fsdm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

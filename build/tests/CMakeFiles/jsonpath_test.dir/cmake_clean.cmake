@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsonpath_test.dir/jsonpath/path_test.cc.o"
+  "CMakeFiles/jsonpath_test.dir/jsonpath/path_test.cc.o.d"
+  "CMakeFiles/jsonpath_test.dir/jsonpath/streaming_test.cc.o"
+  "CMakeFiles/jsonpath_test.dir/jsonpath/streaming_test.cc.o.d"
+  "jsonpath_test"
+  "jsonpath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsonpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oson_test.dir/oson/oson_test.cc.o"
+  "CMakeFiles/oson_test.dir/oson/oson_test.cc.o.d"
+  "CMakeFiles/oson_test.dir/oson/set_encoding_test.cc.o"
+  "CMakeFiles/oson_test.dir/oson/set_encoding_test.cc.o.d"
+  "oson_test"
+  "oson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oson_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rdbms/executor_test.cc" "tests/CMakeFiles/rdbms_test.dir/rdbms/executor_test.cc.o" "gcc" "tests/CMakeFiles/rdbms_test.dir/rdbms/executor_test.cc.o.d"
+  "/root/repo/tests/rdbms/expression_test.cc" "tests/CMakeFiles/rdbms_test.dir/rdbms/expression_test.cc.o" "gcc" "tests/CMakeFiles/rdbms_test.dir/rdbms/expression_test.cc.o.d"
+  "/root/repo/tests/rdbms/table_test.cc" "tests/CMakeFiles/rdbms_test.dir/rdbms/table_test.cc.o" "gcc" "tests/CMakeFiles/rdbms_test.dir/rdbms/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdbms/CMakeFiles/fsdm_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fsdm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_test.dir/rdbms/executor_test.cc.o"
+  "CMakeFiles/rdbms_test.dir/rdbms/executor_test.cc.o.d"
+  "CMakeFiles/rdbms_test.dir/rdbms/expression_test.cc.o"
+  "CMakeFiles/rdbms_test.dir/rdbms/expression_test.cc.o.d"
+  "CMakeFiles/rdbms_test.dir/rdbms/table_test.cc.o"
+  "CMakeFiles/rdbms_test.dir/rdbms/table_test.cc.o.d"
+  "rdbms_test"
+  "rdbms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqljson_test.dir/sqljson/json_table_test.cc.o"
+  "CMakeFiles/sqljson_test.dir/sqljson/json_table_test.cc.o.d"
+  "CMakeFiles/sqljson_test.dir/sqljson/operators_test.cc.o"
+  "CMakeFiles/sqljson_test.dir/sqljson/operators_test.cc.o.d"
+  "sqljson_test"
+  "sqljson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqljson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

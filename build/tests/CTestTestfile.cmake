@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(json_test "/root/repo/build/tests/json_test")
+set_tests_properties(json_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bson_test "/root/repo/build/tests/bson_test")
+set_tests_properties(bson_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;22;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(oson_test "/root/repo/build/tests/oson_test")
+set_tests_properties(oson_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;25;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(jsonpath_test "/root/repo/build/tests/jsonpath_test")
+set_tests_properties(jsonpath_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;31;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rdbms_test "/root/repo/build/tests/rdbms_test")
+set_tests_properties(rdbms_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;37;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sqljson_test "/root/repo/build/tests/sqljson_test")
+set_tests_properties(sqljson_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;44;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dataguide_test "/root/repo/build/tests/dataguide_test")
+set_tests_properties(dataguide_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;50;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;56;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(imc_test "/root/repo/build/tests/imc_test")
+set_tests_properties(imc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;59;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;62;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;65;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_test "/root/repo/build/tests/sql_test")
+set_tests_properties(sql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;72;fsdm_add_test;/root/repo/tests/CMakeLists.txt;0;")
