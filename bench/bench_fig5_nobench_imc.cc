@@ -14,16 +14,22 @@ void Run() {
          docs);
   benchutil::NbDataset ds = benchutil::NbDataset::Build(docs);
 
-  // Populate the IMC store: OSON() runs once per row here, not per query.
+  // Populate the collection-managed IMC store with just the key and the
+  // hidden OSON image: OSON() runs once per row here, not per query.
   benchutil::Timer populate;
-  imc::ColumnStore store =
-      imc::ColumnStore::Populate(*ds.table, {"DID", "SYS_OSON"}).MoveValue();
+  Status pop = ds.coll->PopulateImc(
+      {ds.coll->key_column(), ds.coll->oson_column()});
+  if (!pop.ok()) {
+    fprintf(stderr, "IMC population failed: %s\n", pop.ToString().c_str());
+    exit(1);
+  }
+  const imc::ColumnStore* store = ds.coll->imc();
   printf("IMC population (OSON encode of %zu docs): %.1f ms, %.1f MB\n\n",
          docs, populate.ElapsedMs(),
-         store.MemoryBytes() / (1024.0 * 1024.0));
+         store->MemoryBytes() / (1024.0 * 1024.0));
 
   benchutil::NbAccess text = benchutil::TextAccess(ds);
-  benchutil::NbAccess imc_access = benchutil::OsonImcAccess(&store);
+  benchutil::NbAccess imc_access = benchutil::OsonImcAccess(ds, store);
 
   benchutil::PrintHeader({"query", "TEXT-MODE ms", "OSON-IMC ms",
                           "speedup"});

@@ -16,13 +16,19 @@ void Run() {
   printf("=== Figure 6: OSON-IMC vs VC-IMC, %zu NOBENCH docs ===\n", docs);
   benchutil::NbDataset ds = benchutil::NbDataset::Build(docs);
 
+  // The OSON-only store is an ad-hoc side-by-side comparison set; the VC
+  // store is the collection's managed default population (key + OSON image
+  // + every declared virtual column).
   ColumnStore oson_store =
-      ColumnStore::Populate(*ds.table, {"DID", "SYS_OSON"}).MoveValue();
-  ColumnStore vc_store =
-      ColumnStore::Populate(
-          *ds.table, {"DID", "SYS_OSON", "STR1_VC", "NUM_VC", "DYN1_VC"})
+      ds.coll
+          ->MaterializeColumns({ds.coll->key_column(), ds.coll->oson_column()})
           .MoveValue();
-  benchutil::NbAccess oson_access = benchutil::OsonImcAccess(&oson_store);
+  if (Status pop = ds.coll->PopulateImc(); !pop.ok()) {
+    fprintf(stderr, "IMC population failed: %s\n", pop.ToString().c_str());
+    exit(1);
+  }
+  const ColumnStore& vc_store = *ds.coll->imc();
+  benchutil::NbAccess oson_access = benchutil::OsonImcAccess(ds, &oson_store);
 
   Value lo = Value::Int64(ds.num_lo), hi = Value::Int64(ds.num_hi);
 
@@ -52,7 +58,7 @@ void Run() {
         std::vector<uint32_t> sel,
         vc_store.FilterPositions({{"NUM_VC", CompareOp::kGe, lo},
                                   {"NUM_VC", CompareOp::kLe, hi}}));
-    const imc::ColumnVector* img = vc_store.column("SYS_OSON");
+    const imc::ColumnVector* img = vc_store.column(ds.coll->oson_column());
     std::map<int64_t, int64_t> groups;
     jsonpath::PathExpression path =
         jsonpath::PathExpression::Parse("$.thousandth").MoveValue();
@@ -73,7 +79,7 @@ void Run() {
         std::vector<uint32_t> sel,
         vc_store.FilterPositions({{"NUM_VC", CompareOp::kGe, lo},
                                   {"NUM_VC", CompareOp::kLe, hi}}));
-    const imc::ColumnVector* img = vc_store.column("SYS_OSON");
+    const imc::ColumnVector* img = vc_store.column(ds.coll->oson_column());
     const imc::ColumnVector* str1 = vc_store.column("STR1_VC");
     // Build side: str1 column values.
     std::map<std::string, int64_t> build;

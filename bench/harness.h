@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "collection/collection.h"
 #include "rdbms/executor.h"
 #include "rdbms/table.h"
 #include "sqljson/json_table.h"
@@ -41,10 +42,14 @@ void PrintHeader(const std::vector<std::string>& cols);
 void PrintRow(const std::vector<std::string>& cells);
 std::string Fmt(double v, int decimals = 2);
 
-/// The §6.3 purchase-order dataset in all four storage methods.
+/// The §6.3 purchase-order dataset in all four storage methods. The TEXT
+/// method is the full document stack (a JsonCollection); BSON/OSON-as-blob
+/// and the shredded relational pair are comparison baselines below the
+/// facade, so they stay raw tables.
 struct PoDataset {
   rdbms::Database db;
-  rdbms::Table* text_table = nullptr;   // DID NUMBER, JDOC JSON text
+  std::unique_ptr<collection::JsonCollection> text_coll;  // DID, JDOC JSON
+  rdbms::Table* text_table = nullptr;   // == text_coll->table()
   rdbms::Table* bson_table = nullptr;   // DID NUMBER, JDOC RAW (BSON)
   rdbms::Table* oson_table = nullptr;   // DID NUMBER, JDOC RAW (OSON)
   rdbms::Table* master_tab = nullptr;   // REL purchase_master_tab

@@ -16,44 +16,32 @@ using sqljson::Returning;
 
 NbDataset NbDataset::Build(size_t n_docs, uint64_t seed) {
   NbDataset ds;
-  using rdbms::ColumnDef;
-  using rdbms::ColumnType;
-  ds.table = ds.db.CreateTable(
-                   "NB", {{.name = "DID", .type = ColumnType::kNumber},
-                          {.name = "JDOC",
-                           .type = ColumnType::kJson,
-                           .max_length = 4000,
-                           .check_is_json = true}})
-                 .MoveValue();
-  // Hidden OSON image (§5.2.2) and the three JSON_VALUE VCs (§6.4).
-  ColumnDef oson_vc;
-  oson_vc.name = "SYS_OSON";
-  oson_vc.type = ColumnType::kRaw;
-  oson_vc.hidden = true;
-  oson_vc.virtual_expr = sqljson::OsonConstructor("JDOC");
-  (void)ds.table->AddVirtualColumn(std::move(oson_vc));
-
-  auto add_vc = [&](const char* name, const char* path, Returning ret) {
-    ColumnDef vc;
-    vc.name = name;
-    vc.type = ret == Returning::kNumber ? ColumnType::kNumber
-                                        : ColumnType::kString;
-    vc.virtual_expr =
-        JsonValue("JDOC", path, JsonStorage::kText, ret).MoveValue();
-    // Hidden: TEXT-MODE scans must not pay for materializing the VCs;
-    // the IMC store requests them by name at population time (§5.2.1).
-    vc.hidden = true;
-    (void)ds.table->AddVirtualColumn(std::move(vc));
-  };
-  add_vc("STR1_VC", "$.str1", Returning::kString);
-  add_vc("NUM_VC", "$.num", Returning::kNumber);
-  add_vc("DYN1_VC", "$.dyn1", Returning::kNumber);
+  collection::CollectionOptions opts;
+  // The figures compare scan-side access modes; posting maintenance would
+  // only tax the load phase, so the collection runs without a search index
+  // (its own DataGuide still tracks the documents).
+  opts.attach_search_index = false;
+  Result<std::unique_ptr<collection::JsonCollection>> coll =
+      collection::JsonCollection::Create(&ds.db, "NB", opts);
+  if (!coll.ok()) {
+    fprintf(stderr, "NOBENCH collection: %s\n",
+            coll.status().ToString().c_str());
+    exit(1);
+  }
+  ds.coll = coll.MoveValue();
+  ds.table = ds.coll->table();
+  // The three JSON_VALUE VCs of §6.4. Hidden: TEXT-MODE scans must not pay
+  // for materializing them; the IMC requests them by name at population
+  // time (§5.2.1).
+  (void)ds.coll->AddVirtualColumn("STR1_VC", "$.str1", Returning::kString);
+  (void)ds.coll->AddVirtualColumn("NUM_VC", "$.num", Returning::kNumber);
+  (void)ds.coll->AddVirtualColumn("DYN1_VC", "$.dyn1", Returning::kNumber);
 
   Rng rng(seed);
   for (size_t i = 0; i < n_docs; ++i) {
     std::string doc = workloads::Nobench(&rng, static_cast<int64_t>(i));
-    Result<size_t> ins = ds.table->Insert(
-        {Value::Int64(static_cast<int64_t>(i)), Value::String(doc)});
+    Result<size_t> ins =
+        ds.coll->Insert(Value::Int64(static_cast<int64_t>(i)), doc);
     if (!ins.ok()) {
       fprintf(stderr, "NOBENCH insert failed: %s\n",
               ins.status().ToString().c_str());
@@ -80,19 +68,19 @@ NbDataset NbDataset::Build(size_t n_docs, uint64_t seed) {
 
 NbAccess TextAccess(const NbDataset& ds) {
   NbAccess a;
-  const rdbms::Table* table = ds.table;
-  a.source = [table] { return rdbms::Scan(table); };
-  a.json_column = "JDOC";
+  const collection::JsonCollection* coll = ds.coll.get();
+  a.source = [coll] { return coll->Scan(); };
+  a.json_column = ds.coll->json_column();
   a.storage = JsonStorage::kText;
   return a;
 }
 
-NbAccess OsonImcAccess(const imc::ColumnStore* store) {
+NbAccess OsonImcAccess(const NbDataset& ds, const imc::ColumnStore* store) {
   NbAccess a;
-  a.source = [store] {
-    return store->Scan({"DID", "SYS_OSON"});
-  };
-  a.json_column = "SYS_OSON";
+  std::string key = ds.coll->key_column();
+  std::string oson = ds.coll->oson_column();
+  a.source = [store, key, oson] { return store->Scan({key, oson}); };
+  a.json_column = std::move(oson);
   a.storage = JsonStorage::kOson;
   return a;
 }

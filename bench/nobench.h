@@ -1,19 +1,21 @@
 #ifndef FSDM_BENCH_NOBENCH_H_
 #define FSDM_BENCH_NOBENCH_H_
 
-// Shared NOBENCH fixture for Figures 5 and 6: the document table with its
+// Shared NOBENCH fixture for Figures 5 and 6: a JsonCollection carrying the
 // hidden OSON virtual column and the three JSON_VALUE virtual columns
 // ($.str1, $.num, $.dyn1) of §6.4, plus the eleven NOBENCH query plans
 // parameterized by document access mode.
 
 #include "bench/harness.h"
+#include "collection/collection.h"
 #include "imc/column_store.h"
 
 namespace fsdm::benchutil {
 
 struct NbDataset {
   rdbms::Database db;
-  rdbms::Table* table = nullptr;
+  std::unique_ptr<collection::JsonCollection> coll;
+  rdbms::Table* table = nullptr;  // == coll->table()
   // Predicate parameters sampled from the generated data.
   std::string q5_str1;
   int64_t num_lo = 0, num_hi = 0;
@@ -35,7 +37,7 @@ struct NbAccess {
 /// TEXT-MODE: scan the base table, evaluate over JSON text.
 NbAccess TextAccess(const NbDataset& ds);
 /// OSON-IMC-MODE: scan an IMC store holding the hidden OSON column.
-NbAccess OsonImcAccess(const imc::ColumnStore* store);
+NbAccess OsonImcAccess(const NbDataset& ds, const imc::ColumnStore* store);
 
 /// The eleven NOBENCH queries as plan factories. 1-based indexing;
 /// queries[0] is Q1.

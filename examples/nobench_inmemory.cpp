@@ -1,14 +1,15 @@
 // The §6.4 in-memory scenario on NOBENCH data: JSON text on "disk", the
-// hidden OSON virtual column and three JSON_VALUE virtual columns loaded
-// into the in-memory column store, and the same query answered three ways
-// (text parse / OSON navigation / columnar scan).
+// collection's hidden OSON virtual column and a JSON_VALUE virtual column
+// loaded into the in-memory column store, and the same query answered
+// three ways (text parse / OSON navigation / columnar scan) — plus the
+// access-path router choosing the columnar scan on its own, and DML
+// invalidating the store through the collection's observer.
 
 #include <chrono>
 #include <cstdio>
 
-#include "imc/column_store.h"
+#include "collection/collection.h"
 #include "rdbms/executor.h"
-#include "sqljson/operators.h"
 #include "workloads/generators.h"
 
 using namespace fsdm;
@@ -30,57 +31,37 @@ static double MsSince(std::chrono::steady_clock::time_point t0) {
 
 int main() {
   rdbms::Database db;
-  rdbms::Table* nb =
-      db.CreateTable("NB", {{.name = "DID", .type = rdbms::ColumnType::kNumber},
-                            {.name = "JDOC",
-                             .type = rdbms::ColumnType::kJson,
-                             .check_is_json = true}})
-          .MoveValue();
-
-  // Hidden OSON image + the three VCs of §6.4.
-  rdbms::ColumnDef oson_vc;
-  oson_vc.name = "SYS_OSON";
-  oson_vc.type = rdbms::ColumnType::kRaw;
-  oson_vc.hidden = true;
-  oson_vc.virtual_expr = sqljson::OsonConstructor("JDOC");
-  (void)nb->AddVirtualColumn(std::move(oson_vc));
-  rdbms::ColumnDef num_vc;
-  num_vc.name = "NUM_VC";
-  num_vc.type = rdbms::ColumnType::kNumber;
-  num_vc.virtual_expr =
-      sqljson::JsonValue("JDOC", "$.num", sqljson::JsonStorage::kText,
-                         sqljson::Returning::kNumber)
-          .MoveValue();
-  (void)nb->AddVirtualColumn(std::move(num_vc));
+  collection::CollectionOptions opts;
+  opts.attach_search_index = false;  // this example is about the IMC
+  auto nb = collection::JsonCollection::Create(&db, "NB", opts).MoveValue();
+  CHECK_OK(nb->AddVirtualColumn("NUM_VC", "$.num",
+                                sqljson::Returning::kNumber));
 
   Rng rng(99);
   const size_t kDocs = 3000;
   for (size_t i = 0; i < kDocs; ++i) {
-    CHECK_OK(nb->Insert({Value::Int64(static_cast<int64_t>(i)),
-                         Value::String(workloads::Nobench(
-                             &rng, static_cast<int64_t>(i)))}));
+    CHECK_OK(nb->Insert(Value::Int64(static_cast<int64_t>(i)),
+                        workloads::Nobench(&rng, static_cast<int64_t>(i))));
   }
   printf("loaded %zu NOBENCH documents (JSON text on disk)\n", kDocs);
 
-  // Populate the IMC store once: this is where OSON() and JSON_VALUE()
-  // evaluate, not at query time.
+  // Populate the collection-managed IMC store once: this is where OSON()
+  // and JSON_VALUE() evaluate, not at query time. The default population
+  // set is the key, the OSON image, and every declared virtual column.
   auto t0 = std::chrono::steady_clock::now();
-  auto store =
-      imc::ColumnStore::Populate(*nb, {"DID", "SYS_OSON", "NUM_VC"})
-          .MoveValue();
+  CHECK_OK(nb->EnsureImc());
+  const imc::ColumnStore* store = nb->imc();
   printf("IMC populated in %.1f ms (%.1f MB in memory)\n\n", MsSince(t0),
-         store.MemoryBytes() / (1024.0 * 1024.0));
+         store->MemoryBytes() / (1024.0 * 1024.0));
 
   // The query: count documents with num in [100000, 150000).
   // (a) TEXT-MODE: parse every document.
   t0 = std::chrono::steady_clock::now();
-  auto text_num =
-      sqljson::JsonValue("JDOC", "$.num", sqljson::JsonStorage::kText,
-                         sqljson::Returning::kNumber)
-          .MoveValue();
+  auto text_num = nb->JsonValueExpr("$.num", sqljson::Returning::kNumber)
+                      .MoveValue();
   auto text_plan = rdbms::GroupBy(
       rdbms::Filter(
-          rdbms::Scan(nb),
+          nb->Scan(),
           rdbms::And(rdbms::Ge(text_num, rdbms::Lit(Value::Int64(100000))),
                      rdbms::Lt(text_num, rdbms::Lit(Value::Int64(150000))))),
       {}, {}, {{rdbms::AggSpec::Kind::kCountStar, nullptr, "CNT"}});
@@ -92,12 +73,13 @@ int main() {
   // (b) OSON-IMC-MODE: navigate the in-memory binary image.
   t0 = std::chrono::steady_clock::now();
   auto oson_num =
-      sqljson::JsonValue("SYS_OSON", "$.num", sqljson::JsonStorage::kOson,
+      sqljson::JsonValue(nb->oson_column(), "$.num",
+                         sqljson::JsonStorage::kOson,
                          sqljson::Returning::kNumber)
           .MoveValue();
   auto oson_plan = rdbms::GroupBy(
       rdbms::Filter(
-          store.Scan({"DID", "SYS_OSON"}),
+          store->Scan({nb->key_column(), nb->oson_column()}),
           rdbms::And(rdbms::Ge(oson_num, rdbms::Lit(Value::Int64(100000))),
                      rdbms::Lt(oson_num, rdbms::Lit(Value::Int64(150000))))),
       {}, {}, {{rdbms::AggSpec::Kind::kCountStar, nullptr, "CNT"}});
@@ -106,15 +88,25 @@ int main() {
   printf("OSON-IMC:   count=%s   %.2f ms\n", oson_rows.value()[0].c_str(),
          MsSince(t0));
 
-  // (c) VC-IMC-MODE: vectorized scan over the materialized column.
+  // (c) VC-IMC-MODE: the router sees a populated store whose columns cover
+  //     the predicate and picks the vectorized scan by itself.
   t0 = std::chrono::steady_clock::now();
-  auto vc_rows = store.FilterScan(
-      {{"NUM_VC", rdbms::CompareOp::kGe, Value::Int64(100000)},
-       {"NUM_VC", rdbms::CompareOp::kLt, Value::Int64(150000)}},
-      {"DID"});
+  auto routed =
+      nb->Route({collection::PathPredicate::Compare(
+                     "$.num", rdbms::CompareOp::kGe, Value::Int64(100000)),
+                 collection::PathPredicate::Compare(
+                     "$.num", rdbms::CompareOp::kLt, Value::Int64(150000))})
+          .MoveValue();
+  auto vc_rows = rdbms::CollectStrings(routed.plan.get());
   CHECK_OK(vc_rows);
-  printf("VC-IMC:     count=%zu   %.2f ms\n", vc_rows.value().size(),
-         MsSince(t0));
+  printf("VC-IMC:     count=%zu   %.2f ms   [router: %s]\n",
+         vc_rows.value().size(), MsSince(t0),
+         collection::AccessPathName(routed.access_path));
+
+  // DML invalidates the store through the observer hook — no stale reads.
+  CHECK_OK(nb->Insert(workloads::Nobench(&rng, 1 << 20)));
+  printf("\nafter one insert: imc_valid=%s (invalidations=%zu)\n",
+         nb->imc_valid() ? "true" : "false", nb->imc_invalidations());
 
   printf(
       "\nSame answer three ways; each mode shifts more work from query\n"

@@ -1,12 +1,12 @@
-// The §6.3 purchase-order scenario: a JSON collection queried through
+// The §6.3 purchase-order scenario: a JsonCollection queried through
 // generated De-normalized Master-Detail Views (DMDV), over both text and
-// OSON storage, with OLAP aggregation on top.
+// the collection's hidden OSON virtual column, with OLAP aggregation on
+// top.
 
 #include <cstdio>
 
-#include "dataguide/views.h"
+#include "collection/collection.h"
 #include "rdbms/executor.h"
-#include "sqljson/operators.h"
 #include "workloads/generators.h"
 
 using namespace fsdm;
@@ -22,43 +22,23 @@ using namespace fsdm;
 
 int main() {
   rdbms::Database db;
-  rdbms::Table* po =
-      db.CreateTable("PO", {{.name = "DID", .type = rdbms::ColumnType::kNumber},
-                            {.name = "JCOL",
-                             .type = rdbms::ColumnType::kJson,
-                             .check_is_json = true}})
-          .MoveValue();
+  collection::CollectionOptions opts;
+  opts.json_column = "JCOL";
+  // No search index here; the collection still maintains its own DataGuide
+  // off the IS JSON constraint's parse.
+  opts.attach_search_index = false;
+  auto po = collection::JsonCollection::Create(&db, "PO", opts).MoveValue();
 
-  // Hidden OSON virtual column (§5.2.2): queries can transparently use the
-  // binary image instead of re-parsing text.
-  rdbms::ColumnDef oson_vc;
-  oson_vc.name = "SYS_OSON";
-  oson_vc.type = rdbms::ColumnType::kRaw;
-  oson_vc.hidden = true;
-  oson_vc.virtual_expr = sqljson::OsonConstructor("JCOL");
-  {
-    Status st = po->AddVirtualColumn(std::move(oson_vc));
-    if (!st.ok()) {
-      fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
-      return 1;
-    }
-  }
-
-  // Load a small generated collection and grow the DataGuide as we go.
-  dataguide::DataGuide guide;
+  // Load a small generated collection; the DataGuide grows as we go.
   Rng rng(2016);
   for (int64_t i = 1; i <= 200; ++i) {
-    std::string doc = workloads::PurchaseOrder(&rng, i);
-    CHECK_OK(po->Insert({Value::Int64(i), Value::String(doc)}));
-    CHECK_OK(guide.AddJsonText(doc));
+    CHECK_OK(po->Insert(Value::Int64(i), workloads::PurchaseOrder(&rng, i)));
   }
   printf("collection: %zu documents, %zu distinct DataGuide paths\n\n",
-         po->row_count(), guide.distinct_path_count());
+         po->document_count(), po->dataguide().distinct_path_count());
 
   // CreateViewOnPath('$'): the full DMDV of Table 8.
-  auto view = dataguide::CreateViewOnPath(po, "JCOL",
-                                          sqljson::JsonStorage::kText, guide,
-                                          "$", "PO_RV");
+  auto view = po->CreateView("$", "PO_RV");
   CHECK_OK(view);
   printf("DMDV '%s' columns:", view.value().name.c_str());
   for (const auto& c : view.value().OutputColumns()) printf(" %s", c.c_str());
@@ -90,15 +70,18 @@ int main() {
   printf("\ntop cost centers by revenue (sum(quantity*unitprice)):\n");
   for (const auto& row : agg_rows.value()) printf("  %s\n", row.c_str());
 
-  // The same predicate evaluated against text vs the OSON image.
+  // The same predicate evaluated against text vs the hidden OSON image the
+  // collection installed (§5.2.2).
   for (auto [label, column, storage] :
-       {std::tuple{"text", "JCOL", sqljson::JsonStorage::kText},
-        std::tuple{"oson", "SYS_OSON", sqljson::JsonStorage::kOson}}) {
+       {std::tuple{"text", po->json_column().c_str(),
+                   sqljson::JsonStorage::kText},
+        std::tuple{"oson", po->oson_column().c_str(),
+                   sqljson::JsonStorage::kOson}}) {
     auto exists = sqljson::JsonExists(
         column, "$.purchaseOrder.items?(@.quantity >= 19)", storage);
     CHECK_OK(exists);
     // Hidden column must be exposed for the OSON variant.
-    auto scan = rdbms::Scan(po, /*include_hidden=*/true);
+    auto scan = po->Scan(/*include_hidden=*/true);
     auto filtered = rdbms::Filter(std::move(scan), exists.MoveValue());
     auto counted = rdbms::GroupBy(
         std::move(filtered), {}, {},

@@ -5,8 +5,8 @@
 
 #include <cstdio>
 
+#include "collection/collection.h"
 #include "index/search_index.h"
-#include "rdbms/table.h"
 
 using namespace fsdm;
 
@@ -49,17 +49,12 @@ void PrintDg(const index::JsonSearchIndex& idx) {
 
 int main() {
   rdbms::Database db;
-  rdbms::Table* po =
-      db.CreateTable("PO", {{.name = "DID", .type = rdbms::ColumnType::kNumber},
-                            {.name = "JDOC",
-                             .type = rdbms::ColumnType::kJson,
-                             .check_is_json = true}})
-          .MoveValue();
-  auto idx = index::JsonSearchIndex::Create(po, "JDOC").MoveValue();
+  auto po = collection::JsonCollection::Create(&db, "PO").MoveValue();
+  const index::JsonSearchIndex* idx = po->search_index();
 
   auto insert = [&](int64_t id, const char* doc) {
     size_t before = idx->dataguide().distinct_path_count();
-    auto r = po->Insert({Value::Int64(id), Value::String(doc)});
+    auto r = po->Insert(Value::Int64(id), doc);
     if (!r.ok()) {
       fprintf(stderr, "insert failed: %s\n", r.status().ToString().c_str());
       exit(1);

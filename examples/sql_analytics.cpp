@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "collection/collection.h"
 #include "sql/parser.h"
 #include "workloads/generators.h"
 
@@ -19,16 +20,16 @@ static double MsSince(std::chrono::steady_clock::time_point t0) {
 
 int main() {
   rdbms::Database db;
-  rdbms::Table* po =
-      db.CreateTable("PO", {{.name = "DID", .type = rdbms::ColumnType::kNumber},
-                            {.name = "JDOC",
-                             .type = rdbms::ColumnType::kJson,
-                             .check_is_json = true}})
-          .MoveValue();
+  collection::CollectionOptions opts;
+  // The SQL session installs its own hidden OSON column on UseOsonFor()
+  // (§5.2.2), so the collection skips its default one; no index either —
+  // this example is about the SQL surface.
+  opts.install_oson_column = false;
+  opts.attach_search_index = false;
+  auto po = collection::JsonCollection::Create(&db, "PO", opts).MoveValue();
   Rng rng(77);
   for (int64_t i = 1; i <= 1500; ++i) {
-    auto r = po->Insert(
-        {Value::Int64(i), Value::String(workloads::PurchaseOrder(&rng, i))});
+    auto r = po->Insert(Value::Int64(i), workloads::PurchaseOrder(&rng, i));
     if (!r.ok()) {
       fprintf(stderr, "insert failed: %s\n", r.status().ToString().c_str());
       return 1;

@@ -1,0 +1,249 @@
+#include "collection/collection.h"
+
+#include <utility>
+
+#include "json/dom.h"
+
+namespace fsdm::collection {
+
+Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
+    rdbms::Database* db, const std::string& name,
+    const CollectionOptions& options) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  std::vector<rdbms::ColumnDef> columns = {
+      {.name = options.key_column, .type = rdbms::ColumnType::kNumber},
+      {.name = options.json_column,
+       .type = rdbms::ColumnType::kJson,
+       .max_length = options.max_document_length,
+       .check_is_json = true}};
+  FSDM_ASSIGN_OR_RETURN(rdbms::Table * table,
+                        db->CreateTable(name, std::move(columns)));
+
+  std::unique_ptr<JsonCollection> coll(new JsonCollection(db, name, options));
+  coll->table_ = table;
+  const std::vector<size_t>& physical = table->physical_columns();
+  for (size_t i = 0; i < physical.size(); ++i) {
+    if (table->columns()[physical[i]].name == options.json_column) {
+      coll->json_physical_pos_ = i;
+      break;
+    }
+  }
+
+  if (options.install_oson_column) {
+    rdbms::ColumnDef oson;
+    oson.name = kOsonColumnName;
+    oson.type = rdbms::ColumnType::kRaw;
+    oson.hidden = true;
+    oson.virtual_expr = sqljson::OsonConstructor(options.json_column);
+    FSDM_RETURN_NOT_OK(table->AddVirtualColumn(std::move(oson)));
+    coll->oson_column_ = kOsonColumnName;
+  }
+  if (options.attach_search_index) {
+    FSDM_ASSIGN_OR_RETURN(
+        coll->index_,
+        index::JsonSearchIndex::Create(table, options.json_column,
+                                       options.index_options));
+  }
+  coll->dml_observer_ = std::make_unique<DmlObserver>(coll.get());
+  table->AddObserver(coll->dml_observer_.get());
+  return coll;
+}
+
+JsonCollection::~JsonCollection() { Detach(); }
+
+void JsonCollection::Detach() {
+  if (detached_) return;
+  if (table_ != nullptr && dml_observer_ != nullptr) {
+    table_->RemoveObserver(dml_observer_.get());
+  }
+  if (index_ != nullptr) index_->Detach();
+  detached_ = true;
+}
+
+size_t JsonCollection::document_count() const {
+  size_t n = 0;
+  for (size_t r = 0; r < table_->row_count(); ++r) {
+    if (table_->IsLive(r)) ++n;
+  }
+  return n;
+}
+
+// --- DML --------------------------------------------------------------------
+
+Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
+  return table_->Insert({std::move(key), Value::String(std::move(json_text))});
+}
+
+Result<size_t> JsonCollection::Insert(std::string json_text) {
+  return Insert(Value::Int64(next_auto_key_++), std::move(json_text));
+}
+
+Status JsonCollection::Delete(size_t row_id) { return table_->Delete(row_id); }
+
+Status JsonCollection::Replace(size_t row_id, Value key,
+                               std::string json_text) {
+  return table_->Replace(
+      row_id, {std::move(key), Value::String(std::move(json_text))});
+}
+
+// --- Observer ---------------------------------------------------------------
+
+Status JsonCollection::DmlObserver::OnInsert(size_t, const rdbms::Row& row) {
+  owner_->InvalidateImc();
+  if (owner_->index_ == nullptr) {
+    return owner_->MaintainOwnGuide(row[owner_->json_physical_pos_]);
+  }
+  return Status::Ok();
+}
+
+Status JsonCollection::DmlObserver::OnDelete(size_t, const rdbms::Row&) {
+  // The DataGuide is additive (§3.4): deletes never remove entries.
+  owner_->InvalidateImc();
+  return Status::Ok();
+}
+
+Status JsonCollection::DmlObserver::OnReplace(size_t, const rdbms::Row&,
+                                              const rdbms::Row& new_row) {
+  owner_->InvalidateImc();
+  if (owner_->index_ == nullptr) {
+    return owner_->MaintainOwnGuide(new_row[owner_->json_physical_pos_]);
+  }
+  return Status::Ok();
+}
+
+void JsonCollection::InvalidateImc() {
+  if (imc_.has_value() && imc_valid_) {
+    imc_valid_ = false;
+    ++imc_invalidations_;
+  }
+}
+
+Status JsonCollection::MaintainOwnGuide(const Value& doc_value) {
+  // Reuse the parse the IS JSON constraint already paid for (§3.2.1).
+  const json::JsonNode* parsed =
+      table_->ParsedJsonForObserver(json_physical_pos_);
+  if (parsed != nullptr) {
+    json::TreeDom dom(parsed);
+    return own_guide_.AddDocument(dom).status();
+  }
+  return own_guide_.AddJsonText(doc_value.AsString()).status();
+}
+
+// --- Derived schema ---------------------------------------------------------
+
+Result<std::string> JsonCollection::AddVirtualColumn(
+    std::string column_name, const std::string& path,
+    sqljson::Returning returning, bool hidden) {
+  rdbms::ColumnDef def;
+  def.name = column_name;
+  def.type = returning == sqljson::Returning::kNumber
+                 ? rdbms::ColumnType::kNumber
+                 : rdbms::ColumnType::kString;
+  def.hidden = hidden;
+  FSDM_ASSIGN_OR_RETURN(
+      def.virtual_expr,
+      sqljson::JsonValue(options_.json_column, path,
+                         sqljson::JsonStorage::kText, returning));
+  FSDM_RETURN_NOT_OK(table_->AddVirtualColumn(std::move(def)));
+  vc_for_path_[path] = column_name;
+  return column_name;
+}
+
+Result<std::vector<std::string>> JsonCollection::AddInferredVirtualColumns(
+    const dataguide::GenerateOptions& options) {
+  std::vector<std::string> paths;
+  FSDM_ASSIGN_OR_RETURN(
+      std::vector<std::string> added,
+      dataguide::AddVc(table_, options_.json_column,
+                       sqljson::JsonStorage::kText, dataguide(), options,
+                       &paths));
+  for (size_t i = 0; i < added.size(); ++i) {
+    vc_for_path_[paths[i]] = added[i];
+  }
+  return added;
+}
+
+Result<dataguide::DmdvView> JsonCollection::CreateView(
+    const std::string& root_path, const std::string& view_name,
+    const dataguide::GenerateOptions& options) const {
+  return dataguide::CreateViewOnPath(table_, options_.json_column,
+                                     sqljson::JsonStorage::kText, dataguide(),
+                                     root_path, view_name, options);
+}
+
+Result<std::vector<dataguide::DmdvView>> JsonCollection::CreateViews(
+    const dataguide::GenerateOptions& options) const {
+  std::vector<dataguide::DmdvView> views;
+  FSDM_ASSIGN_OR_RETURN(dataguide::DmdvView root,
+                        CreateView("$", name_ + "_RV", options));
+  views.push_back(std::move(root));
+  // One sub-view per top-level array hierarchy (the per-nested-collection
+  // master-detail views of §3.3.2).
+  for (const dataguide::PathEntry* e : dataguide().SortedEntries()) {
+    if (e->kind != json::NodeKind::kArray || e->under_array) continue;
+    size_t dot = e->path.rfind('.');
+    std::string leaf =
+        dot == std::string::npos ? e->path : e->path.substr(dot + 1);
+    FSDM_ASSIGN_OR_RETURN(
+        dataguide::DmdvView v,
+        CreateView(e->path, name_ + "_" + leaf + "_RV", options));
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+const std::string* JsonCollection::VirtualColumnFor(
+    const std::string& path) const {
+  auto it = vc_for_path_.find(path);
+  return it == vc_for_path_.end() ? nullptr : &it->second;
+}
+
+// --- IMC --------------------------------------------------------------------
+
+std::vector<std::string> JsonCollection::DefaultImcColumns() const {
+  std::vector<std::string> cols = {options_.key_column};
+  if (!oson_column_.empty()) cols.push_back(oson_column_);
+  for (const auto& [path, name] : vc_for_path_) cols.push_back(name);
+  return cols;
+}
+
+Status JsonCollection::PopulateImc(std::vector<std::string> columns) {
+  if (columns.empty()) columns = DefaultImcColumns();
+  FSDM_ASSIGN_OR_RETURN(imc::ColumnStore store,
+                        imc::ColumnStore::Populate(*table_, columns));
+  imc_ = std::move(store);
+  imc_columns_ = std::move(columns);
+  imc_valid_ = true;
+  return Status::Ok();
+}
+
+Result<const imc::ColumnStore*> JsonCollection::EnsureImc() {
+  if (imc_valid()) return &*imc_;
+  FSDM_RETURN_NOT_OK(PopulateImc(imc_columns_));
+  return &*imc_;
+}
+
+Result<imc::ColumnStore> JsonCollection::MaterializeColumns(
+    const std::vector<std::string>& columns) const {
+  return imc::ColumnStore::Populate(*table_, columns);
+}
+
+// --- Query ------------------------------------------------------------------
+
+rdbms::OperatorPtr JsonCollection::Scan(bool include_hidden) const {
+  return rdbms::Scan(table_, include_hidden);
+}
+
+Result<rdbms::ExprPtr> JsonCollection::JsonValueExpr(
+    const std::string& path, sqljson::Returning returning) const {
+  return sqljson::JsonValue(options_.json_column, path,
+                            sqljson::JsonStorage::kText, returning);
+}
+
+Result<rdbms::ExprPtr> JsonCollection::JsonExistsExpr(
+    const std::string& path) const {
+  return sqljson::JsonExists(options_.json_column, path,
+                             sqljson::JsonStorage::kText);
+}
+
+}  // namespace fsdm::collection

@@ -1,0 +1,210 @@
+#ifndef FSDM_COLLECTION_COLLECTION_H_
+#define FSDM_COLLECTION_COLLECTION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collection/router.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "dataguide/dataguide.h"
+#include "dataguide/views.h"
+#include "imc/column_store.h"
+#include "index/search_index.h"
+#include "rdbms/executor.h"
+#include "rdbms/table.h"
+#include "sqljson/operators.h"
+
+namespace fsdm::collection {
+
+/// Canonical name of the hidden OSON virtual column a collection installs
+/// (§5.2.2). This is the ONE place in the repo that declares it; clients go
+/// through JsonCollection instead of wiring the column by hand.
+inline constexpr const char* kOsonColumnName = "SYS_OSON";
+
+struct CollectionOptions {
+  /// Key column (NUMBER) and document column (JSON text with IS JSON).
+  std::string key_column = "DID";
+  std::string json_column = "JDOC";
+  /// Declared max document length (informational), 0 = unbounded.
+  size_t max_document_length = 4000;
+
+  /// Install the hidden OSON virtual column at creation (§5.2.2). Queries
+  /// compiled against oson_column() then navigate the binary image; the
+  /// IMC materializes it at population time.
+  bool install_oson_column = true;
+
+  /// Attach a JsonSearchIndex (inverted postings + persistent DataGuide)
+  /// as a DML observer. When disabled the collection still maintains a
+  /// live DataGuide of its own, piggybacking on the IS JSON constraint's
+  /// parse, so view/VC generation and router statistics keep working —
+  /// only posting-backed access paths are unavailable.
+  bool attach_search_index = true;
+  index::JsonSearchIndex::Options index_options;
+};
+
+/// The per-collection document stack of the paper (§3, §5.2) behind one
+/// facade: a backing rdbms::Table with the IS JSON check constraint, the
+/// hidden OSON virtual column, the JSON search index with its persistent
+/// DataGuide, a lazily populated in-memory column store that DML
+/// *invalidates* through the table's observer hooks, and one-call
+/// generation of DMDV views and JSON_VALUE virtual columns from the live
+/// DataGuide. The access-path router (router.h) sits on top.
+///
+/// Lifetime: the Database (and with it the backing table) must outlive the
+/// collection; destroying the collection detaches every observer it
+/// registered. Single-threaded, like the engine underneath.
+class JsonCollection {
+ public:
+  /// Creates the backing table `name` inside `db` and wires the stack
+  /// according to `options`.
+  static Result<std::unique_ptr<JsonCollection>> Create(
+      rdbms::Database* db, const std::string& name,
+      const CollectionOptions& options = {});
+
+  ~JsonCollection();
+  /// Unregisters all observers from the backing table. Idempotent; called
+  /// by the destructor. After Detach the collection is read-only
+  /// (further table DML no longer maintains the index or IMC state).
+  void Detach();
+
+  // --- Components -------------------------------------------------------
+  rdbms::Table* table() const { return table_; }
+  const std::string& name() const { return name_; }
+  const std::string& key_column() const { return options_.key_column; }
+  const std::string& json_column() const { return options_.json_column; }
+  /// Hidden OSON virtual column name; empty when not installed.
+  const std::string& oson_column() const { return oson_column_; }
+  /// nullptr when the collection was created without a search index.
+  const index::JsonSearchIndex* search_index() const { return index_.get(); }
+  /// The live DataGuide: the search index's persistent guide, or the
+  /// collection-maintained guide when no index is attached.
+  const dataguide::DataGuide& dataguide() const {
+    return index_ != nullptr ? index_->dataguide() : own_guide_;
+  }
+  size_t document_count() const;
+
+  // --- DML --------------------------------------------------------------
+  /// Inserts one document; returns the new row id. Runs the IS JSON check,
+  /// index/DataGuide maintenance, and IMC invalidation in the DML path.
+  Result<size_t> Insert(Value key, std::string json_text);
+  /// Auto-assigns a monotonically increasing integer key.
+  Result<size_t> Insert(std::string json_text);
+  Status Delete(size_t row_id);
+  Status Replace(size_t row_id, Value key, std::string json_text);
+
+  // --- Derived schema (read with schema, §3.3) --------------------------
+  /// Declares one JSON_VALUE virtual column over the document column and
+  /// records its path so the router and IMC can use it. Returns the column
+  /// name. Hidden columns stay out of plain scans (TEXT-MODE must not pay
+  /// for them) and are materialized by name at IMC population (§5.2.1).
+  Result<std::string> AddVirtualColumn(std::string column_name,
+                                       const std::string& path,
+                                       sqljson::Returning returning,
+                                       bool hidden = true);
+
+  /// AddVC() (§3.3.1) driven by the live DataGuide: one visible JSON_VALUE
+  /// virtual column per singleton scalar path. Returns the added names.
+  Result<std::vector<std::string>> AddInferredVirtualColumns(
+      const dataguide::GenerateOptions& options = {});
+
+  /// CreateViewOnPath() (§3.3.2) from the live DataGuide.
+  Result<dataguide::DmdvView> CreateView(
+      const std::string& root_path, const std::string& view_name,
+      const dataguide::GenerateOptions& options = {}) const;
+
+  /// One-call view generation: the root DMDV ("<name>_RV") plus one sub
+  /// view per top-level array hierarchy in the DataGuide, mirroring how
+  /// the paper derives master-detail views per nested collection.
+  Result<std::vector<dataguide::DmdvView>> CreateViews(
+      const dataguide::GenerateOptions& options = {}) const;
+
+  /// Virtual-column name materializing JSON_VALUE(`path`), or nullptr.
+  const std::string* VirtualColumnFor(const std::string& path) const;
+
+  // --- In-memory column store (§5.2) ------------------------------------
+  /// Populates the managed IMC store. Empty `columns` selects the default
+  /// set: key column, the hidden OSON column (when installed), and every
+  /// declared JSON_VALUE virtual column. Subsequent DML invalidates the
+  /// store through the observer hook; EnsureImc() repopulates on demand.
+  Status PopulateImc(std::vector<std::string> columns = {});
+  /// The managed store when populated AND still valid, else nullptr.
+  const imc::ColumnStore* imc() const {
+    return imc_valid_ && imc_.has_value() ? &*imc_ : nullptr;
+  }
+  bool imc_valid() const { return imc_valid_ && imc_.has_value(); }
+  /// Lazily (re)populates the managed store and returns it.
+  Result<const imc::ColumnStore*> EnsureImc();
+  /// Number of times DML invalidated a populated store.
+  size_t imc_invalidations() const { return imc_invalidations_; }
+  /// Ad-hoc unmanaged store over arbitrary columns (benchmarks comparing
+  /// several population sets side by side); not invalidation-tracked.
+  Result<imc::ColumnStore> MaterializeColumns(
+      const std::vector<std::string>& columns) const;
+
+  // --- Query ------------------------------------------------------------
+  /// Row source over the backing table.
+  rdbms::OperatorPtr Scan(bool include_hidden = false) const;
+  /// JSON_VALUE / JSON_EXISTS expressions over the text document column.
+  Result<rdbms::ExprPtr> JsonValueExpr(
+      const std::string& path,
+      sqljson::Returning returning = sqljson::Returning::kAny) const;
+  Result<rdbms::ExprPtr> JsonExistsExpr(const std::string& path) const;
+  /// Access-path routed execution of a predicate conjunction (router.h).
+  Result<RoutedPlan> Route(const std::vector<PathPredicate>& predicates) const {
+    return RoutePredicates(*this, predicates);
+  }
+
+ private:
+  friend Result<RoutedPlan> RoutePredicates(
+      const JsonCollection& coll, const std::vector<PathPredicate>& preds);
+
+  /// Table observer wired at creation: invalidates the populated IMC on
+  /// every insert/delete/replace (the stale-read hazard the facade
+  /// closes), and maintains the collection-local DataGuide when no search
+  /// index is attached (reusing the IS JSON constraint's parse).
+  class DmlObserver final : public rdbms::TableObserver {
+   public:
+    explicit DmlObserver(JsonCollection* owner) : owner_(owner) {}
+    Status OnInsert(size_t row_id, const rdbms::Row& row) override;
+    Status OnDelete(size_t row_id, const rdbms::Row& row) override;
+    Status OnReplace(size_t row_id, const rdbms::Row& old_row,
+                     const rdbms::Row& new_row) override;
+
+   private:
+    JsonCollection* owner_;
+  };
+
+  JsonCollection(rdbms::Database* db, std::string name,
+                 CollectionOptions options)
+      : db_(db), name_(std::move(name)), options_(std::move(options)) {}
+
+  void InvalidateImc();
+  Status MaintainOwnGuide(const Value& doc_value);
+  std::vector<std::string> DefaultImcColumns() const;
+
+  rdbms::Database* db_;
+  std::string name_;
+  CollectionOptions options_;
+  rdbms::Table* table_ = nullptr;
+  std::string oson_column_;
+  size_t json_physical_pos_ = 0;  // position within physical rows
+  std::unique_ptr<index::JsonSearchIndex> index_;
+  std::unique_ptr<DmlObserver> dml_observer_;
+  dataguide::DataGuide own_guide_;  // used when no index is attached
+  // JSON path -> declared virtual column name (router / IMC metadata).
+  std::map<std::string, std::string> vc_for_path_;
+  std::optional<imc::ColumnStore> imc_;
+  std::vector<std::string> imc_columns_;  // last requested population set
+  bool imc_valid_ = false;
+  size_t imc_invalidations_ = 0;
+  int64_t next_auto_key_ = 1;
+  bool detached_ = false;
+};
+
+}  // namespace fsdm::collection
+
+#endif  // FSDM_COLLECTION_COLLECTION_H_

@@ -1,0 +1,195 @@
+#include "collection/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "collection/collection.h"
+
+namespace fsdm::collection {
+
+const char* AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kIndexedValueScan:
+      return "indexed-value-scan";
+    case AccessPath::kIndexedPathScan:
+      return "indexed-path-scan";
+    case AccessPath::kImcFilterScan:
+      return "imc-filter-scan";
+    case AccessPath::kFullScan:
+      return "full-scan";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Scalar DataGuide entry for `path`, preferring the singleton (not-under-
+/// array) variant; nullptr when the guide has never seen a scalar there.
+const dataguide::PathEntry* FindScalarEntry(const dataguide::DataGuide& guide,
+                                            const std::string& path) {
+  const dataguide::PathEntry* e =
+      guide.Find(path, json::NodeKind::kScalar, /*under_array=*/false);
+  if (e == nullptr) {
+    e = guide.Find(path, json::NodeKind::kScalar, /*under_array=*/true);
+  }
+  return e;
+}
+
+/// Documents containing `path` in any node kind (0 when unknown).
+uint64_t PathFrequency(const dataguide::DataGuide& guide,
+                       const std::string& path) {
+  uint64_t freq = 0;
+  for (json::NodeKind kind : {json::NodeKind::kScalar, json::NodeKind::kObject,
+                              json::NodeKind::kArray}) {
+    for (bool under_array : {false, true}) {
+      const dataguide::PathEntry* e = guide.Find(path, kind, under_array);
+      if (e != nullptr) freq = std::max(freq, e->frequency);
+    }
+  }
+  return freq;
+}
+
+sqljson::Returning ReturningForLiteral(const Value& literal) {
+  if (literal.IsNumeric()) return sqljson::Returning::kNumber;
+  if (literal.type() == ScalarType::kString) return sqljson::Returning::kString;
+  return sqljson::Returning::kAny;
+}
+
+Result<rdbms::ExprPtr> PredicateExpr(const JsonCollection& coll,
+                                     const PathPredicate& pred) {
+  if (pred.is_existence()) return coll.JsonExistsExpr(pred.path);
+  FSDM_ASSIGN_OR_RETURN(
+      rdbms::ExprPtr value,
+      coll.JsonValueExpr(pred.path, ReturningForLiteral(*pred.literal)));
+  return rdbms::Cmp(pred.op, std::move(value), rdbms::Lit(*pred.literal));
+}
+
+/// Applies every predicate except `skip` as a Filter over `plan`.
+Result<rdbms::OperatorPtr> ApplyResiduals(
+    const JsonCollection& coll, rdbms::OperatorPtr plan,
+    const std::vector<PathPredicate>& predicates, const PathPredicate* skip) {
+  for (const PathPredicate& p : predicates) {
+    if (&p == skip) continue;
+    FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr expr, PredicateExpr(coll, p));
+    plan = rdbms::Filter(std::move(plan), std::move(expr));
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<RoutedPlan> RoutePredicates(
+    const JsonCollection& coll, const std::vector<PathPredicate>& predicates) {
+  const dataguide::DataGuide& guide = coll.dataguide();
+  const uint64_t docs = guide.document_count();
+
+  // 1. Vectorized IMC scan: every conjunct compares a path whose
+  //    JSON_VALUE virtual column sits in a *valid* (not DML-invalidated)
+  //    managed store. Population state is a routing input, so a stale
+  //    store silently falls through to the document-based paths.
+  const imc::ColumnStore* store = coll.imc();
+  if (store != nullptr && !predicates.empty()) {
+    std::vector<imc::ColumnStore::Predicate> column_preds;
+    bool all_materialized = true;
+    for (const PathPredicate& p : predicates) {
+      const std::string* vc =
+          p.is_existence() ? nullptr : coll.VirtualColumnFor(p.path);
+      if (vc == nullptr || store->column(*vc) == nullptr) {
+        all_materialized = false;
+        break;
+      }
+      column_preds.push_back({*vc, p.op, *p.literal});
+    }
+    if (all_materialized) {
+      FSDM_ASSIGN_OR_RETURN(
+          std::vector<rdbms::Row> rows,
+          store->FilterScan(column_preds, store->column_names()));
+      RoutedPlan routed;
+      routed.access_path = AccessPath::kImcFilterScan;
+      routed.plan = rdbms::Values(rdbms::Schema(store->column_names()),
+                                  std::move(rows));
+      routed.reason =
+          "all predicate paths materialized as virtual columns in a valid "
+          "IMC store; vectorized FilterScan";
+      return routed;
+    }
+  }
+
+  const index::JsonSearchIndex* index = coll.search_index();
+  const bool postings =
+      index != nullptr && coll.options_.index_options.maintain_postings;
+
+  if (postings) {
+    // 2. Value postings: the most selective equality (lowest DataGuide
+    //    path frequency) on a path the guide knows as a scalar.
+    const PathPredicate* best_eq = nullptr;
+    uint64_t best_eq_freq = std::numeric_limits<uint64_t>::max();
+    for (const PathPredicate& p : predicates) {
+      if (p.is_existence() || p.op != rdbms::CompareOp::kEq) continue;
+      const dataguide::PathEntry* e = FindScalarEntry(guide, p.path);
+      if (e == nullptr) continue;
+      if (e->frequency < best_eq_freq) {
+        best_eq = &p;
+        best_eq_freq = e->frequency;
+      }
+    }
+    if (best_eq != nullptr) {
+      rdbms::OperatorPtr scan = index::IndexedValueScan(
+          coll.table(), index, best_eq->path, *best_eq->literal);
+      FSDM_ASSIGN_OR_RETURN(
+          rdbms::OperatorPtr plan,
+          ApplyResiduals(coll, std::move(scan), predicates, best_eq));
+      RoutedPlan routed;
+      routed.access_path = AccessPath::kIndexedValueScan;
+      routed.plan = std::move(plan);
+      routed.reason = "equality on scalar path " + best_eq->path +
+                      " (DataGuide frequency " + std::to_string(best_eq_freq) +
+                      "/" + std::to_string(docs) + "); value postings";
+      return routed;
+    }
+
+    // 3. Path postings: the most selective existence test. A path present
+    //    in at most half the documents (or unknown to the guide) is worth
+    //    a posting lookup; a near-universal path is not.
+    const PathPredicate* best_exists = nullptr;
+    uint64_t best_exists_freq = std::numeric_limits<uint64_t>::max();
+    for (const PathPredicate& p : predicates) {
+      if (!p.is_existence()) continue;
+      uint64_t freq = PathFrequency(guide, p.path);
+      if (freq * 2 <= docs && freq < best_exists_freq) {
+        best_exists = &p;
+        best_exists_freq = freq;
+      }
+    }
+    if (best_exists != nullptr) {
+      rdbms::OperatorPtr scan =
+          index::IndexedPathScan(coll.table(), index, best_exists->path);
+      FSDM_ASSIGN_OR_RETURN(
+          rdbms::OperatorPtr plan,
+          ApplyResiduals(coll, std::move(scan), predicates, best_exists));
+      RoutedPlan routed;
+      routed.access_path = AccessPath::kIndexedPathScan;
+      routed.plan = std::move(plan);
+      routed.reason = "sparse path " + best_exists->path +
+                      " (DataGuide frequency " +
+                      std::to_string(best_exists_freq) + "/" +
+                      std::to_string(docs) + "); path postings";
+      return routed;
+    }
+  }
+
+  // 4. Baseline: full table scan with JSON_EXISTS/JSON_VALUE filters.
+  FSDM_ASSIGN_OR_RETURN(
+      rdbms::OperatorPtr plan,
+      ApplyResiduals(coll, coll.Scan(), predicates, /*skip=*/nullptr));
+  RoutedPlan routed;
+  routed.access_path = AccessPath::kFullScan;
+  routed.plan = std::move(plan);
+  routed.reason =
+      predicates.empty()
+          ? "no predicates; full scan"
+          : "no selective index or materialized column applies; full scan";
+  return routed;
+}
+
+}  // namespace fsdm::collection

@@ -1,0 +1,86 @@
+#ifndef FSDM_COLLECTION_ROUTER_H_
+#define FSDM_COLLECTION_ROUTER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "rdbms/executor.h"
+
+namespace fsdm::collection {
+
+class JsonCollection;
+
+/// Physical access paths the router can choose among for a conjunctive
+/// path-predicate query over a JSON collection. They mirror the paper's
+/// evaluation strategies: inverted-index posting lookups through the JSON
+/// search index (§3.2.1), vectorized scans over materialized JSON_VALUE
+/// columns in the IMC (§5.2.1), and the baseline full document scan.
+enum class AccessPath : uint8_t {
+  kIndexedValueScan,  ///< search-index postings for `path = literal`
+  kIndexedPathScan,   ///< search-index postings for path existence
+  kImcFilterScan,     ///< vectorized IMC scan over materialized VCs
+  kFullScan,          ///< table scan + JSON_EXISTS/JSON_VALUE filter
+};
+
+const char* AccessPathName(AccessPath path);
+
+/// One conjunct of a routed query: a JSON path plus either a scalar
+/// comparison against a literal or (when `literal` is empty) a bare
+/// JSON_EXISTS structural test.
+struct PathPredicate {
+  std::string path;  // "$.purchaseOrder.reference"
+  rdbms::CompareOp op = rdbms::CompareOp::kEq;
+  std::optional<Value> literal;
+
+  static PathPredicate Exists(std::string path) {
+    PathPredicate p;
+    p.path = std::move(path);
+    return p;
+  }
+  static PathPredicate Compare(std::string path, rdbms::CompareOp op,
+                               Value literal) {
+    PathPredicate p;
+    p.path = std::move(path);
+    p.op = op;
+    p.literal = std::move(literal);
+    return p;
+  }
+
+  bool is_existence() const { return !literal.has_value(); }
+};
+
+/// A routed plan: the chosen access path, an executable operator tree that
+/// composes with the rest of the executor (residual predicates are already
+/// applied on top of the primary access path), and a human-readable
+/// explanation of why the router picked it.
+struct RoutedPlan {
+  AccessPath access_path = AccessPath::kFullScan;
+  rdbms::OperatorPtr plan;
+  std::string reason;
+};
+
+/// Chooses an access path for the conjunction of `predicates` over `coll`
+/// using DataGuide statistics (path frequency, leaf type, singleton-ness)
+/// and the collection's IMC population state:
+///
+///   1. when every predicate compares a path whose JSON_VALUE virtual
+///      column is materialized in a *valid* IMC store, the whole
+///      conjunction runs as one vectorized ColumnStore scan;
+///   2. otherwise an equality on an index-known scalar path routes to the
+///      value postings (most selective first, by DataGuide frequency);
+///   3. otherwise a selective existence test (path present in at most half
+///      the documents, or entirely unknown) routes to the path postings;
+///   4. otherwise: full table scan with a JSON_EXISTS/JSON_VALUE filter.
+///
+/// Residual predicates not absorbed by the primary path are evaluated by a
+/// Filter over the JSON document column. Index-backed and full-scan plans
+/// emit base-table rows; the IMC plan emits the store's columns.
+Result<RoutedPlan> RoutePredicates(const JsonCollection& coll,
+                                   const std::vector<PathPredicate>& predicates);
+
+}  // namespace fsdm::collection
+
+#endif  // FSDM_COLLECTION_ROUTER_H_

@@ -173,7 +173,8 @@ Result<std::vector<std::string>> AddVc(rdbms::Table* table,
                                        const std::string& json_column,
                                        JsonStorage storage,
                                        const DataGuide& guide,
-                                       const GenerateOptions& options) {
+                                       const GenerateOptions& options,
+                                       std::vector<std::string>* added_paths) {
   NameAllocator names;
   names.prefix =
       options.column_prefix.empty() ? json_column : options.column_prefix;
@@ -199,6 +200,7 @@ Result<std::vector<std::string>> AddVc(rdbms::Table* table,
                            ReturningFor(e->leaf_type)));
     std::string added_name = def.name;
     FSDM_RETURN_NOT_OK(table->AddVirtualColumn(std::move(def)));
+    if (added_paths != nullptr) added_paths->push_back(e->path);
     added.push_back(std::move(added_name));
   }
   return added;

@@ -31,11 +31,14 @@ struct GenerateOptions {
 /// AddVC() (§3.3.1): adds one JSON_VALUE virtual column to `table` for
 /// every singleton scalar path in the guide. Returns the added column
 /// names. Columns are named "<prefix>$<leafname>" (suffix-deduplicated).
-Result<std::vector<std::string>> AddVc(rdbms::Table* table,
-                                       const std::string& json_column,
-                                       sqljson::JsonStorage storage,
-                                       const DataGuide& guide,
-                                       const GenerateOptions& options = {});
+/// When `added_paths` is non-null it receives the JSON path behind each
+/// added column, parallel to the returned names (the collection layer
+/// records this mapping for access-path routing).
+Result<std::vector<std::string>> AddVc(
+    rdbms::Table* table, const std::string& json_column,
+    sqljson::JsonStorage storage, const DataGuide& guide,
+    const GenerateOptions& options = {},
+    std::vector<std::string>* added_paths = nullptr);
 
 /// A generated De-normalized Master-Detail View (§3.3.2).
 struct DmdvView {

@@ -251,11 +251,39 @@ Result<double> ColumnVector::SumSelected(
   }
 }
 
+size_t StringHeapBytes(const std::string& s) {
+  return s.capacity() > std::string().capacity() ? s.capacity() + 1 : 0;
+}
+
+size_t StringAllocBytes(const std::string& s) {
+  return sizeof(std::string) + StringHeapBytes(s);
+}
+
+namespace {
+
+// Heap block behind a boxed Value, beyond its inline variant storage.
+size_t BoxedHeapBytes(const Value& v) {
+  switch (v.type()) {
+    case ScalarType::kString:
+      return StringHeapBytes(v.AsString());
+    case ScalarType::kBinary:
+      return StringHeapBytes(v.AsBinary());
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
 size_t ColumnVector::MemoryBytes() const {
-  size_t n = nulls_.size() / 8 + ints_.size() * 8 + doubles_.size() * 8 +
-             codes_.size() * 4 + bools_.size() / 8;
-  for (const std::string& s : strings_) n += s.size() + sizeof(std::string);
-  for (const Value& v : boxed_) n += rdbms::ValueStorageBytes(v) + 16;
+  size_t n = (nulls_.size() + 7) / 8 + (bools_.size() + 7) / 8 +
+             ints_.size() * sizeof(int64_t) +
+             doubles_.size() * sizeof(double) +
+             codes_.size() * sizeof(uint32_t);
+  // strings_ is the value array for kString/kBinary and the dictionary for
+  // kDictString; either way each element owns its allocated block.
+  for (const std::string& s : strings_) n += StringAllocBytes(s);
+  for (const Value& v : boxed_) n += sizeof(Value) + BoxedHeapBytes(v);
   return n;
 }
 

@@ -13,6 +13,15 @@
 
 namespace fsdm::imc {
 
+/// Heap bytes a std::string occupies beyond its inline object: 0 while the
+/// payload fits the SSO buffer, capacity()+1 (the allocated block includes
+/// the terminator) once it has spilled. Exported so tests can pin the
+/// MemoryBytes() accounting exactly.
+size_t StringHeapBytes(const std::string& s);
+/// sizeof(std::string) plus StringHeapBytes — the full footprint of one
+/// owned string element.
+size_t StringAllocBytes(const std::string& s);
+
 /// Physical layout of one in-memory column.
 enum class ColumnEncoding : uint8_t {
   kInt64,       ///< flat int64 array
@@ -51,7 +60,11 @@ class ColumnVector {
   /// Sum over a selection (numeric encodings only), as double.
   Result<double> SumSelected(const std::vector<uint32_t>& sel) const;
 
-  /// Approximate heap bytes of this column (for memory accounting).
+  /// Bytes of this column's payload: null/bool bitmaps at one bit per row
+  /// (rounded up), typed arrays at element width times size(), dictionary
+  /// codes at 4 bytes each plus the dictionary's strings, string payloads
+  /// at their allocated capacity (StringAllocBytes), boxed values at
+  /// sizeof(Value) plus any spilled string/binary heap block.
   size_t MemoryBytes() const;
 
  private:

@@ -183,11 +183,14 @@ std::string_view OsonDom::FieldName(uint32_t field_id) const {
   } else {
     name_off = DecodeFixed32(base + dict_nameoff_start_ + field_id * 4);
   }
+  // A corrupted image can carry a name offset or length pointing outside
+  // the dictionary segment; clamp both before touching the bytes.
+  if (name_off >= dict_names_size_) return {};
   const uint8_t* p = base + dict_names_start_ + name_off;
+  const uint8_t* name_limit = base + dict_names_start_ + dict_names_size_;
   uint32_t len = 0;
-  const uint8_t* q =
-      GetVarint32(p, base + dict_names_start_ + dict_names_size_, &len);
-  if (q == nullptr) return {};
+  const uint8_t* q = GetVarint32(p, name_limit, &len);
+  if (q == nullptr || len > static_cast<size_t>(name_limit - q)) return {};
   return std::string_view(reinterpret_cast<const char*>(q), len);
 }
 

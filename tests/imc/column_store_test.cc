@@ -149,7 +149,7 @@ class ColumnStoreTest : public ::testing::Test {
     ASSERT_TRUE(table_->AddVirtualColumn(vc).ok());
     // Hidden OSON image column (§5.2.2).
     ColumnDef oson;
-    oson.name = "SYS_OSON";
+    oson.name = "OSON_IMG";
     oson.type = ColumnType::kRaw;
     oson.hidden = true;
     oson.virtual_expr = sqljson::OsonConstructor("doc");
@@ -178,8 +178,8 @@ TEST_F(ColumnStoreTest, PopulateEvaluatesVirtualColumnsOnce) {
 
 TEST_F(ColumnStoreTest, HiddenOsonColumnLoadsByName) {
   ColumnStore store =
-      ColumnStore::Populate(*table_, {"id", "SYS_OSON"}).MoveValue();
-  const ColumnVector* img = store.column("SYS_OSON");
+      ColumnStore::Populate(*table_, {"id", "OSON_IMG"}).MoveValue();
+  const ColumnVector* img = store.column("OSON_IMG");
   ASSERT_NE(img, nullptr);
   EXPECT_EQ(img->encoding(), ColumnEncoding::kBinary);
   Value v = img->GetValue(3);
@@ -232,6 +232,70 @@ TEST_F(ColumnStoreTest, MemoryAccounting) {
   ColumnStore store =
       ColumnStore::Populate(*table_, {"id", "num_vc"}).MoveValue();
   EXPECT_GT(store.MemoryBytes(), 50u * 8u);
+}
+
+// Pins the MemoryBytes() accounting for every encoding Build() produces:
+// bitmaps at one bit per row rounded up, typed arrays at element width,
+// dictionary codes at 4 bytes plus the dictionary's own strings, string
+// payloads through StringAllocBytes, boxed values at sizeof(Value) plus
+// spilled heap.
+TEST(ColumnVectorTest, MemoryBytesPinnedPerEncoding) {
+  auto bitmap = [](size_t rows) { return (rows + 7) / 8; };
+
+  // kInt64: null bitmap + 8 bytes per row.
+  EXPECT_EQ(ColumnVector::Build(Ints({1, 2, 3})).MemoryBytes(),
+            bitmap(3) + 3 * sizeof(int64_t));
+
+  // kNumber: mixed numerics widen to doubles.
+  ColumnVector num =
+      ColumnVector::Build({Value::Int64(1), Value::Double(2.5)});
+  ASSERT_EQ(num.encoding(), ColumnEncoding::kNumber);
+  EXPECT_EQ(num.MemoryBytes(), bitmap(2) + 2 * sizeof(double));
+
+  // kBool: two bitmaps (nulls + values), both rounded up.
+  ColumnVector bools = ColumnVector::Build(
+      {Value::Bool(true), Value::Null(), Value::Bool(false)});
+  ASSERT_EQ(bools.encoding(), ColumnEncoding::kBool);
+  EXPECT_EQ(bools.MemoryBytes(), 2 * bitmap(3));
+
+  // kString, SSO payloads: no heap block, just the inline objects.
+  ColumnVector sso =
+      ColumnVector::Build({Value::String("a"), Value::String("b")});
+  ASSERT_EQ(sso.encoding(), ColumnEncoding::kString);
+  EXPECT_EQ(StringHeapBytes(std::string("a")), 0u);
+  EXPECT_EQ(sso.MemoryBytes(), bitmap(2) + 2 * StringAllocBytes("a"));
+
+  // kString, spilled payloads: the allocated block (capacity + NUL)
+  // counts, not the logical size.
+  std::string long_a(40, 'a'), long_b(48, 'b');
+  ColumnVector spilled = ColumnVector::Build(
+      {Value::String(long_a), Value::String(long_b)});
+  ASSERT_EQ(spilled.encoding(), ColumnEncoding::kString);
+  EXPECT_GT(StringHeapBytes(long_a), long_a.size());
+  EXPECT_EQ(spilled.MemoryBytes(), bitmap(2) + StringAllocBytes(long_a) +
+                                       StringAllocBytes(long_b));
+
+  // kDictString: 4-byte codes per row + the dictionary's strings once —
+  // NOT one string per row (the pre-fix accounting billed nothing for the
+  // dictionary's allocation and undercounted bitmaps).
+  std::vector<Value> rep;
+  for (int i = 0; i < 30; ++i) rep.push_back(Value::String(i % 2 ? "xx" : "yy"));
+  ColumnVector dict = ColumnVector::Build(rep);
+  ASSERT_EQ(dict.encoding(), ColumnEncoding::kDictString);
+  EXPECT_EQ(dict.MemoryBytes(), bitmap(30) + 30 * sizeof(uint32_t) +
+                                    2 * StringAllocBytes("xx"));
+
+  // kBinary behaves like kString.
+  ColumnVector bin = ColumnVector::Build({Value::Binary("raw")});
+  ASSERT_EQ(bin.encoding(), ColumnEncoding::kBinary);
+  EXPECT_EQ(bin.MemoryBytes(), bitmap(1) + StringAllocBytes("raw"));
+
+  // kMixed: boxed Values; only string/binary payloads add heap.
+  ColumnVector mixed =
+      ColumnVector::Build({Value::Int64(1), Value::String(long_a)});
+  ASSERT_EQ(mixed.encoding(), ColumnEncoding::kMixed);
+  EXPECT_EQ(mixed.MemoryBytes(),
+            bitmap(2) + 2 * sizeof(Value) + StringHeapBytes(long_a));
 }
 
 }  // namespace

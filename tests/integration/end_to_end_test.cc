@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "collection/collection.h"
 #include "dataguide/views.h"
 #include "imc/column_store.h"
 #include "index/search_index.h"
@@ -18,42 +19,30 @@ namespace fsdm {
 namespace {
 
 using rdbms::Col;
-using rdbms::ColumnDef;
-using rdbms::ColumnType;
 using rdbms::Row;
 using sqljson::JsonStorage;
 
 class EndToEndTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    table_ = db_.CreateTable(
-                    "PO", {{.name = "DID", .type = ColumnType::kNumber},
-                           {.name = "JDOC",
-                            .type = ColumnType::kJson,
-                            .check_is_json = true}})
-                 .MoveValue();
-    index_ = index::JsonSearchIndex::Create(table_, "JDOC").MoveValue();
-
-    ColumnDef oson_vc;
-    oson_vc.name = "SYS_OSON";
-    oson_vc.type = ColumnType::kRaw;
-    oson_vc.hidden = true;
-    oson_vc.virtual_expr = sqljson::OsonConstructor("JDOC");
-    ASSERT_TRUE(table_->AddVirtualColumn(std::move(oson_vc)).ok());
+    // The collection facade wires the whole stack: backing table with
+    // IS JSON, hidden OSON virtual column, search index + DataGuide.
+    coll_ = collection::JsonCollection::Create(&db_, "PO").MoveValue();
+    table_ = coll_->table();
+    index_ = coll_->search_index();
 
     Rng rng(4242);
     for (int64_t i = 1; i <= 60; ++i) {
-      ASSERT_TRUE(table_
-                      ->Insert({Value::Int64(i),
-                                Value::String(
-                                    workloads::PurchaseOrder(&rng, i))})
-                      .ok());
+      ASSERT_TRUE(
+          coll_->Insert(Value::Int64(i), workloads::PurchaseOrder(&rng, i))
+              .ok());
     }
   }
 
   rdbms::Database db_;
+  std::unique_ptr<collection::JsonCollection> coll_;
   rdbms::Table* table_ = nullptr;
-  std::unique_ptr<index::JsonSearchIndex> index_;
+  const index::JsonSearchIndex* index_ = nullptr;
 };
 
 TEST_F(EndToEndTest, DataGuideIsMaintainedOnDml) {
@@ -80,10 +69,10 @@ TEST_F(EndToEndTest, DmdvOverAllStoragesAgrees) {
 
   // OSON variant: same definition over the hidden OSON column.
   dataguide::DmdvView oson_view = text_view;
-  oson_view.json_column = "SYS_OSON";
+  oson_view.json_column = coll_->oson_column();
   oson_view.storage = JsonStorage::kOson;
-  auto scan = rdbms::Scan(table_, /*include_hidden=*/true);
-  auto jt = sqljson::JsonTable(std::move(scan), "SYS_OSON",
+  auto scan = coll_->Scan(/*include_hidden=*/true);
+  auto jt = sqljson::JsonTable(std::move(scan), coll_->oson_column(),
                                JsonStorage::kOson, oson_view.def)
                 .MoveValue();
   std::vector<std::pair<std::string, rdbms::ExprPtr>> exprs;
@@ -171,8 +160,8 @@ TEST_F(EndToEndTest, TransientAggMatchesPersistentGuide) {
 }
 
 TEST_F(EndToEndTest, DeleteKeepsEverythingConsistent) {
-  ASSERT_TRUE(table_->Delete(0).ok());
-  ASSERT_TRUE(table_->Delete(30).ok());
+  ASSERT_TRUE(coll_->Delete(0).ok());
+  ASSERT_TRUE(coll_->Delete(30).ok());
   // Scans skip deleted rows.
   auto plan = rdbms::GroupBy(
       rdbms::Scan(table_), {}, {},
@@ -213,7 +202,7 @@ TEST_F(EndToEndTest, Q7RevenueIdenticalAcrossStorages) {
     return rdbms::CollectStrings(agg.get()).MoveValue();
   };
   EXPECT_EQ(run("JDOC", JsonStorage::kText),
-            run("SYS_OSON", JsonStorage::kOson));
+            run(coll_->oson_column(), JsonStorage::kOson));
 }
 
 }  // namespace
