@@ -183,6 +183,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("ablation_access_paths");
   fsdm::Run();
   return 0;
 }

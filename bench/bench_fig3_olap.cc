@@ -213,6 +213,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("fig3_olap");
   fsdm::Run();
   return 0;
 }

@@ -42,6 +42,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("fig4_storage");
   fsdm::Run();
   return 0;
 }

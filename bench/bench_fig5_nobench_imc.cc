@@ -53,6 +53,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("fig5_nobench_imc");
   fsdm::Run();
   return 0;
 }

@@ -151,6 +151,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("fig6_vc_imc");
   fsdm::Run();
   return 0;
 }

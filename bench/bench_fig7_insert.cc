@@ -76,6 +76,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("fig7_insert");
   fsdm::Run();
   return 0;
 }

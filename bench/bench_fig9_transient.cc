@@ -86,6 +86,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("fig9_transient");
   fsdm::Run();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
 #include "bson/bson.h"
 #include "common/hash.h"
 #include "common/rng.h"
@@ -157,7 +158,36 @@ void BM_Ablation_OsonDedup(benchmark::State& state) {
 }
 BENCHMARK(BM_Ablation_OsonDedup)->Arg(0)->Arg(1);
 
+// Console reporter that additionally records every run into the BenchJson
+// sink, so this binary emits BENCH_micro_navigation.json like the plain
+// harness benches do.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      benchutil::BenchJson& sink = benchutil::BenchJson::Global();
+      sink.BeginRow();
+      sink.Str("name", run.benchmark_name());
+      sink.Num("real_time_ns", run.GetAdjustedRealTime());
+      sink.Num("cpu_time_ns", run.GetAdjustedCPUTime());
+      sink.Num("iterations", static_cast<double>(run.iterations));
+      for (const auto& [counter_name, counter] : run.counters) {
+        sink.Num(counter_name, counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 }  // namespace fsdm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  fsdm::benchutil::BenchJson::Global().Init("micro_navigation");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fsdm::JsonMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -55,6 +55,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("table10_sizes");
   fsdm::Run();
   return 0;
 }

@@ -50,6 +50,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("table11_segments");
   fsdm::Run();
   return 0;
 }

@@ -76,6 +76,7 @@ void Run() {
 }  // namespace fsdm
 
 int main() {
+  fsdm::benchutil::BenchJson::Global().Init("table12_dataguide");
   fsdm::Run();
   return 0;
 }

@@ -4,16 +4,19 @@
 
 #include "bson/bson.h"
 #include "oson/oson.h"
+#include "telemetry/telemetry.h"
 
 namespace fsdm::benchutil {
 
 size_t DocCount(size_t default_count) {
+  size_t n = default_count;
   const char* env = getenv("FSDM_DOCS");
   if (env != nullptr) {
     long v = atol(env);
-    if (v > 0) return static_cast<size_t>(v);
+    if (v > 0) n = static_cast<size_t>(v);
   }
-  return default_count;
+  BenchJson::Global().SetDocs(n);
+  return n;
 }
 
 void PrintHeader(const std::vector<std::string>& cols) {
@@ -25,6 +28,7 @@ void PrintHeader(const std::vector<std::string>& cols) {
   }
   rule.assign(line.size(), '-');
   printf("%s\n%s\n", line.c_str(), rule.c_str());
+  BenchJson::Global().SetHeader(cols);
 }
 
 void PrintRow(const std::vector<std::string>& cells) {
@@ -35,6 +39,101 @@ void PrintRow(const std::vector<std::string>& cells) {
     line += buf;
   }
   printf("%s\n", line.c_str());
+  BenchJson::Global().AddRowCells(cells);
+}
+
+// --- BenchJson --------------------------------------------------------------
+
+namespace {
+
+// A cell is numeric when strtod consumes it entirely ("1.23", "42").
+bool ParseNumericCell(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  double v = strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  *out = v;
+  return true;
+}
+
+void WriteGlobalBenchJson() { BenchJson::Global().Write(); }
+
+}  // namespace
+
+BenchJson& BenchJson::Global() {
+  static BenchJson* sink = new BenchJson();
+  return *sink;
+}
+
+void BenchJson::Init(const std::string& name) {
+  if (!name_.empty()) return;
+  name_ = name;
+  atexit(WriteGlobalBenchJson);
+}
+
+void BenchJson::SetHeader(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+}
+
+void BenchJson::AddRowCells(const std::vector<std::string>& cells) {
+  BeginRow();
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const std::string key =
+        i < header_.size() ? header_[i] : "col" + std::to_string(i);
+    double v = 0;
+    if (ParseNumericCell(cells[i], &v)) {
+      Num(key, v);
+    } else {
+      Str(key, cells[i]);
+    }
+  }
+}
+
+void BenchJson::BeginRow() { rows_.emplace_back(); }
+
+void BenchJson::Num(const std::string& key, double v) {
+  if (rows_.empty()) BeginRow();
+  std::string& row = rows_.back();
+  if (!row.empty()) row += ",";
+  row += "\"" + telemetry::JsonEscape(key) + "\":";
+  telemetry::AppendJsonNumber(&row, v);
+}
+
+void BenchJson::Str(const std::string& key, const std::string& v) {
+  if (rows_.empty()) BeginRow();
+  std::string& row = rows_.back();
+  if (!row.empty()) row += ",";
+  row += "\"" + telemetry::JsonEscape(key) + "\":\"" +
+         telemetry::JsonEscape(v) + "\"";
+}
+
+void BenchJson::Write() const {
+  if (name_.empty()) return;
+  std::string path;
+  const char* dir = getenv("FSDM_BENCH_JSON_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/";
+  }
+  path += "BENCH_" + name_ + ".json";
+
+  std::string out = "{\"bench\":\"" + telemetry::JsonEscape(name_) + "\"";
+  out += ",\"docs\":" + std::to_string(docs_);
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{" + rows_[i] + "}";
+  }
+  out += "],\"metrics\":";
+  out += telemetry::MetricsRegistry::Global().ToJson();
+  out += "}\n";
+
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+    return;
+  }
+  fwrite(out.data(), 1, out.size(), f);
+  fclose(f);
 }
 
 std::string Fmt(double v, int decimals) {

@@ -34,13 +34,52 @@ class Timer {
 /// Document count override: FSDM_DOCS=<n> scales every bench. The paper's
 /// absolute scales (100k POs, 64M NOBENCH docs) are CLI-tunable; the
 /// defaults keep a full bench sweep in the minutes range — the figures
-/// compare ratios, not absolute times (§6 note).
+/// compare ratios, not absolute times (§6 note). Also records the resolved
+/// count into the BenchJson sink.
 size_t DocCount(size_t default_count);
 
-/// Aligned table printing for paper-style output.
+/// Aligned table printing for paper-style output. Both calls additionally
+/// mirror into the BenchJson sink, so the machine-readable output tracks
+/// the printed tables without per-bench wiring.
 void PrintHeader(const std::vector<std::string>& cols);
 void PrintRow(const std::vector<std::string>& cells);
 std::string Fmt(double v, int decimals = 2);
+
+/// Machine-readable bench output: a process-global sink that mirrors every
+/// printed table row and, at exit, writes
+///   BENCH_<name>.json = {"bench": <name>, "docs": N,
+///                        "rows": [{<header col>: <cell>, ...}, ...],
+///                        "metrics": <MetricsRegistry::ToJson()>}
+/// to the working directory (or $FSDM_BENCH_JSON_DIR when set). Cells that
+/// parse fully as numbers are emitted as JSON numbers, everything else as
+/// strings. Call Init() once near the top of main(); rows recorded through
+/// PrintRow() (or Num()/Str() for benches that format their own output)
+/// are flushed automatically via atexit.
+class BenchJson {
+ public:
+  static BenchJson& Global();
+
+  /// Sets the bench name and registers the atexit writer (idempotent).
+  void Init(const std::string& name);
+  void SetDocs(size_t docs) { docs_ = docs; }
+
+  void SetHeader(std::vector<std::string> cols);
+  /// Records one row keyed by the current header's column names.
+  void AddRowCells(const std::vector<std::string>& cells);
+  /// Manual row construction for benches without PrintRow tables.
+  void BeginRow();
+  void Num(const std::string& key, double v);
+  void Str(const std::string& key, const std::string& v);
+
+  /// Writes BENCH_<name>.json; no-op before Init().
+  void Write() const;
+
+ private:
+  std::string name_;
+  size_t docs_ = 0;
+  std::vector<std::string> header_;
+  std::vector<std::string> rows_;  // encoded JSON object bodies
+};
 
 /// The §6.3 purchase-order dataset in all four storage methods. The TEXT
 /// method is the full document stack (a JsonCollection); BSON/OSON-as-blob

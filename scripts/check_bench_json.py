@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json files emitted by the bench harness.
+
+Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+
+Each file must parse as JSON and carry the harness schema:
+  {"bench": str, "docs": int, "rows": [obj, ...], "metrics":
+   {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+with at least one row and at least one fsdm_-prefixed counter (proof the
+instrumented engine actually ran). Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not valid JSON: {e}")
+
+    for key, want in (("bench", str), ("docs", int), ("rows", list),
+                      ("metrics", dict)):
+        if key not in doc:
+            fail(path, f"missing key '{key}'")
+        if not isinstance(doc[key], want):
+            fail(path, f"'{key}' is {type(doc[key]).__name__}, "
+                       f"expected {want.__name__}")
+    if not doc["bench"]:
+        fail(path, "'bench' is empty")
+    if not doc["rows"]:
+        fail(path, "'rows' is empty — the bench recorded nothing")
+    for i, row in enumerate(doc["rows"]):
+        if not isinstance(row, dict) or not row:
+            fail(path, f"rows[{i}] is not a non-empty object")
+
+    metrics = doc["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(path, f"metrics.{section} missing or not an object")
+    if not any(name.startswith("fsdm_") for name in metrics["counters"]):
+        fail(path, "no fsdm_-prefixed counter in the metrics snapshot")
+    print(f"{path}: ok ({len(doc['rows'])} rows, "
+          f"{len(metrics['counters'])} counters)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("check_bench_json.py", "no files given")
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -71,17 +71,26 @@ size_t JsonCollection::document_count() const {
 // --- DML --------------------------------------------------------------------
 
 Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
+  FSDM_COUNT("fsdm_collection_inserts_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_collection_insert_us");
   return table_->Insert({std::move(key), Value::String(std::move(json_text))});
 }
 
 Result<size_t> JsonCollection::Insert(std::string json_text) {
+  // Delegates to the keyed overload, which carries the telemetry.
   return Insert(Value::Int64(next_auto_key_++), std::move(json_text));
 }
 
-Status JsonCollection::Delete(size_t row_id) { return table_->Delete(row_id); }
+Status JsonCollection::Delete(size_t row_id) {
+  FSDM_COUNT("fsdm_collection_deletes_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_collection_delete_us");
+  return table_->Delete(row_id);
+}
 
 Status JsonCollection::Replace(size_t row_id, Value key,
                                std::string json_text) {
+  FSDM_COUNT("fsdm_collection_replaces_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_collection_replace_us");
   return table_->Replace(
       row_id, {std::move(key), Value::String(std::move(json_text))});
 }
@@ -114,7 +123,8 @@ Status JsonCollection::DmlObserver::OnReplace(size_t, const rdbms::Row&,
 void JsonCollection::InvalidateImc() {
   if (imc_.has_value() && imc_valid_) {
     imc_valid_ = false;
-    ++imc_invalidations_;
+    imc_invalidations_.Add(1);
+    FSDM_COUNT("fsdm_collection_imc_invalidations_total", 1);
   }
 }
 

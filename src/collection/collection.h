@@ -17,6 +17,7 @@
 #include "rdbms/executor.h"
 #include "rdbms/table.h"
 #include "sqljson/operators.h"
+#include "telemetry/telemetry.h"
 
 namespace fsdm::collection {
 
@@ -138,8 +139,12 @@ class JsonCollection {
   bool imc_valid() const { return imc_valid_ && imc_.has_value(); }
   /// Lazily (re)populates the managed store and returns it.
   Result<const imc::ColumnStore*> EnsureImc();
-  /// Number of times DML invalidated a populated store.
-  size_t imc_invalidations() const { return imc_invalidations_; }
+  /// Number of times DML invalidated a populated store. Backed by a
+  /// telemetry::Counter; the engine-wide registry additionally aggregates
+  /// the same events under fsdm_collection_imc_invalidations_total.
+  size_t imc_invalidations() const {
+    return static_cast<size_t>(imc_invalidations_.value());
+  }
   /// Ad-hoc unmanaged store over arbitrary columns (benchmarks comparing
   /// several population sets side by side); not invalidation-tracked.
   Result<imc::ColumnStore> MaterializeColumns(
@@ -200,7 +205,7 @@ class JsonCollection {
   std::optional<imc::ColumnStore> imc_;
   std::vector<std::string> imc_columns_;  // last requested population set
   bool imc_valid_ = false;
-  size_t imc_invalidations_ = 0;
+  telemetry::Counter imc_invalidations_;
   int64_t next_auto_key_ = 1;
   bool detached_ = false;
 };

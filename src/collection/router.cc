@@ -1,9 +1,12 @@
 #include "collection/router.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "collection/collection.h"
+#include "telemetry/telemetry.h"
 
 namespace fsdm::collection {
 
@@ -64,14 +67,46 @@ Result<rdbms::ExprPtr> PredicateExpr(const JsonCollection& coll,
   return rdbms::Cmp(pred.op, std::move(value), rdbms::Lit(*pred.literal));
 }
 
-/// Applies every predicate except `skip` as a Filter over `plan`.
+const char* CompareOpSymbol(rdbms::CompareOp op) {
+  switch (op) {
+    case rdbms::CompareOp::kEq:
+      return "=";
+    case rdbms::CompareOp::kNe:
+      return "<>";
+    case rdbms::CompareOp::kLt:
+      return "<";
+    case rdbms::CompareOp::kLe:
+      return "<=";
+    case rdbms::CompareOp::kGt:
+      return ">";
+    case rdbms::CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string PredicateText(const PathPredicate& p) {
+  if (p.is_existence()) return "exists(" + p.path + ")";
+  return p.path + " " + CompareOpSymbol(p.op) + " " +
+         p.literal->ToDisplayString();
+}
+
+/// Applies every predicate except `skip` as a Filter over `plan`. Each
+/// residual Filter gets its own instrumented span stacked on top of *root,
+/// which on return points at the new tree root.
 Result<rdbms::OperatorPtr> ApplyResiduals(
     const JsonCollection& coll, rdbms::OperatorPtr plan,
-    const std::vector<PathPredicate>& predicates, const PathPredicate* skip) {
+    const std::vector<PathPredicate>& predicates, const PathPredicate* skip,
+    std::unique_ptr<telemetry::OperatorSpan>* root) {
   for (const PathPredicate& p : predicates) {
     if (&p == skip) continue;
     FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr expr, PredicateExpr(coll, p));
-    plan = rdbms::Filter(std::move(plan), std::move(expr));
+    std::unique_ptr<telemetry::OperatorSpan> span =
+        telemetry::MakeSpan("Filter", PredicateText(p));
+    plan = rdbms::Instrument(rdbms::Filter(std::move(plan), std::move(expr)),
+                             span.get());
+    span->children.push_back(std::move(*root));
+    *root = std::move(span);
   }
   return plan;
 }
@@ -83,12 +118,42 @@ Result<RoutedPlan> RoutePredicates(
   const dataguide::DataGuide& guide = coll.dataguide();
   const uint64_t docs = guide.document_count();
 
+  RoutedPlan routed;
+  telemetry::RouterDecision& decision = routed.trace.decision;
+  decision.candidates.resize(4);
+  telemetry::RouterCandidate& imc_cand = decision.candidates[0];
+  telemetry::RouterCandidate& value_cand = decision.candidates[1];
+  telemetry::RouterCandidate& path_cand = decision.candidates[2];
+  telemetry::RouterCandidate& full_cand = decision.candidates[3];
+  imc_cand.access_path = AccessPathName(AccessPath::kImcFilterScan);
+  value_cand.access_path = AccessPathName(AccessPath::kIndexedValueScan);
+  path_cand.access_path = AccessPathName(AccessPath::kIndexedPathScan);
+  full_cand.access_path = AccessPathName(AccessPath::kFullScan);
+  // Tiers past the winner are never inspected; they keep this default.
+  imc_cand.detail = value_cand.detail = path_cand.detail = "not evaluated";
+  full_cand.eligible = true;
+  full_cand.detail = "always applicable";
+
+  // Marks tier `idx` as the winner and freezes the legacy reason string.
+  auto finish = [&](size_t idx, AccessPath path, std::string reason) {
+    decision.candidates[idx].eligible = true;
+    decision.candidates[idx].chosen = true;
+    decision.winner = AccessPathName(path);
+    decision.reason = reason;
+    routed.access_path = path;
+    routed.reason = std::move(reason);
+  };
+
   // 1. Vectorized IMC scan: every conjunct compares a path whose
   //    JSON_VALUE virtual column sits in a *valid* (not DML-invalidated)
   //    managed store. Population state is a routing input, so a stale
   //    store silently falls through to the document-based paths.
   const imc::ColumnStore* store = coll.imc();
-  if (store != nullptr && !predicates.empty()) {
+  if (store == nullptr) {
+    imc_cand.detail = "no valid IMC store";
+  } else if (predicates.empty()) {
+    imc_cand.detail = "no predicates to push into the store";
+  } else {
     std::vector<imc::ColumnStore::Predicate> column_preds;
     bool all_materialized = true;
     for (const PathPredicate& p : predicates) {
@@ -96,21 +161,31 @@ Result<RoutedPlan> RoutePredicates(
           p.is_existence() ? nullptr : coll.VirtualColumnFor(p.path);
       if (vc == nullptr || store->column(*vc) == nullptr) {
         all_materialized = false;
+        imc_cand.detail =
+            "path " + p.path + " not materialized as a virtual column";
         break;
       }
       column_preds.push_back({*vc, p.op, *p.literal});
     }
     if (all_materialized) {
+      telemetry::Stopwatch route_scan;
       FSDM_ASSIGN_OR_RETURN(
           std::vector<rdbms::Row> rows,
           store->FilterScan(column_preds, store->column_names()));
-      RoutedPlan routed;
-      routed.access_path = AccessPath::kImcFilterScan;
-      routed.plan = rdbms::Values(rdbms::Schema(store->column_names()),
-                                  std::move(rows));
-      routed.reason =
-          "all predicate paths materialized as virtual columns in a valid "
-          "IMC store; vectorized FilterScan";
+      char stats[96];
+      std::snprintf(stats, sizeof(stats),
+                    "vectorized FilterScan at route time: %zu rows in %.1f us",
+                    rows.size(), route_scan.ElapsedUs());
+      imc_cand.detail = stats;
+      std::unique_ptr<telemetry::OperatorSpan> root =
+          telemetry::MakeSpan("ImcFilterScan", stats);
+      routed.plan = rdbms::Instrument(
+          rdbms::Values(rdbms::Schema(store->column_names()), std::move(rows)),
+          root.get());
+      routed.trace.root = std::move(root);
+      finish(0, AccessPath::kImcFilterScan,
+             "all predicate paths materialized as virtual columns in a valid "
+             "IMC store; vectorized FilterScan");
       return routed;
     }
   }
@@ -118,6 +193,9 @@ Result<RoutedPlan> RoutePredicates(
   const index::JsonSearchIndex* index = coll.search_index();
   const bool postings =
       index != nullptr && coll.options_.index_options.maintain_postings;
+  if (!postings) {
+    value_cand.detail = path_cand.detail = "no search index postings maintained";
+  }
 
   if (postings) {
     // 2. Value postings: the most selective equality (lowest DataGuide
@@ -134,19 +212,26 @@ Result<RoutedPlan> RoutePredicates(
       }
     }
     if (best_eq != nullptr) {
-      rdbms::OperatorPtr scan = index::IndexedValueScan(
-          coll.table(), index, best_eq->path, *best_eq->literal);
+      value_cand.detail = "DataGuide frequency " + std::to_string(best_eq_freq) +
+                          "/" + std::to_string(docs) + " on " + best_eq->path;
+      std::unique_ptr<telemetry::OperatorSpan> root = telemetry::MakeSpan(
+          "IndexedValueScan", PredicateText(*best_eq));
+      rdbms::OperatorPtr scan = rdbms::Instrument(
+          index::IndexedValueScan(coll.table(), index, best_eq->path,
+                                  *best_eq->literal),
+          root.get());
       FSDM_ASSIGN_OR_RETURN(
           rdbms::OperatorPtr plan,
-          ApplyResiduals(coll, std::move(scan), predicates, best_eq));
-      RoutedPlan routed;
-      routed.access_path = AccessPath::kIndexedValueScan;
+          ApplyResiduals(coll, std::move(scan), predicates, best_eq, &root));
       routed.plan = std::move(plan);
-      routed.reason = "equality on scalar path " + best_eq->path +
-                      " (DataGuide frequency " + std::to_string(best_eq_freq) +
-                      "/" + std::to_string(docs) + "); value postings";
+      routed.trace.root = std::move(root);
+      finish(1, AccessPath::kIndexedValueScan,
+             "equality on scalar path " + best_eq->path +
+                 " (DataGuide frequency " + std::to_string(best_eq_freq) + "/" +
+                 std::to_string(docs) + "); value postings");
       return routed;
     }
+    value_cand.detail = "no equality on a DataGuide-known scalar path";
 
     // 3. Path postings: the most selective existence test. A path present
     //    in at most half the documents (or unknown to the guide) is worth
@@ -162,33 +247,42 @@ Result<RoutedPlan> RoutePredicates(
       }
     }
     if (best_exists != nullptr) {
-      rdbms::OperatorPtr scan =
-          index::IndexedPathScan(coll.table(), index, best_exists->path);
-      FSDM_ASSIGN_OR_RETURN(
-          rdbms::OperatorPtr plan,
-          ApplyResiduals(coll, std::move(scan), predicates, best_exists));
-      RoutedPlan routed;
-      routed.access_path = AccessPath::kIndexedPathScan;
+      path_cand.detail = "DataGuide frequency " +
+                         std::to_string(best_exists_freq) + "/" +
+                         std::to_string(docs) + " on " + best_exists->path;
+      std::unique_ptr<telemetry::OperatorSpan> root = telemetry::MakeSpan(
+          "IndexedPathScan", PredicateText(*best_exists));
+      rdbms::OperatorPtr scan = rdbms::Instrument(
+          index::IndexedPathScan(coll.table(), index, best_exists->path),
+          root.get());
+      FSDM_ASSIGN_OR_RETURN(rdbms::OperatorPtr plan,
+                            ApplyResiduals(coll, std::move(scan), predicates,
+                                           best_exists, &root));
       routed.plan = std::move(plan);
-      routed.reason = "sparse path " + best_exists->path +
-                      " (DataGuide frequency " +
-                      std::to_string(best_exists_freq) + "/" +
-                      std::to_string(docs) + "); path postings";
+      routed.trace.root = std::move(root);
+      finish(2, AccessPath::kIndexedPathScan,
+             "sparse path " + best_exists->path + " (DataGuide frequency " +
+                 std::to_string(best_exists_freq) + "/" + std::to_string(docs) +
+                 "); path postings");
       return routed;
     }
+    path_cand.detail = "no sufficiently sparse existence predicate";
   }
 
   // 4. Baseline: full table scan with JSON_EXISTS/JSON_VALUE filters.
+  std::unique_ptr<telemetry::OperatorSpan> root =
+      telemetry::MakeSpan("Scan", coll.name());
+  rdbms::OperatorPtr scan = rdbms::Instrument(coll.Scan(), root.get());
   FSDM_ASSIGN_OR_RETURN(
       rdbms::OperatorPtr plan,
-      ApplyResiduals(coll, coll.Scan(), predicates, /*skip=*/nullptr));
-  RoutedPlan routed;
-  routed.access_path = AccessPath::kFullScan;
+      ApplyResiduals(coll, std::move(scan), predicates, /*skip=*/nullptr,
+                     &root));
   routed.plan = std::move(plan);
-  routed.reason =
-      predicates.empty()
-          ? "no predicates; full scan"
-          : "no selective index or materialized column applies; full scan";
+  routed.trace.root = std::move(root);
+  finish(3, AccessPath::kFullScan,
+         predicates.empty()
+             ? "no predicates; full scan"
+             : "no selective index or materialized column applies; full scan");
   return routed;
 }
 

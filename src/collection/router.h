@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "rdbms/executor.h"
+#include "telemetry/trace.h"
 
 namespace fsdm::collection {
 
@@ -59,7 +60,14 @@ struct PathPredicate {
 struct RoutedPlan {
   AccessPath access_path = AccessPath::kFullScan;
   rdbms::OperatorPtr plan;
+  /// Legacy one-line explanation; identical to trace.decision.reason.
   std::string reason;
+  /// EXPLAIN ANALYZE trace: the router's full candidate ranking plus one
+  /// OperatorSpan per plan node. The spans fill in (rows, elapsed time) as
+  /// `plan` executes, so call trace.Render() after draining the plan. The
+  /// trace owns the spans the operators point into — keep the RoutedPlan
+  /// alive while the plan runs (moving it is fine; spans are stable).
+  telemetry::QueryTrace trace;
 };
 
 /// Chooses an access path for the conjunction of `predicates` over `coll`

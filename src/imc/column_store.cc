@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "telemetry/telemetry.h"
+
 namespace fsdm::imc {
 
 namespace {
@@ -289,6 +291,8 @@ size_t ColumnVector::MemoryBytes() const {
 
 Result<ColumnStore> ColumnStore::Populate(
     const rdbms::Table& table, const std::vector<std::string>& columns) {
+  FSDM_COUNT("fsdm_imc_populations_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_imc_populate_us");
   ColumnStore store;
   store.names_ = columns;
   std::vector<std::vector<Value>> data(columns.size());
@@ -317,6 +321,8 @@ Result<ColumnStore> ColumnStore::Populate(
     store.columns_.push_back(ColumnVector::Build(std::move(data[c])));
     store.index_[columns[c]] = c;
   }
+  FSDM_COUNT("fsdm_imc_populated_rows_total", store.row_count_);
+  FSDM_GAUGE_SET("fsdm_imc_bytes", store.MemoryBytes());
   return store;
 }
 
@@ -378,6 +384,7 @@ rdbms::OperatorPtr ColumnStore::Scan(std::vector<std::string> columns) const {
 
 Result<std::vector<uint32_t>> ColumnStore::FilterPositions(
     const std::vector<Predicate>& predicates) const {
+  FSDM_COUNT("fsdm_imc_filter_scans_total", 1);
   std::vector<uint32_t> sel;
   bool first = true;
   std::vector<uint32_t> next;
@@ -385,6 +392,8 @@ Result<std::vector<uint32_t>> ColumnStore::FilterPositions(
     const ColumnVector* col = column(p.column);
     if (col == nullptr) return Status::NotFound("IMC column " + p.column);
     next.clear();
+    // Each FilterCompare pass is one vectorized batch over the column.
+    FSDM_COUNT("fsdm_imc_scan_batches_total", 1);
     FSDM_RETURN_NOT_OK(
         col->FilterCompare(p.op, p.literal, first ? nullptr : &sel, &next));
     sel = std::move(next);
@@ -396,6 +405,7 @@ Result<std::vector<uint32_t>> ColumnStore::FilterPositions(
     sel.resize(row_count_);
     for (uint32_t i = 0; i < row_count_; ++i) sel[i] = i;
   }
+  FSDM_COUNT("fsdm_imc_scan_rows_total", sel.size());
   return sel;
 }
 

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "json/parser.h"
+#include "telemetry/telemetry.h"
 
 namespace fsdm::index {
 
@@ -11,12 +12,18 @@ namespace {
 
 void InsertPosting(std::vector<size_t>* postings, size_t row_id) {
   auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
-  if (it == postings->end() || *it != row_id) postings->insert(it, row_id);
+  if (it == postings->end() || *it != row_id) {
+    postings->insert(it, row_id);
+    FSDM_COUNT("fsdm_index_postings_appended_total", 1);
+  }
 }
 
 void ErasePosting(std::vector<size_t>* postings, size_t row_id) {
   auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
-  if (it != postings->end() && *it == row_id) postings->erase(it);
+  if (it != postings->end() && *it == row_id) {
+    postings->erase(it);
+    FSDM_COUNT("fsdm_index_postings_erased_total", 1);
+  }
 }
 
 }  // namespace
@@ -93,8 +100,16 @@ Status JsonSearchIndex::OnDelete(size_t row_id, const rdbms::Row& row) {
 
 Status JsonSearchIndex::OnReplace(size_t row_id, const rdbms::Row& old_row,
                                   const rdbms::Row& new_row) {
-  FSDM_RETURN_NOT_OK(UnindexDocument(row_id, old_row[json_col_pos_]));
-  return IndexDocument(row_id, new_row[json_col_pos_]);
+  // One replace is one maintenance event: the in_replace_ flag stops the
+  // unindex+index pair below from double-counting as a delete plus an
+  // insert, and the combined latency lands in one histogram observation.
+  FSDM_COUNT("fsdm_index_docs_replaced_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
+  in_replace_ = true;
+  Status st = UnindexDocument(row_id, old_row[json_col_pos_]);
+  if (st.ok()) st = IndexDocument(row_id, new_row[json_col_pos_]);
+  in_replace_ = false;
+  return st;
 }
 
 namespace {
@@ -138,6 +153,20 @@ Status WalkPaths(const json::Dom& dom, json::Dom::NodeRef node,
 }  // namespace
 
 Status JsonSearchIndex::IndexDocument(size_t row_id, const Value& doc) {
+  if (in_replace_) return IndexDocumentImpl(row_id, doc);
+  FSDM_COUNT("fsdm_index_docs_indexed_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
+  return IndexDocumentImpl(row_id, doc);
+}
+
+Status JsonSearchIndex::UnindexDocument(size_t row_id, const Value& doc) {
+  if (in_replace_) return UnindexDocumentImpl(row_id, doc);
+  FSDM_COUNT("fsdm_index_docs_unindexed_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
+  return UnindexDocumentImpl(row_id, doc);
+}
+
+Status JsonSearchIndex::IndexDocumentImpl(size_t row_id, const Value& doc) {
   if (doc.is_null()) return Status::Ok();
   // Reuse the DOM the IS JSON constraint parsed on this DML when
   // available (§3.2.1); otherwise (back-fill path) parse here.
@@ -182,6 +211,7 @@ Status JsonSearchIndex::IndexDocument(size_t row_id, const Value& doc) {
     // the common case terminates after the in-memory structural check.
     if (new_paths > 0) {
       ++dg_writes_;
+      FSDM_COUNT("fsdm_index_dataguide_writes_total", 1);
       for (const dataguide::PathEntry* e : new_entries) {
         FSDM_RETURN_NOT_OK(
             dg_table_
@@ -195,7 +225,7 @@ Status JsonSearchIndex::IndexDocument(size_t row_id, const Value& doc) {
   return Status::Ok();
 }
 
-Status JsonSearchIndex::UnindexDocument(size_t row_id, const Value& doc) {
+Status JsonSearchIndex::UnindexDocumentImpl(size_t row_id, const Value& doc) {
   if (doc.is_null()) return Status::Ok();
   if (options_.maintain_postings) {
     FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> tree,
@@ -231,18 +261,27 @@ Status JsonSearchIndex::UnindexDocument(size_t row_id, const Value& doc) {
 
 std::vector<size_t> JsonSearchIndex::DocsWithPath(
     const std::string& path) const {
+  FSDM_COUNT("fsdm_index_lookups_total", 1);
   auto it = path_postings_.find(path);
-  return it == path_postings_.end() ? std::vector<size_t>{} : it->second;
+  std::vector<size_t> docs =
+      it == path_postings_.end() ? std::vector<size_t>{} : it->second;
+  FSDM_OBSERVE_SIZE("fsdm_index_lookup_postings_len", docs.size());
+  return docs;
 }
 
 std::vector<size_t> JsonSearchIndex::DocsWithValue(const std::string& path,
                                                    const Value& value) const {
+  FSDM_COUNT("fsdm_index_lookups_total", 1);
   auto it = value_postings_.find({path, value.ToDisplayString()});
-  return it == value_postings_.end() ? std::vector<size_t>{} : it->second;
+  std::vector<size_t> docs =
+      it == value_postings_.end() ? std::vector<size_t>{} : it->second;
+  FSDM_OBSERVE_SIZE("fsdm_index_lookup_postings_len", docs.size());
+  return docs;
 }
 
 std::vector<size_t> JsonSearchIndex::DocsWithKeyword(
     const std::string& path, const std::string& keyword) const {
+  FSDM_COUNT("fsdm_index_lookups_total", 1);
   std::vector<std::string> tokens = TokenizeKeywords(keyword);
   if (tokens.empty()) return {};
   // Conjunction over the keyword's tokens.
@@ -259,6 +298,7 @@ std::vector<size_t> JsonSearchIndex::DocsWithKeyword(
       acc = std::move(merged);
     }
   }
+  FSDM_OBSERVE_SIZE("fsdm_index_lookup_postings_len", acc.size());
   return acc;
 }
 

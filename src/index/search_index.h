@@ -95,8 +95,14 @@ class JsonSearchIndex final : public rdbms::TableObserver {
   JsonSearchIndex(rdbms::Table* table, size_t json_col_pos, Options options)
       : table_(table), json_col_pos_(json_col_pos), options_(options) {}
 
+  /// Telemetry wrappers around the *Impl workers: count one document and
+  /// record one maintenance-latency observation per DML event. OnReplace
+  /// sets in_replace_ so the unindex+index pair inside a replace reports
+  /// as a single replace, not a delete+insert (ISSUE 2 satellite fix).
   Status IndexDocument(size_t row_id, const Value& doc);
   Status UnindexDocument(size_t row_id, const Value& doc);
+  Status IndexDocumentImpl(size_t row_id, const Value& doc);
+  Status UnindexDocumentImpl(size_t row_id, const Value& doc);
 
   rdbms::Table* table_;
   size_t json_col_pos_;  // position within the physical row
@@ -117,6 +123,7 @@ class JsonSearchIndex final : public rdbms::TableObserver {
   std::unique_ptr<rdbms::Table> dg_table_;
   size_t indexed_docs_ = 0;
   size_t dg_writes_ = 0;
+  bool in_replace_ = false;
   bool detached_ = false;
 };
 

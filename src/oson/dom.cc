@@ -4,6 +4,7 @@
 #include "common/varint.h"
 #include "oson/format.h"
 #include "oson/oson.h"
+#include "telemetry/telemetry.h"
 
 namespace fsdm::oson {
 
@@ -206,7 +207,9 @@ std::optional<uint32_t> OsonDom::LookupFieldId(std::string_view name,
   if (ext_dict_ != nullptr) return SharedDictLookupId(*ext_dict_, name, hash);
   // Binary search the hash-id array (sorted by hash, then name).
   uint32_t lo = 0, hi = field_count_;
+  size_t probes = 0;
   while (lo < hi) {
+    ++probes;
     uint32_t mid = lo + (hi - lo) / 2;
     if (FieldHash(mid) < hash) {
       lo = mid + 1;
@@ -214,6 +217,7 @@ std::optional<uint32_t> OsonDom::LookupFieldId(std::string_view name,
       hi = mid;
     }
   }
+  FSDM_OBSERVE_SIZE("fsdm_oson_dict_search_depth", probes);
   // Resolve collisions with a name check over the equal-hash run.
   for (uint32_t i = lo; i < field_count_ && FieldHash(i) == hash; ++i) {
     if (FieldName(i) == name) return i;
@@ -458,6 +462,7 @@ Result<std::unique_ptr<json::JsonNode>> DecodeNode(const OsonDom& dom,
 }  // namespace
 
 Result<std::unique_ptr<json::JsonNode>> Decode(std::string_view bytes) {
+  FSDM_COUNT("fsdm_oson_decodes_total", 1);
   FSDM_ASSIGN_OR_RETURN(OsonDom dom, OsonDom::Open(bytes));
   return DecodeNode(dom, dom.root());
 }

@@ -10,6 +10,7 @@
 #include "oson/format.h"
 #include "oson/oson.h"
 #include "oson/set_encoding.h"
+#include "telemetry/telemetry.h"
 
 namespace fsdm::oson {
 
@@ -333,7 +334,11 @@ Result<std::string> Encode(const json::JsonNode& doc,
     Encoder enc(options, width);
     std::string out;
     Status st = enc.Run(doc, &out);
-    if (st.ok()) return out;
+    if (st.ok()) {
+      FSDM_COUNT("fsdm_oson_encodes_total", 1);
+      FSDM_COUNT("fsdm_oson_encode_bytes_total", out.size());
+      return out;
+    }
     if (st.code() != StatusCode::kOutOfRange) return st;
   }
   return Status::Internal("unreachable");
@@ -347,7 +352,11 @@ Result<std::string> EncodeWithSharedDictionary(
     Encoder enc(options, width, &dict);
     std::string out;
     Status st = enc.Run(doc, &out);
-    if (st.ok()) return out;
+    if (st.ok()) {
+      FSDM_COUNT("fsdm_oson_encodes_total", 1);
+      FSDM_COUNT("fsdm_oson_encode_bytes_total", out.size());
+      return out;
+    }
     if (st.code() != StatusCode::kOutOfRange) return st;
   }
   return Status::Internal("unreachable");

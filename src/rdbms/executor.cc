@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace fsdm::rdbms {
 
@@ -26,6 +28,7 @@ class ScanOp final : public Operator {
       size_t id = next_row_++;
       if (!table_->IsLive(id)) continue;
       FSDM_ASSIGN_OR_RETURN(*out, table_->MaterializeRow(id, include_hidden_));
+      FSDM_COUNT("fsdm_rdbms_scan_rows_total", 1);
       return true;
     }
     return false;
@@ -76,9 +79,13 @@ class FilterOp final : public Operator {
     while (true) {
       FSDM_ASSIGN_OR_RETURN(bool more, child_->Next(out));
       if (!more) return false;
+      FSDM_COUNT("fsdm_rdbms_filter_rows_in_total", 1);
       RowContext ctx{&schema_, out};
       FSDM_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ctx));
-      if (!v.is_null() && v.AsBool()) return true;
+      if (!v.is_null() && v.AsBool()) {
+        FSDM_COUNT("fsdm_rdbms_filter_rows_out_total", 1);
+        return true;
+      }
     }
   }
 
@@ -191,6 +198,7 @@ class SortOp final : public Operator {
   }
 
   Status Open() override {
+    FSDM_TIME_SCOPE_US("fsdm_rdbms_sort_us");
     for (SortKey& k : keys_) FSDM_RETURN_NOT_OK(k.expr->Bind(schema_));
     FSDM_RETURN_NOT_OK(child_->Open());
     rows_.clear();
@@ -210,6 +218,7 @@ class SortOp final : public Operator {
       rows_.push_back(std::move(row));
     }
     child_->Close();
+    FSDM_COUNT("fsdm_rdbms_sort_rows_total", rows_.size());
     std::stable_sort(keyed_.begin(), keyed_.end(),
                      [this](const Keyed& a, const Keyed& b) {
                        for (size_t i = 0; i < keys_.size(); ++i) {
@@ -288,6 +297,7 @@ class HashJoinOp final : public Operator {
   }
 
   Status Open() override {
+    FSDM_TIME_SCOPE_US("fsdm_rdbms_hash_join_build_us");
     for (ExprPtr& e : lkeys_) FSDM_RETURN_NOT_OK(e->Bind(left_->schema()));
     for (ExprPtr& e : rkeys_) FSDM_RETURN_NOT_OK(e->Bind(right_->schema()));
 
@@ -308,6 +318,7 @@ class HashJoinOp final : public Operator {
         key.values.push_back(std::move(v));
       }
       if (has_null) continue;  // NULL keys never join
+      FSDM_COUNT("fsdm_rdbms_hash_join_build_rows_total", 1);
       build_[key].push_back(row);
     }
     right_->Close();
@@ -324,6 +335,7 @@ class HashJoinOp final : public Operator {
         *out = current_left_;
         const Row& r = (*matches_)[match_idx_++];
         out->insert(out->end(), r.begin(), r.end());
+        FSDM_COUNT("fsdm_rdbms_hash_join_rows_out_total", 1);
         return true;
       }
       matches_ = nullptr;
@@ -418,6 +430,7 @@ class GroupByOp final : public Operator {
   }
 
   Status Open() override {
+    FSDM_TIME_SCOPE_US("fsdm_rdbms_group_by_us");
     const Schema& in = child_->schema();
     for (ExprPtr& e : group_by_) FSDM_RETURN_NOT_OK(e->Bind(in));
     for (AggSpec& a : aggregates_) {
@@ -431,6 +444,7 @@ class GroupByOp final : public Operator {
     while (true) {
       FSDM_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
       if (!more) break;
+      FSDM_COUNT("fsdm_rdbms_group_by_rows_in_total", 1);
       RowContext ctx{&in, &row};
       KeyVec key;
       for (const ExprPtr& e : group_by_) {
@@ -453,6 +467,7 @@ class GroupByOp final : public Operator {
           groups_.try_emplace(key, std::vector<AggState>(aggregates_.size()));
       if (inserted) order_.push_back(&*it);
     }
+    FSDM_COUNT("fsdm_rdbms_group_by_groups_total", groups_.size());
     next_ = 0;
     return Status::Ok();
   }
@@ -641,7 +656,50 @@ class WindowLagOp final : public Operator {
   size_t next_ = 0;
 };
 
+/// EXPLAIN ANALYZE probe: accumulates wall time and emitted rows into an
+/// externally owned OperatorSpan. Timing is inclusive — a parent span's
+/// elapsed_us contains its children's, like EXPLAIN ANALYZE "actual time".
+class InstrumentOp final : public Operator {
+ public:
+  InstrumentOp(OperatorPtr child, telemetry::OperatorSpan* span)
+      : child_(std::move(child)), span_(span) {
+    schema_ = child_->schema();
+  }
+
+  Status Open() override {
+    span_->rows_out = 0;
+    span_->elapsed_us = 0;
+    telemetry::Stopwatch w;
+    Status st = child_->Open();
+    span_->elapsed_us += w.ElapsedUs();
+    return st;
+  }
+
+  Result<bool> Next(Row* out) override {
+    telemetry::Stopwatch w;
+    Result<bool> more = child_->Next(out);
+    span_->elapsed_us += w.ElapsedUs();
+    if (more.ok() && more.value()) ++span_->rows_out;
+    return more;
+  }
+
+  void Close() override {
+    telemetry::Stopwatch w;
+    child_->Close();
+    span_->elapsed_us += w.ElapsedUs();
+  }
+
+ private:
+  OperatorPtr child_;
+  telemetry::OperatorSpan* span_;
+};
+
 }  // namespace
+
+OperatorPtr Instrument(OperatorPtr child, telemetry::OperatorSpan* span) {
+  if (span == nullptr) return child;
+  return std::make_unique<InstrumentOp>(std::move(child), span);
+}
 
 OperatorPtr Scan(const Table* table, bool include_hidden) {
   return std::make_unique<ScanOp>(table, include_hidden);

@@ -10,6 +10,10 @@
 #include "rdbms/expression.h"
 #include "rdbms/table.h"
 
+namespace fsdm::telemetry {
+struct OperatorSpan;
+}
+
 namespace fsdm::rdbms {
 
 /// Volcano-style row-source iterator (the paper's row source API [9]:
@@ -112,6 +116,14 @@ OperatorPtr GroupBy(OperatorPtr child, std::vector<ExprPtr> group_by,
 OperatorPtr WindowLag(OperatorPtr child, ExprPtr arg, int64_t offset,
                       ExprPtr default_value, std::vector<SortKey> order_by,
                       std::string output_name);
+
+// --- Telemetry --------------------------------------------------------------
+
+/// Wraps `child` with an EXPLAIN ANALYZE probe: Open/Next/Close wall time
+/// accumulates into span->elapsed_us and emitted rows into span->rows_out
+/// (reset on each Open). The span must outlive the returned operator;
+/// passing nullptr returns `child` unchanged.
+OperatorPtr Instrument(OperatorPtr child, telemetry::OperatorSpan* span);
 
 // --- Helpers ----------------------------------------------------------------
 

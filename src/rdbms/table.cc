@@ -1,6 +1,7 @@
 #include "rdbms/table.h"
 
 #include "json/parser.h"
+#include "telemetry/telemetry.h"
 
 namespace fsdm::rdbms {
 
@@ -75,6 +76,8 @@ Status Table::ValidateRow(const Row& physical_values) {
       // The IS JSON check constraint: full syntactic validation. The
       // parsed DOM is kept through the observer callbacks so index and
       // DataGuide maintenance reuse this parse (§3.2.1).
+      FSDM_COUNT("fsdm_rdbms_isjson_checks_total", 1);
+      FSDM_TIME_SCOPE_US("fsdm_rdbms_isjson_check_us");
       Result<std::unique_ptr<json::JsonNode>> parsed =
           json::Parse(v.AsString());
       if (!parsed.ok()) {

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <optional>
 
+#include "telemetry/metrics_table.h"
+
 namespace fsdm::sql {
 
 namespace {
@@ -185,7 +187,17 @@ class Planner {
       return Error("expected table name");
     }
     table_name_ = lex_.Take().text;
-    FSDM_ASSIGN_OR_RETURN(table_, session_->db()->GetTable(table_name_));
+    Result<rdbms::Table*> table_or = session_->db()->GetTable(table_name_);
+    if (table_or.ok()) {
+      table_ = table_or.MoveValue();
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kMetricsTableName)) {
+      // Virtual relation over the process-wide metrics registry; planned
+      // below as a MetricsScan leaf instead of a base-table Scan.
+      table_ = nullptr;
+    } else {
+      return table_or.status();
+    }
 
     ExprPtr where;
     if (lex_.TakeKeyword("WHERE")) {
@@ -259,7 +271,9 @@ class Planner {
 
     // --- Assemble the plan --------------------------------------------------
     bool include_hidden = session_->TableHasOsonRewrites(table_name_);
-    rdbms::OperatorPtr plan = rdbms::Scan(table_, include_hidden);
+    rdbms::OperatorPtr plan = table_ != nullptr
+                                  ? rdbms::Scan(table_, include_hidden)
+                                  : telemetry::MetricsScan();
     if (where) plan = rdbms::Filter(std::move(plan), std::move(where));
 
     bool grouped = !pending_aggs_.empty() || !group_exprs.empty();

@@ -1,0 +1,65 @@
+#include "telemetry/metrics_table.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace fsdm::telemetry {
+
+namespace {
+
+class MetricsScanOp final : public rdbms::Operator {
+ public:
+  MetricsScanOp() {
+    schema_ = rdbms::Schema({"NAME", "KIND", "VALUE", "COUNT", "SUM", "MIN",
+                             "MAX", "P50", "P95", "P99"});
+  }
+
+  Status Open() override {
+    rows_.clear();
+    next_ = 0;
+    const MetricsRegistry& reg = MetricsRegistry::Global();
+    for (const auto& [name, c] : reg.counters()) {
+      rdbms::Row row = {Value::String(name), Value::String("counter"),
+                        Value::Int64(static_cast<int64_t>(c->value()))};
+      row.resize(schema_.size(), Value::Null());
+      rows_.push_back(std::move(row));
+    }
+    for (const auto& [name, g] : reg.gauges()) {
+      rdbms::Row row = {Value::String(name), Value::String("gauge"),
+                        Value::Double(g->value())};
+      row.resize(schema_.size(), Value::Null());
+      rows_.push_back(std::move(row));
+    }
+    for (const auto& [name, h] : reg.histograms()) {
+      rows_.push_back({Value::String(name), Value::String("histogram"),
+                       Value::Null(),
+                       Value::Int64(static_cast<int64_t>(h->count())),
+                       Value::Double(h->sum()), Value::Double(h->min()),
+                       Value::Double(h->max()), Value::Double(h->Percentile(50)),
+                       Value::Double(h->Percentile(95)),
+                       Value::Double(h->Percentile(99))});
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  std::vector<rdbms::Row> rows_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+rdbms::OperatorPtr MetricsScan() { return std::make_unique<MetricsScanOp>(); }
+
+}  // namespace fsdm::telemetry

@@ -1,0 +1,21 @@
+#ifndef FSDM_TELEMETRY_METRICS_TABLE_H_
+#define FSDM_TELEMETRY_METRICS_TABLE_H_
+
+#include "rdbms/executor.h"
+
+namespace fsdm::telemetry {
+
+/// Name under which the SQL mini-engine exposes the metrics relation
+/// (metrics-as-relations: everything observable through SQL, matching the
+/// paper's stance that JSON functionality lives inside the RDBMS).
+inline constexpr const char* kMetricsTableName = "TELEMETRY$METRICS";
+
+/// Row source over a snapshot of MetricsRegistry::Global(), taken at
+/// Open(). Schema: (NAME, KIND, VALUE, COUNT, SUM, MIN, MAX, P50, P95,
+/// P99) — VALUE carries counter/gauge readings, the statistics columns are
+/// non-NULL for histograms only.
+rdbms::OperatorPtr MetricsScan();
+
+}  // namespace fsdm::telemetry
+
+#endif  // FSDM_TELEMETRY_METRICS_TABLE_H_

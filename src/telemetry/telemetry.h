@@ -1,0 +1,241 @@
+#ifndef FSDM_TELEMETRY_TELEMETRY_H_
+#define FSDM_TELEMETRY_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// Engine-wide metrics (ISSUE 2 tentpole): a process-wide registry of
+/// counters, gauges and fixed-bucket latency histograms, cheap enough to
+/// live on DML hot paths. Instrumentation sites use the FSDM_* macros
+/// below, which cache the registry lookup in a function-local static so
+/// the steady-state cost is one pointer indirection plus an add (or a
+/// bucket binary search for histograms).
+///
+/// Compile-time kill switch: configuring with -DFSDM_TELEMETRY=OFF defines
+/// FSDM_TELEMETRY_DISABLED and compiles every macro to nothing — no clock
+/// reads, no registry lookups. The classes themselves stay available (the
+/// per-query EXPLAIN ANALYZE traces in trace.h are explicit API calls, not
+/// background overhead, so they are not gated).
+///
+/// Naming convention: fsdm_<subsystem>_<metric>[_total|_us|_bytes].
+
+namespace fsdm::telemetry {
+
+#if defined(FSDM_TELEMETRY_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic event count. Single-threaded like the engine underneath.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-set instantaneous value (bytes resident, rows populated, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending bucket upper edges, with
+/// an implicit +Inf overflow bucket. Tracks count/sum/min/max exactly;
+/// Percentile(p) interpolates linearly inside the hit bucket (lower edge of
+/// bucket 0 is 0) and clamps to the observed [min, max], so a
+/// single-observation histogram reports that observation for every p.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the +Inf overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Default bucket edges for latency histograms, in microseconds
+/// (1us .. 1s, roughly logarithmic).
+const std::vector<double>& DefaultLatencyBoundsUs();
+/// Default bucket edges for size/depth histograms (powers of two, 1..64k).
+const std::vector<double>& DefaultSizeBounds();
+
+/// Name -> metric maps with stable handle pointers: Reset() zeroes values
+/// but never invalidates a pointer returned by a Get*() call, so the
+/// macros below can cache them in function-local statics.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Created with DefaultLatencyBoundsUs() on first use.
+  Histogram* GetHistogram(const std::string& name);
+  /// Created with DefaultSizeBounds() on first use.
+  Histogram* GetSizeHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Read helpers for tests/benches: value (or 0 / nullptr) without
+  /// creating the metric.
+  uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Zeroes every metric; handles stay valid.
+  void Reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,p50,p95,p99}}} — the snapshot BENCH_*.json embeds.
+  std::string ToJson() const;
+  /// Prometheus text exposition (counters/gauges as-is, histograms as
+  /// summaries with p50/p95/p99 quantiles).
+  std::string ToPrometheusText() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Wall-clock stopwatch in microseconds (finer grained than the bench
+/// harness' millisecond Timer).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Observes its scope's elapsed microseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h) {}
+  ~ScopedTimer() {
+    if (h_ != nullptr) h_->Observe(w_.ElapsedUs());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  Stopwatch w_;
+};
+
+/// JSON string escaping shared by ToJson and the bench BENCH_*.json writer.
+std::string JsonEscape(const std::string& s);
+/// Appends a JSON-valid number (integers without a fraction; non-finite
+/// values as 0).
+void AppendJsonNumber(std::string* out, double v);
+
+}  // namespace fsdm::telemetry
+
+#define FSDM_TM_CONCAT_INNER(a, b) a##b
+#define FSDM_TM_CONCAT(a, b) FSDM_TM_CONCAT_INNER(a, b)
+
+#if !defined(FSDM_TELEMETRY_DISABLED)
+
+#define FSDM_COUNT(name, n)                                                  \
+  do {                                                                       \
+    static ::fsdm::telemetry::Counter* FSDM_TM_CONCAT(fsdm_tm_c, __LINE__) = \
+        ::fsdm::telemetry::MetricsRegistry::Global().GetCounter(name);       \
+    FSDM_TM_CONCAT(fsdm_tm_c, __LINE__)->Add(n);                             \
+  } while (0)
+
+#define FSDM_GAUGE_SET(name, v)                                            \
+  do {                                                                     \
+    static ::fsdm::telemetry::Gauge* FSDM_TM_CONCAT(fsdm_tm_g, __LINE__) = \
+        ::fsdm::telemetry::MetricsRegistry::Global().GetGauge(name);       \
+    FSDM_TM_CONCAT(fsdm_tm_g, __LINE__)->Set(static_cast<double>(v));      \
+  } while (0)
+
+#define FSDM_OBSERVE(name, v)                                                  \
+  do {                                                                         \
+    static ::fsdm::telemetry::Histogram* FSDM_TM_CONCAT(fsdm_tm_h,             \
+                                                        __LINE__) =           \
+        ::fsdm::telemetry::MetricsRegistry::Global().GetHistogram(name);       \
+    FSDM_TM_CONCAT(fsdm_tm_h, __LINE__)->Observe(static_cast<double>(v));      \
+  } while (0)
+
+#define FSDM_OBSERVE_SIZE(name, v)                                             \
+  do {                                                                         \
+    static ::fsdm::telemetry::Histogram* FSDM_TM_CONCAT(fsdm_tm_s,             \
+                                                        __LINE__) =           \
+        ::fsdm::telemetry::MetricsRegistry::Global().GetSizeHistogram(name);   \
+    FSDM_TM_CONCAT(fsdm_tm_s, __LINE__)->Observe(static_cast<double>(v));      \
+  } while (0)
+
+/// Times the rest of the enclosing scope into a latency histogram.
+#define FSDM_TIME_SCOPE_US(name)                                               \
+  static ::fsdm::telemetry::Histogram* FSDM_TM_CONCAT(fsdm_tm_th, __LINE__) =  \
+      ::fsdm::telemetry::MetricsRegistry::Global().GetHistogram(name);         \
+  ::fsdm::telemetry::ScopedTimer FSDM_TM_CONCAT(fsdm_tm_ts, __LINE__)(         \
+      FSDM_TM_CONCAT(fsdm_tm_th, __LINE__))
+
+#else  // FSDM_TELEMETRY_DISABLED
+
+#define FSDM_TM_VOID(name, n) \
+  do {                        \
+    if (false) {              \
+      (void)(name);           \
+      (void)(n);              \
+    }                         \
+  } while (0)
+
+#define FSDM_COUNT(name, n) FSDM_TM_VOID(name, n)
+#define FSDM_GAUGE_SET(name, v) FSDM_TM_VOID(name, v)
+#define FSDM_OBSERVE(name, v) FSDM_TM_VOID(name, v)
+#define FSDM_OBSERVE_SIZE(name, v) FSDM_TM_VOID(name, v)
+#define FSDM_TIME_SCOPE_US(name) FSDM_TM_VOID(name, 0)
+
+#endif  // FSDM_TELEMETRY_DISABLED
+
+#endif  // FSDM_TELEMETRY_TELEMETRY_H_

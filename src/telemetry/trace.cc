@@ -1,0 +1,77 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+
+namespace fsdm::telemetry {
+
+uint64_t OperatorSpan::RowsIn() const {
+  uint64_t n = 0;
+  for (const std::unique_ptr<OperatorSpan>& c : children) n += c->rows_out;
+  return n;
+}
+
+std::unique_ptr<OperatorSpan> MakeSpan(std::string name, std::string detail) {
+  auto span = std::make_unique<OperatorSpan>();
+  span->name = std::move(name);
+  span->detail = std::move(detail);
+  return span;
+}
+
+namespace {
+
+std::string FormatUs(double us) {
+  char buf[48];
+  if (us >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", us / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", us);
+  }
+  return buf;
+}
+
+void RenderSpan(const OperatorSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span.name;
+  if (!span.detail.empty()) *out += " (" + span.detail + ")";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  rows_in=%llu rows_out=%llu time=",
+                static_cast<unsigned long long>(span.RowsIn()),
+                static_cast<unsigned long long>(span.rows_out));
+  *out += buf;
+  *out += FormatUs(span.elapsed_us);
+  *out += "\n";
+  for (const std::unique_ptr<OperatorSpan>& c : span.children) {
+    RenderSpan(*c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RouterDecision::Render() const {
+  std::string out = "access path: " + winner + " -- " + reason + "\n";
+  out += "candidates:\n";
+  for (const RouterCandidate& c : candidates) {
+    out += c.chosen ? "  [x] " : (c.eligible ? "  [~] " : "  [ ] ");
+    out += c.access_path;
+    if (out.back() != ' ') out += ' ';
+    // Pad to a fixed column so the details line up.
+    size_t line_start = out.rfind('\n') + 1;
+    size_t width = out.size() - line_start;
+    if (width < 26) out.append(26 - width, ' ');
+    out += c.detail;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string QueryTrace::Render() const {
+  std::string out = "EXPLAIN ANALYZE\n";
+  out += decision.Render();
+  if (root != nullptr) {
+    out += "plan:\n";
+    RenderSpan(*root, 1, &out);
+  }
+  return out;
+}
+
+}  // namespace fsdm::telemetry

@@ -1,0 +1,67 @@
+#ifndef FSDM_TELEMETRY_TRACE_H_
+#define FSDM_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// Per-query EXPLAIN ANALYZE traces (ISSUE 2 tentpole): the router records
+/// its candidate ranking into a RouterDecision, and rdbms::Instrument()
+/// wrappers fill one OperatorSpan per plan node with rows and elapsed time
+/// as the plan executes. Unlike the registry macros these are explicit API
+/// calls on the query path, so they are not gated by FSDM_TELEMETRY.
+
+namespace fsdm::telemetry {
+
+/// One node of the executed operator tree. Span nodes are heap-allocated
+/// (children own their subtrees through unique_ptr), so pointers handed to
+/// rdbms::Instrument stay stable while the owning QueryTrace moves around
+/// inside a RoutedPlan.
+struct OperatorSpan {
+  std::string name;    // "Filter", "IndexedValueScan", ...
+  std::string detail;  // predicate text, posting statistics, ...
+  uint64_t rows_out = 0;
+  /// Inclusive wall time (children's time counts toward their ancestors,
+  /// like EXPLAIN ANALYZE "actual time").
+  double elapsed_us = 0;
+  std::vector<std::unique_ptr<OperatorSpan>> children;
+
+  /// Rows this operator consumed: the sum of its children's rows_out
+  /// (0 for leaves, which read storage directly).
+  uint64_t RowsIn() const;
+};
+
+std::unique_ptr<OperatorSpan> MakeSpan(std::string name,
+                                       std::string detail = "");
+
+/// One access path the router considered, in ranking order.
+struct RouterCandidate {
+  std::string access_path;  // AccessPathName() string
+  bool eligible = false;    // could this path have run the query?
+  bool chosen = false;
+  std::string detail;  // DataGuide statistics / why it was rejected
+};
+
+/// The router's full candidate ranking. `reason` is the legacy one-line
+/// explanation (RoutedPlan::reason renders it unchanged so pre-telemetry
+/// callers and tests keep working); Render() adds the candidate table.
+struct RouterDecision {
+  std::vector<RouterCandidate> candidates;
+  std::string winner;  // AccessPathName() of the chosen path
+  std::string reason;
+  std::string Render() const;
+};
+
+/// Everything EXPLAIN ANALYZE needs for one routed query: the routing
+/// decision plus the instrumented operator tree. Render() after draining
+/// the plan; before execution the spans show zero rows/time.
+struct QueryTrace {
+  RouterDecision decision;
+  std::unique_ptr<OperatorSpan> root;
+  std::string Render() const;
+};
+
+}  // namespace fsdm::telemetry
+
+#endif  // FSDM_TELEMETRY_TRACE_H_

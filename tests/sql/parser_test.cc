@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "telemetry/telemetry.h"
+
 namespace fsdm::sql {
 namespace {
 
@@ -179,6 +181,25 @@ TEST_F(SqlTest, QuotedIdentifiersAndStringEscapes) {
 TEST_F(SqlTest, TableQualifiedColumns) {
   EXPECT_EQ(Q("SELECT PO.DID FROM PO WHERE PO.AMOUNT = 250"),
             std::vector<std::string>{"2"});
+}
+
+TEST_F(SqlTest, TelemetryMetricsVirtualTable) {
+  // The virtual relation works regardless of the FSDM_TELEMETRY kill
+  // switch (only the instrumentation macros are gated), so seed a counter
+  // through the registry API directly.
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("fsdm_test_sql_counter_total")
+      ->Add(5);
+  EXPECT_EQ(Q("SELECT NAME, KIND, VALUE FROM TELEMETRY$METRICS "
+              "WHERE NAME = 'fsdm_test_sql_counter_total'"),
+            std::vector<std::string>{"fsdm_test_sql_counter_total|counter|5"});
+  // Case-insensitive like every other table name, and real tables still
+  // shadow nothing: unknown names keep failing.
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM telemetry$metrics "
+              "WHERE KIND = 'counter' AND NAME = 'fsdm_test_sql_counter_total'"),
+            std::vector<std::string>{"1"});
+  SqlSession session(&db_);
+  EXPECT_FALSE(session.Query("SELECT * FROM TELEMETRY$NOPE").ok());
 }
 
 }  // namespace
