@@ -2,9 +2,32 @@
 
 #include <utility>
 
+#include "fault/fault.h"
 #include "json/dom.h"
 
 namespace fsdm::collection {
+
+const char* CollectionHealthName(CollectionHealth health) {
+  switch (health) {
+    case CollectionHealth::kHealthy:
+      return "healthy";
+    case CollectionHealth::kIndexDegraded:
+      return "index-degraded";
+    case CollectionHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+std::string ConsistencyReport::ToString() const {
+  std::string out = consistent ? "CONSISTENT" : "INCONSISTENT";
+  out += ": live_rows=" + std::to_string(live_rows) +
+         " indexed_docs=" + std::to_string(indexed_docs) + "\n";
+  for (const std::string& p : problems) {
+    out += "  - " + p + "\n";
+  }
+  return out;
+}
 
 Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     rdbms::Database* db, const std::string& name,
@@ -29,23 +52,37 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     }
   }
 
-  if (options.install_oson_column) {
-    rdbms::ColumnDef oson;
-    oson.name = kOsonColumnName;
-    oson.type = rdbms::ColumnType::kRaw;
-    oson.hidden = true;
-    oson.virtual_expr = sqljson::OsonConstructor(options.json_column);
-    FSDM_RETURN_NOT_OK(table->AddVirtualColumn(std::move(oson)));
-    coll->oson_column_ = kOsonColumnName;
+  // Wire the rest of the stack. A failure past CreateTable must unwind
+  // completely — detach the half-built collection and drop the table — or
+  // the database is left holding a table with dangling observers.
+  Status wired = [&]() -> Status {
+    if (options.install_oson_column) {
+      FSDM_FAULT_POINT("collection.create.oson_column");
+      rdbms::ColumnDef oson;
+      oson.name = kOsonColumnName;
+      oson.type = rdbms::ColumnType::kRaw;
+      oson.hidden = true;
+      oson.virtual_expr = sqljson::OsonConstructor(options.json_column);
+      FSDM_RETURN_NOT_OK(table->AddVirtualColumn(std::move(oson)));
+      coll->oson_column_ = kOsonColumnName;
+    }
+    if (options.attach_search_index) {
+      FSDM_FAULT_POINT("collection.create.search_index");
+      FSDM_ASSIGN_OR_RETURN(
+          coll->index_,
+          index::JsonSearchIndex::Create(table, options.json_column,
+                                         options.index_options));
+    }
+    coll->dml_observer_ = std::make_unique<DmlObserver>(coll.get());
+    table->AddObserver(coll->dml_observer_.get());
+    return Status::Ok();
+  }();
+  if (!wired.ok()) {
+    coll->Detach();  // before the table goes away
+    (void)db->DropTable(name);
+    return wired;
   }
-  if (options.attach_search_index) {
-    FSDM_ASSIGN_OR_RETURN(
-        coll->index_,
-        index::JsonSearchIndex::Create(table, options.json_column,
-                                       options.index_options));
-  }
-  coll->dml_observer_ = std::make_unique<DmlObserver>(coll.get());
-  table->AddObserver(coll->dml_observer_.get());
+  coll->health();  // publish the initial health gauge
   return coll;
 }
 
@@ -68,9 +105,130 @@ size_t JsonCollection::document_count() const {
   return n;
 }
 
+// --- Health & crash consistency ---------------------------------------------
+
+CollectionHealth JsonCollection::health() const {
+  CollectionHealth h = CollectionHealth::kHealthy;
+  if (quarantined_) {
+    h = CollectionHealth::kQuarantined;
+  } else if (index_ != nullptr && index_->degraded()) {
+    h = CollectionHealth::kIndexDegraded;
+  }
+  FSDM_GAUGE_SET("fsdm_collection_health", static_cast<int64_t>(h));
+  return h;
+}
+
+std::string JsonCollection::health_reason() const {
+  if (quarantined_) return quarantine_reason_;
+  if (index_ != nullptr && index_->degraded()) {
+    return index_->degraded_reason();
+  }
+  return "";
+}
+
+void JsonCollection::Quarantine(std::string reason) {
+  quarantined_ = true;
+  quarantine_reason_ = std::move(reason);
+  health();
+}
+
+Status JsonCollection::RebuildIndex() {
+  if (index_ != nullptr) {
+    Status rebuilt = index_->Rebuild();
+    if (!rebuilt.ok()) {
+      quarantined_ = true;
+      quarantine_reason_ = "index rebuild failed: " + rebuilt.message();
+      health();
+      return rebuilt;
+    }
+  }
+  quarantined_ = false;
+  quarantine_reason_.clear();
+  // The postings were reconstructed from the table the IMC also reads, so
+  // a populated store stays valid; nothing else to heal.
+  health();
+  return Status::Ok();
+}
+
+Status JsonCollection::CheckWritable() const {
+  if (!quarantined_) return Status::Ok();
+  return Status::Unavailable("collection " + name_ +
+                             " quarantined: " + quarantine_reason_);
+}
+
+ConsistencyReport JsonCollection::CheckConsistency() const {
+  FSDM_TIME_SCOPE_US("fsdm_collection_check_consistency_us");
+  ConsistencyReport report;
+  size_t non_null = 0;
+  dataguide::DataGuide shadow;
+  for (size_t r = 0; r < table_->row_count(); ++r) {
+    if (!table_->IsLive(r)) continue;
+    ++report.live_rows;
+    const Value& doc = table_->StoredRow(r)[json_physical_pos_];
+    if (doc.is_null()) continue;
+    ++non_null;
+    Result<int> added = shadow.AddJsonText(doc.AsString());
+    if (!added.ok()) {
+      report.problems.push_back("row " + std::to_string(r) +
+                                " violates IS JSON: " +
+                                added.status().message());
+    }
+  }
+
+  if (index_ != nullptr) {
+    report.indexed_docs = index_->indexed_document_count();
+    if (report.indexed_docs != non_null) {
+      report.problems.push_back(
+          "index reports " + std::to_string(report.indexed_docs) +
+          " indexed documents, table holds " + std::to_string(non_null));
+    }
+    index_->VerifyPostings(&report.problems);
+    const rdbms::Table* dg = index_->dg_table();
+    if (dg != nullptr &&
+        dg->row_count() != index_->dataguide().distinct_path_count()) {
+      report.problems.push_back(
+          "$DG side table has " + std::to_string(dg->row_count()) +
+          " rows, in-memory guide has " +
+          std::to_string(index_->dataguide().distinct_path_count()) +
+          " entries");
+    }
+  }
+
+  // The live guide must cover every observed path. Frequencies may
+  // over-count (rolled-back DML never retracts guide statistics — additive
+  // semantics, §3.4) but never under-count.
+  const dataguide::DataGuide& live_guide = dataguide();
+  for (const dataguide::PathEntry* e : shadow.SortedEntries()) {
+    const dataguide::PathEntry* have =
+        live_guide.Find(e->path, e->kind, e->under_array);
+    if (have == nullptr) {
+      report.problems.push_back("DataGuide missing path " + e->path + " (" +
+                                e->TypeString() + ")");
+    } else if (have->frequency < e->frequency) {
+      report.problems.push_back(
+          "DataGuide path " + e->path + " frequency " +
+          std::to_string(have->frequency) + " < observed " +
+          std::to_string(e->frequency));
+    }
+  }
+
+  if (imc_valid()) {
+    if (imc_->row_count() != report.live_rows) {
+      report.problems.push_back(
+          "IMC holds " + std::to_string(imc_->row_count()) +
+          " rows but table holds " + std::to_string(report.live_rows) +
+          " live rows (missed invalidation)");
+    }
+  }
+
+  report.consistent = report.problems.empty();
+  return report;
+}
+
 // --- DML --------------------------------------------------------------------
 
 Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
+  FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_inserts_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_insert_us");
   return table_->Insert({std::move(key), Value::String(std::move(json_text))});
@@ -82,6 +240,7 @@ Result<size_t> JsonCollection::Insert(std::string json_text) {
 }
 
 Status JsonCollection::Delete(size_t row_id) {
+  FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_deletes_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_delete_us");
   return table_->Delete(row_id);
@@ -89,6 +248,7 @@ Status JsonCollection::Delete(size_t row_id) {
 
 Status JsonCollection::Replace(size_t row_id, Value key,
                                std::string json_text) {
+  FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_replaces_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_replace_us");
   return table_->Replace(
@@ -97,7 +257,13 @@ Status JsonCollection::Replace(size_t row_id, Value key,
 
 // --- Observer ---------------------------------------------------------------
 
+// The DmlObserver keeps the default (no-op) Undo* hooks: IMC invalidation
+// is conservative under rollback — an unnecessarily invalid store only
+// costs a repopulation — and the own-guide is additive like the index's
+// DataGuide (§3.4).
+
 Status JsonCollection::DmlObserver::OnInsert(size_t, const rdbms::Row& row) {
+  FSDM_FAULT_POINT("collection.observer.insert");
   owner_->InvalidateImc();
   if (owner_->index_ == nullptr) {
     return owner_->MaintainOwnGuide(row[owner_->json_physical_pos_]);
@@ -107,12 +273,14 @@ Status JsonCollection::DmlObserver::OnInsert(size_t, const rdbms::Row& row) {
 
 Status JsonCollection::DmlObserver::OnDelete(size_t, const rdbms::Row&) {
   // The DataGuide is additive (§3.4): deletes never remove entries.
+  FSDM_FAULT_POINT("collection.observer.delete");
   owner_->InvalidateImc();
   return Status::Ok();
 }
 
 Status JsonCollection::DmlObserver::OnReplace(size_t, const rdbms::Row&,
                                               const rdbms::Row& new_row) {
+  FSDM_FAULT_POINT("collection.observer.replace");
   owner_->InvalidateImc();
   if (owner_->index_ == nullptr) {
     return owner_->MaintainOwnGuide(new_row[owner_->json_physical_pos_]);

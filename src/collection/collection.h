@@ -26,6 +26,35 @@ namespace fsdm::collection {
 /// through JsonCollection instead of wiring the column by hand.
 inline constexpr const char* kOsonColumnName = "SYS_OSON";
 
+/// Health of the collection's side structures (ISSUE 3 degraded-mode
+/// routing). The numeric values are exported as the
+/// fsdm_collection_health gauge.
+enum class CollectionHealth : int {
+  /// Everything maintained; all access paths available.
+  kHealthy = 0,
+  /// The search index lost a compensation and suspended maintenance: the
+  /// router must not trust posting-backed paths until RebuildIndex().
+  kIndexDegraded = 1,
+  /// RebuildIndex() itself failed: the collection refuses DML
+  /// (Status::Unavailable) until a rebuild succeeds.
+  kQuarantined = 2,
+};
+
+const char* CollectionHealthName(CollectionHealth health);
+
+/// Result of JsonCollection::CheckConsistency(): cross-checks the base
+/// table against every maintained side structure.
+struct ConsistencyReport {
+  bool consistent = false;
+  size_t live_rows = 0;
+  size_t indexed_docs = 0;
+  std::vector<std::string> problems;
+
+  /// Human-readable rendering (one line per problem) for logs and the
+  /// chaos suite's failure artifacts.
+  std::string ToString() const;
+};
+
 struct CollectionOptions {
   /// Key column (NUMBER) and document column (JSON text with IS JSON).
   std::string key_column = "DID";
@@ -87,6 +116,28 @@ class JsonCollection {
     return index_ != nullptr ? index_->dataguide() : own_guide_;
   }
   size_t document_count() const;
+
+  // --- Health & crash consistency ---------------------------------------
+  /// Current health, derived from the quarantine flag and the index's
+  /// degraded state. Also refreshes the fsdm_collection_health gauge.
+  CollectionHealth health() const;
+  /// Why the collection is not healthy; empty when healthy.
+  std::string health_reason() const;
+
+  /// Rebuilds the search index's postings (and DataGuide coverage) from
+  /// the live table rows, healing kIndexDegraded. Failure quarantines the
+  /// collection; a later successful call lifts the quarantine. No-op
+  /// success when no index is attached.
+  Status RebuildIndex();
+
+  /// Ops/test hook: refuse further DML until RebuildIndex() succeeds.
+  void Quarantine(std::string reason);
+
+  /// Cross-checks the base table against every maintained side structure:
+  /// posting lists, indexed-document count, DataGuide (additive semantics:
+  /// guide frequency >= observed frequency), $DG side table, and the IMC
+  /// when populated and valid.
+  ConsistencyReport CheckConsistency() const;
 
   // --- DML --------------------------------------------------------------
   /// Inserts one document; returns the new row id. Runs the IS JSON check,
@@ -190,6 +241,8 @@ class JsonCollection {
   void InvalidateImc();
   Status MaintainOwnGuide(const Value& doc_value);
   std::vector<std::string> DefaultImcColumns() const;
+  /// DML guard: Unavailable while quarantined, OK otherwise.
+  Status CheckWritable() const;
 
   rdbms::Database* db_;
   std::string name_;
@@ -208,6 +261,8 @@ class JsonCollection {
   telemetry::Counter imc_invalidations_;
   int64_t next_auto_key_ = 1;
   bool detached_ = false;
+  bool quarantined_ = false;
+  std::string quarantine_reason_;
 };
 
 }  // namespace fsdm::collection

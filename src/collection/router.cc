@@ -191,10 +191,21 @@ Result<RoutedPlan> RoutePredicates(
   }
 
   const index::JsonSearchIndex* index = coll.search_index();
-  const bool postings =
+  const bool postings_maintained =
       index != nullptr && coll.options_.index_options.maintain_postings;
-  if (!postings) {
+  // Health is a routing input (ISSUE 3): a degraded index's postings may
+  // be missing rows, so both posting tiers drop out and the conjunction
+  // falls through to the always-correct full scan until RebuildIndex().
+  const CollectionHealth health = coll.health();
+  const bool postings =
+      postings_maintained && health == CollectionHealth::kHealthy;
+  if (!postings_maintained) {
     value_cand.detail = path_cand.detail = "no search index postings maintained";
+  } else if (!postings) {
+    value_cand.detail = path_cand.detail =
+        std::string(CollectionHealthName(health)) + ": " +
+        coll.health_reason();
+    FSDM_COUNT("fsdm_router_degraded_fallbacks_total", 1);
   }
 
   if (postings) {
@@ -279,10 +290,17 @@ Result<RoutedPlan> RoutePredicates(
                      &root));
   routed.plan = std::move(plan);
   routed.trace.root = std::move(root);
-  finish(3, AccessPath::kFullScan,
-         predicates.empty()
-             ? "no predicates; full scan"
-             : "no selective index or materialized column applies; full scan");
+  std::string reason;
+  if (predicates.empty()) {
+    reason = "no predicates; full scan";
+  } else if (postings_maintained && !postings) {
+    reason = "posting paths unavailable (" +
+             std::string(CollectionHealthName(health)) + ": " +
+             coll.health_reason() + "); full scan";
+  } else {
+    reason = "no selective index or materialized column applies; full scan";
+  }
+  finish(3, AccessPath::kFullScan, std::move(reason));
   return routed;
 }
 

@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

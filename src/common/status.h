@@ -21,6 +21,7 @@ enum class StatusCode {
   kCorruption,      ///< binary image fails structural validation
   kConstraintViolation,  ///< e.g. IS JSON check constraint rejected a row
   kUnsupported,     ///< valid request outside the implemented subset
+  kUnavailable,     ///< entity exists but refuses service (quarantined)
   kInternal,
 };
 
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,121 @@
+#include "fault/fault.h"
+
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace fsdm::fault {
+
+namespace {
+
+Status MakeStatus(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kParseError:
+      return Status::ParseError(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kConstraintViolation:
+      return Status::ConstraintViolation(std::move(msg));
+    case StatusCode::kUnsupported:
+      return Status::Unsupported(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+  }
+  return Status::Internal(std::move(msg));
+}
+
+}  // namespace
+
+Status FaultPoint::Fire() {
+  if (!armed_) return Status::Ok();
+  ++hits_;
+  bool fire = false;
+  bool disarm_after = false;
+  switch (spec_.mode) {
+    case TriggerMode::kAlways:
+      fire = true;
+      break;
+    case TriggerMode::kOnce:
+      fire = true;
+      disarm_after = true;
+      break;
+    case TriggerMode::kNth:
+      if (hits_ == spec_.nth) {
+        fire = true;
+        disarm_after = true;
+      }
+      break;
+    case TriggerMode::kProbability:
+      fire = rng_.NextBool(spec_.probability);
+      break;
+  }
+  if (!fire) return Status::Ok();
+  ++triggers_;
+  ++armed_triggers_;
+  ++FaultRegistry::Global().triggers_total_;
+  FSDM_COUNT("fsdm_fault_injections_total", 1);
+  if (disarm_after ||
+      (spec_.max_triggers != 0 && armed_triggers_ >= spec_.max_triggers)) {
+    armed_ = false;
+  }
+  return MakeStatus(spec_.code, spec_.message.empty()
+                                    ? "injected fault at " + name_
+                                    : spec_.message);
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultPoint* FaultRegistry::Register(const std::string& name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FaultPoint>(name)).first;
+  }
+  return it->second.get();
+}
+
+void FaultRegistry::Arm(const std::string& name, FaultSpec spec) {
+  FaultPoint* p = Register(name);
+  p->spec_ = std::move(spec);
+  p->hits_ = 0;
+  p->armed_triggers_ = 0;
+  p->rng_ = Rng(p->spec_.seed);
+  p->armed_ = true;
+}
+
+void FaultRegistry::Disarm(const std::string& name) {
+  auto it = points_.find(name);
+  if (it != points_.end()) it->second->armed_ = false;
+}
+
+void FaultRegistry::DisarmAll() {
+  for (auto& [name, p] : points_) p->armed_ = false;
+}
+
+const FaultPoint* FaultRegistry::Find(const std::string& name) const {
+  auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> FaultRegistry::PointNames() const {
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, p] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace fsdm::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "fault/fault.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::imc {
@@ -291,6 +292,8 @@ size_t ColumnVector::MemoryBytes() const {
 
 Result<ColumnStore> ColumnStore::Populate(
     const rdbms::Table& table, const std::vector<std::string>& columns) {
+  // Simulated population failure (e.g. memory pressure) before any work.
+  FSDM_FAULT_POINT("imc.populate");
   FSDM_COUNT("fsdm_imc_populations_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_imc_populate_us");
   ColumnStore store;

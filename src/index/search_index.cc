@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
+#include <utility>
 
+#include "fault/fault.h"
 #include "json/parser.h"
 #include "telemetry/telemetry.h"
 
@@ -91,25 +94,24 @@ void JsonSearchIndex::Detach() {
 }
 
 Status JsonSearchIndex::OnInsert(size_t row_id, const rdbms::Row& row) {
+  if (degraded_) return Status::Ok();  // maintenance suspended until Rebuild
   return IndexDocument(row_id, row[json_col_pos_]);
 }
 
 Status JsonSearchIndex::OnDelete(size_t row_id, const rdbms::Row& row) {
+  if (degraded_) return Status::Ok();
   return UnindexDocument(row_id, row[json_col_pos_]);
 }
 
 Status JsonSearchIndex::OnReplace(size_t row_id, const rdbms::Row& old_row,
                                   const rdbms::Row& new_row) {
-  // One replace is one maintenance event: the in_replace_ flag stops the
-  // unindex+index pair below from double-counting as a delete plus an
-  // insert, and the combined latency lands in one histogram observation.
+  if (degraded_) return Status::Ok();
+  // One replace is one maintenance event: one replaced-docs count and one
+  // combined latency observation, never a delete plus an insert.
   FSDM_COUNT("fsdm_index_docs_replaced_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
-  in_replace_ = true;
-  Status st = UnindexDocument(row_id, old_row[json_col_pos_]);
-  if (st.ok()) st = IndexDocument(row_id, new_row[json_col_pos_]);
-  in_replace_ = false;
-  return st;
+  return ReplaceDocumentImpl(row_id, old_row[json_col_pos_],
+                             new_row[json_col_pos_]);
 }
 
 namespace {
@@ -152,15 +154,109 @@ Status WalkPaths(const json::Dom& dom, json::Dom::NodeRef node,
 
 }  // namespace
 
+Result<JsonSearchIndex::ParsedDoc> JsonSearchIndex::ParseDoc(
+    const Value& doc, bool use_dml_parse) const {
+  ParsedDoc parsed;
+  if (use_dml_parse) {
+    // Reuse the DOM the IS JSON constraint parsed on this DML when
+    // available (§3.2.1); otherwise (back-fill path) parse here.
+    parsed.tree = table_->ParsedJsonForObserver(json_col_pos_);
+    if (parsed.tree != nullptr) return parsed;
+  }
+  FSDM_ASSIGN_OR_RETURN(parsed.owned, json::Parse(doc.AsString()));
+  parsed.tree = parsed.owned.get();
+  return parsed;
+}
+
+Result<JsonSearchIndex::DocPostings> JsonSearchIndex::StagePostings(
+    const json::Dom& dom) const {
+  DocPostings staged;
+  std::string path = "$";
+  Status st = WalkPaths(
+      dom, dom.root(), &path,
+      [&](const std::string& p, json::Dom::NodeRef node) -> Status {
+        staged.paths.push_back(p);
+        if (dom.GetNodeType(node) == json::NodeKind::kScalar) {
+          Value v;
+          FSDM_RETURN_NOT_OK(dom.GetScalarValue(node, &v));
+          if (!v.is_null()) {
+            staged.values.emplace_back(p, v.ToDisplayString());
+            if (v.type() == ScalarType::kString) {
+              for (const std::string& tok : TokenizeKeywords(v.AsString())) {
+                staged.keywords.emplace_back(p, tok);
+              }
+            }
+          }
+        }
+        return Status::Ok();
+      });
+  FSDM_RETURN_NOT_OK(st);
+  return staged;
+}
+
+void JsonSearchIndex::ApplyPostings(const DocPostings& staged, size_t row_id) {
+  for (const std::string& p : staged.paths) {
+    InsertPosting(&path_postings_[p], row_id);
+  }
+  for (const auto& [p, display] : staged.values) {
+    InsertPosting(&value_postings_[{p, display}], row_id);
+  }
+  for (const auto& [p, tok] : staged.keywords) {
+    InsertPosting(&keyword_postings_[{p, tok}], row_id);
+  }
+}
+
+void JsonSearchIndex::ErasePostings(const DocPostings& staged, size_t row_id) {
+  for (const std::string& p : staged.paths) {
+    ErasePosting(&path_postings_[p], row_id);
+  }
+  for (const auto& [p, display] : staged.values) {
+    ErasePosting(&value_postings_[{p, display}], row_id);
+  }
+  for (const auto& [p, tok] : staged.keywords) {
+    ErasePosting(&keyword_postings_[{p, tok}], row_id);
+  }
+}
+
+Status JsonSearchIndex::MaintainDataGuide(const json::Dom& dom) {
+  if (!options_.maintain_dataguide) return Status::Ok();
+  // Fires *before* AddDocument so the in-memory guide and the $DG side
+  // table always move together (their counts are a consistency invariant).
+  FSDM_FAULT_POINT("index.insert.dataguide");
+  std::vector<const dataguide::PathEntry*> new_entries;
+  FSDM_ASSIGN_OR_RETURN(int new_paths,
+                        dataguide_.AddDocument(dom, &new_entries));
+  // Persisting to $DG only happens when structure actually changed —
+  // the common case terminates after the in-memory structural check.
+  if (new_paths > 0) {
+    ++dg_writes_;
+    FSDM_COUNT("fsdm_index_dataguide_writes_total", 1);
+    for (const dataguide::PathEntry* e : new_entries) {
+      Status persisted =
+          dg_table_
+              ->Insert(
+                  {Value::String(e->path), Value::String(e->TypeString())})
+              .status();
+      if (!persisted.ok()) {
+        // AddDocument already taught the in-memory guide these paths, so a
+        // retry sees new_paths == 0 and never re-attempts this write: the
+        // $DG side table is permanently behind unless Rebuild() re-derives
+        // it from the guide. Degrade so that healing path runs.
+        MarkDegraded("$DG persist failed: " + persisted.message());
+        return persisted;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status JsonSearchIndex::IndexDocument(size_t row_id, const Value& doc) {
-  if (in_replace_) return IndexDocumentImpl(row_id, doc);
   FSDM_COUNT("fsdm_index_docs_indexed_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
   return IndexDocumentImpl(row_id, doc);
 }
 
 Status JsonSearchIndex::UnindexDocument(size_t row_id, const Value& doc) {
-  if (in_replace_) return UnindexDocumentImpl(row_id, doc);
   FSDM_COUNT("fsdm_index_docs_unindexed_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
   return UnindexDocumentImpl(row_id, doc);
@@ -168,58 +264,30 @@ Status JsonSearchIndex::UnindexDocument(size_t row_id, const Value& doc) {
 
 Status JsonSearchIndex::IndexDocumentImpl(size_t row_id, const Value& doc) {
   if (doc.is_null()) return Status::Ok();
-  // Reuse the DOM the IS JSON constraint parsed on this DML when
-  // available (§3.2.1); otherwise (back-fill path) parse here.
-  std::unique_ptr<json::JsonNode> owned;
-  const json::JsonNode* tree = table_->ParsedJsonForObserver(json_col_pos_);
-  if (tree == nullptr) {
-    FSDM_ASSIGN_OR_RETURN(owned, json::Parse(doc.AsString()));
-    tree = owned.get();
-  }
-  json::TreeDom dom(tree);
+  FSDM_ASSIGN_OR_RETURN(ParsedDoc parsed, ParseDoc(doc, true));
+  json::TreeDom dom(parsed.tree);
 
+  DocPostings staged;
   if (options_.maintain_postings) {
-    std::string path = "$";
-    Status st = WalkPaths(
-        dom, dom.root(), &path,
-        [&](const std::string& p, json::Dom::NodeRef node) -> Status {
-          InsertPosting(&path_postings_[p], row_id);
-          if (dom.GetNodeType(node) == json::NodeKind::kScalar) {
-            Value v;
-            FSDM_RETURN_NOT_OK(dom.GetScalarValue(node, &v));
-            if (!v.is_null()) {
-              InsertPosting(&value_postings_[{p, v.ToDisplayString()}],
-                            row_id);
-              if (v.type() == ScalarType::kString) {
-                for (const std::string& tok :
-                     TokenizeKeywords(v.AsString())) {
-                  InsertPosting(&keyword_postings_[{p, tok}], row_id);
-                }
-              }
-            }
-          }
-          return Status::Ok();
-        });
-    FSDM_RETURN_NOT_OK(st);
+    FSDM_FAULT_POINT("index.insert.postings");
+    FSDM_ASSIGN_OR_RETURN(staged, StagePostings(dom));
+    ApplyPostings(staged, row_id);
   }
-
-  if (options_.maintain_dataguide) {
-    std::vector<const dataguide::PathEntry*> new_entries;
-    FSDM_ASSIGN_OR_RETURN(int new_paths,
-                          dataguide_.AddDocument(dom, &new_entries));
-    // Persisting to $DG only happens when structure actually changed —
-    // the common case terminates after the in-memory structural check.
-    if (new_paths > 0) {
-      ++dg_writes_;
-      FSDM_COUNT("fsdm_index_dataguide_writes_total", 1);
-      for (const dataguide::PathEntry* e : new_entries) {
-        FSDM_RETURN_NOT_OK(
-            dg_table_
-                ->Insert({Value::String(e->path),
-                          Value::String(e->TypeString())})
-                .status());
+  Status dg = MaintainDataGuide(dom);
+  if (!dg.ok()) {
+    // The postings already landed; take them back out so the failed insert
+    // leaves no trace. If even that compensation fails the postings are
+    // untrustworthy and the index degrades.
+    if (options_.maintain_postings) {
+      Status undone = FSDM_FAULT_STATUS("index.undo.postings");
+      if (undone.ok()) {
+        ErasePostings(staged, row_id);
+      } else {
+        MarkDegraded("insert rollback failed on row " +
+                     std::to_string(row_id) + ": " + undone.message());
       }
     }
+    return dg;
   }
   ++indexed_docs_;
   return Status::Ok();
@@ -228,35 +296,299 @@ Status JsonSearchIndex::IndexDocumentImpl(size_t row_id, const Value& doc) {
 Status JsonSearchIndex::UnindexDocumentImpl(size_t row_id, const Value& doc) {
   if (doc.is_null()) return Status::Ok();
   if (options_.maintain_postings) {
-    FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> tree,
-                          json::Parse(doc.AsString()));
-    json::TreeDom dom(tree.get());
-    std::string path = "$";
-    Status st = WalkPaths(
-        dom, dom.root(), &path,
-        [&](const std::string& p, json::Dom::NodeRef node) -> Status {
-          ErasePosting(&path_postings_[p], row_id);
-          if (dom.GetNodeType(node) == json::NodeKind::kScalar) {
-            Value v;
-            FSDM_RETURN_NOT_OK(dom.GetScalarValue(node, &v));
-            if (!v.is_null()) {
-              ErasePosting(&value_postings_[{p, v.ToDisplayString()}],
-                           row_id);
-              if (v.type() == ScalarType::kString) {
-                for (const std::string& tok :
-                     TokenizeKeywords(v.AsString())) {
-                  ErasePosting(&keyword_postings_[{p, tok}], row_id);
-                }
-              }
-            }
-          }
-          return Status::Ok();
-        });
-    FSDM_RETURN_NOT_OK(st);
+    FSDM_FAULT_POINT("index.remove.postings");
+    FSDM_ASSIGN_OR_RETURN(ParsedDoc parsed, ParseDoc(doc, false));
+    json::TreeDom dom(parsed.tree);
+    FSDM_ASSIGN_OR_RETURN(DocPostings staged, StagePostings(dom));
+    ErasePostings(staged, row_id);
   }
   // The DataGuide is additive: no path removal on delete (§3.4).
   if (indexed_docs_ > 0) --indexed_docs_;
   return Status::Ok();
+}
+
+Status JsonSearchIndex::ReplaceDocumentImpl(size_t row_id,
+                                            const Value& old_doc,
+                                            const Value& new_doc) {
+  // Stage both documents before mutating anything: a failure here (parse
+  // error, injected fault) leaves the index byte-identical, where the old
+  // unindex-then-reindex flow would have lost the old document's postings.
+  FSDM_FAULT_POINT("index.replace.stage");
+  ParsedDoc new_parsed;
+  if (!new_doc.is_null()) {
+    FSDM_ASSIGN_OR_RETURN(new_parsed, ParseDoc(new_doc, true));
+  }
+  DocPostings old_staged;
+  DocPostings new_staged;
+  if (options_.maintain_postings) {
+    if (!old_doc.is_null()) {
+      FSDM_ASSIGN_OR_RETURN(ParsedDoc old_parsed, ParseDoc(old_doc, false));
+      json::TreeDom old_dom(old_parsed.tree);
+      FSDM_ASSIGN_OR_RETURN(old_staged, StagePostings(old_dom));
+    }
+    if (!new_doc.is_null()) {
+      json::TreeDom new_dom(new_parsed.tree);
+      FSDM_ASSIGN_OR_RETURN(new_staged, StagePostings(new_dom));
+    }
+    ErasePostings(old_staged, row_id);
+    ApplyPostings(new_staged, row_id);
+  }
+  Status dg = Status::Ok();
+  if (!new_doc.is_null()) {
+    json::TreeDom new_dom(new_parsed.tree);
+    dg = MaintainDataGuide(new_dom);
+  }
+  if (!dg.ok()) {
+    if (options_.maintain_postings) {
+      Status undone = FSDM_FAULT_STATUS("index.undo.postings");
+      if (undone.ok()) {
+        ErasePostings(new_staged, row_id);
+        ApplyPostings(old_staged, row_id);
+      } else {
+        MarkDegraded("replace rollback failed on row " +
+                     std::to_string(row_id) + ": " + undone.message());
+      }
+    }
+    return dg;
+  }
+  if (!old_doc.is_null() && new_doc.is_null()) {
+    if (indexed_docs_ > 0) --indexed_docs_;
+  } else if (old_doc.is_null() && !new_doc.is_null()) {
+    ++indexed_docs_;
+  }
+  return Status::Ok();
+}
+
+Status JsonSearchIndex::UndoInsert(size_t row_id, const rdbms::Row& row) {
+  if (degraded_) return Status::Ok();
+  const Value& doc = row[json_col_pos_];
+  if (doc.is_null()) return Status::Ok();
+  Status undone = FSDM_FAULT_STATUS("index.undo.postings");
+  if (undone.ok() && options_.maintain_postings) {
+    undone = [&]() -> Status {
+      FSDM_ASSIGN_OR_RETURN(ParsedDoc parsed, ParseDoc(doc, true));
+      json::TreeDom dom(parsed.tree);
+      FSDM_ASSIGN_OR_RETURN(DocPostings staged, StagePostings(dom));
+      ErasePostings(staged, row_id);
+      return Status::Ok();
+    }();
+  }
+  if (!undone.ok()) {
+    MarkDegraded("undo of insert failed on row " + std::to_string(row_id) +
+                 ": " + undone.message());
+    return undone;
+  }
+  if (indexed_docs_ > 0) --indexed_docs_;
+  // DataGuide additions stay (additive semantics, §3.4).
+  return Status::Ok();
+}
+
+Status JsonSearchIndex::UndoDelete(size_t row_id, const rdbms::Row& row) {
+  if (degraded_) return Status::Ok();
+  const Value& doc = row[json_col_pos_];
+  if (doc.is_null()) return Status::Ok();
+  Status undone = FSDM_FAULT_STATUS("index.undo.postings");
+  if (undone.ok() && options_.maintain_postings) {
+    undone = [&]() -> Status {
+      FSDM_ASSIGN_OR_RETURN(ParsedDoc parsed, ParseDoc(doc, false));
+      json::TreeDom dom(parsed.tree);
+      FSDM_ASSIGN_OR_RETURN(DocPostings staged, StagePostings(dom));
+      ApplyPostings(staged, row_id);
+      return Status::Ok();
+    }();
+  }
+  if (!undone.ok()) {
+    MarkDegraded("undo of delete failed on row " + std::to_string(row_id) +
+                 ": " + undone.message());
+    return undone;
+  }
+  ++indexed_docs_;
+  return Status::Ok();
+}
+
+Status JsonSearchIndex::UndoReplace(size_t row_id, const rdbms::Row& old_row,
+                                    const rdbms::Row& new_row) {
+  if (degraded_) return Status::Ok();
+  const Value& old_doc = old_row[json_col_pos_];
+  const Value& new_doc = new_row[json_col_pos_];
+  Status undone = FSDM_FAULT_STATUS("index.undo.postings");
+  if (undone.ok() && options_.maintain_postings) {
+    undone = [&]() -> Status {
+      DocPostings old_staged;
+      DocPostings new_staged;
+      if (!new_doc.is_null()) {
+        FSDM_ASSIGN_OR_RETURN(ParsedDoc parsed, ParseDoc(new_doc, true));
+        json::TreeDom dom(parsed.tree);
+        FSDM_ASSIGN_OR_RETURN(new_staged, StagePostings(dom));
+      }
+      if (!old_doc.is_null()) {
+        FSDM_ASSIGN_OR_RETURN(ParsedDoc parsed, ParseDoc(old_doc, false));
+        json::TreeDom dom(parsed.tree);
+        FSDM_ASSIGN_OR_RETURN(old_staged, StagePostings(dom));
+      }
+      ErasePostings(new_staged, row_id);
+      ApplyPostings(old_staged, row_id);
+      return Status::Ok();
+    }();
+  }
+  if (!undone.ok()) {
+    MarkDegraded("undo of replace failed on row " + std::to_string(row_id) +
+                 ": " + undone.message());
+    return undone;
+  }
+  if (!old_doc.is_null() && new_doc.is_null()) {
+    ++indexed_docs_;
+  } else if (old_doc.is_null() && !new_doc.is_null()) {
+    if (indexed_docs_ > 0) --indexed_docs_;
+  }
+  return Status::Ok();
+}
+
+void JsonSearchIndex::MarkDegraded(std::string reason) {
+  if (!degraded_) {
+    FSDM_COUNT("fsdm_index_degraded_total", 1);
+  }
+  degraded_ = true;
+  degraded_reason_ = std::move(reason);
+}
+
+Status JsonSearchIndex::Rebuild() {
+  // Fires before any mutation: a refused rebuild leaves the index exactly
+  // as it was (still degraded if it was degraded).
+  FSDM_FAULT_POINT("index.rebuild");
+  FSDM_COUNT("fsdm_index_rebuilds_total", 1);
+  FSDM_TIME_SCOPE_US("fsdm_index_rebuild_us");
+  path_postings_.clear();
+  value_postings_.clear();
+  keyword_postings_.clear();
+  indexed_docs_ = 0;
+  Status failure;
+  for (size_t r = 0; r < table_->row_count() && failure.ok(); ++r) {
+    if (!table_->IsLive(r)) continue;
+    const Value& doc = table_->StoredRow(r)[json_col_pos_];
+    if (doc.is_null()) continue;
+    failure = [&]() -> Status {
+      FSDM_ASSIGN_OR_RETURN(ParsedDoc parsed, ParseDoc(doc, false));
+      json::TreeDom dom(parsed.tree);
+      if (options_.maintain_postings) {
+        FSDM_ASSIGN_OR_RETURN(DocPostings staged, StagePostings(dom));
+        ApplyPostings(staged, r);
+      }
+      // Re-run DataGuide maintenance too: documents inserted while the
+      // index was degraded never had their structure guided. Frequencies
+      // may over-count (additive semantics tolerate that).
+      FSDM_RETURN_NOT_OK(MaintainDataGuide(dom));
+      ++indexed_docs_;
+      return Status::Ok();
+    }();
+  }
+  if (failure.ok() && dg_table_ != nullptr) {
+    // Re-derive the $DG side table from the in-memory guide. A failed
+    // persist (or writes skipped while degraded) leaves it behind, and the
+    // known-path fast path above never re-attempts those rows.
+    auto fresh_dg = std::make_unique<rdbms::Table>(
+        table_->name() + "$DG",
+        std::vector<rdbms::ColumnDef>{
+            {.name = "PATH", .type = rdbms::ColumnType::kString},
+            {.name = "TYPE", .type = rdbms::ColumnType::kString}});
+    for (const dataguide::PathEntry* e : dataguide_.SortedEntries()) {
+      failure = fresh_dg
+                    ->Insert({Value::String(e->path),
+                              Value::String(e->TypeString())})
+                    .status();
+      if (!failure.ok()) break;
+    }
+    if (failure.ok()) dg_table_ = std::move(fresh_dg);
+  }
+  if (!failure.ok()) {
+    path_postings_.clear();
+    value_postings_.clear();
+    keyword_postings_.clear();
+    indexed_docs_ = 0;
+    if (!degraded_) FSDM_COUNT("fsdm_index_degraded_total", 1);
+    degraded_ = true;
+    degraded_reason_ = "rebuild failed: " + failure.message();
+    return failure;
+  }
+  degraded_ = false;
+  degraded_reason_.clear();
+  return Status::Ok();
+}
+
+void JsonSearchIndex::VerifyPostings(std::vector<std::string>* problems) const {
+  if (!options_.maintain_postings) return;
+  std::map<std::string, std::vector<size_t>> shadow_paths;
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      shadow_values;
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      shadow_keywords;
+  for (size_t r = 0; r < table_->row_count(); ++r) {
+    if (!table_->IsLive(r)) continue;
+    const Value& doc = table_->StoredRow(r)[json_col_pos_];
+    if (doc.is_null()) continue;
+    Result<ParsedDoc> parsed = ParseDoc(doc, false);
+    if (!parsed.ok()) {
+      problems->push_back("row " + std::to_string(r) + " unparseable: " +
+                          parsed.status().message());
+      continue;
+    }
+    json::TreeDom dom(parsed.value().tree);
+    Result<DocPostings> staged = StagePostings(dom);
+    if (!staged.ok()) {
+      problems->push_back("row " + std::to_string(r) + " unstageable: " +
+                          staged.status().message());
+      continue;
+    }
+    // Sorted-unique insert without the maintenance telemetry counters (a
+    // consistency check must not look like index activity).
+    auto add = [](std::vector<size_t>* postings, size_t row_id) {
+      auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
+      if (it == postings->end() || *it != row_id) postings->insert(it, row_id);
+    };
+    for (const std::string& p : staged.value().paths) {
+      add(&shadow_paths[p], r);
+    }
+    for (const auto& [p, display] : staged.value().values) {
+      add(&shadow_values[{p, display}], r);
+    }
+    for (const auto& [p, tok] : staged.value().keywords) {
+      add(&shadow_keywords[{p, tok}], r);
+    }
+  }
+  // Compare shadow vs live, ignoring keys whose posting list is empty (the
+  // live maps accumulate empty vectors through operator[] on erase paths).
+  auto compare = [&](const auto& live, const auto& shadow,
+                     const auto& render) {
+    for (const auto& [key, docs] : shadow) {
+      auto it = live.find(key);
+      const std::vector<size_t>* have =
+          it == live.end() ? nullptr : &it->second;
+      if (have == nullptr || *have != docs) {
+        problems->push_back("posting " + render(key) + ": index has " +
+                            std::to_string(have ? have->size() : 0) +
+                            " docs, table implies " +
+                            std::to_string(docs.size()));
+      }
+    }
+    for (const auto& [key, docs] : live) {
+      if (docs.empty()) continue;
+      if (!shadow.count(key)) {
+        problems->push_back("posting " + render(key) + ": index has " +
+                            std::to_string(docs.size()) +
+                            " docs, table implies 0 (spurious)");
+      }
+    }
+  };
+  compare(path_postings_, shadow_paths,
+          [](const std::string& k) { return k; });
+  compare(value_postings_, shadow_values,
+          [](const std::pair<std::string, std::string>& k) {
+            return k.first + "=" + k.second;
+          });
+  compare(keyword_postings_, shadow_keywords,
+          [](const std::pair<std::string, std::string>& k) {
+            return k.first + "~" + k.second;
+          });
 }
 
 std::vector<size_t> JsonSearchIndex::DocsWithPath(

@@ -25,6 +25,21 @@ namespace fsdm::index {
 ///
 /// The persistent DataGuide is additive: deletes remove postings but never
 /// remove $DG rows (§3.4).
+///
+/// Failure semantics (ISSUE 3): every maintenance operation stages its
+/// posting keys from the document *before* mutating the maps, so a failure
+/// during staging (parse error, injected fault) leaves the index
+/// byte-identical — in particular a replace is stage-then-swap, never
+/// unindex-then-reindex. When a failure strikes after the postings were
+/// applied (DataGuide persistence) or during a compensation callback from
+/// the table, the index first tries to undo its own partial work; if that
+/// undo itself fails it enters a *degraded* state: all maintenance and
+/// undo callbacks become no-ops (so errors don't cascade), degraded()
+/// turns true, and the router stops trusting the postings until Rebuild()
+/// reconstructs them from the live table rows. DataGuide additions are
+/// never rolled back (additive semantics, §3.4): after a rollback the
+/// guide's frequencies may over-count, which consistency checks must
+/// tolerate as `guide frequency >= observed frequency`.
 class JsonSearchIndex final : public rdbms::TableObserver {
  public:
   struct Options {
@@ -54,6 +69,29 @@ class JsonSearchIndex final : public rdbms::TableObserver {
   Status OnDelete(size_t row_id, const rdbms::Row& row) override;
   Status OnReplace(size_t row_id, const rdbms::Row& old_row,
                    const rdbms::Row& new_row) override;
+  Status UndoInsert(size_t row_id, const rdbms::Row& row) override;
+  Status UndoDelete(size_t row_id, const rdbms::Row& row) override;
+  Status UndoReplace(size_t row_id, const rdbms::Row& old_row,
+                     const rdbms::Row& new_row) override;
+
+  // --- Crash consistency ------------------------------------------------
+  /// True after a compensation failure left the postings untrustworthy.
+  /// While degraded, maintenance is suspended and posting-backed access
+  /// paths must not be used.
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+  /// Test/ops hook: force the degraded state without an actual failure.
+  void MarkDegraded(std::string reason);
+
+  /// Reconstructs the postings (and DataGuide coverage) from the live
+  /// table rows and clears the degraded state. On failure the index stays
+  /// (or becomes) degraded with the failure recorded.
+  Status Rebuild();
+
+  /// Compares the posting maps against a shadow rebuild from the live
+  /// table rows, appending one line per divergence (missing or spurious
+  /// posting) to `problems`. No-op when postings are not maintained.
+  void VerifyPostings(std::vector<std::string>* problems) const;
 
   // --- Ad-hoc queries (JSON_EXISTS / JSON_VALUE / JSON_TEXTCONTAINS
   //     pushdown) --------------------------------------------------------
@@ -95,14 +133,41 @@ class JsonSearchIndex final : public rdbms::TableObserver {
   JsonSearchIndex(rdbms::Table* table, size_t json_col_pos, Options options)
       : table_(table), json_col_pos_(json_col_pos), options_(options) {}
 
+  /// Staged posting keys of one document (the row id is supplied at apply
+  /// time). Staging walks the document without touching the maps; the
+  /// apply/erase phases are then pure in-memory map mutations that cannot
+  /// fail, which is what makes stage-then-swap atomic.
+  struct DocPostings {
+    std::vector<std::string> paths;
+    std::vector<std::pair<std::string, std::string>> values;    // path, display
+    std::vector<std::pair<std::string, std::string>> keywords;  // path, token
+  };
+
+  /// Owns the parse when the IS JSON constraint's DOM was unavailable.
+  struct ParsedDoc {
+    std::unique_ptr<json::JsonNode> owned;
+    const json::JsonNode* tree = nullptr;
+  };
+  /// `doc` must be non-null. When `use_dml_parse`, borrows the DOM the IS
+  /// JSON check already built for the in-flight DML (§3.2.1) if present.
+  Result<ParsedDoc> ParseDoc(const Value& doc, bool use_dml_parse) const;
+
+  Result<DocPostings> StagePostings(const json::Dom& dom) const;
+  void ApplyPostings(const DocPostings& staged, size_t row_id);
+  void ErasePostings(const DocPostings& staged, size_t row_id);
+
+  /// DataGuide + $DG side-table maintenance for one document.
+  Status MaintainDataGuide(const json::Dom& dom);
+
   /// Telemetry wrappers around the *Impl workers: count one document and
-  /// record one maintenance-latency observation per DML event. OnReplace
-  /// sets in_replace_ so the unindex+index pair inside a replace reports
-  /// as a single replace, not a delete+insert (ISSUE 2 satellite fix).
+  /// record one maintenance-latency observation per DML event (a replace
+  /// reports as one replace, not a delete+insert — ISSUE 2 satellite fix).
   Status IndexDocument(size_t row_id, const Value& doc);
   Status UnindexDocument(size_t row_id, const Value& doc);
   Status IndexDocumentImpl(size_t row_id, const Value& doc);
   Status UnindexDocumentImpl(size_t row_id, const Value& doc);
+  Status ReplaceDocumentImpl(size_t row_id, const Value& old_doc,
+                             const Value& new_doc);
 
   rdbms::Table* table_;
   size_t json_col_pos_;  // position within the physical row
@@ -123,8 +188,9 @@ class JsonSearchIndex final : public rdbms::TableObserver {
   std::unique_ptr<rdbms::Table> dg_table_;
   size_t indexed_docs_ = 0;
   size_t dg_writes_ = 0;
-  bool in_replace_ = false;
   bool detached_ = false;
+  bool degraded_ = false;
+  std::string degraded_reason_;
 };
 
 /// Splits a string into lowercase alphanumeric tokens (the tokenizer the

@@ -2,6 +2,7 @@
 
 #include "common/hash.h"
 #include "common/varint.h"
+#include "fault/fault.h"
 #include "oson/format.h"
 #include "oson/oson.h"
 #include "telemetry/telemetry.h"
@@ -27,6 +28,8 @@ Result<OsonDom> OsonDom::Open(std::string_view bytes) {
 
 Result<OsonDom> OsonDom::OpenInternal(std::string_view bytes,
                                       const SharedDictionary* dictionary) {
+  // Simulated read failure before the image is inspected.
+  FSDM_FAULT_POINT("oson.decode.open");
   if (bytes.size() < internal::kHeaderSize) {
     return Status::Corruption("OSON image smaller than header");
   }

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/varint.h"
+#include "fault/fault.h"
 #include "json/parser.h"
 #include "oson/format.h"
 #include "oson/oson.h"
@@ -328,6 +329,8 @@ class Encoder {
 
 Result<std::string> Encode(const json::JsonNode& doc,
                            const EncodeOptions& options) {
+  // Simulated codec failure before any bytes are produced.
+  FSDM_FAULT_POINT("oson.encode");
   // Optimistic narrow-offset encode; fall back to 4-byte offsets when the
   // image is too large.
   for (uint8_t width : {uint8_t{2}, uint8_t{4}}) {

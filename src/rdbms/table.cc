@@ -1,9 +1,41 @@
 #include "rdbms/table.h"
 
+#include "fault/fault.h"
 #include "json/parser.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::rdbms {
+
+namespace {
+
+enum class DmlKind { kInsert, kDelete, kReplace };
+
+/// Compensates a partially fanned-out DML: calls the matching Undo* hook
+/// on the first `completed` observers in reverse registration order. Undo
+/// failures are the observer's to absorb (degraded state); here they are
+/// only counted.
+void RollbackObservers(const std::vector<TableObserver*>& observers,
+                       size_t completed, DmlKind kind, size_t row_id,
+                       const Row& old_row, const Row& new_row) {
+  FSDM_COUNT("fsdm_dml_rollbacks_total", 1);
+  for (size_t j = completed; j-- > 0;) {
+    Status undone;
+    switch (kind) {
+      case DmlKind::kInsert:
+        undone = observers[j]->UndoInsert(row_id, new_row);
+        break;
+      case DmlKind::kDelete:
+        undone = observers[j]->UndoDelete(row_id, old_row);
+        break;
+      case DmlKind::kReplace:
+        undone = observers[j]->UndoReplace(row_id, old_row, new_row);
+        break;
+    }
+    if (!undone.ok()) FSDM_COUNT("fsdm_dml_undo_failures_total", 1);
+  }
+}
+
+}  // namespace
 
 Table::Table(std::string name, std::vector<ColumnDef> columns)
     : name_(std::move(name)), columns_(std::move(columns)) {
@@ -92,19 +124,28 @@ Status Table::ValidateRow(const Row& physical_values) {
 }
 
 Result<size_t> Table::Insert(Row physical_values) {
+  // Simulated storage-layer failure before any side effect.
+  FSDM_FAULT_POINT("table.insert.apply");
   FSDM_RETURN_NOT_OK(ValidateRow(physical_values));
   size_t row_id = rows_.size();
   rows_.push_back(std::move(physical_values));
   live_.push_back(true);
+  Status failure;
+  size_t completed = 0;
   for (TableObserver* obs : observers_) {
-    Status st = obs->OnInsert(row_id, rows_.back());
-    if (!st.ok()) {
-      // Roll the row back so observers and storage stay consistent.
-      rows_.pop_back();
-      live_.pop_back();
-      dml_parsed_.clear();
-      return st;
-    }
+    failure = obs->OnInsert(row_id, rows_.back());
+    if (!failure.ok()) break;
+    ++completed;
+  }
+  if (!failure.ok()) {
+    // All-or-nothing: compensate the observers that already applied, then
+    // roll the row back, so storage and side structures stay consistent.
+    RollbackObservers(observers_, completed, DmlKind::kInsert, row_id,
+                      rows_.back(), rows_.back());
+    rows_.pop_back();
+    live_.pop_back();
+    dml_parsed_.clear();
+    return failure;
   }
   dml_parsed_.clear();
   return row_id;
@@ -120,8 +161,22 @@ Status Table::Delete(size_t row_id) {
   if (row_id >= rows_.size() || !live_[row_id]) {
     return Status::NotFound("row " + std::to_string(row_id));
   }
+  Status failure;
+  size_t completed = 0;
   for (TableObserver* obs : observers_) {
-    FSDM_RETURN_NOT_OK(obs->OnDelete(row_id, rows_[row_id]));
+    failure = obs->OnDelete(row_id, rows_[row_id]);
+    if (!failure.ok()) break;
+    ++completed;
+  }
+  if (failure.ok()) {
+    // Simulated storage-layer failure after the observers committed: the
+    // tombstone "write" fails and every observer must be compensated.
+    failure = FSDM_FAULT_STATUS("table.delete.apply");
+  }
+  if (!failure.ok()) {
+    RollbackObservers(observers_, completed, DmlKind::kDelete, row_id,
+                      rows_[row_id], rows_[row_id]);
+    return failure;
   }
   live_[row_id] = false;
   return Status::Ok();
@@ -132,10 +187,25 @@ Status Table::Replace(size_t row_id, Row physical_values) {
     return Status::NotFound("row " + std::to_string(row_id));
   }
   FSDM_RETURN_NOT_OK(ValidateRow(physical_values));
+  Status failure;
+  size_t completed = 0;
   for (TableObserver* obs : observers_) {
-    FSDM_RETURN_NOT_OK(obs->OnReplace(row_id, rows_[row_id], physical_values));
+    failure = obs->OnReplace(row_id, rows_[row_id], physical_values);
+    if (!failure.ok()) break;
+    ++completed;
+  }
+  if (failure.ok()) {
+    // Simulated storage-layer failure after the observers committed.
+    failure = FSDM_FAULT_STATUS("table.replace.apply");
+  }
+  if (!failure.ok()) {
+    RollbackObservers(observers_, completed, DmlKind::kReplace, row_id,
+                      rows_[row_id], physical_values);
+    dml_parsed_.clear();
+    return failure;
   }
   rows_[row_id] = std::move(physical_values);
+  dml_parsed_.clear();
   return Status::Ok();
 }
 

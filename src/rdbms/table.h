@@ -46,6 +46,16 @@ struct ColumnDef {
 /// Observes row-level changes; the JSON search index (and with it the
 /// persistent DataGuide) registers one of these so index maintenance runs
 /// inside the DML path, as in §3.2.1.
+///
+/// DML over an observed table is all-or-nothing: when an observer (or the
+/// table's own apply step) fails, the table calls the matching Undo* hook
+/// on every observer whose On* callback had already succeeded, in reverse
+/// registration order, before surfacing the error — so the base table and
+/// every maintained side structure end the DML in their pre-DML state.
+/// Undo* must restore the observer's state as of before its On* callback;
+/// an observer whose undo fails must absorb the damage itself (e.g. by
+/// entering a degraded state) — the table only counts the failure
+/// (fsdm_dml_undo_failures_total) and carries on with the rollback.
 class TableObserver {
  public:
   virtual ~TableObserver() = default;
@@ -53,6 +63,26 @@ class TableObserver {
   virtual Status OnDelete(size_t row_id, const Row& row) = 0;
   virtual Status OnReplace(size_t row_id, const Row& old_row,
                            const Row& new_row) = 0;
+
+  /// Compensation hooks; defaults are no-ops for observers whose On*
+  /// effects are conservative under rollback (e.g. cache invalidation).
+  virtual Status UndoInsert(size_t row_id, const Row& row) {
+    (void)row_id;
+    (void)row;
+    return Status::Ok();
+  }
+  virtual Status UndoDelete(size_t row_id, const Row& row) {
+    (void)row_id;
+    (void)row;
+    return Status::Ok();
+  }
+  virtual Status UndoReplace(size_t row_id, const Row& old_row,
+                             const Row& new_row) {
+    (void)row_id;
+    (void)old_row;
+    (void)new_row;
+    return Status::Ok();
+  }
 };
 
 /// Heap row store with typed columns, check constraints, virtual columns

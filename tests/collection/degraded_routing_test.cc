@@ -1,0 +1,263 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "telemetry/telemetry.h"
+
+namespace fsdm::collection {
+namespace {
+
+uint64_t Metric(const std::string& name) {
+  return telemetry::MetricsRegistry::Global().CounterValue(name);
+}
+
+/// DID values (display form) a routed plan emits, sorted.
+std::vector<std::string> DrainKeys(rdbms::Operator* plan) {
+  Result<std::vector<rdbms::Row>> rows = rdbms::Collect(plan);
+  EXPECT_TRUE(rows.ok()) << rows.status().message();
+  std::vector<std::string> keys;
+  if (rows.ok()) {
+    for (const rdbms::Row& row : rows.value()) {
+      keys.push_back(row[0].ToDisplayString());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+class DegradedRoutingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::kEnabled) {
+      GTEST_SKIP() << "built with -DFSDM_FAULTS=OFF";
+    }
+    fault::FaultRegistry::Global().DisarmAll();
+  }
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+
+  rdbms::Database db_;
+};
+
+TEST_F(DegradedRoutingTest, UnrecoverableFaultDegradesThenRebuildHeals) {
+  auto coll_r = JsonCollection::Create(&db_, "DEMO");
+  ASSERT_TRUE(coll_r.ok()) << coll_r.status().message();
+  std::unique_ptr<JsonCollection>& coll = coll_r.value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(coll->Insert("{\"a\": " + std::to_string(i) + "}").ok());
+  }
+  ASSERT_TRUE(coll->Insert("{\"a\": 99, \"rare\": 1}").ok());
+  EXPECT_EQ(coll->health(), CollectionHealth::kHealthy);
+
+  // Healthy: a sparse existence predicate routes to the path postings.
+  auto routed = coll->Route({PathPredicate::Exists("$.rare")});
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.value().access_path, AccessPath::kIndexedPathScan);
+
+  // DataGuide persistence fails on the next insert AND the index's own
+  // compensation fails too: the postings keep a phantom entry for the
+  // rolled-back row, so the index must degrade.
+  fault::FaultRegistry::Global().Arm("index.insert.dataguide",
+                                     fault::FaultSpec::Once());
+  fault::FaultRegistry::Global().Arm("index.undo.postings",
+                                     fault::FaultSpec::Once());
+  uint64_t rollbacks_before = Metric("fsdm_dml_rollbacks_total");
+  Result<size_t> failed = coll->Insert("{\"brandnew\": true}");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(Metric("fsdm_dml_rollbacks_total"), rollbacks_before + 1);
+  EXPECT_EQ(coll->document_count(), 5u);  // the row itself rolled back
+
+  EXPECT_EQ(coll->health(), CollectionHealth::kIndexDegraded);
+  EXPECT_NE(coll->health_reason().find("rollback failed"), std::string::npos);
+  EXPECT_EQ(telemetry::MetricsRegistry::Global().GaugeValue(
+                "fsdm_collection_health"),
+            1.0);
+
+  // Degraded: the router must not trust the postings. The fallback reason
+  // lands in both the candidate table and the plan reason.
+  uint64_t fallbacks_before = Metric("fsdm_router_degraded_fallbacks_total");
+  routed = coll->Route({PathPredicate::Exists("$.rare")});
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.value().access_path, AccessPath::kFullScan);
+  EXPECT_NE(routed.value().reason.find("posting paths unavailable"),
+            std::string::npos);
+  const telemetry::RouterDecision& decision =
+      routed.value().trace.decision;
+  ASSERT_EQ(decision.candidates.size(), 4u);
+  EXPECT_NE(decision.candidates[1].detail.find("index-degraded"),
+            std::string::npos);
+  EXPECT_NE(decision.candidates[2].detail.find("index-degraded"),
+            std::string::npos);
+  EXPECT_EQ(Metric("fsdm_router_degraded_fallbacks_total"),
+            fallbacks_before + 1);
+  // The full scan still answers correctly.
+  EXPECT_EQ(DrainKeys(routed.value().plan.get()).size(), 1u);
+
+  // DML continues while degraded (maintenance suspended, not refused)...
+  ASSERT_TRUE(coll->Insert("{\"a\": 100, \"rare\": 2}").ok());
+  // ...which the consistency check must flag until the index is rebuilt.
+  EXPECT_FALSE(coll->CheckConsistency().consistent);
+
+  ASSERT_TRUE(coll->RebuildIndex().ok());
+  EXPECT_EQ(coll->health(), CollectionHealth::kHealthy);
+  EXPECT_EQ(telemetry::MetricsRegistry::Global().GaugeValue(
+                "fsdm_collection_health"),
+            0.0);
+  ConsistencyReport report = coll->CheckConsistency();
+  EXPECT_TRUE(report.consistent) << report.ToString();
+
+  // Posting routing is restored and agrees with a full scan.
+  routed = coll->Route({PathPredicate::Exists("$.rare")});
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.value().access_path, AccessPath::kIndexedPathScan);
+  std::vector<std::string> indexed_keys =
+      DrainKeys(routed.value().plan.get());
+  rdbms::OperatorPtr full = rdbms::Filter(
+      coll->Scan(), coll->JsonExistsExpr("$.rare").MoveValue());
+  EXPECT_EQ(indexed_keys, DrainKeys(full.get()));
+  EXPECT_EQ(indexed_keys.size(), 2u);
+}
+
+TEST_F(DegradedRoutingTest, DmlFaultsAtTableApplyAreFullyCompensated) {
+  auto coll_r = JsonCollection::Create(&db_, "COMP");
+  ASSERT_TRUE(coll_r.ok());
+  std::unique_ptr<JsonCollection>& coll = coll_r.value();
+  ASSERT_TRUE(coll->Insert("{\"k\": \"alpha\", \"n\": 1}").ok());
+  Result<size_t> target = coll->Insert("{\"k\": \"beta\", \"n\": 2}");
+  ASSERT_TRUE(target.ok());
+
+  // Failed insert: no row, no postings, guide may over-count only.
+  {
+    fault::ScopedFault f("table.insert.apply", fault::FaultSpec::Once());
+    EXPECT_FALSE(coll->Insert("{\"k\": \"gamma\"}").ok());
+  }
+  EXPECT_EQ(coll->document_count(), 2u);
+  EXPECT_TRUE(coll->CheckConsistency().consistent)
+      << coll->CheckConsistency().ToString();
+
+  // Failed delete: observers had already unindexed the doc; the undo path
+  // must reinstate its postings.
+  {
+    fault::ScopedFault f("table.delete.apply", fault::FaultSpec::Once());
+    EXPECT_FALSE(coll->Delete(target.value()).ok());
+  }
+  EXPECT_EQ(coll->document_count(), 2u);
+  EXPECT_EQ(coll->health(), CollectionHealth::kHealthy);
+  EXPECT_TRUE(coll->CheckConsistency().consistent)
+      << coll->CheckConsistency().ToString();
+
+  // Failed replace: stage-then-swap already swapped; undo swaps back.
+  {
+    fault::ScopedFault f("table.replace.apply", fault::FaultSpec::Once());
+    EXPECT_FALSE(coll->Replace(target.value(), Value::Int64(2),
+                               "{\"k\": \"replaced\"}")
+                     .ok());
+  }
+  ConsistencyReport report = coll->CheckConsistency();
+  EXPECT_TRUE(report.consistent) << report.ToString();
+  // The old document is still the queryable one.
+  auto routed = coll->Route({PathPredicate::Compare(
+      "$.k", rdbms::CompareOp::kEq, Value::String("beta"))});
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.value().access_path, AccessPath::kIndexedValueScan);
+  EXPECT_EQ(DrainKeys(routed.value().plan.get()).size(), 1u);
+}
+
+TEST_F(DegradedRoutingTest, RebuildFailureQuarantinesUntilRetrySucceeds) {
+  auto coll_r = JsonCollection::Create(&db_, "QUAR");
+  ASSERT_TRUE(coll_r.ok());
+  std::unique_ptr<JsonCollection>& coll = coll_r.value();
+  ASSERT_TRUE(coll->Insert("{\"x\": 1}").ok());
+
+  fault::FaultRegistry::Global().Arm("index.rebuild",
+                                     fault::FaultSpec::Once());
+  EXPECT_FALSE(coll->RebuildIndex().ok());
+  EXPECT_EQ(coll->health(), CollectionHealth::kQuarantined);
+  EXPECT_NE(coll->health_reason().find("rebuild failed"), std::string::npos);
+  EXPECT_EQ(telemetry::MetricsRegistry::Global().GaugeValue(
+                "fsdm_collection_health"),
+            2.0);
+
+  // Quarantined: every DML is refused with Unavailable.
+  Result<size_t> refused = coll->Insert("{\"x\": 2}");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(coll->Delete(0).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(coll->Replace(0, Value::Int64(1), "{}").code(),
+            StatusCode::kUnavailable);
+
+  // Reads still route (to the full scan, with the quarantine as reason).
+  auto routed = coll->Route({PathPredicate::Exists("$.x")});
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed.value().access_path, AccessPath::kFullScan);
+  EXPECT_NE(routed.value().trace.decision.candidates[1].detail.find(
+                "quarantined"),
+            std::string::npos);
+
+  // A successful rebuild lifts the quarantine.
+  ASSERT_TRUE(coll->RebuildIndex().ok());
+  EXPECT_EQ(coll->health(), CollectionHealth::kHealthy);
+  EXPECT_TRUE(coll->Insert("{\"x\": 2}").ok());
+  EXPECT_TRUE(coll->CheckConsistency().consistent);
+}
+
+TEST_F(DegradedRoutingTest, ExplicitQuarantineRefusesDml) {
+  auto coll_r = JsonCollection::Create(&db_, "OPS");
+  ASSERT_TRUE(coll_r.ok());
+  std::unique_ptr<JsonCollection>& coll = coll_r.value();
+  coll->Quarantine("operator intervention");
+  EXPECT_EQ(coll->health(), CollectionHealth::kQuarantined);
+  EXPECT_EQ(coll->health_reason(), "operator intervention");
+  EXPECT_EQ(coll->Insert("{}").status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(coll->RebuildIndex().ok());
+  EXPECT_TRUE(coll->Insert("{}").ok());
+}
+
+TEST_F(DegradedRoutingTest, CreatePartialFailureDropsTheTable) {
+  for (const char* point :
+       {"collection.create.oson_column", "collection.create.search_index"}) {
+    {
+      fault::ScopedFault f(point, fault::FaultSpec::Once());
+      auto failed = JsonCollection::Create(&db_, "PARTIAL");
+      ASSERT_FALSE(failed.ok()) << point;
+    }
+    // The half-built table must not survive the failed Create...
+    EXPECT_FALSE(db_.GetTable("PARTIAL").ok()) << point;
+    // ...so the same name is immediately reusable.
+    auto retried = JsonCollection::Create(&db_, "PARTIAL");
+    ASSERT_TRUE(retried.ok()) << point;
+    ASSERT_TRUE(retried.value()->Insert("{\"ok\": true}").ok());
+    EXPECT_TRUE(retried.value()->CheckConsistency().consistent);
+    retried.value()->Detach();
+    ASSERT_TRUE(db_.DropTable("PARTIAL").ok());
+  }
+}
+
+TEST_F(DegradedRoutingTest, DetachIsIdempotentAndDivergenceIsDetected) {
+  auto coll_r = JsonCollection::Create(&db_, "DET");
+  ASSERT_TRUE(coll_r.ok());
+  std::unique_ptr<JsonCollection>& coll = coll_r.value();
+  ASSERT_TRUE(coll->Insert("{\"a\": 1}").ok());
+  ASSERT_TRUE(coll->Insert("{\"a\": 2}").ok());
+  EXPECT_TRUE(coll->CheckConsistency().consistent);
+
+  coll->Detach();
+  coll->Detach();  // idempotent
+
+  // DML behind the facade's back is no longer observed: the index misses
+  // the new document, which CheckConsistency must surface.
+  ASSERT_TRUE(
+      db_.GetTable("DET")
+          .value()
+          ->Insert({Value::Int64(3), Value::String("{\"a\": 3}")})
+          .ok());
+  ConsistencyReport report = coll->CheckConsistency();
+  EXPECT_FALSE(report.consistent);
+  EXPECT_EQ(report.live_rows, 3u);
+  EXPECT_EQ(report.indexed_docs, 2u);
+}
+
+}  // namespace
+}  // namespace fsdm::collection

@@ -1,0 +1,192 @@
+#include "fault/fault.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "telemetry/metrics_table.h"
+#include "telemetry/telemetry.h"
+
+namespace fsdm::fault {
+namespace {
+
+// Instrumentation sites under test. The macro caches the point pointer in
+// a function-local static, so each site gets its own named function.
+Status HitStatus() {
+  FSDM_FAULT_POINT("test.status");
+  return Status::Ok();
+}
+
+Result<int> HitResult() {
+  FSDM_FAULT_POINT("test.result");
+  return 42;
+}
+
+Status HitProbe() { return FSDM_FAULT_STATUS("test.probe"); }
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kEnabled) {
+      GTEST_SKIP() << "built with -DFSDM_FAULTS=OFF";
+    }
+    FaultRegistry::Global().DisarmAll();
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisarmedPointIsTransparent) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(HitStatus().ok());
+    Result<int> r = HitResult();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+  }
+}
+
+TEST_F(FaultTest, OnceFiresExactlyOnceThenDisarms) {
+  FaultRegistry::Global().Arm("test.status", FaultSpec::Once());
+  Status st = HitStatus();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("test.status"), std::string::npos);
+  // Self-disarmed: subsequent hits pass.
+  EXPECT_TRUE(HitStatus().ok());
+  EXPECT_TRUE(HitStatus().ok());
+  const FaultPoint* p = FaultRegistry::Global().Find("test.status");
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->armed());
+  EXPECT_EQ(p->triggers(), 1u);
+}
+
+TEST_F(FaultTest, OnceCarriesConfiguredStatusCode) {
+  FaultRegistry::Global().Arm("test.status",
+                              FaultSpec::Once(StatusCode::kUnavailable));
+  EXPECT_EQ(HitStatus().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FaultTest, ResultChannelPropagatesInjectedStatus) {
+  FaultRegistry::Global().Arm("test.result",
+                              FaultSpec::Once(StatusCode::kCorruption));
+  Result<int> r = HitResult();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(HitResult().value(), 42);
+}
+
+TEST_F(FaultTest, NthFailsOnExactlyTheNthHit) {
+  FaultRegistry::Global().Arm("test.status", FaultSpec::Nth(3));
+  EXPECT_TRUE(HitStatus().ok());
+  EXPECT_TRUE(HitStatus().ok());
+  EXPECT_FALSE(HitStatus().ok());
+  // Disarmed after firing.
+  EXPECT_TRUE(HitStatus().ok());
+}
+
+TEST_F(FaultTest, AlwaysFiresUntilDisarmed) {
+  FaultRegistry::Global().Arm("test.status", FaultSpec::Always());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(HitStatus().ok());
+  FaultRegistry::Global().Disarm("test.status");
+  EXPECT_TRUE(HitStatus().ok());
+}
+
+TEST_F(FaultTest, AlwaysWithMaxTriggersSelfDisarms) {
+  FaultSpec spec = FaultSpec::Always();
+  spec.max_triggers = 2;
+  FaultRegistry::Global().Arm("test.status", spec);
+  EXPECT_FALSE(HitStatus().ok());
+  EXPECT_FALSE(HitStatus().ok());
+  EXPECT_TRUE(HitStatus().ok());
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicPerSeed) {
+  auto pattern = [&]() {
+    FaultRegistry::Global().Arm("test.status",
+                                FaultSpec::WithProbability(0.5, 1234));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!HitStatus().ok());
+    FaultRegistry::Global().DisarmAll();
+    return fired;
+  };
+  std::vector<bool> first = pattern();
+  std::vector<bool> second = pattern();
+  EXPECT_EQ(first, second);
+  // Sanity: p=0.5 over 64 hits fires at least once and not always.
+  size_t hits = 0;
+  for (bool b : first) hits += b;
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, 64u);
+}
+
+TEST_F(FaultTest, ProbabilityExtremes) {
+  FaultRegistry::Global().Arm("test.status", FaultSpec::WithProbability(0, 1));
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(HitStatus().ok());
+  FaultRegistry::Global().Arm("test.status",
+                              FaultSpec::WithProbability(1.0, 1));
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(HitStatus().ok());
+}
+
+TEST_F(FaultTest, ProbeFormReturnsStatusWithoutEarlyReturn) {
+  EXPECT_TRUE(HitProbe().ok());
+  FaultRegistry::Global().Arm("test.probe", FaultSpec::Once());
+  EXPECT_FALSE(HitProbe().ok());
+  EXPECT_TRUE(HitProbe().ok());
+}
+
+TEST_F(FaultTest, ArmResetsHitCounterAndCustomMessage) {
+  FaultRegistry::Global().Arm("test.status", FaultSpec::Nth(2));
+  EXPECT_TRUE(HitStatus().ok());
+  // Re-arming restarts the count: the next hit is hit #1 again.
+  FaultSpec spec = FaultSpec::Nth(2);
+  spec.message = "disk on fire";
+  FaultRegistry::Global().Arm("test.status", spec);
+  EXPECT_TRUE(HitStatus().ok());
+  Status st = HitStatus();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "disk on fire");
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnDestruction) {
+  {
+    ScopedFault guard("test.status", FaultSpec::Always());
+    EXPECT_FALSE(HitStatus().ok());
+  }
+  EXPECT_TRUE(HitStatus().ok());
+}
+
+TEST_F(FaultTest, RegistryCatalogListsPoints) {
+  (void)HitStatus();  // force registration
+  std::vector<std::string> names = FaultRegistry::Global().PointNames();
+  bool found = false;
+  for (const std::string& n : names) found |= (n == "test.status");
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FaultTest, TriggersFeedTelemetryAndRegistryTotals) {
+  uint64_t before_registry = FaultRegistry::Global().triggers_total();
+  uint64_t before_metric = telemetry::MetricsRegistry::Global().CounterValue(
+      "fsdm_fault_injections_total");
+  FaultRegistry::Global().Arm("test.status", FaultSpec::Nth(2));
+  EXPECT_TRUE(HitStatus().ok());   // hit 1: armed but not firing
+  EXPECT_FALSE(HitStatus().ok());  // hit 2: fires
+  EXPECT_EQ(FaultRegistry::Global().triggers_total(), before_registry + 1);
+  EXPECT_EQ(telemetry::MetricsRegistry::Global().CounterValue(
+                "fsdm_fault_injections_total"),
+            before_metric + 1);
+}
+
+TEST_F(FaultTest, InjectionCounterVisibleThroughMetricsTable) {
+  FaultRegistry::Global().Arm("test.status", FaultSpec::Once());
+  (void)HitStatus();
+  rdbms::OperatorPtr scan = telemetry::MetricsScan();
+  Result<std::vector<std::string>> rows = rdbms::CollectStrings(scan.get());
+  ASSERT_TRUE(rows.ok());
+  bool found = false;
+  for (const std::string& row : rows.value()) {
+    found |= row.find("fsdm_fault_injections_total") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace fsdm::fault

@@ -1,0 +1,89 @@
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "json/node.h"
+#include "oson/oson.h"
+#include "workloads/generators.h"
+
+namespace fsdm::oson {
+namespace {
+
+/// Corruption smoke fuzz (ISSUE 3 satellite): the decoder must return a
+/// Status for arbitrary byte-flipped or truncated images, never crash or
+/// read out of bounds (the chaos CI job runs this under ASan). Seeds are
+/// fixed so a failure reproduces exactly.
+
+TEST(OsonCorruptionFuzz, HeaderLevelCorruptionIsRejected) {
+  Result<std::string> image = EncodeFromText("{\"a\": [1, \"two\", null]}");
+  ASSERT_TRUE(image.ok());
+  const std::string& bytes = image.value();
+
+  EXPECT_FALSE(Decode("").ok());
+  EXPECT_FALSE(Decode("zz").ok());
+  // Truncated below the fixed header.
+  EXPECT_FALSE(Decode(std::string_view(bytes).substr(0, 3)).ok());
+  // Broken magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x7f;
+  EXPECT_FALSE(Decode(bad_magic).ok());
+  // Unsupported version.
+  std::string bad_version = bytes;
+  bad_version[4] = char(0x7f);
+  EXPECT_FALSE(Decode(bad_version).ok());
+}
+
+TEST(OsonCorruptionFuzz, SeededByteFlipsAndTruncationsNeverCrash) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Rng doc_rng(seed);
+    Rng fuzz_rng(seed * 2654435761u + 1);
+    size_t decoded_ok = 0;
+    size_t rejected = 0;
+    for (int64_t doc_id = 0; doc_id < 8; ++doc_id) {
+      std::string json = workloads::Nobench(&doc_rng, doc_id);
+      Result<std::string> image = EncodeFromText(json);
+      ASSERT_TRUE(image.ok()) << image.status().message();
+      const std::string& bytes = image.value();
+      ASSERT_TRUE(Decode(bytes).ok());  // pristine image round-trips
+
+      for (int k = 0; k < 150; ++k) {
+        std::string corrupted = bytes;
+        switch (fuzz_rng.Uniform(3)) {
+          case 0: {  // single byte flip
+            size_t pos = fuzz_rng.Uniform(corrupted.size());
+            corrupted[pos] ^=
+                static_cast<char>(1 + fuzz_rng.Uniform(255));
+            break;
+          }
+          case 1: {  // burst of flips
+            for (int b = 0; b < 8; ++b) {
+              size_t pos = fuzz_rng.Uniform(corrupted.size());
+              corrupted[pos] ^=
+                  static_cast<char>(1 + fuzz_rng.Uniform(255));
+            }
+            break;
+          }
+          case 2:  // truncation
+            corrupted.resize(fuzz_rng.Uniform(corrupted.size()));
+            break;
+        }
+        // The contract under test: a Status comes back either way; ASan
+        // catches any out-of-bounds read the corrupted offsets provoke.
+        Result<std::unique_ptr<json::JsonNode>> decoded = Decode(corrupted);
+        if (decoded.ok()) {
+          ++decoded_ok;
+        } else {
+          ++rejected;
+          EXPECT_FALSE(decoded.status().message().empty());
+        }
+      }
+    }
+    // Most corruptions must be detected; a benign flip (e.g. inside an
+    // unreferenced dictionary byte) may still decode.
+    EXPECT_GT(rejected, decoded_ok) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fsdm::oson
