@@ -84,9 +84,11 @@ void AccessPathAblation(size_t docs_n) {
   printf("router: %s (%s)\n", collection::AccessPathName(routed.access_path),
          routed.reason.c_str());
   auto [t_index, n3] = time_plan([&] {
-    return coll->Route({collection::PathPredicate::Exists(kRarePath)})
-        .MoveValue()
-        .plan;
+    // Re-route into the outer RoutedPlan: the plan's instrumentation
+    // points into the trace it owns, so the trace must outlive the drain.
+    routed = coll->Route({collection::PathPredicate::Exists(kRarePath)})
+                 .MoveValue();
+    return std::move(routed.plan);
   });
   if (n1 != n3 || n2 != n3) {
     fprintf(stderr, "access paths disagree: %zu %zu %zu\n", n1, n2, n3);

@@ -4,6 +4,7 @@
 
 #include "bson/bson.h"
 #include "oson/oson.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::benchutil {
@@ -68,6 +69,10 @@ BenchJson& BenchJson::Global() {
 void BenchJson::Init(const std::string& name) {
   if (!name_.empty()) return;
   name_ = name;
+  // Benches run with the flight recorder armed: the per-run chrome trace
+  // (TRACE_<name>.json) is part of the machine-readable output, and fig7
+  // doubles as the armed-tracing overhead measurement (DESIGN.md).
+  telemetry::FlightRecorder::Global().Arm();
   atexit(WriteGlobalBenchJson);
 }
 
@@ -76,6 +81,9 @@ void BenchJson::SetHeader(std::vector<std::string> cols) {
 }
 
 void BenchJson::AddRowCells(const std::vector<std::string>& cells) {
+  // One metrics-history tick per printed row: the snapshot ring then holds
+  // per-phase deltas (counter_rates_per_sec in the JSON output).
+  telemetry::MetricsRegistry::Global().TickHistory();
   BeginRow();
   for (size_t i = 0; i < cells.size(); ++i) {
     const std::string key =
@@ -125,6 +133,25 @@ void BenchJson::Write() const {
   }
   out += "],\"metrics\":";
   out += telemetry::MetricsRegistry::Global().ToJson();
+
+  // Whole-run counter rates from the snapshot history (one tick per row);
+  // absent when fewer than two ticks happened.
+  const telemetry::SnapshotHistory& hist =
+      telemetry::MetricsRegistry::Global().history();
+  if (hist.size() >= 2) {
+    const size_t span = hist.size() - 1;
+    out += ",\"history_ticks\":" + std::to_string(hist.size());
+    out += ",\"counter_rates_per_sec\":{";
+    bool first = true;
+    for (const auto& [cname, value] : hist.Newest(0).counters) {
+      (void)value;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + telemetry::JsonEscape(cname) + "\":";
+      telemetry::AppendJsonNumber(&out, hist.CounterRatePerSec(cname, span));
+    }
+    out += "}";
+  }
   out += "}\n";
 
   FILE* f = fopen(path.c_str(), "w");
@@ -134,6 +161,18 @@ void BenchJson::Write() const {
   }
   fwrite(out.data(), 1, out.size(), f);
   fclose(f);
+
+  // The matching flight-recorder dump, next to the BENCH json.
+  if (telemetry::FlightRecorder::Global().armed()) {
+    std::string trace_path;
+    if (dir != nullptr && dir[0] != '\0') {
+      trace_path = std::string(dir) + "/";
+    }
+    trace_path += "TRACE_" + name_ + ".json";
+    if (!telemetry::FlightRecorder::Global().DumpChromeTrace(trace_path)) {
+      fprintf(stderr, "BenchJson: cannot write %s\n", trace_path.c_str());
+    }
+  }
 }
 
 std::string Fmt(double v, int decimals) {

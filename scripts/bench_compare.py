@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compares two sets of BENCH_*.json files and reports metric deltas.
+
+Usage: bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold PCT]
+
+Matches files by name (BENCH_fig7_insert.json etc.), pairs rows by their
+first cell (the row label), and diffs every numeric cell. Prints a per-bench
+table of % change. With --threshold, exits non-zero if any time-like metric
+(a column whose name contains "us", "ms", or "sec") regresses by more than
+PCT percent; other columns are report-only. Without --threshold the script
+always exits 0 (report-only mode, as used in CI).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_dir(path):
+    benches = {}
+    try:
+        names = sorted(os.listdir(path))
+    except OSError as e:
+        print(f"bench_compare: cannot list {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        full = os.path.join(path, name)
+        try:
+            with open(full, encoding="utf-8") as f:
+                benches[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: skipping {full}: {e}", file=sys.stderr)
+    return benches
+
+
+def row_key(row):
+    # The harness emits rows as ordered objects; the first cell is the row
+    # label (mode / query name). Fall back to the whole row repr.
+    for value in row.values():
+        return str(value)
+    return repr(row)
+
+
+def numeric_cells(row):
+    out = {}
+    for key, value in row.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def is_time_metric(column):
+    lowered = column.lower()
+    return any(tok in lowered for tok in ("us", "ms", "sec"))
+
+
+def compare(name, base, cand, threshold):
+    regressions = []
+    base_rows = {row_key(r): r for r in base.get("rows", [])}
+    lines = []
+    for row in cand.get("rows", []):
+        key = row_key(row)
+        if key not in base_rows:
+            lines.append(f"  {key}: new row (no baseline)")
+            continue
+        base_cells = numeric_cells(base_rows[key])
+        for col, value in sorted(numeric_cells(row).items()):
+            if col not in base_cells:
+                continue
+            old = base_cells[col]
+            if old == 0.0:
+                if value != 0.0:
+                    lines.append(f"  {key}.{col}: {old:g} -> {value:g}")
+                continue
+            pct = (value - old) / old * 100.0
+            marker = ""
+            if (threshold is not None and is_time_metric(col)
+                    and pct > threshold):
+                marker = "  <-- REGRESSION"
+                regressions.append(f"{name} {key}.{col} +{pct:.1f}%")
+            if abs(pct) >= 0.05 or marker:
+                lines.append(f"  {key}.{col}: {old:g} -> {value:g} "
+                             f"({pct:+.1f}%){marker}")
+    missing = set(base_rows) - {row_key(r) for r in cand.get("rows", [])}
+    for key in sorted(missing):
+        lines.append(f"  {key}: row missing from candidate")
+    print(name)
+    if lines:
+        print("\n".join(lines))
+    else:
+        print("  no numeric change")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline_dir")
+    ap.add_argument("candidate_dir")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="fail if a time-like metric regresses by more "
+                         "than this percent")
+    args = ap.parse_args()
+
+    base = load_dir(args.baseline_dir)
+    cand = load_dir(args.candidate_dir)
+    if not base:
+        print(f"bench_compare: no BENCH_*.json in {args.baseline_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not cand:
+        print(f"bench_compare: no BENCH_*.json in {args.candidate_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in cand:
+            print(f"{name}\n  missing from candidate")
+            continue
+        if name not in base:
+            print(f"{name}\n  new bench (no baseline)")
+            continue
+        regressions += compare(name, base[name], cand[name], args.threshold)
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:g}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

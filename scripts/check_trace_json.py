@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validates TRACE_*.json chrome-trace files emitted by the flight recorder.
+
+Usage: check_trace_json.py TRACE_a.json [TRACE_b.json ...]
+
+Each file must parse as JSON and carry the chrome trace-event schema the
+flight recorder exports:
+  {"traceEvents": [{"ph": "B"|"E"|"I"|"C", "ts": num, "pid": 1, "tid": int,
+                    "cat": str, "name": str, ...}, ...],
+   "displayTimeUnit": "ms"}
+Per-thread B/E events must nest (balanced, never negative depth), and every
+"E" with a dur_us arg must report a non-negative duration. Exits non-zero on
+the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "missing 'traceEvents' array")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(path, "'displayTimeUnit' is not \"ms\"")
+
+    depth = {}  # tid -> open span count
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(path, f"traceEvents[{i}] is not an object")
+        ph = e.get("ph")
+        if ph not in ("B", "E", "I", "C"):
+            fail(path, f"traceEvents[{i}] has unknown phase {ph!r}")
+        for key, want in (("ts", (int, float)), ("tid", int),
+                          ("cat", str), ("name", str)):
+            if not isinstance(e.get(key), want):
+                fail(path, f"traceEvents[{i}] missing or mistyped '{key}'")
+        if e.get("pid") != 1:
+            fail(path, f"traceEvents[{i}] pid is not 1")
+        tid = e["tid"]
+        if ph == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+        elif ph == "E":
+            depth[tid] = depth.get(tid, 0) - 1
+            if depth[tid] < 0:
+                fail(path, f"traceEvents[{i}] closes more spans than "
+                           f"opened on tid {tid}")
+            dur = e.get("args", {}).get("dur_us")
+            if dur is not None and dur < 0:
+                fail(path, f"traceEvents[{i}] has negative dur_us {dur}")
+
+    unbalanced = {tid: d for tid, d in depth.items() if d != 0}
+    if unbalanced:
+        fail(path, f"unbalanced B/E per thread: {unbalanced}")
+    if not events:
+        fail(path, "'traceEvents' is empty — the recorder captured nothing")
+    print(f"{path}: ok ({len(events)} events, {len(depth)} threads)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("check_trace_json.py", "no files given")
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include "collection/collections_table.h"
 #include "fault/fault.h"
 #include "json/dom.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace_event.h"
 
 namespace fsdm::collection {
 
@@ -83,6 +86,7 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     return wired;
   }
   coll->health();  // publish the initial health gauge
+  CollectionRegistry::Global().Register(coll.get());
   return coll;
 }
 
@@ -90,6 +94,7 @@ JsonCollection::~JsonCollection() { Detach(); }
 
 void JsonCollection::Detach() {
   if (detached_) return;
+  CollectionRegistry::Global().Unregister(this);
   if (table_ != nullptr && dml_observer_ != nullptr) {
     table_->RemoveObserver(dml_observer_.get());
   }
@@ -129,10 +134,14 @@ std::string JsonCollection::health_reason() const {
 void JsonCollection::Quarantine(std::string reason) {
   quarantined_ = true;
   quarantine_reason_ = std::move(reason);
+  FSDM_TRACE_INSTANT_TEXT("collection", "collection.quarantine", "name",
+                          name_);
   health();
 }
 
 Status JsonCollection::RebuildIndex() {
+  FSDM_TRACE_SPAN(span, "collection", "index.rebuild");
+  span.AddTextArg("name", name_);
   if (index_ != nullptr) {
     Status rebuilt = index_->Rebuild();
     if (!rebuilt.ok()) {
@@ -142,6 +151,7 @@ Status JsonCollection::RebuildIndex() {
       return rebuilt;
     }
   }
+  last_rebuild_ts_us_ = telemetry::MonotonicNowUs();
   quarantined_ = false;
   quarantine_reason_.clear();
   // The postings were reconstructed from the table the IMC also reads, so
@@ -231,6 +241,9 @@ Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
   FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_inserts_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_insert_us");
+  FSDM_TRACE_SPAN(span, "collection", "collection.insert");
+  span.AddTextArg("name", name_);
+  span.AddNumberArg("bytes", static_cast<double>(json_text.size()));
   return table_->Insert({std::move(key), Value::String(std::move(json_text))});
 }
 
@@ -243,6 +256,8 @@ Status JsonCollection::Delete(size_t row_id) {
   FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_deletes_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_delete_us");
+  FSDM_TRACE_SPAN(span, "collection", "collection.delete");
+  span.AddTextArg("name", name_);
   return table_->Delete(row_id);
 }
 
@@ -251,6 +266,8 @@ Status JsonCollection::Replace(size_t row_id, Value key,
   FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_replaces_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_replace_us");
+  FSDM_TRACE_SPAN(span, "collection", "collection.replace");
+  span.AddTextArg("name", name_);
   return table_->Replace(
       row_id, {std::move(key), Value::String(std::move(json_text))});
 }
@@ -263,6 +280,7 @@ Status JsonCollection::Replace(size_t row_id, Value key,
 // DataGuide (§3.4).
 
 Status JsonCollection::DmlObserver::OnInsert(size_t, const rdbms::Row& row) {
+  FSDM_TRACE_SPAN(span, "collection", "observer.insert");
   FSDM_FAULT_POINT("collection.observer.insert");
   owner_->InvalidateImc();
   if (owner_->index_ == nullptr) {
@@ -273,6 +291,7 @@ Status JsonCollection::DmlObserver::OnInsert(size_t, const rdbms::Row& row) {
 
 Status JsonCollection::DmlObserver::OnDelete(size_t, const rdbms::Row&) {
   // The DataGuide is additive (§3.4): deletes never remove entries.
+  FSDM_TRACE_SPAN(span, "collection", "observer.delete");
   FSDM_FAULT_POINT("collection.observer.delete");
   owner_->InvalidateImc();
   return Status::Ok();
@@ -280,6 +299,7 @@ Status JsonCollection::DmlObserver::OnDelete(size_t, const rdbms::Row&) {
 
 Status JsonCollection::DmlObserver::OnReplace(size_t, const rdbms::Row&,
                                               const rdbms::Row& new_row) {
+  FSDM_TRACE_SPAN(span, "collection", "observer.replace");
   FSDM_FAULT_POINT("collection.observer.replace");
   owner_->InvalidateImc();
   if (owner_->index_ == nullptr) {
@@ -293,6 +313,7 @@ void JsonCollection::InvalidateImc() {
     imc_valid_ = false;
     imc_invalidations_.Add(1);
     FSDM_COUNT("fsdm_collection_imc_invalidations_total", 1);
+    FSDM_TRACE_INSTANT("imc", "imc.invalidate");
   }
 }
 

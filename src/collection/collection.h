@@ -133,6 +133,10 @@ class JsonCollection {
   /// Ops/test hook: refuse further DML until RebuildIndex() succeeds.
   void Quarantine(std::string reason);
 
+  /// MonotonicNowUs() timestamp of the last successful RebuildIndex();
+  /// 0 until one happens (NULL in TELEMETRY$COLLECTIONS).
+  uint64_t last_rebuild_ts_us() const { return last_rebuild_ts_us_; }
+
   /// Cross-checks the base table against every maintained side structure:
   /// posting lists, indexed-document count, DataGuide (additive semantics:
   /// guide frequency >= observed frequency), $DG side table, and the IMC
@@ -188,6 +192,9 @@ class JsonCollection {
     return imc_valid_ && imc_.has_value() ? &*imc_ : nullptr;
   }
   bool imc_valid() const { return imc_valid_ && imc_.has_value(); }
+  /// Populated at least once (possibly since invalidated — "stale" in
+  /// TELEMETRY$COLLECTIONS terms).
+  bool imc_populated() const { return imc_.has_value(); }
   /// Lazily (re)populates the managed store and returns it.
   Result<const imc::ColumnStore*> EnsureImc();
   /// Number of times DML invalidated a populated store. Backed by a
@@ -260,6 +267,7 @@ class JsonCollection {
   bool imc_valid_ = false;
   telemetry::Counter imc_invalidations_;
   int64_t next_auto_key_ = 1;
+  uint64_t last_rebuild_ts_us_ = 0;
   bool detached_ = false;
   bool quarantined_ = false;
   std::string quarantine_reason_;

@@ -1,0 +1,79 @@
+#include "collection/collections_table.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "collection/collection.h"
+
+namespace fsdm::collection {
+
+CollectionRegistry& CollectionRegistry::Global() {
+  static CollectionRegistry* registry = new CollectionRegistry();
+  return *registry;
+}
+
+void CollectionRegistry::Register(const JsonCollection* coll) {
+  if (std::find(collections_.begin(), collections_.end(), coll) ==
+      collections_.end()) {
+    collections_.push_back(coll);
+  }
+}
+
+void CollectionRegistry::Unregister(const JsonCollection* coll) {
+  collections_.erase(
+      std::remove(collections_.begin(), collections_.end(), coll),
+      collections_.end());
+}
+
+namespace {
+
+class CollectionsScanOp final : public rdbms::Operator {
+ public:
+  CollectionsScanOp() {
+    schema_ = rdbms::Schema({"NAME", "HEALTH", "DOC_COUNT", "INDEX_PATHS",
+                             "IMC_STATE", "LAST_REBUILD_TS"});
+  }
+
+  Status Open() override {
+    rows_.clear();
+    next_ = 0;
+    for (const JsonCollection* c : CollectionRegistry::Global().collections()) {
+      const char* imc_state = c->imc_valid()
+                                  ? "valid"
+                                  : (c->imc_populated() ? "stale"
+                                                        : "unpopulated");
+      rows_.push_back(
+          {Value::String(c->name()),
+           Value::String(CollectionHealthName(c->health())),
+           Value::Int64(static_cast<int64_t>(c->document_count())),
+           Value::Int64(
+               static_cast<int64_t>(c->dataguide().distinct_path_count())),
+           Value::String(imc_state),
+           c->last_rebuild_ts_us() == 0
+               ? Value::Null()
+               : Value::Int64(static_cast<int64_t>(c->last_rebuild_ts_us()))});
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  std::vector<rdbms::Row> rows_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+rdbms::OperatorPtr CollectionsScan() {
+  return std::make_unique<CollectionsScanOp>();
+}
+
+}  // namespace fsdm::collection

@@ -1,0 +1,44 @@
+#ifndef FSDM_COLLECTION_COLLECTIONS_TABLE_H_
+#define FSDM_COLLECTION_COLLECTIONS_TABLE_H_
+
+#include <vector>
+
+#include "rdbms/executor.h"
+
+/// TELEMETRY$COLLECTIONS (ISSUE 4 satellite): one row per live
+/// JsonCollection, so health — until now only a numeric gauge — is
+/// visible from SQL alongside the other TELEMETRY$ relations.
+
+namespace fsdm::collection {
+
+class JsonCollection;
+
+inline constexpr const char* kCollectionsTableName = "TELEMETRY$COLLECTIONS";
+
+/// Process-wide list of live collections. JsonCollection::Create registers;
+/// Detach() (and therefore the destructor) unregisters. Single-threaded
+/// like the engine.
+class CollectionRegistry {
+ public:
+  static CollectionRegistry& Global();
+
+  void Register(const JsonCollection* coll);
+  void Unregister(const JsonCollection* coll);
+
+  const std::vector<const JsonCollection*>& collections() const {
+    return collections_;
+  }
+
+ private:
+  std::vector<const JsonCollection*> collections_;
+};
+
+/// Row source over the registry. Schema: (NAME, HEALTH, DOC_COUNT,
+/// INDEX_PATHS, IMC_STATE, LAST_REBUILD_TS) — INDEX_PATHS is the live
+/// DataGuide's distinct path count, IMC_STATE is valid/stale/unpopulated,
+/// LAST_REBUILD_TS is NULL until the first successful RebuildIndex().
+rdbms::OperatorPtr CollectionsScan();
+
+}  // namespace fsdm::collection
+
+#endif  // FSDM_COLLECTION_COLLECTIONS_TABLE_H_

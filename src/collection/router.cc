@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "collection/collection.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace_event.h"
 
 namespace fsdm::collection {
 
@@ -111,10 +114,97 @@ Result<rdbms::OperatorPtr> ApplyResiduals(
   return plan;
 }
 
+/// Transparent wrapper the router stacks on every routed plan: counts rows
+/// and wall time between Open() and Close(); when the query crosses the
+/// SlowQueryLog threshold, captures the rendered router decision + span
+/// tree and the flight-recorder slice covering the execution. Holds only a
+/// *copy* of the RouterDecision and the stable heap pointer to the root
+/// span — the owning RoutedPlan may move (and its trace member with it)
+/// while the plan runs.
+class SlowQueryProbe final : public rdbms::Operator {
+ public:
+  SlowQueryProbe(rdbms::OperatorPtr child, std::string query,
+                 telemetry::RouterDecision decision,
+                 const telemetry::OperatorSpan* root)
+      : child_(std::move(child)),
+        query_(std::move(query)),
+        decision_(std::move(decision)),
+        root_(root) {
+    schema_ = child_->schema();
+  }
+
+  Status Open() override {
+    rows_ = 0;
+    captured_ = false;
+    open_ts_us_ = telemetry::MonotonicNowUs();
+    watch_.Restart();
+    return child_->Open();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    FSDM_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (has) ++rows_;
+    return has;
+  }
+
+  void Close() override {
+    child_->Close();
+    if (captured_) return;
+    const uint64_t elapsed = static_cast<uint64_t>(watch_.ElapsedUs());
+    telemetry::SlowQueryLog& log = telemetry::SlowQueryLog::Global();
+    if (elapsed < log.threshold_us()) return;
+    captured_ = true;
+    telemetry::SlowQueryRecord rec;
+    rec.ts_us = telemetry::MonotonicNowUs();
+    rec.query = query_;
+    rec.access_path = decision_.winner;
+    rec.elapsed_us = elapsed;
+    rec.rows = rows_;
+    rec.trace_text = decision_.Render();
+    if (root_ != nullptr) {
+      rec.trace_text += "plan:\n";
+      telemetry::RenderSpanTree(*root_, 1, &rec.trace_text);
+    }
+    const telemetry::FlightRecorder& fr = telemetry::FlightRecorder::Global();
+    if (fr.armed()) {
+      std::vector<telemetry::TraceEvent> slice =
+          fr.SnapshotSince(open_ts_us_);
+      rec.event_count = slice.size();
+      std::string events = "[";
+      for (const telemetry::TraceEvent& e : slice) {
+        if (events.size() > 1) events += ",";
+        telemetry::AppendChromeTraceEvent(&events, e);
+      }
+      events += "]";
+      rec.events_json = std::move(events);
+    }
+    log.Record(std::move(rec));
+  }
+
+ private:
+  rdbms::OperatorPtr child_;
+  std::string query_;
+  telemetry::RouterDecision decision_;
+  const telemetry::OperatorSpan* root_;
+  telemetry::Stopwatch watch_;
+  uint64_t open_ts_us_ = 0;
+  uint64_t rows_ = 0;
+  bool captured_ = false;
+};
+
 }  // namespace
 
 Result<RoutedPlan> RoutePredicates(
     const JsonCollection& coll, const std::vector<PathPredicate>& predicates) {
+  FSDM_TRACE_SPAN(route_span, "router", "router.route");
+  std::string query_text;
+  for (const PathPredicate& p : predicates) {
+    if (!query_text.empty()) query_text += " AND ";
+    query_text += PredicateText(p);
+  }
+  route_span.AddNumberArg("predicates",
+                          static_cast<double>(predicates.size()));
+
   const dataguide::DataGuide& guide = coll.dataguide();
   const uint64_t docs = guide.document_count();
 
@@ -134,7 +224,9 @@ Result<RoutedPlan> RoutePredicates(
   full_cand.eligible = true;
   full_cand.detail = "always applicable";
 
-  // Marks tier `idx` as the winner and freezes the legacy reason string.
+  // Marks tier `idx` as the winner, freezes the legacy reason string, and
+  // stacks the slow-query probe on the finished plan (routed.plan and
+  // routed.trace.root are always set before finish runs).
   auto finish = [&](size_t idx, AccessPath path, std::string reason) {
     decision.candidates[idx].eligible = true;
     decision.candidates[idx].chosen = true;
@@ -142,6 +234,12 @@ Result<RoutedPlan> RoutePredicates(
     decision.reason = reason;
     routed.access_path = path;
     routed.reason = std::move(reason);
+    route_span.AddTextArg("winner", decision.winner);
+    FSDM_TRACE_INSTANT_TEXT("router", "router.winner", "path",
+                            decision.winner);
+    routed.plan = std::make_unique<SlowQueryProbe>(
+        std::move(routed.plan), query_text, decision,
+        routed.trace.root.get());
   };
 
   // 1. Vectorized IMC scan: every conjunct compares a path whose

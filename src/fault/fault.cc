@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::fault {
@@ -66,6 +67,7 @@ Status FaultPoint::Fire() {
   ++armed_triggers_;
   ++FaultRegistry::Global().triggers_total_;
   FSDM_COUNT("fsdm_fault_injections_total", 1);
+  FSDM_TRACE_INSTANT_TEXT("fault", "fault.fire", "point", name_);
   if (disarm_after ||
       (spec_.max_triggers != 0 && armed_triggers_ >= spec_.max_triggers)) {
     armed_ = false;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "fault/fault.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::imc {
@@ -296,6 +297,8 @@ Result<ColumnStore> ColumnStore::Populate(
   FSDM_FAULT_POINT("imc.populate");
   FSDM_COUNT("fsdm_imc_populations_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_imc_populate_us");
+  FSDM_TRACE_SPAN(span, "imc", "imc.populate");
+  span.AddNumberArg("columns", static_cast<double>(columns.size()));
   ColumnStore store;
   store.names_ = columns;
   std::vector<std::vector<Value>> data(columns.size());
@@ -388,6 +391,8 @@ rdbms::OperatorPtr ColumnStore::Scan(std::vector<std::string> columns) const {
 Result<std::vector<uint32_t>> ColumnStore::FilterPositions(
     const std::vector<Predicate>& predicates) const {
   FSDM_COUNT("fsdm_imc_filter_scans_total", 1);
+  FSDM_TRACE_SPAN(span, "imc", "imc.filter_scan");
+  span.AddNumberArg("predicates", static_cast<double>(predicates.size()));
   std::vector<uint32_t> sel;
   bool first = true;
   std::vector<uint32_t> next;

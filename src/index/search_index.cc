@@ -7,6 +7,7 @@
 
 #include "fault/fault.h"
 #include "json/parser.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::index {
@@ -110,6 +111,7 @@ Status JsonSearchIndex::OnReplace(size_t row_id, const rdbms::Row& old_row,
   // combined latency observation, never a delete plus an insert.
   FSDM_COUNT("fsdm_index_docs_replaced_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
+  FSDM_TRACE_SPAN(span, "index", "index.replace");
   return ReplaceDocumentImpl(row_id, old_row[json_col_pos_],
                              new_row[json_col_pos_]);
 }
@@ -231,6 +233,8 @@ Status JsonSearchIndex::MaintainDataGuide(const json::Dom& dom) {
   if (new_paths > 0) {
     ++dg_writes_;
     FSDM_COUNT("fsdm_index_dataguide_writes_total", 1);
+    FSDM_TRACE_SPAN(span, "index", "dg.persist");
+    span.AddNumberArg("new_paths", static_cast<double>(new_paths));
     for (const dataguide::PathEntry* e : new_entries) {
       Status persisted =
           dg_table_
@@ -253,12 +257,14 @@ Status JsonSearchIndex::MaintainDataGuide(const json::Dom& dom) {
 Status JsonSearchIndex::IndexDocument(size_t row_id, const Value& doc) {
   FSDM_COUNT("fsdm_index_docs_indexed_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
+  FSDM_TRACE_SPAN(span, "index", "index.insert");
   return IndexDocumentImpl(row_id, doc);
 }
 
 Status JsonSearchIndex::UnindexDocument(size_t row_id, const Value& doc) {
   FSDM_COUNT("fsdm_index_docs_unindexed_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_index_maintain_us");
+  FSDM_TRACE_SPAN(span, "index", "index.remove");
   return UnindexDocumentImpl(row_id, doc);
 }
 
@@ -447,6 +453,7 @@ Status JsonSearchIndex::UndoReplace(size_t row_id, const rdbms::Row& old_row,
 void JsonSearchIndex::MarkDegraded(std::string reason) {
   if (!degraded_) {
     FSDM_COUNT("fsdm_index_degraded_total", 1);
+    FSDM_TRACE_INSTANT_TEXT("index", "index.degraded", "reason", reason);
   }
   degraded_ = true;
   degraded_reason_ = std::move(reason);
@@ -458,6 +465,7 @@ Status JsonSearchIndex::Rebuild() {
   FSDM_FAULT_POINT("index.rebuild");
   FSDM_COUNT("fsdm_index_rebuilds_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_index_rebuild_us");
+  FSDM_TRACE_SPAN(span, "index", "postings.rebuild");
   path_postings_.clear();
   value_postings_.clear();
   keyword_postings_.clear();

@@ -5,6 +5,7 @@
 #include "fault/fault.h"
 #include "oson/format.h"
 #include "oson/oson.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::oson {
@@ -466,6 +467,8 @@ Result<std::unique_ptr<json::JsonNode>> DecodeNode(const OsonDom& dom,
 
 Result<std::unique_ptr<json::JsonNode>> Decode(std::string_view bytes) {
   FSDM_COUNT("fsdm_oson_decodes_total", 1);
+  FSDM_TRACE_SPAN(span, "oson", "oson.decode");
+  span.AddNumberArg("bytes", static_cast<double>(bytes.size()));
   FSDM_ASSIGN_OR_RETURN(OsonDom dom, OsonDom::Open(bytes));
   return DecodeNode(dom, dom.root());
 }

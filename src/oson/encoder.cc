@@ -11,6 +11,7 @@
 #include "oson/format.h"
 #include "oson/oson.h"
 #include "oson/set_encoding.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::oson {
@@ -333,6 +334,7 @@ Result<std::string> Encode(const json::JsonNode& doc,
   FSDM_FAULT_POINT("oson.encode");
   // Optimistic narrow-offset encode; fall back to 4-byte offsets when the
   // image is too large.
+  FSDM_TRACE_SPAN(span, "oson", "oson.encode");
   for (uint8_t width : {uint8_t{2}, uint8_t{4}}) {
     Encoder enc(options, width);
     std::string out;
@@ -351,6 +353,7 @@ Result<std::string> Encode(const json::JsonNode& doc,
 Result<std::string> EncodeWithSharedDictionary(
     const json::JsonNode& doc, const EncodeOptions& options,
     const SharedDictionary& dict) {
+  FSDM_TRACE_SPAN(span, "oson", "oson.encode");
   for (uint8_t width : {uint8_t{2}, uint8_t{4}}) {
     Encoder enc(options, width, &dict);
     std::string out;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -667,6 +668,12 @@ class InstrumentOp final : public Operator {
   }
 
   Status Open() override {
+    // Flight-recorder spans bracket Open and Close only; batching the
+    // per-Next tick into the close span keeps the recorder off the
+    // row-at-a-time hot path. The operator name is copied into the event
+    // (the span tree dies with its RoutedPlan; ring events outlive it).
+    FSDM_TRACE_SPAN(trace_span, "rdbms", "op.open");
+    trace_span.AddTextArg("op", span_->name);
     span_->rows_out = 0;
     span_->elapsed_us = 0;
     telemetry::Stopwatch w;
@@ -684,6 +691,9 @@ class InstrumentOp final : public Operator {
   }
 
   void Close() override {
+    FSDM_TRACE_SPAN(trace_span, "rdbms", "op.close");
+    trace_span.AddTextArg("op", span_->name);
+    trace_span.AddNumberArg("rows", static_cast<double>(span_->rows_out));
     telemetry::Stopwatch w;
     child_->Close();
     span_->elapsed_us += w.ElapsedUs();

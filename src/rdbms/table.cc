@@ -2,6 +2,7 @@
 
 #include "fault/fault.h"
 #include "json/parser.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::rdbms {
@@ -18,6 +19,7 @@ void RollbackObservers(const std::vector<TableObserver*>& observers,
                        size_t completed, DmlKind kind, size_t row_id,
                        const Row& old_row, const Row& new_row) {
   FSDM_COUNT("fsdm_dml_rollbacks_total", 1);
+  FSDM_TRACE_INSTANT("rdbms", "dml.rollback");
   for (size_t j = completed; j-- > 0;) {
     Status undone;
     switch (kind) {
@@ -110,6 +112,8 @@ Status Table::ValidateRow(const Row& physical_values) {
       // DataGuide maintenance reuse this parse (§3.2.1).
       FSDM_COUNT("fsdm_rdbms_isjson_checks_total", 1);
       FSDM_TIME_SCOPE_US("fsdm_rdbms_isjson_check_us");
+      FSDM_TRACE_SPAN(span, "rdbms", "isjson.check");
+      span.AddNumberArg("bytes", static_cast<double>(v.AsString().size()));
       Result<std::unique_ptr<json::JsonNode>> parsed =
           json::Parse(v.AsString());
       if (!parsed.ok()) {

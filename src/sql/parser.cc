@@ -3,6 +3,7 @@
 #include <cctype>
 #include <optional>
 
+#include "collection/collections_table.h"
 #include "telemetry/metrics_table.h"
 
 namespace fsdm::sql {
@@ -192,9 +193,19 @@ class Planner {
       table_ = table_or.MoveValue();
     } else if (Lexer::EqualsIgnoreCase(table_name_,
                                        telemetry::kMetricsTableName)) {
-      // Virtual relation over the process-wide metrics registry; planned
-      // below as a MetricsScan leaf instead of a base-table Scan.
-      table_ = nullptr;
+      // TELEMETRY$ virtual relations: planned below as dedicated leaf
+      // operators over the process-wide registries instead of a
+      // base-table Scan.
+      virtual_table_ = VirtualTable::kMetrics;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kEventsTableName)) {
+      virtual_table_ = VirtualTable::kEvents;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kSlowQueriesTableName)) {
+      virtual_table_ = VirtualTable::kSlowQueries;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       collection::kCollectionsTableName)) {
+      virtual_table_ = VirtualTable::kCollections;
     } else {
       return table_or.status();
     }
@@ -271,9 +282,24 @@ class Planner {
 
     // --- Assemble the plan --------------------------------------------------
     bool include_hidden = session_->TableHasOsonRewrites(table_name_);
-    rdbms::OperatorPtr plan = table_ != nullptr
-                                  ? rdbms::Scan(table_, include_hidden)
-                                  : telemetry::MetricsScan();
+    rdbms::OperatorPtr plan;
+    switch (virtual_table_) {
+      case VirtualTable::kNone:
+        plan = rdbms::Scan(table_, include_hidden);
+        break;
+      case VirtualTable::kMetrics:
+        plan = telemetry::MetricsScan();
+        break;
+      case VirtualTable::kEvents:
+        plan = telemetry::EventsScan();
+        break;
+      case VirtualTable::kSlowQueries:
+        plan = telemetry::SlowQueriesScan();
+        break;
+      case VirtualTable::kCollections:
+        plan = collection::CollectionsScan();
+        break;
+    }
     if (where) plan = rdbms::Filter(std::move(plan), std::move(where));
 
     bool grouped = !pending_aggs_.empty() || !group_exprs.empty();
@@ -688,8 +714,14 @@ class Planner {
   SqlSession* session_;
   const std::string& sql_;
   Lexer lex_;
+  /// Which TELEMETRY$ relation the FROM clause named (kNone = a real
+  /// table; table_ is set).
+  enum class VirtualTable { kNone, kMetrics, kEvents, kSlowQueries,
+                            kCollections };
+
   std::string table_name_;
   rdbms::Table* table_ = nullptr;
+  VirtualTable virtual_table_ = VirtualTable::kNone;
   std::vector<SelectItem> select_items_;
   std::vector<AggSpec> pending_aggs_;
 };

@@ -1,0 +1,215 @@
+#ifndef FSDM_TELEMETRY_FLIGHT_RECORDER_H_
+#define FSDM_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_event.h"
+
+/// Engine flight recorder (ISSUE 4 tentpole): always-on, bounded-memory
+/// recording of what the engine did and in what order. Each thread writes
+/// TraceEvents into its own fixed-capacity ring; when a ring fills, the
+/// oldest events are overwritten (dropped, never torn — a slot is either
+/// the old event or the new one). Instrumentation sites use the
+/// FSDM_TRACE_* macros below, which cache the thread's ring pointer in a
+/// function-local thread_local so the armed steady-state cost is a branch,
+/// a clock read, and a struct store.
+///
+/// The recorder starts DISARMED: macros cost one predictable branch until
+/// FlightRecorder::Global().Arm() flips them live. Under
+/// -DFSDM_TELEMETRY=OFF the macros compile to nothing and armed() is a
+/// constant false.
+///
+/// Readers (Chrome exporter, TELEMETRY$EVENTS, slow-query capture) take a
+/// merged timestamp-sorted snapshot under the registration mutex. The
+/// engine is effectively single-threaded today, so snapshot-vs-write races
+/// are not a concern; the per-thread design is for the ROADMAP's async
+/// index maintenance, where it becomes load-bearing.
+
+namespace fsdm::telemetry {
+
+/// Fixed-capacity ring of TraceEvents for one thread. Owned by the
+/// FlightRecorder and never destroyed while the process lives, so the
+/// thread_local cached pointers in the macros stay valid across Reset().
+class ThreadRing {
+ public:
+  ThreadRing(uint32_t tid, size_t capacity);
+
+  void Push(const TraceEvent& e) {
+    slots_[next_ % slots_.size()] = e;
+    ++next_;
+  }
+
+  uint32_t tid() const { return tid_; }
+  size_t capacity() const { return slots_.size(); }
+  /// Total events ever pushed (monotonic; > capacity once wrapped).
+  uint64_t total_pushed() const { return next_; }
+  uint64_t dropped() const {
+    return next_ > slots_.size() ? next_ - slots_.size() : 0;
+  }
+
+  /// Live events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  void Clear() { next_ = 0; }
+
+ private:
+  uint32_t tid_;
+  std::vector<TraceEvent> slots_;
+  uint64_t next_ = 0;
+};
+
+/// RAII span: emits a kSpanBegin on construction and a kSpanEnd (with
+/// measured dur_us and any attached args) on destruction. Constructed
+/// disarmed-aware: when the recorder is not armed the constructor is a
+/// single branch and the destructor does nothing.
+class ScopedTraceSpan {
+ public:
+  /// `category` and `name` must be string literals (see trace_event.h).
+  ScopedTraceSpan(const char* category, const char* name);
+  ~ScopedTraceSpan();
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+  /// Attach args to the span-end event (up to 2; extras ignored).
+  void AddNumberArg(const char* key, double v);
+  void AddTextArg(const char* key, std::string_view v);
+
+ private:
+  bool live_;
+  uint64_t start_us_ = 0;
+  const char* category_;
+  const char* name_;
+  TraceArg args_[2];
+  int nargs_ = 0;
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Arm/disarm recording. Arming is what benches, tests and the examples
+  /// do explicitly; the engine never arms itself.
+  void Arm() { armed_ = kEnabled; }
+  void Disarm() { armed_ = false; }
+  bool armed() const { return kEnabled && armed_; }
+
+  /// The calling thread's ring, created (and registered) on first use.
+  /// Macros cache the returned pointer in a thread_local.
+  ThreadRing* RingForThisThread();
+
+  /// Ring capacity for rings created after this call (existing rings keep
+  /// theirs). Tests shrink it to exercise wrap-around.
+  void SetRingCapacity(size_t events);
+  size_t ring_capacity() const { return ring_capacity_; }
+
+  /// All live events across threads, merged and sorted by (ts_us, tid).
+  std::vector<TraceEvent> Snapshot() const;
+  /// Events with ts_us >= since_us — the slow-query log's trace slice.
+  std::vector<TraceEvent> SnapshotSince(uint64_t since_us) const;
+
+  /// Sum of dropped() over all rings (events lost to wrap-around).
+  uint64_t TotalDropped() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in
+  /// chrome://tracing or https://ui.perfetto.dev. Per thread, unmatched
+  /// span events at the snapshot edges are repaired: orphan ends (begin
+  /// was overwritten) are dropped and unclosed begins get a synthetic
+  /// zero-length end, so B/E always balance.
+  std::string ChromeTraceJson() const;
+  /// Writes ChromeTraceJson() to `path`; false on I/O failure.
+  bool DumpChromeTrace(const std::string& path) const;
+
+  /// Clears every ring's contents (rings and cached pointers stay valid).
+  void Reset();
+
+  /// Raw event push for a specific ring — the macro back end.
+  static void Emit(ThreadRing* ring, TracePhase phase, const char* category,
+                   const char* name, uint64_t dur_us = 0);
+
+ private:
+  FlightRecorder() = default;
+
+  mutable std::mutex mu_;  // guards rings_ registration and snapshots
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  size_t ring_capacity_ = 16384;
+  bool armed_ = false;
+  uint32_t next_tid_ = 1;
+};
+
+/// Zero-size stand-in for ScopedTraceSpan under -DFSDM_TELEMETRY=OFF so
+/// call sites that attach args still compile (to nothing).
+struct NullTraceSpan {
+  void AddNumberArg(const char*, double) {}
+  void AddTextArg(const char*, std::string_view) {}
+};
+
+/// Emit a counter sample (phase kCounter) with one numeric arg named
+/// "value". Used by FSDM_TRACE_COUNTER.
+void EmitCounterSample(const char* category, const char* name, double value);
+
+/// Emit an instant event, optionally with one text arg (dynamic names —
+/// fault points, access paths — go here, copied into the event).
+void EmitInstant(const char* category, const char* name);
+void EmitInstantText(const char* category, const char* name, const char* key,
+                     std::string_view text);
+
+}  // namespace fsdm::telemetry
+
+#if !defined(FSDM_TELEMETRY_DISABLED)
+
+/// Traces the rest of the enclosing scope as a span. `category`/`name`
+/// must be string literals. The span variable is named so call sites can
+/// attach args: FSDM_TRACE_SPAN(span, "collection", "insert");
+/// span.AddNumberArg("rows", 1);
+#define FSDM_TRACE_SPAN(var, category, name) \
+  ::fsdm::telemetry::ScopedTraceSpan var((category), (name))
+
+#define FSDM_TRACE_INSTANT(category, name)                      \
+  do {                                                          \
+    if (::fsdm::telemetry::FlightRecorder::Global().armed()) {  \
+      ::fsdm::telemetry::EmitInstant((category), (name));       \
+    }                                                           \
+  } while (0)
+
+#define FSDM_TRACE_INSTANT_TEXT(category, name, key, text)            \
+  do {                                                                \
+    if (::fsdm::telemetry::FlightRecorder::Global().armed()) {        \
+      ::fsdm::telemetry::EmitInstantText((category), (name), (key),   \
+                                         (text));                     \
+    }                                                                 \
+  } while (0)
+
+#define FSDM_TRACE_COUNTER(category, name, value)                     \
+  do {                                                                \
+    if (::fsdm::telemetry::FlightRecorder::Global().armed()) {        \
+      ::fsdm::telemetry::EmitCounterSample((category), (name),        \
+                                           static_cast<double>(value)); \
+    }                                                                 \
+  } while (0)
+
+#else  // FSDM_TELEMETRY_DISABLED
+
+#define FSDM_TRACE_SPAN(var, category, name) \
+  [[maybe_unused]] ::fsdm::telemetry::NullTraceSpan var
+
+#define FSDM_TRACE_INSTANT(category, name) FSDM_TM_VOID(category, name)
+#define FSDM_TRACE_INSTANT_TEXT(category, name, key, text) \
+  do {                                                     \
+    if (false) {                                           \
+      (void)(category);                                    \
+      (void)(name);                                        \
+      (void)(key);                                         \
+      (void)(text);                                        \
+    }                                                      \
+  } while (0)
+#define FSDM_TRACE_COUNTER(category, name, value) \
+  FSDM_TRACE_INSTANT_TEXT(category, name, 0, value)
+
+#endif  // FSDM_TELEMETRY_DISABLED
+
+#endif  // FSDM_TELEMETRY_FLIGHT_RECORDER_H_

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::telemetry {
@@ -58,8 +60,86 @@ class MetricsScanOp final : public rdbms::Operator {
   size_t next_ = 0;
 };
 
+class EventsScanOp final : public rdbms::Operator {
+ public:
+  EventsScanOp() {
+    schema_ = rdbms::Schema(
+        {"TS_US", "THREAD", "CATEGORY", "NAME", "PHASE", "DUR_US", "ARGS"});
+  }
+
+  Status Open() override {
+    rows_.clear();
+    next_ = 0;
+    for (const TraceEvent& e : FlightRecorder::Global().Snapshot()) {
+      const char phase = static_cast<char>(e.phase);
+      rows_.push_back(
+          {Value::Int64(static_cast<int64_t>(e.ts_us)),
+           Value::Int64(static_cast<int64_t>(e.tid)),
+           Value::String(e.category), Value::String(e.name),
+           Value::String(std::string(1, phase)),
+           e.phase == TracePhase::kSpanEnd
+               ? Value::Int64(static_cast<int64_t>(e.dur_us))
+               : Value::Null(),
+           e.has_args() ? Value::String(e.ArgsJson()) : Value::Null()});
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  std::vector<rdbms::Row> rows_;
+  size_t next_ = 0;
+};
+
+class SlowQueriesScanOp final : public rdbms::Operator {
+ public:
+  SlowQueriesScanOp() {
+    schema_ = rdbms::Schema({"TS_US", "QUERY", "ACCESS_PATH", "ELAPSED_US",
+                             "ROWS", "EVENT_COUNT", "TRACE"});
+  }
+
+  Status Open() override {
+    rows_.clear();
+    next_ = 0;
+    for (const SlowQueryRecord& r : SlowQueryLog::Global().Snapshot()) {
+      rows_.push_back({Value::Int64(static_cast<int64_t>(r.ts_us)),
+                       Value::String(r.query), Value::String(r.access_path),
+                       Value::Int64(static_cast<int64_t>(r.elapsed_us)),
+                       Value::Int64(static_cast<int64_t>(r.rows)),
+                       Value::Int64(static_cast<int64_t>(r.event_count)),
+                       Value::String(r.trace_text)});
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  std::vector<rdbms::Row> rows_;
+  size_t next_ = 0;
+};
+
 }  // namespace
 
 rdbms::OperatorPtr MetricsScan() { return std::make_unique<MetricsScanOp>(); }
+
+rdbms::OperatorPtr EventsScan() { return std::make_unique<EventsScanOp>(); }
+
+rdbms::OperatorPtr SlowQueriesScan() {
+  return std::make_unique<SlowQueriesScanOp>();
+}
 
 }  // namespace fsdm::telemetry

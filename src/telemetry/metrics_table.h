@@ -16,6 +16,18 @@ inline constexpr const char* kMetricsTableName = "TELEMETRY$METRICS";
 /// non-NULL for histograms only.
 rdbms::OperatorPtr MetricsScan();
 
+/// Flight-recorder snapshot as a relation (ISSUE 4). Schema: (TS_US,
+/// THREAD, CATEGORY, NAME, PHASE, DUR_US, ARGS); PHASE is the Chrome
+/// phase letter (B/E/I/C), DUR_US is NULL except on span ends, ARGS is the
+/// {"k":v} JSON rendering of the event's args.
+inline constexpr const char* kEventsTableName = "TELEMETRY$EVENTS";
+rdbms::OperatorPtr EventsScan();
+
+/// Slow-query log as a relation (ISSUE 4). Schema: (TS_US, QUERY,
+/// ACCESS_PATH, ELAPSED_US, ROWS, EVENT_COUNT, TRACE).
+inline constexpr const char* kSlowQueriesTableName = "TELEMETRY$SLOW_QUERIES";
+rdbms::OperatorPtr SlowQueriesScan();
+
 }  // namespace fsdm::telemetry
 
 #endif  // FSDM_TELEMETRY_METRICS_TABLE_H_

@@ -1,0 +1,67 @@
+#include "telemetry/slow_query.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "telemetry/telemetry.h"
+
+namespace fsdm::telemetry {
+
+std::string SlowQueryRecord::ToJsonLine() const {
+  std::string out = "{\"ts_us\":";
+  AppendJsonNumber(&out, static_cast<double>(ts_us));
+  out += ",\"query\":\"" + JsonEscape(query) + "\"";
+  out += ",\"access_path\":\"" + JsonEscape(access_path) + "\"";
+  out += ",\"elapsed_us\":";
+  AppendJsonNumber(&out, static_cast<double>(elapsed_us));
+  out += ",\"rows\":";
+  AppendJsonNumber(&out, static_cast<double>(rows));
+  out += ",\"event_count\":";
+  AppendJsonNumber(&out, static_cast<double>(event_count));
+  out += ",\"trace\":\"" + JsonEscape(trace_text) + "\"";
+  // events_json is already a JSON array (or empty when tracing was off).
+  out += ",\"events\":" + (events_json.empty() ? std::string("[]")
+                                               : events_json);
+  out += "}";
+  return out;
+}
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+SlowQueryLog::SlowQueryLog() {
+  if (const char* env = std::getenv("FSDM_SLOW_QUERY_US")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') threshold_us_ = v;
+  }
+}
+
+void SlowQueryLog::SetCapacity(size_t n) {
+  capacity_ = n == 0 ? 1 : n;
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+void SlowQueryLog::Record(SlowQueryRecord rec) {
+  FSDM_COUNT("fsdm_slow_queries_total", 1);
+  if (!jsonl_path_.empty()) {
+    std::ofstream f(jsonl_path_, std::ios::app);
+    if (f.is_open()) f << rec.ToJsonLine() << "\n";
+  }
+  records_.push_back(std::move(rec));
+  ++total_captured_;
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  return std::vector<SlowQueryRecord>(records_.begin(), records_.end());
+}
+
+void SlowQueryLog::Clear() {
+  records_.clear();
+  total_captured_ = 0;
+}
+
+}  // namespace fsdm::telemetry

@@ -1,0 +1,68 @@
+#ifndef FSDM_TELEMETRY_SLOW_QUERY_H_
+#define FSDM_TELEMETRY_SLOW_QUERY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+/// Slow-query log (ISSUE 4): when a routed query exceeds a threshold, the
+/// router captures its rendered QueryTrace (EXPLAIN ANALYZE tree + router
+/// candidate table) plus the flight-recorder slice covering its execution
+/// into a bounded in-memory log. Exposed as the TELEMETRY$SLOW_QUERIES
+/// SQL relation and, optionally, appended to a JSONL file sink.
+
+namespace fsdm::telemetry {
+
+struct SlowQueryRecord {
+  uint64_t ts_us = 0;       // capture time, MonotonicNowUs() clock
+  std::string query;        // predicate/query description from the router
+  std::string access_path;  // winning access path name
+  uint64_t elapsed_us = 0;  // measured wall time of the routed plan
+  uint64_t rows = 0;        // rows produced
+  std::string trace_text;   // rendered EXPLAIN ANALYZE (router + spans)
+  std::string events_json;  // chrome-style JSON array of the trace slice
+  uint64_t event_count = 0;
+
+  /// One JSON object (single line) for the JSONL sink.
+  std::string ToJsonLine() const;
+};
+
+/// Process-wide bounded log. Capacity evicts oldest; total_captured() keeps
+/// counting so tests and TELEMETRY$METRICS can see evictions.
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Global();
+
+  /// Queries at or above this wall time get captured. Default 10ms, or the
+  /// FSDM_SLOW_QUERY_US environment variable when set at first use.
+  uint64_t threshold_us() const { return threshold_us_; }
+  void SetThresholdUs(uint64_t us) { threshold_us_ = us; }
+
+  size_t capacity() const { return capacity_; }
+  void SetCapacity(size_t n);
+
+  /// Path for the optional JSONL sink; empty disables it. Records are
+  /// appended as they are captured.
+  void SetJsonlSink(std::string path) { jsonl_path_ = std::move(path); }
+  const std::string& jsonl_sink() const { return jsonl_path_; }
+
+  void Record(SlowQueryRecord rec);
+
+  std::vector<SlowQueryRecord> Snapshot() const;
+  uint64_t total_captured() const { return total_captured_; }
+  void Clear();
+
+ private:
+  SlowQueryLog();
+
+  std::deque<SlowQueryRecord> records_;
+  size_t capacity_ = 32;
+  uint64_t threshold_us_ = 10000;
+  uint64_t total_captured_ = 0;
+  std::string jsonl_path_;
+};
+
+}  // namespace fsdm::telemetry
+
+#endif  // FSDM_TELEMETRY_SLOW_QUERY_H_

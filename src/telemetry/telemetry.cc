@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "telemetry/trace_event.h"
+
 namespace fsdm::telemetry {
 
 // ---------------------------------------------------------------------------
@@ -72,6 +74,56 @@ const std::vector<double>& DefaultSizeBounds() {
       1,   2,   4,    8,    16,   32,   64,    128,
       256, 512, 1024, 4096, 16384, 65536};
   return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotHistory
+// ---------------------------------------------------------------------------
+
+SnapshotHistory::SnapshotHistory(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SnapshotHistory::Tick(const MetricsRegistry& registry) {
+  MetricsSnapshot snap;
+  snap.ts_us = MonotonicNowUs();
+  for (const auto& [name, c] : registry.counters()) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    snap.histograms[name] = {h->count(), h->sum()};
+  }
+  ring_.push_back(std::move(snap));
+  if (ring_.size() > capacity_) ring_.erase(ring_.begin());
+}
+
+const MetricsSnapshot& SnapshotHistory::Newest(size_t back) const {
+  static const MetricsSnapshot kEmpty;
+  if (back >= ring_.size()) return kEmpty;
+  return ring_[ring_.size() - 1 - back];
+}
+
+uint64_t SnapshotHistory::CounterDelta(const std::string& name,
+                                       size_t back) const {
+  if (ring_.size() < back + 1) return 0;
+  const MetricsSnapshot& now = Newest(0);
+  const MetricsSnapshot& then = Newest(back);
+  auto now_it = now.counters.find(name);
+  if (now_it == now.counters.end()) return 0;
+  auto then_it = then.counters.find(name);
+  const uint64_t old_v = then_it == then.counters.end() ? 0 : then_it->second;
+  return now_it->second >= old_v ? now_it->second - old_v : 0;
+}
+
+double SnapshotHistory::CounterRatePerSec(const std::string& name,
+                                          size_t back) const {
+  if (ring_.size() < back + 1) return 0;
+  const uint64_t elapsed_us = Newest(0).ts_us - Newest(back).ts_us;
+  if (elapsed_us == 0) return 0;
+  return static_cast<double>(CounterDelta(name, back)) * 1e6 /
+         static_cast<double>(elapsed_us);
 }
 
 // ---------------------------------------------------------------------------

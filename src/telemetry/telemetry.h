@@ -92,6 +92,54 @@ const std::vector<double>& DefaultLatencyBoundsUs();
 /// Default bucket edges for size/depth histograms (powers of two, 1..64k).
 const std::vector<double>& DefaultSizeBounds();
 
+class MetricsRegistry;
+
+/// Point-in-time copy of every metric's value, cheap enough to take every
+/// bench row. Histograms are reduced to (count, sum) — enough for rate and
+/// mean-delta queries without copying buckets.
+struct MetricsSnapshot {
+  struct HistogramPoint {
+    uint64_t count = 0;
+    double sum = 0;
+  };
+  uint64_t ts_us = 0;  // MonotonicNowUs() clock
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramPoint> histograms;
+};
+
+/// Explicitly-ticked ring of metrics snapshots (ISSUE 4): callers (the
+/// bench harness, tests, a future maintenance thread) call Tick() at the
+/// cadence they care about; delta/rate queries then read change-over-time
+/// instead of lifetime totals — what the router cost model will consume.
+/// No background thread; see ROADMAP.
+class SnapshotHistory {
+ public:
+  explicit SnapshotHistory(size_t capacity = 64);
+
+  /// Records a snapshot of `registry` now; evicts the oldest past capacity.
+  void Tick(const MetricsRegistry& registry);
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// i = 0 is the newest snapshot, size()-1 the oldest.
+  const MetricsSnapshot& Newest(size_t back = 0) const;
+
+  /// Counter increase between the newest snapshot and `back` snapshots
+  /// earlier (0 when either side is missing the counter or history is
+  /// too short).
+  uint64_t CounterDelta(const std::string& name, size_t back = 1) const;
+  /// CounterDelta over the elapsed wall time between those snapshots, in
+  /// events per second (0 when elapsed time is 0).
+  double CounterRatePerSec(const std::string& name, size_t back = 1) const;
+
+  void Clear() { ring_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::vector<MetricsSnapshot> ring_;  // oldest first
+};
+
 /// Name -> metric maps with stable handle pointers: Reset() zeroes values
 /// but never invalidates a pointer returned by a Get*() call, so the
 /// macros below can cache them in function-local statics.
@@ -133,10 +181,17 @@ class MetricsRegistry {
   /// summaries with p50/p95/p99 quantiles).
   std::string ToPrometheusText() const;
 
+  /// The registry's snapshot history ring. Tick it explicitly:
+  /// `MetricsRegistry::Global().TickHistory()`.
+  SnapshotHistory& history() { return history_; }
+  const SnapshotHistory& history() const { return history_; }
+  void TickHistory() { history_.Tick(*this); }
+
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  SnapshotHistory history_;
 };
 
 /// Wall-clock stopwatch in microseconds (finer grained than the bench

@@ -29,7 +29,9 @@ std::string FormatUs(double us) {
   return buf;
 }
 
-void RenderSpan(const OperatorSpan& span, int depth, std::string* out) {
+}  // namespace
+
+void RenderSpanTree(const OperatorSpan& span, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += span.name;
   if (!span.detail.empty()) *out += " (" + span.detail + ")";
@@ -41,11 +43,9 @@ void RenderSpan(const OperatorSpan& span, int depth, std::string* out) {
   *out += FormatUs(span.elapsed_us);
   *out += "\n";
   for (const std::unique_ptr<OperatorSpan>& c : span.children) {
-    RenderSpan(*c, depth + 1, out);
+    RenderSpanTree(*c, depth + 1, out);
   }
 }
-
-}  // namespace
 
 std::string RouterDecision::Render() const {
   std::string out = "access path: " + winner + " -- " + reason + "\n";
@@ -69,7 +69,7 @@ std::string QueryTrace::Render() const {
   out += decision.Render();
   if (root != nullptr) {
     out += "plan:\n";
-    RenderSpan(*root, 1, &out);
+    RenderSpanTree(*root, 1, &out);
   }
   return out;
 }

@@ -62,6 +62,11 @@ struct QueryTrace {
   std::string Render() const;
 };
 
+/// Renders one span subtree in QueryTrace::Render()'s indented format.
+/// Public so the slow-query log can capture a plan tree without owning a
+/// QueryTrace.
+void RenderSpanTree(const OperatorSpan& span, int depth, std::string* out);
+
 }  // namespace fsdm::telemetry
 
 #endif  // FSDM_TELEMETRY_TRACE_H_

@@ -1,0 +1,72 @@
+#include "telemetry/trace_event.h"
+
+#include <chrono>
+
+#include "telemetry/telemetry.h"
+
+namespace fsdm::telemetry {
+
+uint64_t MonotonicNowUs() {
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+namespace {
+
+void AppendArg(std::string* out, const TraceArg& a) {
+  *out += '"';
+  *out += JsonEscape(a.key);
+  *out += "\":";
+  if (a.is_text) {
+    *out += '"';
+    *out += JsonEscape(a.text);
+    *out += '"';
+  } else {
+    AppendJsonNumber(out, a.number);
+  }
+}
+
+}  // namespace
+
+std::string TraceEvent::ArgsJson() const {
+  std::string out = "{";
+  for (const TraceArg& a : args) {
+    if (a.key == nullptr) break;
+    if (out.size() > 1) out += ",";
+    AppendArg(&out, a);
+  }
+  out += "}";
+  return out;
+}
+
+void AppendChromeTraceEvent(std::string* out, const TraceEvent& e) {
+  *out += "{\"ph\":\"";
+  *out += static_cast<char>(e.phase);
+  *out += "\",\"ts\":";
+  AppendJsonNumber(out, static_cast<double>(e.ts_us));
+  *out += ",\"pid\":1,\"tid\":";
+  AppendJsonNumber(out, static_cast<double>(e.tid));
+  *out += ",\"cat\":\"" + JsonEscape(e.category) + "\"";
+  *out += ",\"name\":\"" + JsonEscape(e.name) + "\"";
+  // Chrome's B/E pairing carries duration implicitly; we still attach the
+  // measured dur on E so the raw JSON is self-describing.
+  if (e.phase == TracePhase::kSpanEnd && e.dur_us > 0) {
+    *out += ",\"args\":{\"dur_us\":";
+    AppendJsonNumber(out, static_cast<double>(e.dur_us));
+    for (const TraceArg& a : e.args) {
+      if (a.key == nullptr) break;
+      *out += ",";
+      AppendArg(out, a);
+    }
+    *out += "}";
+  } else if (e.has_args()) {
+    *out += ",\"args\":" + e.ArgsJson();
+  }
+  *out += "}";
+}
+
+}  // namespace fsdm::telemetry

@@ -1,0 +1,79 @@
+#ifndef FSDM_TELEMETRY_TRACE_EVENT_H_
+#define FSDM_TELEMETRY_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+/// Structured trace events (ISSUE 4 tentpole): the unit the flight
+/// recorder's per-thread rings store. Events are plain value types sized
+/// for a hot path — fixed layout, no heap allocation. `category` and
+/// `name` therefore MUST be string literals (or other static-storage
+/// strings): the ring keeps the pointers, and an event routinely outlives
+/// the scope that emitted it. Anything dynamic goes into a TraceArg,
+/// which copies (and truncates) into an inline buffer.
+
+namespace fsdm::telemetry {
+
+/// Chrome trace-event phases the recorder emits. Span begin/end pair up by
+/// per-thread nesting order, exactly like chrome://tracing's B/E events.
+enum class TracePhase : char {
+  kSpanBegin = 'B',
+  kSpanEnd = 'E',
+  kInstant = 'I',
+  kCounter = 'C',
+};
+
+/// One key/value attachment. Keys are static strings like category/name;
+/// values are either a double or an inline truncated text copy.
+struct TraceArg {
+  static constexpr size_t kMaxText = 23;  // plus the terminating NUL
+
+  const char* key = nullptr;  // nullptr = unused slot
+  bool is_text = false;
+  double number = 0;
+  char text[kMaxText + 1] = {};
+
+  void SetNumber(const char* k, double v) {
+    key = k;
+    is_text = false;
+    number = v;
+  }
+  void SetText(const char* k, std::string_view v) {
+    key = k;
+    is_text = true;
+    size_t n = v.size() < kMaxText ? v.size() : kMaxText;
+    std::memcpy(text, v.data(), n);
+    text[n] = '\0';
+  }
+};
+
+/// One recorded event. ~160 bytes; a default ring of 16k events is ~2.5 MB
+/// per thread, the recorder's bounded-memory budget.
+struct TraceEvent {
+  uint64_t ts_us = 0;   // monotonic micros, see MonotonicNowUs()
+  uint64_t dur_us = 0;  // span-end events: elapsed; 0 otherwise
+  uint32_t tid = 0;     // recorder-assigned small thread id
+  TracePhase phase = TracePhase::kInstant;
+  const char* category = "";  // static string (see file comment)
+  const char* name = "";      // static string
+  TraceArg args[2];
+
+  bool has_args() const { return args[0].key != nullptr; }
+  /// {"k":v,...} rendering of the arg slots ("{}" when none) — shared by
+  /// the Chrome exporter and the TELEMETRY$EVENTS ARGS column.
+  std::string ArgsJson() const;
+};
+
+/// Microseconds on the monotonic clock, relative to a process-wide epoch
+/// captured on first use. Shared by the flight recorder, the metrics
+/// snapshot history, and the slow-query log so their timestamps compare.
+uint64_t MonotonicNowUs();
+
+/// One event as a Chrome trace-event JSON object (no trailing comma).
+void AppendChromeTraceEvent(std::string* out, const TraceEvent& e);
+
+}  // namespace fsdm::telemetry
+
+#endif  // FSDM_TELEMETRY_TRACE_EVENT_H_

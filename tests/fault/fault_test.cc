@@ -163,6 +163,9 @@ TEST_F(FaultTest, RegistryCatalogListsPoints) {
 }
 
 TEST_F(FaultTest, TriggersFeedTelemetryAndRegistryTotals) {
+  if (!telemetry::kEnabled) {
+    GTEST_SKIP() << "built with -DFSDM_TELEMETRY=OFF";
+  }
   uint64_t before_registry = FaultRegistry::Global().triggers_total();
   uint64_t before_metric = telemetry::MetricsRegistry::Global().CounterValue(
       "fsdm_fault_injections_total");
@@ -176,6 +179,9 @@ TEST_F(FaultTest, TriggersFeedTelemetryAndRegistryTotals) {
 }
 
 TEST_F(FaultTest, InjectionCounterVisibleThroughMetricsTable) {
+  if (!telemetry::kEnabled) {
+    GTEST_SKIP() << "built with -DFSDM_TELEMETRY=OFF";
+  }
   FaultRegistry::Global().Arm("test.status", FaultSpec::Once());
   (void)HitStatus();
   rdbms::OperatorPtr scan = telemetry::MetricsScan();

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collection/collection.h"
+#include "collection/collections_table.h"
+#include "collection/router.h"
+#include "json/parser.h"
+#include "rdbms/executor.h"
+#include "sql/parser.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slow_query.h"
+#include "telemetry/telemetry.h"
+
+/// End-to-end checks for the ISSUE 4 flight recorder: one collection
+/// insert must show up in the exported chrome trace as a nested span tree,
+/// and the TELEMETRY$ virtual relations must be queryable through the SQL
+/// mini-engine.
+
+namespace fsdm {
+namespace {
+
+using telemetry::FlightRecorder;
+using telemetry::SlowQueryLog;
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!telemetry::kEnabled) {
+      GTEST_SKIP() << "built with FSDM_TELEMETRY=OFF";
+    }
+    FlightRecorder::Global().Reset();
+    FlightRecorder::Global().Arm();
+    SlowQueryLog::Global().Clear();
+  }
+  void TearDown() override {
+    if (telemetry::kEnabled) {
+      FlightRecorder::Global().Disarm();
+      FlightRecorder::Global().Reset();
+      SlowQueryLog::Global().Clear();
+      SlowQueryLog::Global().SetThresholdUs(10000);
+    }
+  }
+
+  std::vector<std::string> Q(rdbms::Database* db, const std::string& sql) {
+    sql::SqlSession session(db);
+    auto r = session.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n  -> " << r.status().ToString();
+    return r.ok() ? r.MoveValue() : std::vector<std::string>{};
+  }
+
+  rdbms::Database db_;
+};
+
+// The acceptance criterion: a single JsonCollection insert appears in the
+// exported chrome trace as one nested span tree — collection.insert
+// enclosing the IS JSON check, the index observer fan-out and the
+// DataGuide persist — verified by walking the exported JSON.
+TEST_F(ObservabilityTest, SingleInsertExportsNestedSpanTree) {
+  auto coll = collection::JsonCollection::Create(&db_, "OBS").MoveValue();
+  FlightRecorder::Global().Reset();  // drop the Create() noise
+
+  ASSERT_TRUE(
+      coll->Insert(Value::Int64(1), "{\"a\":1,\"b\":{\"c\":\"x\"}}").ok());
+
+  const std::string path =
+      ::testing::TempDir() + "/fsdm_observability_trace.json";
+  ASSERT_TRUE(FlightRecorder::Global().DumpChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = json::Parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::remove(path.c_str());
+
+  const json::JsonNode* events = parsed.value()->GetField("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Walk the event list tracking span depth; collect the names of spans
+  // opened strictly inside the collection.insert window.
+  int depth = 0;
+  int insert_depth = -1;
+  bool saw_insert = false;
+  bool insert_closed = false;
+  std::vector<std::string> nested;
+  for (size_t i = 0; i < events->array_size(); ++i) {
+    const json::JsonNode* e = events->element(i);
+    const std::string ph = e->GetField("ph")->scalar().AsString();
+    const std::string name = e->GetField("name")->scalar().AsString();
+    if (ph == "B") {
+      if (insert_depth >= 0 && !insert_closed) nested.push_back(name);
+      ++depth;
+      if (name == "collection.insert" && insert_depth < 0) {
+        insert_depth = depth;
+        saw_insert = true;
+      }
+    } else if (ph == "E") {
+      --depth;
+      ASSERT_GE(depth, 0) << "unbalanced trace at event " << i;
+      if (insert_depth >= 0 && depth < insert_depth) insert_closed = true;
+    }
+  }
+  EXPECT_EQ(depth, 0) << "trace left spans open";
+  ASSERT_TRUE(saw_insert) << buf.str();
+  ASSERT_TRUE(insert_closed);
+
+  auto contains = [&](const std::string& want) {
+    for (const std::string& n : nested) {
+      if (n == want) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("isjson.check")) << buf.str();
+  EXPECT_TRUE(contains("index.insert")) << buf.str();
+  EXPECT_TRUE(contains("dg.persist")) << buf.str();
+  EXPECT_TRUE(contains("observer.insert")) << buf.str();
+}
+
+TEST_F(ObservabilityTest, EventsRelationQueryableFromSql) {
+  auto coll = collection::JsonCollection::Create(&db_, "OBS").MoveValue();
+  ASSERT_TRUE(coll->Insert(Value::Int64(1), "{\"a\":1}").ok());
+
+  std::vector<std::string> rows =
+      Q(&db_, "SELECT CATEGORY, NAME, PHASE FROM TELEMETRY$EVENTS "
+              "WHERE NAME = 'collection.insert' AND PHASE = 'E'");
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].substr(0, 29), "collection|collection.insert|");
+
+  // DUR_US is populated on span-end rows and non-negative.
+  rows = Q(&db_, "SELECT DUR_US FROM TELEMETRY$EVENTS "
+                 "WHERE NAME = 'collection.insert' AND PHASE = 'E'");
+  ASSERT_FALSE(rows.empty());
+  EXPECT_GE(std::stod(rows[0]), 0.0);
+}
+
+TEST_F(ObservabilityTest, SlowQueryCapturedAndQueryableFromSql) {
+  SlowQueryLog::Global().SetThresholdUs(0);  // capture everything
+  auto coll = collection::JsonCollection::Create(&db_, "OBS").MoveValue();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(coll->Insert("{\"num\":" + std::to_string(i) + "}").ok());
+  }
+
+  auto routed = collection::RoutePredicates(
+                    *coll, {collection::PathPredicate::Compare(
+                               "$.num", rdbms::CompareOp::kGt,
+                               Value::Int64(-1))})
+                    .MoveValue();
+  auto rows = rdbms::Collect(routed.plan.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().size(), 50u);
+
+  ASSERT_GE(SlowQueryLog::Global().total_captured(), 1u);
+  std::vector<telemetry::SlowQueryRecord> snap =
+      SlowQueryLog::Global().Snapshot();
+  ASSERT_FALSE(snap.empty());
+  const telemetry::SlowQueryRecord& rec = snap.back();
+  EXPECT_FALSE(rec.access_path.empty());
+  EXPECT_EQ(rec.rows, 50u);
+  // The captured text is the router candidate table plus the executed
+  // span tree with measured rows.
+  EXPECT_NE(rec.trace_text.find("access path:"), std::string::npos)
+      << rec.trace_text;
+  EXPECT_NE(rec.trace_text.find("plan:"), std::string::npos) << rec.trace_text;
+  EXPECT_NE(rec.trace_text.find("rows_out=50"), std::string::npos)
+      << rec.trace_text;
+  // The flight-recorder slice is valid JSON (an event array).
+  auto slice = json::Parse(rec.events_json);
+  ASSERT_TRUE(slice.ok()) << rec.events_json;
+  EXPECT_TRUE(slice.value()->is_array());
+  EXPECT_EQ(rec.event_count, slice.value()->array_size());
+
+  std::vector<std::string> sql_rows =
+      Q(&db_, "SELECT ACCESS_PATH, ROWS FROM TELEMETRY$SLOW_QUERIES");
+  ASSERT_FALSE(sql_rows.empty());
+}
+
+TEST_F(ObservabilityTest, CollectionsRelationListsLiveCollections) {
+  auto coll = collection::JsonCollection::Create(&db_, "OBSC").MoveValue();
+  ASSERT_TRUE(coll->Insert("{\"a\":1}").ok());
+  ASSERT_TRUE(coll->Insert("{\"a\":2}").ok());
+
+  std::vector<std::string> rows =
+      Q(&db_, "SELECT NAME, HEALTH, DOC_COUNT FROM TELEMETRY$COLLECTIONS "
+              "WHERE NAME = 'OBSC'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "OBSC|healthy|2");
+
+  // Detach drops it from the registry: no dangling rows.
+  coll.reset();
+  rows = Q(&db_, "SELECT NAME FROM TELEMETRY$COLLECTIONS "
+                 "WHERE NAME = 'OBSC'");
+  EXPECT_TRUE(rows.empty());
+}
+
+}  // namespace
+}  // namespace fsdm

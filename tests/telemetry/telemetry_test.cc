@@ -46,6 +46,31 @@ TEST(HistogramTest, OverflowBucketReportsMax) {
   EXPECT_DOUBLE_EQ(h.max(), 1000.0);
 }
 
+TEST(HistogramTest, SingleObservationAllPercentilesReportIt) {
+  Histogram h({10, 100});
+  h.Observe(42);
+  // With one sample every percentile must land on it — the interpolation
+  // is clamped to [min, max] so it can't drift below the observed value.
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 42.0) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, AllObservationsInOverflowBucketReportMax) {
+  Histogram h({10});
+  h.Observe(500);
+  h.Observe(1000);
+  h.Observe(2000);
+  EXPECT_EQ(h.bucket_counts()[1], 3u);
+  // The overflow bucket has no upper bound to interpolate toward; every
+  // mid percentile reports the observed max rather than a fabricated
+  // bound-derived value.
+  EXPECT_DOUBLE_EQ(h.Percentile(10), 2000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 2000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 2000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 500.0);  // p<=0 still reports min
+}
+
 TEST(HistogramTest, EmptyAndBoundaryPercentiles) {
   Histogram h({1, 2, 3});
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);  // empty
