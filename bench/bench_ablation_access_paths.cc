@@ -101,6 +101,53 @@ void AccessPathAblation(size_t docs_n) {
   benchutil::PrintRow({"routed: index postings", benchutil::Fmt(t_index),
                        benchutil::Fmt(t_text / t_index, 1) + "x"});
   printf("(matching rows: %zu of %zu)\n\n", n3, docs_n);
+
+  // (c) The ISSUE 5 cost model: route one query per shape, drain it, and
+  // report the router's cardinality estimate against the actual row count.
+  // scripts/check_stats.py consumes these rows from the BENCH json and
+  // fails CI when an estimate is missing or the median misestimation
+  // ratio blows past 10x.
+  printf("--- (c) cost-based routing: estimated vs actual rows ---\n");
+  using collection::PathPredicate;
+  struct Shape {
+    const char* name;
+    std::vector<PathPredicate> preds;
+  };
+  const std::vector<Shape> shapes = {
+      {"exists rare path", {PathPredicate::Exists(kRarePath)}},
+      {"equality on costcenter",
+       {PathPredicate::Compare("$.purchaseOrder.costcenter",
+                               rdbms::CompareOp::kEq,
+                               Value::String("CC7"))}},
+      {"conjunction eq+exists",
+       {PathPredicate::Compare("$.purchaseOrder.costcenter",
+                               rdbms::CompareOp::kEq, Value::String("CC7")),
+        PathPredicate::Exists(kRarePath)}},
+  };
+  benchutil::PrintHeader(
+      {"query shape", "access path", "est rows", "actual rows", "ms"});
+  for (const Shape& shape : shapes) {
+    double best_ms = 1e300;
+    size_t rows = 0;
+    double est = -1;
+    const char* path_name = "";
+    for (int r = 0; r < 3; ++r) {
+      benchutil::Timer t;
+      auto rp = coll->Route(shape.preds).MoveValue();
+      Result<size_t> n = benchutil::Drain(rp.plan.get());
+      if (!n.ok()) {
+        fprintf(stderr, "%s\n", n.status().ToString().c_str());
+        exit(1);
+      }
+      rows = n.value();
+      best_ms = std::min(best_ms, t.ElapsedMs());
+      est = rp.trace.decision.est_out_rows;
+      path_name = collection::AccessPathName(rp.access_path);
+    }
+    benchutil::PrintRow({shape.name, path_name, benchutil::Fmt(est, 1),
+                         std::to_string(rows), benchutil::Fmt(best_ms)});
+  }
+  printf("\n");
 }
 
 void SetEncodingAblation(size_t docs_n) {

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Compares two sets of BENCH_*.json files and reports metric deltas.
 
-Usage: bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold PCT]
+Usage: bench_compare.py BASELINE_DIR CANDIDATE_DIR [--fail-threshold PCT]
+                        [--markdown FILE]
 
 Matches files by name (BENCH_fig7_insert.json etc.), pairs rows by their
 first cell (the row label), and diffs every numeric cell. Prints a per-bench
-table of % change. With --threshold, exits non-zero if any time-like metric
-(a column whose name contains "us", "ms", or "sec") regresses by more than
-PCT percent; other columns are report-only. Without --threshold the script
-always exits 0 (report-only mode, as used in CI).
+table of % change. With --fail-threshold, exits non-zero if any time-like
+metric (a column whose name contains "us", "ms", or "sec") regresses by more
+than PCT percent; other columns are report-only. Without --fail-threshold
+the script always exits 0 (report-only mode). --markdown additionally
+writes the comparison as a GitHub-flavored table, which CI appends to the
+job's step summary.
 """
 
 import argparse
@@ -59,7 +62,7 @@ def is_time_metric(column):
     return any(tok in lowered for tok in ("us", "ms", "sec"))
 
 
-def compare(name, base, cand, threshold):
+def compare(name, base, cand, threshold, table):
     regressions = []
     base_rows = {row_key(r): r for r in base.get("rows", [])}
     lines = []
@@ -76,6 +79,7 @@ def compare(name, base, cand, threshold):
             if old == 0.0:
                 if value != 0.0:
                     lines.append(f"  {key}.{col}: {old:g} -> {value:g}")
+                    table.append((name, f"{key}.{col}", old, value, None, ""))
                 continue
             pct = (value - old) / old * 100.0
             marker = ""
@@ -86,6 +90,8 @@ def compare(name, base, cand, threshold):
             if abs(pct) >= 0.05 or marker:
                 lines.append(f"  {key}.{col}: {old:g} -> {value:g} "
                              f"({pct:+.1f}%){marker}")
+                table.append((name, f"{key}.{col}", old, value, pct,
+                              "regression" if marker else ""))
     missing = set(base_rows) - {row_key(r) for r in cand.get("rows", [])}
     for key in sorted(missing):
         lines.append(f"  {key}: row missing from candidate")
@@ -97,13 +103,35 @@ def compare(name, base, cand, threshold):
     return regressions
 
 
+def write_markdown(path, table, threshold):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("### Bench comparison vs baseline\n\n")
+        if not table:
+            f.write("No numeric change against the baseline.\n")
+            return
+        f.write("| bench | metric | baseline | candidate | delta | |\n")
+        f.write("|---|---|---:|---:|---:|---|\n")
+        for name, metric, old, new, pct, flag in table:
+            delta = f"{pct:+.1f}%" if pct is not None else "n/a"
+            mark = ":warning:" if flag else ""
+            f.write(f"| {name} | {metric} | {old:g} | {new:g} "
+                    f"| {delta} | {mark} |\n")
+        if threshold is not None:
+            f.write(f"\nFail threshold: +{threshold:g}% on time-like "
+                    f"metrics.\n")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline_dir")
     ap.add_argument("candidate_dir")
-    ap.add_argument("--threshold", type=float, default=None,
+    ap.add_argument("--fail-threshold", "--threshold", dest="fail_threshold",
+                    type=float, default=None,
                     help="fail if a time-like metric regresses by more "
                          "than this percent")
+    ap.add_argument("--markdown", default=None, metavar="FILE",
+                    help="also write the comparison as a GitHub-flavored "
+                         "markdown table (for step summaries)")
     args = ap.parse_args()
 
     base = load_dir(args.baseline_dir)
@@ -118,6 +146,7 @@ def main():
         sys.exit(2)
 
     regressions = []
+    table = []
     for name in sorted(set(base) | set(cand)):
         if name not in cand:
             print(f"{name}\n  missing from candidate")
@@ -125,11 +154,15 @@ def main():
         if name not in base:
             print(f"{name}\n  new bench (no baseline)")
             continue
-        regressions += compare(name, base[name], cand[name], args.threshold)
+        regressions += compare(name, base[name], cand[name],
+                               args.fail_threshold, table)
+
+    if args.markdown:
+        write_markdown(args.markdown, table, args.fail_threshold)
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "
-              f"{args.threshold:g}%:", file=sys.stderr)
+              f"{args.fail_threshold:g}%:", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         sys.exit(1)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gates CI on the router's cardinality estimates.
+
+Usage: check_stats.py [BENCH_JSON ...]
+
+Reads BENCH_*.json files (default: BENCH_ablation_access_paths.json in the
+working directory), finds the routed-query rows — the ones carrying both an
+"est rows" and an "actual rows" cell from the bench's cost-based-routing
+section — and asserts:
+
+  1. every routed query reports both an estimate and an actual row count
+     (a missing estimate means the router skipped the cost model);
+  2. the median misestimation ratio max((a+1)/(e+1), (e+1)/(a+1)) across
+     all routed queries stays below 10x.
+
+Prints a per-query report (uploaded as a CI artifact) and exits non-zero
+when either assertion fails.
+"""
+
+import json
+import statistics
+import sys
+
+MAX_MEDIAN_RATIO = 10.0
+
+
+def ratio(est, actual):
+    hi = max(est + 1.0, actual + 1.0)
+    lo = min(est + 1.0, actual + 1.0)
+    return hi / lo
+
+
+def main(argv):
+    paths = argv[1:] or ["BENCH_ablation_access_paths.json"]
+    routed = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                bench = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_stats: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        for row in bench.get("rows", []):
+            if "est rows" not in row and "actual rows" not in row:
+                continue  # not a routed-query row (other bench sections)
+            routed.append((path, row))
+
+    if not routed:
+        print("check_stats: no routed-query rows found in "
+              f"{', '.join(paths)}", file=sys.stderr)
+        return 1
+
+    failures = []
+    ratios = []
+    print(f"{'query shape':30} {'access path':24} "
+          f"{'est':>10} {'actual':>10} {'ratio':>7}")
+    for path, row in routed:
+        name = str(row.get("query shape", "?"))
+        access = str(row.get("access path", "?"))
+        est = row.get("est rows")
+        actual = row.get("actual rows")
+        if not isinstance(est, (int, float)) or est < 0:
+            failures.append(f"{name}: no cardinality estimate ({path})")
+            print(f"{name:30} {access:24} {'MISSING':>10} {actual!s:>10}")
+            continue
+        if not isinstance(actual, (int, float)):
+            failures.append(f"{name}: no actual row count ({path})")
+            print(f"{name:30} {access:24} {est:>10g} {'MISSING':>10}")
+            continue
+        r = ratio(float(est), float(actual))
+        ratios.append(r)
+        print(f"{name:30} {access:24} {est:>10g} {actual:>10g} {r:>6.2f}x")
+
+    if ratios:
+        median = statistics.median(ratios)
+        print(f"\nmedian misestimation ratio: {median:.2f}x "
+              f"(limit {MAX_MEDIAN_RATIO:g}x, {len(ratios)} queries)")
+        if median >= MAX_MEDIAN_RATIO:
+            failures.append(
+                f"median misestimation ratio {median:.2f}x >= "
+                f"{MAX_MEDIAN_RATIO:g}x")
+
+    if failures:
+        print(f"\ncheck_stats: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_stats: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

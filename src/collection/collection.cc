@@ -5,6 +5,7 @@
 #include "collection/collections_table.h"
 #include "fault/fault.h"
 #include "json/dom.h"
+#include "json/parser.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/trace_event.h"
 
@@ -71,10 +72,13 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     }
     if (options.attach_search_index) {
       FSDM_FAULT_POINT("collection.create.search_index");
+      // The statistics repository rides the index's DataGuide walk as the
+      // scalar sink (ISSUE 5) — stats cost no extra parse.
+      coll->options_.index_options.scalar_sink = &coll->path_stats_;
       FSDM_ASSIGN_OR_RETURN(
           coll->index_,
           index::JsonSearchIndex::Create(table, options.json_column,
-                                         options.index_options));
+                                         coll->options_.index_options));
     }
     coll->dml_observer_ = std::make_unique<DmlObserver>(coll.get());
     table->AddObserver(coll->dml_observer_.get());
@@ -143,6 +147,11 @@ Status JsonCollection::RebuildIndex() {
   FSDM_TRACE_SPAN(span, "collection", "index.rebuild");
   span.AddTextArg("name", name_);
   if (index_ != nullptr) {
+    // Rebuild() re-feeds every live document through the DataGuide walk —
+    // and therefore through the statistics sink. Reset the repository
+    // first or every path would double-count; this is also the one point
+    // where additive statistics shed their dead-document skew.
+    path_stats_.Clear();
     Status rebuilt = index_->Rebuild();
     if (!rebuilt.ok()) {
       quarantined_ = true;
@@ -318,14 +327,18 @@ void JsonCollection::InvalidateImc() {
 }
 
 Status JsonCollection::MaintainOwnGuide(const Value& doc_value) {
-  // Reuse the parse the IS JSON constraint already paid for (§3.2.1).
+  // Reuse the parse the IS JSON constraint already paid for (§3.2.1). The
+  // path-statistics repository rides the same walk as the scalar sink.
   const json::JsonNode* parsed =
       table_->ParsedJsonForObserver(json_physical_pos_);
   if (parsed != nullptr) {
     json::TreeDom dom(parsed);
-    return own_guide_.AddDocument(dom).status();
+    return own_guide_.AddDocument(dom, nullptr, &path_stats_).status();
   }
-  return own_guide_.AddJsonText(doc_value.AsString()).status();
+  FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> doc,
+                        json::Parse(doc_value.AsString()));
+  json::TreeDom dom(doc.get());
+  return own_guide_.AddDocument(dom, nullptr, &path_stats_).status();
 }
 
 // --- Derived schema ---------------------------------------------------------

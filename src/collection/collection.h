@@ -17,6 +17,7 @@
 #include "rdbms/executor.h"
 #include "rdbms/table.h"
 #include "sqljson/operators.h"
+#include "stats/path_stats.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::collection {
@@ -115,6 +116,13 @@ class JsonCollection {
   const dataguide::DataGuide& dataguide() const {
     return index_ != nullptr ? index_->dataguide() : own_guide_;
   }
+  /// Per-path value statistics (ISSUE 5): document frequency, NDV sketch,
+  /// min/max, and a bounded histogram per scalar path, fed from the same
+  /// DataGuide walk the DML path already pays for. The router's
+  /// selectivity estimates read from here. Additive like the DataGuide
+  /// (§3.4): deletes and rollbacks never retract counts, so ratios stay
+  /// approximately right; RebuildIndex() resets and re-feeds them.
+  const stats::PathStatsRepository& path_stats() const { return path_stats_; }
   size_t document_count() const;
 
   // --- Health & crash consistency ---------------------------------------
@@ -260,6 +268,7 @@ class JsonCollection {
   std::unique_ptr<index::JsonSearchIndex> index_;
   std::unique_ptr<DmlObserver> dml_observer_;
   dataguide::DataGuide own_guide_;  // used when no index is attached
+  stats::PathStatsRepository path_stats_;
   // JSON path -> declared virtual column name (router / IMC metadata).
   std::map<std::string, std::string> vc_for_path_;
   std::optional<imc::ColumnStore> imc_;

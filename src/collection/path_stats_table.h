@@ -1,0 +1,24 @@
+#ifndef FSDM_COLLECTION_PATH_STATS_TABLE_H_
+#define FSDM_COLLECTION_PATH_STATS_TABLE_H_
+
+#include "rdbms/executor.h"
+
+/// TELEMETRY$PATH_STATS (ISSUE 5): the per-collection path statistics
+/// repositories — the numbers behind the router's selectivity estimates —
+/// exposed as a SQL relation alongside the other TELEMETRY$ tables.
+
+namespace fsdm::collection {
+
+inline constexpr const char* kPathStatsTableName = "TELEMETRY$PATH_STATS";
+
+/// Row source over every registered collection's PathStatsRepository, one
+/// row per (collection, scalar path). Schema: (COLLECTION, PATH, DOCS_SEEN,
+/// DOC_FREQUENCY, VALUE_COUNT, NULL_COUNT, NDV, MIN, MAX, HIST_TOTAL,
+/// HIST_LO, HIST_HI) — NDV is the HyperLogLog estimate rounded to an
+/// integer; MIN/MAX are display strings (NULL when the path held only
+/// nulls); HIST_LO/HI are NULL until the histogram freezes its range.
+rdbms::OperatorPtr PathStatsScan();
+
+}  // namespace fsdm::collection
+
+#endif  // FSDM_COLLECTION_PATH_STATS_TABLE_H_

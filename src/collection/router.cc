@@ -1,11 +1,14 @@
 #include "collection/router.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <utility>
 
 #include "collection/collection.h"
+#include "stats/operator_costs.h"
+#include "stats/path_stats.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
@@ -19,6 +22,8 @@ const char* AccessPathName(AccessPath path) {
       return "indexed-value-scan";
     case AccessPath::kIndexedPathScan:
       return "indexed-path-scan";
+    case AccessPath::kPostingIntersectScan:
+      return "posting-intersect-scan";
     case AccessPath::kImcFilterScan:
       return "imc-filter-scan";
     case AccessPath::kFullScan:
@@ -94,15 +99,113 @@ std::string PredicateText(const PathPredicate& p) {
          p.literal->ToDisplayString();
 }
 
-/// Applies every predicate except `skip` as a Filter over `plan`. Each
-/// residual Filter gets its own instrumented span stacked on top of *root,
-/// which on return points at the new tree root.
+std::string Fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+std::string Fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// Selectivity estimation over the collection's PathStatsRepository with
+/// the DataGuide as fallback. All estimates are deterministic for frozen
+/// statistics — no wall clock, no randomness.
+class SelEstimator {
+ public:
+  SelEstimator(const stats::PathStatsRepository& repo,
+               const dataguide::DataGuide& guide, double docs)
+      : repo_(repo), guide_(guide), docs_(docs) {}
+
+  /// Fraction of documents containing `path`, in [0, 1].
+  double ExistsSel(const std::string& path) const {
+    if (repo_.docs_seen() > 0 && repo_.Find(path) != nullptr) {
+      return *repo_.ExistenceSelectivity(path);
+    }
+    // Container-only paths never reach the scalar sink; the DataGuide's
+    // structural frequency covers them (and everything pre-stats).
+    const uint64_t total = guide_.document_count();
+    if (total == 0) return 0.0;
+    return std::min(1.0, static_cast<double>(PathFrequency(guide_, path)) /
+                             static_cast<double>(total));
+  }
+
+  /// NDV of the path's non-null values, clamped to >= 1. Falls back to a
+  /// default of 10 distinct values when no sketch exists.
+  double Ndv(const std::string& path) const {
+    if (repo_.Find(path) != nullptr) {
+      return std::max(1.0, repo_.NdvEstimate(path));
+    }
+    return 10.0;
+  }
+
+  /// Selectivity of one conjunct.
+  double PredSel(const PathPredicate& p) const {
+    const double exists = ExistsSel(p.path);
+    if (p.is_existence()) return exists;
+    if (p.op == rdbms::CompareOp::kEq) return exists / Ndv(p.path);
+    if (p.op == rdbms::CompareOp::kNe) {
+      return exists * (1.0 - 1.0 / Ndv(p.path));
+    }
+    // Range comparison: histogram fraction when a numeric histogram
+    // exists, else the textbook 1/3 default.
+    const stats::PathStats* s = repo_.Find(p.path);
+    if (s != nullptr && p.literal->IsNumeric() && s->histogram.total() > 0) {
+      const double x = p.literal->NumericAsDouble();
+      double frac;
+      switch (p.op) {
+        case rdbms::CompareOp::kLt:
+          frac = s->histogram.FractionBelow(x, /*inclusive=*/false);
+          break;
+        case rdbms::CompareOp::kLe:
+          frac = s->histogram.FractionBelow(x, /*inclusive=*/true);
+          break;
+        case rdbms::CompareOp::kGt:
+          frac = 1.0 - s->histogram.FractionBelow(x, /*inclusive=*/true);
+          break;
+        default:  // kGe
+          frac = 1.0 - s->histogram.FractionBelow(x, /*inclusive=*/false);
+          break;
+      }
+      return exists * frac;
+    }
+    return exists / 3.0;
+  }
+
+  /// Estimated documents satisfying one conjunct.
+  double PredRows(const PathPredicate& p) const {
+    return docs_ * PredSel(p);
+  }
+
+  /// Estimated documents satisfying the whole conjunction (independence
+  /// assumption: product of per-conjunct selectivities).
+  double ConjunctionRows(const std::vector<PathPredicate>& preds) const {
+    double sel = 1.0;
+    for (const PathPredicate& p : preds) sel *= PredSel(p);
+    return docs_ * sel;
+  }
+
+  double docs() const { return docs_; }
+
+ private:
+  const stats::PathStatsRepository& repo_;
+  const dataguide::DataGuide& guide_;
+  double docs_;
+};
+
+/// Applies every predicate except those in `skip` as a Filter over `plan`.
+/// Each residual Filter gets its own instrumented span stacked on top of
+/// *root, which on return points at the new tree root.
 Result<rdbms::OperatorPtr> ApplyResiduals(
     const JsonCollection& coll, rdbms::OperatorPtr plan,
-    const std::vector<PathPredicate>& predicates, const PathPredicate* skip,
+    const std::vector<PathPredicate>& predicates,
+    const std::vector<const PathPredicate*>& skip,
     std::unique_ptr<telemetry::OperatorSpan>* root) {
   for (const PathPredicate& p : predicates) {
-    if (&p == skip) continue;
+    if (std::find(skip.begin(), skip.end(), &p) != skip.end()) continue;
     FSDM_ASSIGN_OR_RETURN(rdbms::ExprPtr expr, PredicateExpr(coll, p));
     std::unique_ptr<telemetry::OperatorSpan> span =
         telemetry::MakeSpan("Filter", PredicateText(p));
@@ -114,18 +217,19 @@ Result<rdbms::OperatorPtr> ApplyResiduals(
   return plan;
 }
 
-/// Transparent wrapper the router stacks on every routed plan: counts rows
-/// and wall time between Open() and Close(); when the query crosses the
-/// SlowQueryLog threshold, captures the rendered router decision + span
-/// tree and the flight-recorder slice covering the execution. Holds only a
-/// *copy* of the RouterDecision and the stable heap pointer to the root
-/// span — the owning RoutedPlan may move (and its trace member with it)
-/// while the plan runs.
-class SlowQueryProbe final : public rdbms::Operator {
+/// Transparent wrapper the router stacks on every routed plan. On Close()
+/// it (a) feeds the measured span times back into the operator cost model
+/// and compares estimated vs. actual output rows — the cardinality
+/// feedback loop (fsdm_router_misestimates_total counts ratios past 4x) —
+/// and (b) captures the query into the SlowQueryLog when it crossed the
+/// threshold. Holds only a *copy* of the RouterDecision and the stable
+/// heap pointer to the root span — the owning RoutedPlan may move (and its
+/// trace member with it) while the plan runs.
+class RoutedQueryProbe final : public rdbms::Operator {
  public:
-  SlowQueryProbe(rdbms::OperatorPtr child, std::string query,
-                 telemetry::RouterDecision decision,
-                 const telemetry::OperatorSpan* root)
+  RoutedQueryProbe(rdbms::OperatorPtr child, std::string query,
+                   telemetry::RouterDecision decision,
+                   const telemetry::OperatorSpan* root)
       : child_(std::move(child)),
         query_(std::move(query)),
         decision_(std::move(decision)),
@@ -135,7 +239,7 @@ class SlowQueryProbe final : public rdbms::Operator {
 
   Status Open() override {
     rows_ = 0;
-    captured_ = false;
+    closed_ = false;
     open_ts_us_ = telemetry::MonotonicNowUs();
     watch_.Restart();
     return child_->Open();
@@ -149,17 +253,38 @@ class SlowQueryProbe final : public rdbms::Operator {
 
   void Close() override {
     child_->Close();
-    if (captured_) return;
+    if (closed_) return;
+    closed_ = true;
     const uint64_t elapsed = static_cast<uint64_t>(watch_.ElapsedUs());
+    HarvestFeedback();
+    MaybeCaptureSlowQuery(elapsed);
+  }
+
+ private:
+  void HarvestFeedback() {
+    FSDM_COUNT("fsdm_router_routed_queries_total", 1);
+    if (root_ != nullptr) {
+      stats::OperatorCostModel::Global().RecordSpanTree(*root_);
+    }
+    if (decision_.est_out_rows >= 0) {
+      const double est = decision_.est_out_rows;
+      const double actual = static_cast<double>(rows_);
+      const double ratio = std::max((actual + 1.0) / (est + 1.0),
+                                    (est + 1.0) / (actual + 1.0));
+      if (ratio > 4.0) FSDM_COUNT("fsdm_router_misestimates_total", 1);
+    }
+  }
+
+  void MaybeCaptureSlowQuery(uint64_t elapsed) {
     telemetry::SlowQueryLog& log = telemetry::SlowQueryLog::Global();
     if (elapsed < log.threshold_us()) return;
-    captured_ = true;
     telemetry::SlowQueryRecord rec;
     rec.ts_us = telemetry::MonotonicNowUs();
     rec.query = query_;
     rec.access_path = decision_.winner;
     rec.elapsed_us = elapsed;
     rec.rows = rows_;
+    rec.est_rows = decision_.est_out_rows;
     rec.trace_text = decision_.Render();
     if (root_ != nullptr) {
       rec.trace_text += "plan:\n";
@@ -181,7 +306,6 @@ class SlowQueryProbe final : public rdbms::Operator {
     log.Record(std::move(rec));
   }
 
- private:
   rdbms::OperatorPtr child_;
   std::string query_;
   telemetry::RouterDecision decision_;
@@ -189,7 +313,7 @@ class SlowQueryProbe final : public rdbms::Operator {
   telemetry::Stopwatch watch_;
   uint64_t open_ts_us_ = 0;
   uint64_t rows_ = 0;
-  bool captured_ = false;
+  bool closed_ = false;
 };
 
 }  // namespace
@@ -206,53 +330,46 @@ Result<RoutedPlan> RoutePredicates(
                           static_cast<double>(predicates.size()));
 
   const dataguide::DataGuide& guide = coll.dataguide();
-  const uint64_t docs = guide.document_count();
+  const uint64_t guide_docs = guide.document_count();
+  const double live_docs = static_cast<double>(coll.document_count());
+  const stats::OperatorCostModel& costs = stats::OperatorCostModel::Global();
+  SelEstimator est(coll.path_stats(), guide, live_docs);
+  const size_t n_preds = predicates.size();
 
   RoutedPlan routed;
   telemetry::RouterDecision& decision = routed.trace.decision;
-  decision.candidates.resize(4);
+  decision.candidates.resize(5);
   telemetry::RouterCandidate& imc_cand = decision.candidates[0];
   telemetry::RouterCandidate& value_cand = decision.candidates[1];
-  telemetry::RouterCandidate& path_cand = decision.candidates[2];
-  telemetry::RouterCandidate& full_cand = decision.candidates[3];
+  telemetry::RouterCandidate& isect_cand = decision.candidates[2];
+  telemetry::RouterCandidate& path_cand = decision.candidates[3];
+  telemetry::RouterCandidate& full_cand = decision.candidates[4];
   imc_cand.access_path = AccessPathName(AccessPath::kImcFilterScan);
   value_cand.access_path = AccessPathName(AccessPath::kIndexedValueScan);
+  isect_cand.access_path = AccessPathName(AccessPath::kPostingIntersectScan);
   path_cand.access_path = AccessPathName(AccessPath::kIndexedPathScan);
   full_cand.access_path = AccessPathName(AccessPath::kFullScan);
-  // Tiers past the winner are never inspected; they keep this default.
-  imc_cand.detail = value_cand.detail = path_cand.detail = "not evaluated";
-  full_cand.eligible = true;
-  full_cand.detail = "always applicable";
 
-  // Marks tier `idx` as the winner, freezes the legacy reason string, and
-  // stacks the slow-query probe on the finished plan (routed.plan and
-  // routed.trace.root are always set before finish runs).
-  auto finish = [&](size_t idx, AccessPath path, std::string reason) {
-    decision.candidates[idx].eligible = true;
-    decision.candidates[idx].chosen = true;
-    decision.winner = AccessPathName(path);
-    decision.reason = reason;
-    routed.access_path = path;
-    routed.reason = std::move(reason);
-    route_span.AddTextArg("winner", decision.winner);
-    FSDM_TRACE_INSTANT_TEXT("router", "router.winner", "path",
-                            decision.winner);
-    routed.plan = std::make_unique<SlowQueryProbe>(
-        std::move(routed.plan), query_text, decision,
-        routed.trace.root.get());
-  };
+  // The conjunction's estimated output cardinality — what the feedback
+  // loop later compares against the actual row count.
+  decision.est_out_rows = predicates.empty()
+                              ? live_docs
+                              : est.ConjunctionRows(predicates);
 
-  // 1. Vectorized IMC scan: every conjunct compares a path whose
-  //    JSON_VALUE virtual column sits in a *valid* (not DML-invalidated)
-  //    managed store. Population state is a routing input, so a stale
-  //    store silently falls through to the document-based paths.
+  // --- Evaluate every candidate: eligibility, estimated rows, estimated
+  // cost (selectivity x measured per-row operator cost). ------------------
+
+  // [0] Vectorized IMC scan: every conjunct compares a path whose
+  // JSON_VALUE virtual column sits in a *valid* (not DML-invalidated)
+  // managed store. Population state is a routing input, so a stale store
+  // silently falls through to the document-based paths.
   const imc::ColumnStore* store = coll.imc();
+  std::vector<imc::ColumnStore::Predicate> column_preds;
   if (store == nullptr) {
     imc_cand.detail = "no valid IMC store";
   } else if (predicates.empty()) {
     imc_cand.detail = "no predicates to push into the store";
   } else {
-    std::vector<imc::ColumnStore::Predicate> column_preds;
     bool all_materialized = true;
     for (const PathPredicate& p : predicates) {
       const std::string* vc =
@@ -266,25 +383,13 @@ Result<RoutedPlan> RoutePredicates(
       column_preds.push_back({*vc, p.op, *p.literal});
     }
     if (all_materialized) {
-      telemetry::Stopwatch route_scan;
-      FSDM_ASSIGN_OR_RETURN(
-          std::vector<rdbms::Row> rows,
-          store->FilterScan(column_preds, store->column_names()));
-      char stats[96];
-      std::snprintf(stats, sizeof(stats),
-                    "vectorized FilterScan at route time: %zu rows in %.1f us",
-                    rows.size(), route_scan.ElapsedUs());
-      imc_cand.detail = stats;
-      std::unique_ptr<telemetry::OperatorSpan> root =
-          telemetry::MakeSpan("ImcFilterScan", stats);
-      routed.plan = rdbms::Instrument(
-          rdbms::Values(rdbms::Schema(store->column_names()), std::move(rows)),
-          root.get());
-      routed.trace.root = std::move(root);
-      finish(0, AccessPath::kImcFilterScan,
-             "all predicate paths materialized as virtual columns in a valid "
-             "IMC store; vectorized FilterScan");
-      return routed;
+      imc_cand.eligible = true;
+      imc_cand.est_rows = decision.est_out_rows;
+      imc_cand.est_cost_us =
+          static_cast<double>(store->row_count()) *
+          costs.UsPerRow("ImcFilterScan");
+      imc_cand.detail =
+          "all predicate paths materialized in a valid IMC store";
     }
   }
 
@@ -292,37 +397,201 @@ Result<RoutedPlan> RoutePredicates(
   const bool postings_maintained =
       index != nullptr && coll.options_.index_options.maintain_postings;
   // Health is a routing input (ISSUE 3): a degraded index's postings may
-  // be missing rows, so both posting tiers drop out and the conjunction
-  // falls through to the always-correct full scan until RebuildIndex().
+  // be missing rows, so every posting-backed candidate drops out and the
+  // conjunction falls through to the always-correct full scan until
+  // RebuildIndex().
   const CollectionHealth health = coll.health();
   const bool postings =
       postings_maintained && health == CollectionHealth::kHealthy;
   if (!postings_maintained) {
-    value_cand.detail = path_cand.detail = "no search index postings maintained";
+    value_cand.detail = isect_cand.detail = path_cand.detail =
+        "no search index postings maintained";
   } else if (!postings) {
-    value_cand.detail = path_cand.detail =
+    value_cand.detail = isect_cand.detail = path_cand.detail =
         std::string(CollectionHealthName(health)) + ": " +
         coll.health_reason();
     FSDM_COUNT("fsdm_router_degraded_fallbacks_total", 1);
   }
 
+  // [1] Value postings: the most selective equality on a path the guide
+  // knows as a scalar.
+  const PathPredicate* best_eq = nullptr;
   if (postings) {
-    // 2. Value postings: the most selective equality (lowest DataGuide
-    //    path frequency) on a path the guide knows as a scalar.
-    const PathPredicate* best_eq = nullptr;
-    uint64_t best_eq_freq = std::numeric_limits<uint64_t>::max();
+    double best_eq_rows = std::numeric_limits<double>::max();
     for (const PathPredicate& p : predicates) {
       if (p.is_existence() || p.op != rdbms::CompareOp::kEq) continue;
-      const dataguide::PathEntry* e = FindScalarEntry(guide, p.path);
-      if (e == nullptr) continue;
-      if (e->frequency < best_eq_freq) {
+      if (FindScalarEntry(guide, p.path) == nullptr) continue;
+      const double rows = est.PredRows(p);
+      if (rows < best_eq_rows) {
         best_eq = &p;
-        best_eq_freq = e->frequency;
+        best_eq_rows = rows;
       }
     }
     if (best_eq != nullptr) {
-      value_cand.detail = "DataGuide frequency " + std::to_string(best_eq_freq) +
-                          "/" + std::to_string(docs) + " on " + best_eq->path;
+      value_cand.eligible = true;
+      value_cand.est_rows = best_eq_rows;
+      value_cand.est_cost_us =
+          best_eq_rows * costs.UsPerRow("IndexedValueScan") +
+          best_eq_rows * static_cast<double>(n_preds - 1) *
+              costs.UsPerRow("Filter");
+      value_cand.detail =
+          "equality on " + best_eq->path + " (DataGuide frequency " +
+          std::to_string(FindScalarEntry(guide, best_eq->path)->frequency) +
+          "/" + std::to_string(guide_docs) + ", ndv ~" +
+          Fmt1(est.Ndv(best_eq->path)) + ")";
+    } else {
+      value_cand.detail = "no equality on a DataGuide-known scalar path";
+    }
+  }
+
+  // [2] Posting-list intersection (ROADMAP "Router cost model" item): two
+  // or more index-answerable conjuncts — equalities on guide-known scalar
+  // paths and existence tests — evaluated by intersecting their posting
+  // lists, leaving only the rest as residual filters.
+  std::vector<const PathPredicate*> isect_covered;
+  std::vector<index::IndexTerm> isect_terms;
+  if (postings) {
+    for (const PathPredicate& p : predicates) {
+      if (p.is_existence()) {
+        isect_covered.push_back(&p);
+        isect_terms.push_back({p.path, std::nullopt});
+      } else if (p.op == rdbms::CompareOp::kEq &&
+                 FindScalarEntry(guide, p.path) != nullptr) {
+        isect_covered.push_back(&p);
+        isect_terms.push_back({p.path, p.literal});
+      }
+    }
+    if (isect_terms.size() >= 2) {
+      double total_postings = 0;
+      double covered_sel = 1.0;
+      for (const PathPredicate* p : isect_covered) {
+        total_postings += est.PredRows(*p);
+        covered_sel *= est.PredSel(*p);
+      }
+      const double covered_rows = live_docs * covered_sel;
+      const size_t n_residual = n_preds - isect_covered.size();
+      isect_cand.eligible = true;
+      isect_cand.est_rows = covered_rows;
+      isect_cand.est_cost_us =
+          total_postings * costs.UsPerRow("PostingIntersect") +
+          covered_rows * costs.UsPerRow("PostingIntersectScan") +
+          covered_rows * static_cast<double>(n_residual) *
+              costs.UsPerRow("Filter");
+      isect_cand.detail =
+          std::to_string(isect_terms.size()) +
+          " index-answerable conjuncts, ~" + Fmt1(total_postings) +
+          " postings to merge";
+    } else {
+      isect_cand.detail = "fewer than two index-answerable conjuncts";
+      isect_covered.clear();
+      isect_terms.clear();
+    }
+  }
+
+  // [3] Path postings: the most selective existence test. The old
+  // frequency threshold (present in at most half the documents) is gone —
+  // the cost comparison against the full scan decides.
+  const PathPredicate* best_exists = nullptr;
+  if (postings) {
+    double best_exists_rows = std::numeric_limits<double>::max();
+    for (const PathPredicate& p : predicates) {
+      if (!p.is_existence()) continue;
+      const double rows = est.PredRows(p);
+      if (rows < best_exists_rows) {
+        best_exists = &p;
+        best_exists_rows = rows;
+      }
+    }
+    if (best_exists != nullptr) {
+      path_cand.eligible = true;
+      path_cand.est_rows = best_exists_rows;
+      path_cand.est_cost_us =
+          best_exists_rows * costs.UsPerRow("IndexedPathScan") +
+          best_exists_rows * static_cast<double>(n_preds - 1) *
+              costs.UsPerRow("Filter");
+      path_cand.detail = "existence of " + best_exists->path +
+                         " (DataGuide frequency " +
+                         std::to_string(PathFrequency(guide, best_exists->path)) +
+                         "/" + std::to_string(guide_docs) + ")";
+    } else {
+      path_cand.detail = "no existence predicate to probe";
+    }
+  }
+
+  // [4] Baseline full scan: always eligible; every predicate becomes a
+  // residual filter over the scanned rows.
+  full_cand.eligible = true;
+  full_cand.est_rows = live_docs;
+  full_cand.est_cost_us =
+      live_docs * (costs.UsPerRow("Scan") +
+                   static_cast<double>(n_preds) * costs.UsPerRow("Filter"));
+  full_cand.detail = "always applicable";
+
+  // --- Pick the cheapest eligible candidate (ties break toward the
+  // earlier candidate, keeping decisions deterministic). -----------------
+  size_t winner = 4;
+  for (size_t i = 0; i < decision.candidates.size(); ++i) {
+    const telemetry::RouterCandidate& c = decision.candidates[i];
+    if (!c.eligible) continue;
+    if (c.est_cost_us < decision.candidates[winner].est_cost_us) winner = i;
+  }
+  // A strictly-cheaper candidate earlier in the list wins outright; an
+  // equal-cost one wins by order. The loop above keeps the *first* minimum
+  // because later candidates must be strictly cheaper to displace it —
+  // except that `winner` starts at the always-eligible full scan, so walk
+  // again preferring the earliest minimum.
+  for (size_t i = 0; i < decision.candidates.size(); ++i) {
+    const telemetry::RouterCandidate& c = decision.candidates[i];
+    if (c.eligible &&
+        c.est_cost_us <= decision.candidates[winner].est_cost_us) {
+      winner = i;
+      break;
+    }
+  }
+
+  // Marks candidate `idx` as the winner, freezes the legacy reason string,
+  // and stacks the feedback/slow-query probe on the finished plan
+  // (routed.plan and routed.trace.root are always set before finish runs).
+  auto finish = [&](size_t idx, AccessPath path, std::string reason) {
+    decision.candidates[idx].chosen = true;
+    decision.winner = AccessPathName(path);
+    decision.reason = reason;
+    routed.access_path = path;
+    routed.reason = std::move(reason);
+    route_span.AddTextArg("winner", decision.winner);
+    FSDM_TRACE_INSTANT_TEXT("router", "router.winner", "path",
+                            decision.winner);
+    routed.plan = std::make_unique<RoutedQueryProbe>(
+        std::move(routed.plan), query_text, decision,
+        routed.trace.root.get());
+  };
+
+  switch (winner) {
+    case 0: {  // imc-filter-scan
+      telemetry::Stopwatch route_scan;
+      FSDM_ASSIGN_OR_RETURN(
+          std::vector<rdbms::Row> rows,
+          store->FilterScan(column_preds, store->column_names()));
+      // Feed the scan measurement with the scanned-row basis; the plan
+      // below only *replays* the materialized result, so RecordSpanTree
+      // skips its span.
+      stats::OperatorCostModel::Global().Record(
+          "ImcFilterScan", store->row_count(), route_scan.ElapsedUs());
+      imc_cand.detail += "; FilterScan at route time: " +
+                         std::to_string(rows.size()) + " rows";
+      std::unique_ptr<telemetry::OperatorSpan> root =
+          telemetry::MakeSpan("ImcFilterScan", imc_cand.detail);
+      routed.plan = rdbms::Instrument(
+          rdbms::Values(rdbms::Schema(store->column_names()), std::move(rows)),
+          root.get());
+      routed.trace.root = std::move(root);
+      finish(0, AccessPath::kImcFilterScan,
+             "all predicate paths materialized as virtual columns in a valid "
+             "IMC store (est cost " + Fmt2(imc_cand.est_cost_us) +
+                 " us); vectorized FilterScan");
+      break;
+    }
+    case 1: {  // indexed-value-scan
       std::unique_ptr<telemetry::OperatorSpan> root = telemetry::MakeSpan(
           "IndexedValueScan", PredicateText(*best_eq));
       rdbms::OperatorPtr scan = rdbms::Instrument(
@@ -331,74 +600,97 @@ Result<RoutedPlan> RoutePredicates(
           root.get());
       FSDM_ASSIGN_OR_RETURN(
           rdbms::OperatorPtr plan,
-          ApplyResiduals(coll, std::move(scan), predicates, best_eq, &root));
+          ApplyResiduals(coll, std::move(scan), predicates, {best_eq}, &root));
       routed.plan = std::move(plan);
       routed.trace.root = std::move(root);
       finish(1, AccessPath::kIndexedValueScan,
-             "equality on scalar path " + best_eq->path +
-                 " (DataGuide frequency " + std::to_string(best_eq_freq) + "/" +
-                 std::to_string(docs) + "); value postings");
-      return routed;
+             "equality on scalar path " + best_eq->path + " (est " +
+                 Fmt1(value_cand.est_rows) + " rows, cost " +
+                 Fmt2(value_cand.est_cost_us) + " us); value postings");
+      break;
     }
-    value_cand.detail = "no equality on a DataGuide-known scalar path";
-
-    // 3. Path postings: the most selective existence test. A path present
-    //    in at most half the documents (or unknown to the guide) is worth
-    //    a posting lookup; a near-universal path is not.
-    const PathPredicate* best_exists = nullptr;
-    uint64_t best_exists_freq = std::numeric_limits<uint64_t>::max();
-    for (const PathPredicate& p : predicates) {
-      if (!p.is_existence()) continue;
-      uint64_t freq = PathFrequency(guide, p.path);
-      if (freq * 2 <= docs && freq < best_exists_freq) {
-        best_exists = &p;
-        best_exists_freq = freq;
+    case 2: {  // posting-intersect-scan
+      std::string terms_text;
+      for (const PathPredicate* p : isect_covered) {
+        if (!terms_text.empty()) terms_text += " AND ";
+        terms_text += PredicateText(*p);
       }
+      telemetry::Stopwatch build;
+      index::IntersectionInfo info;
+      rdbms::OperatorPtr scan_op = index::IndexedIntersectionScan(
+          coll.table(), index, isect_terms, &info);
+      // The sorted-list merge happened at plan-build time; feed it with
+      // the summed posting-length basis the estimate uses.
+      stats::OperatorCostModel::Global().Record(
+          "PostingIntersect", info.total_postings, build.ElapsedUs());
+      std::unique_ptr<telemetry::OperatorSpan> root = telemetry::MakeSpan(
+          "PostingIntersectScan",
+          terms_text + " [" + std::to_string(info.total_postings) +
+              " postings -> " + std::to_string(info.matched) + " rows]");
+      rdbms::OperatorPtr scan =
+          rdbms::Instrument(std::move(scan_op), root.get());
+      FSDM_ASSIGN_OR_RETURN(
+          rdbms::OperatorPtr plan,
+          ApplyResiduals(coll, std::move(scan), predicates, isect_covered,
+                         &root));
+      routed.plan = std::move(plan);
+      routed.trace.root = std::move(root);
+      finish(2, AccessPath::kPostingIntersectScan,
+             "conjunction of " + std::to_string(isect_terms.size()) +
+                 " indexable predicates (est " + Fmt1(isect_cand.est_rows) +
+                 " rows, cost " + Fmt2(isect_cand.est_cost_us) +
+                 " us); posting-list intersection");
+      break;
     }
-    if (best_exists != nullptr) {
-      path_cand.detail = "DataGuide frequency " +
-                         std::to_string(best_exists_freq) + "/" +
-                         std::to_string(docs) + " on " + best_exists->path;
+    case 3: {  // indexed-path-scan
       std::unique_ptr<telemetry::OperatorSpan> root = telemetry::MakeSpan(
           "IndexedPathScan", PredicateText(*best_exists));
       rdbms::OperatorPtr scan = rdbms::Instrument(
           index::IndexedPathScan(coll.table(), index, best_exists->path),
           root.get());
-      FSDM_ASSIGN_OR_RETURN(rdbms::OperatorPtr plan,
-                            ApplyResiduals(coll, std::move(scan), predicates,
-                                           best_exists, &root));
+      FSDM_ASSIGN_OR_RETURN(
+          rdbms::OperatorPtr plan,
+          ApplyResiduals(coll, std::move(scan), predicates, {best_exists},
+                         &root));
       routed.plan = std::move(plan);
       routed.trace.root = std::move(root);
-      finish(2, AccessPath::kIndexedPathScan,
-             "sparse path " + best_exists->path + " (DataGuide frequency " +
-                 std::to_string(best_exists_freq) + "/" + std::to_string(docs) +
-                 "); path postings");
-      return routed;
+      finish(3, AccessPath::kIndexedPathScan,
+             "existence of path " + best_exists->path + " (est " +
+                 Fmt1(path_cand.est_rows) + " rows, cost " +
+                 Fmt2(path_cand.est_cost_us) + " us); path postings");
+      break;
     }
-    path_cand.detail = "no sufficiently sparse existence predicate";
+    default: {  // full-scan
+      std::unique_ptr<telemetry::OperatorSpan> root =
+          telemetry::MakeSpan("Scan", coll.name());
+      rdbms::OperatorPtr scan = rdbms::Instrument(coll.Scan(), root.get());
+      FSDM_ASSIGN_OR_RETURN(
+          rdbms::OperatorPtr plan,
+          ApplyResiduals(coll, std::move(scan), predicates, {}, &root));
+      routed.plan = std::move(plan);
+      routed.trace.root = std::move(root);
+      std::string reason;
+      bool other_eligible = false;
+      for (size_t i = 0; i + 1 < decision.candidates.size(); ++i) {
+        if (decision.candidates[i].eligible) other_eligible = true;
+      }
+      if (predicates.empty()) {
+        reason = "no predicates; full scan";
+      } else if (postings_maintained && !postings) {
+        reason = "posting paths unavailable (" +
+                 std::string(CollectionHealthName(health)) + ": " +
+                 coll.health_reason() + "); full scan";
+      } else if (other_eligible) {
+        reason = "full scan estimated cheapest (est cost " +
+                 Fmt2(full_cand.est_cost_us) + " us)";
+      } else {
+        reason = "no selective index or materialized column applies; "
+                 "full scan";
+      }
+      finish(4, AccessPath::kFullScan, std::move(reason));
+      break;
+    }
   }
-
-  // 4. Baseline: full table scan with JSON_EXISTS/JSON_VALUE filters.
-  std::unique_ptr<telemetry::OperatorSpan> root =
-      telemetry::MakeSpan("Scan", coll.name());
-  rdbms::OperatorPtr scan = rdbms::Instrument(coll.Scan(), root.get());
-  FSDM_ASSIGN_OR_RETURN(
-      rdbms::OperatorPtr plan,
-      ApplyResiduals(coll, std::move(scan), predicates, /*skip=*/nullptr,
-                     &root));
-  routed.plan = std::move(plan);
-  routed.trace.root = std::move(root);
-  std::string reason;
-  if (predicates.empty()) {
-    reason = "no predicates; full scan";
-  } else if (postings_maintained && !postings) {
-    reason = "posting paths unavailable (" +
-             std::string(CollectionHealthName(health)) + ": " +
-             coll.health_reason() + "); full scan";
-  } else {
-    reason = "no selective index or materialized column applies; full scan";
-  }
-  finish(3, AccessPath::kFullScan, std::move(reason));
   return routed;
 }
 

@@ -17,13 +17,15 @@ class JsonCollection;
 /// Physical access paths the router can choose among for a conjunctive
 /// path-predicate query over a JSON collection. They mirror the paper's
 /// evaluation strategies: inverted-index posting lookups through the JSON
-/// search index (§3.2.1), vectorized scans over materialized JSON_VALUE
-/// columns in the IMC (§5.2.1), and the baseline full document scan.
+/// search index (§3.2.1) — including the conjunctive posting-list
+/// intersection —, vectorized scans over materialized JSON_VALUE columns
+/// in the IMC (§5.2.1), and the baseline full document scan.
 enum class AccessPath : uint8_t {
-  kIndexedValueScan,  ///< search-index postings for `path = literal`
-  kIndexedPathScan,   ///< search-index postings for path existence
-  kImcFilterScan,     ///< vectorized IMC scan over materialized VCs
-  kFullScan,          ///< table scan + JSON_EXISTS/JSON_VALUE filter
+  kIndexedValueScan,      ///< search-index postings for `path = literal`
+  kIndexedPathScan,       ///< search-index postings for path existence
+  kPostingIntersectScan,  ///< intersection of several posting lists
+  kImcFilterScan,         ///< vectorized IMC scan over materialized VCs
+  kFullScan,              ///< table scan + JSON_EXISTS/JSON_VALUE filter
 };
 
 const char* AccessPathName(AccessPath path);
@@ -62,7 +64,8 @@ struct RoutedPlan {
   rdbms::OperatorPtr plan;
   /// Legacy one-line explanation; identical to trace.decision.reason.
   std::string reason;
-  /// EXPLAIN ANALYZE trace: the router's full candidate ranking plus one
+  /// EXPLAIN ANALYZE trace: the router's full candidate ranking — with the
+  /// cost model's estimated rows and cost per candidate — plus one
   /// OperatorSpan per plan node. The spans fill in (rows, elapsed time) as
   /// `plan` executes, so call trace.Render() after draining the plan. The
   /// trace owns the spans the operators point into — keep the RoutedPlan
@@ -71,21 +74,38 @@ struct RoutedPlan {
 };
 
 /// Chooses an access path for the conjunction of `predicates` over `coll`
-/// using DataGuide statistics (path frequency, leaf type, singleton-ness)
-/// and the collection's IMC population state:
+/// with a cost model (ISSUE 5, replacing the fixed priority ranking):
+/// every candidate gets an estimated row count — selectivities from the
+/// collection's PathStatsRepository (per-path document frequency, HLL NDV,
+/// value histograms), falling back to DataGuide frequencies — multiplied
+/// by the measured per-row operator costs in
+/// stats::OperatorCostModel::Global(). The cheapest *eligible* candidate
+/// wins (ties break toward the earlier candidate, so decisions are
+/// deterministic under frozen statistics):
 ///
-///   1. when every predicate compares a path whose JSON_VALUE virtual
-///      column is materialized in a *valid* IMC store, the whole
-///      conjunction runs as one vectorized ColumnStore scan;
-///   2. otherwise an equality on an index-known scalar path routes to the
-///      value postings (most selective first, by DataGuide frequency);
-///   3. otherwise a selective existence test (path present in at most half
-///      the documents, or entirely unknown) routes to the path postings;
-///   4. otherwise: full table scan with a JSON_EXISTS/JSON_VALUE filter.
+///   [0] imc-filter-scan: every predicate compares a path whose JSON_VALUE
+///       virtual column is materialized in a *valid* IMC store; the whole
+///       conjunction runs as one vectorized ColumnStore scan;
+///   [1] indexed-value-scan: the most selective equality on a
+///       DataGuide-known scalar path through the value postings;
+///   [2] posting-intersect-scan: two or more index-answerable conjuncts
+///       (equalities on known scalar paths, existence tests) evaluated by
+///       intersecting their posting lists;
+///   [3] indexed-path-scan: the most selective existence test through the
+///       path postings;
+///   [4] full-scan: always eligible; a table scan with
+///       JSON_EXISTS/JSON_VALUE filters.
 ///
-/// Residual predicates not absorbed by the primary path are evaluated by a
-/// Filter over the JSON document column. Index-backed and full-scan plans
-/// emit base-table rows; the IMC plan emits the store's columns.
+/// Posting-backed candidates require a healthy index (degraded-mode
+/// routing, ISSUE 3). Residual predicates not absorbed by the primary path
+/// are evaluated by a Filter over the JSON document column. Index-backed
+/// and full-scan plans emit base-table rows; the IMC plan emits the
+/// store's columns.
+///
+/// Every routed plan is wrapped in a transparent probe that, on Close(),
+/// feeds measured span times back into the operator cost model, compares
+/// estimated to actual output rows (bumping fsdm_router_misestimates_total
+/// past a 4x ratio), and captures slow queries.
 Result<RoutedPlan> RoutePredicates(const JsonCollection& coll,
                                    const std::vector<PathPredicate>& predicates);
 

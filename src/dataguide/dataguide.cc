@@ -71,9 +71,11 @@ LeafType Generalize(LeafType a, LeafType b) {
 class InstanceWalker {
  public:
   InstanceWalker(DataGuide* guide,
-                 std::vector<const PathEntry*>* new_entries)
+                 std::vector<const PathEntry*>* new_entries,
+                 ScalarSink* scalar_sink)
       : guide_(guide),
         new_sink_(new_entries),
+        scalar_sink_(scalar_sink),
         doc_stamp_(guide->doc_count_ + 1) {}
 
   Status Walk(const json::Dom& dom, json::Dom::NodeRef node,
@@ -117,6 +119,9 @@ class InstanceWalker {
         } else {
           entry->max_length = std::max(entry->max_length, CheapLength(v));
           UpdateMinMax(entry, v);
+        }
+        if (scalar_sink_ != nullptr) {
+          scalar_sink_->OnScalar(*path, under_array, v);
         }
         return Status::Ok();
       }
@@ -192,16 +197,19 @@ class InstanceWalker {
 
   DataGuide* guide_;
   std::vector<const PathEntry*>* new_sink_;
+  ScalarSink* scalar_sink_;
   uint64_t doc_stamp_;
   int new_entries_ = 0;
 };
 
-Result<int> DataGuide::AddDocument(
-    const json::Dom& dom, std::vector<const PathEntry*>* new_entries) {
-  InstanceWalker walker(this, new_entries);
+Result<int> DataGuide::AddDocument(const json::Dom& dom,
+                                   std::vector<const PathEntry*>* new_entries,
+                                   ScalarSink* sink) {
+  InstanceWalker walker(this, new_entries, sink);
   std::string path = "$";
   FSDM_RETURN_NOT_OK(walker.Walk(dom, dom.root(), &path, false));
   ++doc_count_;
+  if (sink != nullptr) sink->OnDocumentEnd();
   return walker.new_entries();
 }
 

@@ -52,6 +52,18 @@ struct PathEntry {
   std::string TypeString() const;
 };
 
+/// Observer fed during AddDocument's instance walk: every scalar leaf with
+/// its DataGuide path, then one end-of-document call. Statistics consumers
+/// (the per-collection PathStatsRepository) hang off this so value-level
+/// stats ride the walk the guide already pays for on the DML path.
+class ScalarSink {
+ public:
+  virtual ~ScalarSink() = default;
+  virtual void OnScalar(const std::string& path, bool under_array,
+                        const Value& v) = 0;
+  virtual void OnDocumentEnd() = 0;
+};
+
 /// The JSON DataGuide (§3): a dynamic soft schema computed from document
 /// instances. One instance serves both roles in the paper — the persistent
 /// DataGuide embedded in the JSON search index and the transient DataGuide
@@ -65,9 +77,11 @@ class DataGuide {
   /// whose structure is already fully known — the fast common case the
   /// check-constraint integration relies on, §3.2.1). When `new_entries`
   /// is non-null, pointers to the newly created entries are appended (the
-  /// rows a persistent DataGuide must write to $DG).
+  /// rows a persistent DataGuide must write to $DG). When `sink` is
+  /// non-null it receives every scalar leaf visited by the walk.
   Result<int> AddDocument(const json::Dom& dom,
-                          std::vector<const PathEntry*>* new_entries = nullptr);
+                          std::vector<const PathEntry*>* new_entries = nullptr,
+                          ScalarSink* sink = nullptr);
 
   /// Convenience: parse text then AddDocument.
   Result<int> AddJsonText(std::string_view text);

@@ -226,8 +226,9 @@ Status JsonSearchIndex::MaintainDataGuide(const json::Dom& dom) {
   // table always move together (their counts are a consistency invariant).
   FSDM_FAULT_POINT("index.insert.dataguide");
   std::vector<const dataguide::PathEntry*> new_entries;
-  FSDM_ASSIGN_OR_RETURN(int new_paths,
-                        dataguide_.AddDocument(dom, &new_entries));
+  FSDM_ASSIGN_OR_RETURN(
+      int new_paths,
+      dataguide_.AddDocument(dom, &new_entries, options_.scalar_sink));
   // Persisting to $DG only happens when structure actually changed —
   // the common case terminates after the in-memory structural check.
   if (new_paths > 0) {
@@ -723,6 +724,38 @@ rdbms::OperatorPtr IndexedKeywordScan(const rdbms::Table* table,
                                       std::string path, std::string keyword) {
   return std::make_unique<PostingScanOp>(
       table, index->DocsWithKeyword(path, keyword));
+}
+
+rdbms::OperatorPtr IndexedIntersectionScan(const rdbms::Table* table,
+                                           const JsonSearchIndex* index,
+                                           const std::vector<IndexTerm>& terms,
+                                           IntersectionInfo* info) {
+  std::vector<std::vector<size_t>> lists;
+  lists.reserve(terms.size());
+  size_t total = 0;
+  for (const IndexTerm& t : terms) {
+    lists.push_back(t.value.has_value() ? index->DocsWithValue(t.path, *t.value)
+                                        : index->DocsWithPath(t.path));
+    total += lists.back().size();
+  }
+  if (info != nullptr) info->total_postings = total;
+  std::vector<size_t> acc;
+  if (!terms.empty()) {
+    // Smallest list first bounds every intermediate by the rarest term.
+    std::sort(lists.begin(), lists.end(),
+              [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+                return a.size() < b.size();
+              });
+    acc = std::move(lists.front());
+    for (size_t i = 1; i < lists.size() && !acc.empty(); ++i) {
+      std::vector<size_t> merged;
+      std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                            lists[i].end(), std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+  }
+  if (info != nullptr) info->matched = acc.size();
+  return std::make_unique<PostingScanOp>(table, std::move(acc));
 }
 
 size_t JsonSearchIndex::posting_count() const {

@@ -2,6 +2,7 @@
 #define FSDM_INDEX_SEARCH_INDEX_H_
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -48,6 +49,11 @@ class JsonSearchIndex final : public rdbms::TableObserver {
     /// Maintain inverted postings (paths/values/keywords). Disable to
     /// isolate DataGuide maintenance cost in benchmarks.
     bool maintain_postings = true;
+    /// Optional observer fed every scalar leaf the DataGuide walk visits
+    /// (ISSUE 5: the collection's PathStatsRepository rides here, so
+    /// value-level statistics cost no extra parse or walk). Not owned;
+    /// must outlive the index. Only fires when maintain_dataguide is on.
+    dataguide::ScalarSink* scalar_sink = nullptr;
   };
 
   /// Attaches to `table` as an observer and back-fills from existing rows.
@@ -210,6 +216,29 @@ rdbms::OperatorPtr IndexedValueScan(const rdbms::Table* table,
 rdbms::OperatorPtr IndexedKeywordScan(const rdbms::Table* table,
                                       const JsonSearchIndex* index,
                                       std::string path, std::string keyword);
+
+/// One conjunct of a posting-list intersection: a path-equals-value term
+/// when `value` is set, a bare path-existence term otherwise.
+struct IndexTerm {
+  std::string path;
+  std::optional<Value> value;
+};
+
+/// Statistics of the intersection IndexedIntersectionScan performed, for
+/// the router's cost feedback.
+struct IntersectionInfo {
+  size_t total_postings = 0;  // summed input posting-list lengths
+  size_t matched = 0;         // rows surviving the intersection
+};
+
+/// Conjunctive access path (ISSUE 5 / ROADMAP "Router cost model"): fetches
+/// one posting list per term, intersects them smallest-first (sorted row-id
+/// merge with early exit on an empty intermediate), and emits the surviving
+/// base-table rows in row-id order. With zero terms emits nothing.
+rdbms::OperatorPtr IndexedIntersectionScan(const rdbms::Table* table,
+                                           const JsonSearchIndex* index,
+                                           const std::vector<IndexTerm>& terms,
+                                           IntersectionInfo* info = nullptr);
 
 }  // namespace fsdm::index
 

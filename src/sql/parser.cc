@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "collection/collections_table.h"
+#include "collection/path_stats_table.h"
+#include "stats/stats_table.h"
 #include "telemetry/metrics_table.h"
 
 namespace fsdm::sql {
@@ -206,6 +208,12 @@ class Planner {
     } else if (Lexer::EqualsIgnoreCase(table_name_,
                                        collection::kCollectionsTableName)) {
       virtual_table_ = VirtualTable::kCollections;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       collection::kPathStatsTableName)) {
+      virtual_table_ = VirtualTable::kPathStats;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       stats::kOperatorCostsTableName)) {
+      virtual_table_ = VirtualTable::kOperatorCosts;
     } else {
       return table_or.status();
     }
@@ -298,6 +306,12 @@ class Planner {
         break;
       case VirtualTable::kCollections:
         plan = collection::CollectionsScan();
+        break;
+      case VirtualTable::kPathStats:
+        plan = collection::PathStatsScan();
+        break;
+      case VirtualTable::kOperatorCosts:
+        plan = stats::OperatorCostsScan();
         break;
     }
     if (where) plan = rdbms::Filter(std::move(plan), std::move(where));
@@ -717,7 +731,7 @@ class Planner {
   /// Which TELEMETRY$ relation the FROM clause named (kNone = a real
   /// table; table_ is set).
   enum class VirtualTable { kNone, kMetrics, kEvents, kSlowQueries,
-                            kCollections };
+                            kCollections, kPathStats, kOperatorCosts };
 
   std::string table_name_;
   rdbms::Table* table_ = nullptr;

@@ -1,0 +1,19 @@
+#ifndef FSDM_STATS_STATS_TABLE_H_
+#define FSDM_STATS_STATS_TABLE_H_
+
+#include "rdbms/executor.h"
+
+namespace fsdm::stats {
+
+/// TELEMETRY$OPERATOR_COSTS (ISSUE 5): the operator cost model as a SQL
+/// relation, one row per operator name. Schema: (OPERATOR, US_PER_ROW,
+/// SEED_US_PER_ROW, SAMPLES, ROWS_OBSERVED, LAST_US_PER_ROW) — SAMPLES is 0
+/// for seeded entries no measurement has touched yet.
+inline constexpr const char* kOperatorCostsTableName =
+    "TELEMETRY$OPERATOR_COSTS";
+
+rdbms::OperatorPtr OperatorCostsScan();
+
+}  // namespace fsdm::stats
+
+#endif  // FSDM_STATS_STATS_TABLE_H_

@@ -102,7 +102,7 @@ class SlowQueriesScanOp final : public rdbms::Operator {
  public:
   SlowQueriesScanOp() {
     schema_ = rdbms::Schema({"TS_US", "QUERY", "ACCESS_PATH", "ELAPSED_US",
-                             "ROWS", "EVENT_COUNT", "TRACE"});
+                             "ROWS", "EST_ROWS", "EVENT_COUNT", "TRACE"});
   }
 
   Status Open() override {
@@ -113,6 +113,8 @@ class SlowQueriesScanOp final : public rdbms::Operator {
                        Value::String(r.query), Value::String(r.access_path),
                        Value::Int64(static_cast<int64_t>(r.elapsed_us)),
                        Value::Int64(static_cast<int64_t>(r.rows)),
+                       r.est_rows >= 0 ? Value::Double(r.est_rows)
+                                       : Value::Null(),
                        Value::Int64(static_cast<int64_t>(r.event_count)),
                        Value::String(r.trace_text)});
     }

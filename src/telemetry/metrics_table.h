@@ -24,7 +24,9 @@ inline constexpr const char* kEventsTableName = "TELEMETRY$EVENTS";
 rdbms::OperatorPtr EventsScan();
 
 /// Slow-query log as a relation (ISSUE 4). Schema: (TS_US, QUERY,
-/// ACCESS_PATH, ELAPSED_US, ROWS, EVENT_COUNT, TRACE).
+/// ACCESS_PATH, ELAPSED_US, ROWS, EST_ROWS, EVENT_COUNT, TRACE) —
+/// EST_ROWS is the router's cardinality estimate (ISSUE 5), NULL for
+/// queries captured without one.
 inline constexpr const char* kSlowQueriesTableName = "TELEMETRY$SLOW_QUERIES";
 rdbms::OperatorPtr SlowQueriesScan();
 

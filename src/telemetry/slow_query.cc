@@ -16,6 +16,10 @@ std::string SlowQueryRecord::ToJsonLine() const {
   AppendJsonNumber(&out, static_cast<double>(elapsed_us));
   out += ",\"rows\":";
   AppendJsonNumber(&out, static_cast<double>(rows));
+  if (est_rows >= 0) {
+    out += ",\"est_rows\":";
+    AppendJsonNumber(&out, est_rows);
+  }
   out += ",\"event_count\":";
   AppendJsonNumber(&out, static_cast<double>(event_count));
   out += ",\"trace\":\"" + JsonEscape(trace_text) + "\"";

@@ -20,6 +20,7 @@ struct SlowQueryRecord {
   std::string access_path;  // winning access path name
   uint64_t elapsed_us = 0;  // measured wall time of the routed plan
   uint64_t rows = 0;        // rows produced
+  double est_rows = -1;     // router's cardinality estimate; -1 = none
   std::string trace_text;   // rendered EXPLAIN ANALYZE (router + spans)
   std::string events_json;  // chrome-style JSON array of the trace slice
   uint64_t event_count = 0;

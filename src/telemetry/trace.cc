@@ -58,6 +58,12 @@ std::string RouterDecision::Render() const {
     size_t line_start = out.rfind('\n') + 1;
     size_t width = out.size() - line_start;
     if (width < 26) out.append(26 - width, ' ');
+    if (c.est_cost_us >= 0) {
+      char est[64];
+      std::snprintf(est, sizeof(est), "est %.1f rows / %.2f us -- ",
+                    c.est_rows, c.est_cost_us);
+      out += est;
+    }
     out += c.detail;
     out += "\n";
   }
@@ -67,6 +73,16 @@ std::string RouterDecision::Render() const {
 std::string QueryTrace::Render() const {
   std::string out = "EXPLAIN ANALYZE\n";
   out += decision.Render();
+  if (decision.est_out_rows >= 0 && root != nullptr) {
+    // Estimated-vs-actual cardinality: the root span's rows_out is the
+    // plan's final output (0 until the plan has been drained).
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "estimated rows: %.1f  actual rows: %llu\n",
+                  decision.est_out_rows,
+                  static_cast<unsigned long long>(root->rows_out));
+    out += line;
+  }
   if (root != nullptr) {
     out += "plan:\n";
     RenderSpanTree(*root, 1, &out);

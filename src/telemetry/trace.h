@@ -40,16 +40,26 @@ struct RouterCandidate {
   std::string access_path;  // AccessPathName() string
   bool eligible = false;    // could this path have run the query?
   bool chosen = false;
-  std::string detail;  // DataGuide statistics / why it was rejected
+  std::string detail;  // statistics the estimate used / why it was rejected
+  /// Cost-model estimates (ISSUE 5): rows the candidate's primary operator
+  /// would emit and its estimated total cost. Negative when the candidate
+  /// was ineligible (no estimate computed).
+  double est_rows = -1;
+  double est_cost_us = -1;
 };
 
 /// The router's full candidate ranking. `reason` is the legacy one-line
 /// explanation (RoutedPlan::reason renders it unchanged so pre-telemetry
-/// callers and tests keep working); Render() adds the candidate table.
+/// callers and tests keep working); Render() adds the candidate table with
+/// each candidate's estimated rows/cost.
 struct RouterDecision {
   std::vector<RouterCandidate> candidates;
   std::string winner;  // AccessPathName() of the chosen path
   std::string reason;
+  /// Estimated rows the whole conjunction emits (cost model); negative
+  /// when no estimate was made. QueryTrace::Render() pairs it with the
+  /// root span's actual rows_out after execution.
+  double est_out_rows = -1;
   std::string Render() const;
 };
 

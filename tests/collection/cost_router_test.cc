@@ -1,0 +1,278 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collection/collection.h"
+#include "collection/router.h"
+#include "rdbms/executor.h"
+#include "stats/operator_costs.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace fsdm::collection {
+namespace {
+
+uint64_t Metric(const std::string& name) {
+  return telemetry::MetricsRegistry::Global().CounterValue(name);
+}
+
+// Cost-based routing (ISSUE 5): estimates, the conjunctive intersection
+// path, the feedback loop, and decision determinism under frozen
+// statistics.
+class CostRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { stats::OperatorCostModel::Global().Reset(); }
+  void TearDown() override { stats::OperatorCostModel::Global().Reset(); }
+
+  // 200 docs: tag cycles over 10 values, cat over 4, flag exists on every
+  // 4th doc, num is uniform 0..1990.
+  void Load(JsonCollection* coll, int n = 200) {
+    for (int i = 0; i < n; ++i) {
+      std::string doc = "{\"num\":" + std::to_string(i * 10) +
+                        ",\"tag\":\"t" + std::to_string(i % 10) +
+                        "\",\"cat\":\"c" + std::to_string(i % 4) + "\"";
+      if (i % 4 == 0) doc += ",\"flag\":true";
+      doc += "}";
+      ASSERT_TRUE(coll->Insert(std::move(doc)).ok());
+    }
+  }
+
+  std::vector<rdbms::Row> Drain(const RoutedPlan& routed) {
+    auto rows = rdbms::Collect(routed.plan.get());
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? rows.MoveValue() : std::vector<rdbms::Row>{};
+  }
+
+  rdbms::Database db_;
+};
+
+TEST_F(CostRouterTest, ConjunctionRoutesToPostingIntersection) {
+  auto coll = JsonCollection::Create(&db_, "C").MoveValue();
+  Load(coll.get());
+
+  // Two index-answerable conjuncts: an equality and an existence test.
+  // Neither alone is selective enough to beat intersecting ~70 postings
+  // down to the estimated 5 matches.
+  auto routed = coll->Route({PathPredicate::Compare("$.tag",
+                                                    rdbms::CompareOp::kEq,
+                                                    Value::String("t0")),
+                             PathPredicate::Exists("$.flag")})
+                    .MoveValue();
+  EXPECT_EQ(routed.access_path, AccessPath::kPostingIntersectScan)
+      << routed.trace.decision.Render();
+  EXPECT_NE(routed.reason.find("posting-list intersection"),
+            std::string::npos);
+  // i % 10 == 0 AND i % 4 == 0 -> i % 20 == 0: 10 of 200.
+  EXPECT_EQ(Drain(routed).size(), 10u);
+
+  // The non-covered range conjunct rides as a residual filter on top.
+  auto with_residual =
+      coll->Route({PathPredicate::Compare("$.tag", rdbms::CompareOp::kEq,
+                                          Value::String("t0")),
+                   PathPredicate::Exists("$.flag"),
+                   PathPredicate::Compare("$.num", rdbms::CompareOp::kLt,
+                                          Value::Int64(1000))})
+          .MoveValue();
+  EXPECT_EQ(with_residual.access_path, AccessPath::kPostingIntersectScan);
+  EXPECT_EQ(Drain(with_residual).size(), 5u);  // i in {0,20,40,60,80}
+}
+
+TEST_F(CostRouterTest, EstimatesLandInTheTraceAndMatchActuals) {
+  auto coll = JsonCollection::Create(&db_, "C").MoveValue();
+  Load(coll.get());
+
+  auto routed = coll->Route({PathPredicate::Compare(
+                                 "$.tag", rdbms::CompareOp::kEq,
+                                 Value::String("t3"))})
+                    .MoveValue();
+  const telemetry::RouterDecision& d = routed.trace.decision;
+  // Uniform tags: the estimate should be close to the true 20 rows.
+  EXPECT_GT(d.est_out_rows, 10.0);
+  EXPECT_LT(d.est_out_rows, 40.0);
+  for (const telemetry::RouterCandidate& c : d.candidates) {
+    if (c.eligible) {
+      EXPECT_GE(c.est_rows, 0.0) << c.access_path;
+      EXPECT_GE(c.est_cost_us, 0.0) << c.access_path;
+    }
+  }
+  EXPECT_EQ(Drain(routed).size(), 20u);
+
+  // EXPLAIN ANALYZE carries estimated vs actual output cardinality.
+  std::string text = routed.trace.Render();
+  EXPECT_NE(text.find("estimated rows:"), std::string::npos) << text;
+  EXPECT_NE(text.find("actual rows: 20"), std::string::npos) << text;
+  EXPECT_NE(text.find("est "), std::string::npos) << text;
+}
+
+TEST_F(CostRouterTest, DrainingARoutedPlanFeedsTheCostModel) {
+  auto coll = JsonCollection::Create(&db_, "C").MoveValue();
+  Load(coll.get());
+
+  const uint64_t routed_before = Metric("fsdm_router_routed_queries_total");
+  auto routed = coll->Route({PathPredicate::Compare(
+                                 "$.tag", rdbms::CompareOp::kEq,
+                                 Value::String("t3")),
+                             PathPredicate::Compare(
+                                 "$.num", rdbms::CompareOp::kLt,
+                                 Value::Int64(1000))})
+                    .MoveValue();
+  ASSERT_EQ(routed.access_path, AccessPath::kIndexedValueScan);
+  Drain(routed);
+
+  auto snap = stats::OperatorCostModel::Global().Snapshot();
+  EXPECT_GE(snap.at("IndexedValueScan").samples, 1u);
+  EXPECT_GE(snap.at("Filter").samples, 1u);
+  if (telemetry::kEnabled) {
+    EXPECT_EQ(Metric("fsdm_router_routed_queries_total"), routed_before + 1);
+  }
+}
+
+TEST_F(CostRouterTest, GrossMisestimateBumpsTheCounter) {
+  auto coll = JsonCollection::Create(&db_, "C").MoveValue();
+  // Perfectly correlated predicates: flag exists exactly on tag == "t0"
+  // documents. Independence predicts 100 * (1/10) * (1/10) = 1 row; the
+  // true answer is 10 — a 5.5x ratio, past the 4x threshold.
+  for (int i = 0; i < 100; ++i) {
+    std::string doc = "{\"tag\":\"t" + std::to_string(i % 10) + "\"";
+    if (i % 10 == 0) doc += ",\"flag\":true";
+    doc += "}";
+    ASSERT_TRUE(coll->Insert(std::move(doc)).ok());
+  }
+
+  const uint64_t before = Metric("fsdm_router_misestimates_total");
+  auto routed = coll->Route({PathPredicate::Compare("$.tag",
+                                                    rdbms::CompareOp::kEq,
+                                                    Value::String("t0")),
+                             PathPredicate::Exists("$.flag")})
+                    .MoveValue();
+  EXPECT_LT(routed.trace.decision.est_out_rows, 2.5);
+  EXPECT_EQ(Drain(routed).size(), 10u);
+  if (telemetry::kEnabled) {
+    EXPECT_EQ(Metric("fsdm_router_misestimates_total"), before + 1);
+  }
+
+  // A well-estimated query does not bump it.
+  auto good = coll->Route({PathPredicate::Compare(
+                               "$.tag", rdbms::CompareOp::kEq,
+                               Value::String("t3"))})
+                  .MoveValue();
+  EXPECT_EQ(Drain(good).size(), 10u);
+  if (telemetry::kEnabled) {
+    EXPECT_EQ(Metric("fsdm_router_misestimates_total"), before + 1);
+  }
+}
+
+// ISSUE 5 acceptance: for every query shape the cost-based router's pick
+// answers identically to the forced full scan and is not slower by more
+// than generous slack (micro-corpus timings are noisy; the guard catches
+// an order-of-magnitude regression, not jitter).
+TEST_F(CostRouterTest, RoutedMatchesForcedFullScanOnEveryQueryShape) {
+  auto coll = JsonCollection::Create(&db_, "C").MoveValue();
+  ASSERT_TRUE(
+      coll->AddVirtualColumn("NUM_VC", "$.num", sqljson::Returning::kNumber)
+          .ok());
+  Load(coll.get());
+  ASSERT_TRUE(coll->PopulateImc().ok());
+
+  const std::vector<std::vector<PathPredicate>> shapes = {
+      {},  // full collection
+      {PathPredicate::Compare("$.tag", rdbms::CompareOp::kEq,
+                              Value::String("t3"))},
+      {PathPredicate::Exists("$.flag")},
+      {PathPredicate::Compare("$.num", rdbms::CompareOp::kGe,
+                              Value::Int64(500)),
+       PathPredicate::Compare("$.num", rdbms::CompareOp::kLt,
+                              Value::Int64(1500))},
+      {PathPredicate::Compare("$.tag", rdbms::CompareOp::kEq,
+                              Value::String("t0")),
+       PathPredicate::Exists("$.flag")},
+      {PathPredicate::Compare("$.cat", rdbms::CompareOp::kEq,
+                              Value::String("c1")),
+       PathPredicate::Compare("$.num", rdbms::CompareOp::kLt,
+                              Value::Int64(700))},
+  };
+
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    // Forced baseline: scan + every predicate as a residual filter.
+    rdbms::OperatorPtr forced = coll->Scan();
+    for (const PathPredicate& p : shapes[s]) {
+      const sqljson::Returning ret = !p.is_existence() && p.literal->IsNumeric()
+                                         ? sqljson::Returning::kNumber
+                                         : sqljson::Returning::kString;
+      rdbms::ExprPtr e =
+          p.is_existence()
+              ? coll->JsonExistsExpr(p.path).MoveValue()
+              : rdbms::Cmp(p.op,
+                           coll->JsonValueExpr(p.path, ret).MoveValue(),
+                           rdbms::Lit(*p.literal));
+      forced = rdbms::Filter(std::move(forced), std::move(e));
+    }
+    telemetry::Stopwatch forced_watch;
+    auto forced_rows = rdbms::Collect(forced.get());
+    const double forced_us = forced_watch.ElapsedUs();
+    ASSERT_TRUE(forced_rows.ok());
+
+    auto routed = coll->Route(shapes[s]).MoveValue();
+    telemetry::Stopwatch routed_watch;
+    auto routed_rows = rdbms::Collect(routed.plan.get());
+    const double routed_us = routed_watch.ElapsedUs();
+    ASSERT_TRUE(routed_rows.ok());
+
+    EXPECT_EQ(routed_rows.value().size(), forced_rows.value().size())
+        << "shape " << s << ": " << routed.trace.decision.Render();
+    // Same-or-faster with 5x slack + a 500us absolute floor for clock
+    // noise on plans that finish in microseconds.
+    EXPECT_LT(routed_us, 5.0 * forced_us + 500.0)
+        << "shape " << s << " (" << AccessPathName(routed.access_path)
+        << " took " << routed_us << "us, full scan " << forced_us << "us)";
+  }
+}
+
+// Regression: with statistics frozen, repeated routing of the same query
+// produces byte-identical decisions — candidate order, details, reasons,
+// estimates. The router must not leak timings or iteration order into the
+// decision.
+TEST_F(CostRouterTest, DecisionsAreDeterministicUnderFrozenStats) {
+  auto coll = JsonCollection::Create(&db_, "C").MoveValue();
+  Load(coll.get());
+  stats::OperatorCostModel::Global().set_frozen(true);
+
+  const std::vector<std::vector<PathPredicate>> shapes = {
+      {PathPredicate::Compare("$.tag", rdbms::CompareOp::kEq,
+                              Value::String("t3"))},
+      {PathPredicate::Exists("$.flag")},
+      {PathPredicate::Compare("$.tag", rdbms::CompareOp::kEq,
+                              Value::String("t0")),
+       PathPredicate::Exists("$.flag")},
+      {PathPredicate::Compare("$.num", rdbms::CompareOp::kLt,
+                              Value::Int64(400))},
+  };
+
+  for (const auto& shape : shapes) {
+    auto first = coll->Route(shape).MoveValue();
+    // Draining the plan must not change later decisions while frozen.
+    Drain(first);
+    auto second = coll->Route(shape).MoveValue();
+
+    const telemetry::RouterDecision& a = first.trace.decision;
+    const telemetry::RouterDecision& b = second.trace.decision;
+    EXPECT_EQ(a.winner, b.winner);
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(a.est_out_rows, b.est_out_rows);
+    ASSERT_EQ(a.candidates.size(), b.candidates.size());
+    for (size_t i = 0; i < a.candidates.size(); ++i) {
+      EXPECT_EQ(a.candidates[i].access_path, b.candidates[i].access_path);
+      EXPECT_EQ(a.candidates[i].eligible, b.candidates[i].eligible);
+      EXPECT_EQ(a.candidates[i].chosen, b.candidates[i].chosen);
+      EXPECT_EQ(a.candidates[i].detail, b.candidates[i].detail) << i;
+      EXPECT_EQ(a.candidates[i].est_rows, b.candidates[i].est_rows) << i;
+      EXPECT_EQ(a.candidates[i].est_cost_us, b.candidates[i].est_cost_us)
+          << i;
+    }
+    EXPECT_EQ(a.Render(), b.Render());
+  }
+}
+
+}  // namespace
+}  // namespace fsdm::collection

@@ -4,6 +4,7 @@
 
 #include "collection/collection.h"
 #include "rdbms/executor.h"
+#include "stats/operator_costs.h"
 
 namespace fsdm::collection {
 namespace {
@@ -13,6 +14,10 @@ namespace {
 // selective but not unique.
 class RouterTest : public ::testing::Test {
  protected:
+  // Routing feeds measured costs back into the process-wide model; start
+  // every test from the seeded defaults so expectations don't depend on
+  // which tests (with their micro-corpus timings) ran before.
+  void SetUp() override { stats::OperatorCostModel::Global().Reset(); }
   void Load(JsonCollection* coll, int n) {
     for (int i = 0; i < n; ++i) {
       std::string doc = "{\"num\":" + std::to_string(i * 10) +
@@ -105,15 +110,17 @@ TEST_F(RouterTest, SparseExistenceUsesPathPostings) {
   EXPECT_NE(routed.value().reason.find("$.flag"), std::string::npos);
 }
 
-TEST_F(RouterTest, UbiquitousExistenceFallsBackToFullScan) {
+TEST_F(RouterTest, UbiquitousExistenceStillUsesPostingsWhenCheaper) {
   auto coll = JsonCollection::Create(&db_, "C").MoveValue();
   Load(coll.get(), 50);
 
-  // $.num exists in every document: a posting lookup would touch all of
-  // them, so the router keeps the plain scan.
+  // $.num exists in every document. The old priority router refused the
+  // posting path past 50% frequency; the cost model keeps it because a
+  // posting replay is still cheaper than scan + JSON_EXISTS evaluation
+  // per document — and either way every document comes back.
   auto routed = coll->Route({PathPredicate::Exists("$.num")});
   ASSERT_TRUE(routed.ok());
-  EXPECT_EQ(routed.value().access_path, AccessPath::kFullScan);
+  EXPECT_EQ(routed.value().access_path, AccessPath::kIndexedPathScan);
   EXPECT_EQ(RowCount(routed.value()), 50u);
 }
 

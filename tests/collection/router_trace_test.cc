@@ -3,17 +3,22 @@
 #include "collection/collection.h"
 #include "collection/router.h"
 #include "rdbms/executor.h"
+#include "stats/operator_costs.h"
 #include "telemetry/trace.h"
 
 namespace fsdm::collection {
 namespace {
 
 // EXPLAIN ANALYZE traces for the router: every Route() must record all
-// four candidates in ranking order, mark exactly the winner as chosen, and
+// five candidates in ranking order, mark exactly the winner as chosen, and
 // keep RoutedPlan::reason identical to the decision's reason string. Uses
 // the same corpus statistics as router_test.cc.
 class RouterTraceTest : public ::testing::Test {
  protected:
+  // Pin the cost model to its seeds: routed plans drained by earlier tests
+  // feed measurements back into the process-wide model.
+  void SetUp() override { stats::OperatorCostModel::Global().Reset(); }
+
   void Load(JsonCollection* coll, int n) {
     for (int i = 0; i < n; ++i) {
       std::string doc = "{\"num\":" + std::to_string(i * 10) +
@@ -27,11 +32,12 @@ class RouterTraceTest : public ::testing::Test {
   // The invariants every routed decision must satisfy.
   void CheckDecision(const RoutedPlan& routed, const char* winner) {
     const telemetry::RouterDecision& d = routed.trace.decision;
-    ASSERT_EQ(d.candidates.size(), 4u);
+    ASSERT_EQ(d.candidates.size(), 5u);
     EXPECT_EQ(d.candidates[0].access_path, "imc-filter-scan");
     EXPECT_EQ(d.candidates[1].access_path, "indexed-value-scan");
-    EXPECT_EQ(d.candidates[2].access_path, "indexed-path-scan");
-    EXPECT_EQ(d.candidates[3].access_path, "full-scan");
+    EXPECT_EQ(d.candidates[2].access_path, "posting-intersect-scan");
+    EXPECT_EQ(d.candidates[3].access_path, "indexed-path-scan");
+    EXPECT_EQ(d.candidates[4].access_path, "full-scan");
     EXPECT_EQ(d.winner, winner);
     EXPECT_EQ(d.reason, routed.reason);
     int chosen = 0;
@@ -62,9 +68,15 @@ TEST_F(RouterTraceTest, ImcWinnerRecordsCandidates) {
           .MoveValue();
   ASSERT_EQ(routed.access_path, AccessPath::kImcFilterScan);
   CheckDecision(routed, "imc-filter-scan");
-  // Lower tiers were never inspected.
-  EXPECT_EQ(routed.trace.decision.candidates[1].detail, "not evaluated");
-  EXPECT_EQ(routed.trace.decision.candidates[2].detail, "not evaluated");
+  // The cost model evaluates every candidate; the rivals lost on cost or
+  // eligibility, and the decision records why.
+  const telemetry::RouterDecision& d = routed.trace.decision;
+  EXPECT_EQ(d.candidates[1].detail,
+            "no equality on a DataGuide-known scalar path");
+  EXPECT_EQ(d.candidates[2].detail,
+            "fewer than two index-answerable conjuncts");
+  EXPECT_GE(d.candidates[0].est_cost_us, 0.0);
+  EXPECT_GE(d.candidates[4].est_cost_us, d.candidates[0].est_cost_us);
 }
 
 TEST_F(RouterTraceTest, ValuePostingsWinnerRecordsFrequency) {
@@ -109,7 +121,8 @@ TEST_F(RouterTraceTest, FullScanWinnerRecordsWhyOthersLost) {
   const telemetry::RouterDecision& d = routed.trace.decision;
   EXPECT_EQ(d.candidates[1].detail, "no search index postings maintained");
   EXPECT_EQ(d.candidates[2].detail, "no search index postings maintained");
-  EXPECT_TRUE(d.candidates[3].eligible);
+  EXPECT_EQ(d.candidates[3].detail, "no search index postings maintained");
+  EXPECT_TRUE(d.candidates[4].eligible);
 }
 
 // Operator spans fill in rows-in/rows-out as the routed plan executes:

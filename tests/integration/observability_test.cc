@@ -13,6 +13,7 @@
 #include "json/parser.h"
 #include "rdbms/executor.h"
 #include "sql/parser.h"
+#include "stats/operator_costs.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
@@ -179,6 +180,90 @@ TEST_F(ObservabilityTest, SlowQueryCapturedAndQueryableFromSql) {
   std::vector<std::string> sql_rows =
       Q(&db_, "SELECT ACCESS_PATH, ROWS FROM TELEMETRY$SLOW_QUERIES");
   ASSERT_FALSE(sql_rows.empty());
+}
+
+// ISSUE 5 acceptance: after a DML + query workload the statistics
+// relations answer through SqlSession with nonzero values, and the slow
+// query log carries the router's cardinality estimate.
+TEST_F(ObservabilityTest, PathStatsRelationQueryableWithNonzeroValues) {
+  auto coll = collection::JsonCollection::Create(&db_, "OBSP").MoveValue();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(coll->Insert("{\"num\":" + std::to_string(i) +
+                             ",\"tag\":\"t" + std::to_string(i % 4) + "\"}")
+                    .ok());
+  }
+
+  std::vector<std::string> rows =
+      Q(&db_,
+        "SELECT PATH, DOC_FREQUENCY, VALUE_COUNT, NDV FROM "
+        "TELEMETRY$PATH_STATS WHERE COLLECTION = 'OBSP' AND PATH = '$.tag'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "$.tag|40|40|4");
+
+  rows = Q(&db_, "SELECT MIN, MAX FROM TELEMETRY$PATH_STATS "
+                 "WHERE COLLECTION = 'OBSP' AND PATH = '$.num'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "0|39");
+}
+
+TEST_F(ObservabilityTest, OperatorCostsRelationReflectsMeasurements) {
+  stats::OperatorCostModel::Global().Reset();
+  auto coll = collection::JsonCollection::Create(&db_, "OBSO").MoveValue();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(coll->Insert("{\"tag\":\"t" + std::to_string(i % 3) + "\"}")
+                    .ok());
+  }
+  // Seeds are visible before any measurement...
+  std::vector<std::string> rows =
+      Q(&db_, "SELECT OPERATOR, SAMPLES FROM TELEMETRY$OPERATOR_COSTS "
+              "WHERE OPERATOR = 'IndexedValueScan'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "IndexedValueScan|0");
+
+  // ...and draining a routed query feeds the model.
+  auto routed = collection::RoutePredicates(
+                    *coll, {collection::PathPredicate::Compare(
+                               "$.tag", rdbms::CompareOp::kEq,
+                               Value::String("t1"))})
+                    .MoveValue();
+  ASSERT_TRUE(rdbms::Collect(routed.plan.get()).ok());
+  rows = Q(&db_,
+           "SELECT SAMPLES, ROWS_OBSERVED FROM TELEMETRY$OPERATOR_COSTS "
+           "WHERE OPERATOR = 'IndexedValueScan'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "1|10");
+  stats::OperatorCostModel::Global().Reset();
+}
+
+TEST_F(ObservabilityTest, SlowQueriesCarryEstimatedRows) {
+  SlowQueryLog::Global().SetThresholdUs(0);
+  auto coll = collection::JsonCollection::Create(&db_, "OBSE").MoveValue();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(coll->Insert("{\"tag\":\"t" + std::to_string(i % 2) + "\"}")
+                    .ok());
+  }
+  auto routed = collection::RoutePredicates(
+                    *coll, {collection::PathPredicate::Compare(
+                               "$.tag", rdbms::CompareOp::kEq,
+                               Value::String("t0"))})
+                    .MoveValue();
+  ASSERT_TRUE(rdbms::Collect(routed.plan.get()).ok());
+
+  std::vector<std::string> rows =
+      Q(&db_, "SELECT ROWS, EST_ROWS FROM TELEMETRY$SLOW_QUERIES");
+  ASSERT_FALSE(rows.empty());
+  // 20 docs, 2 tags: 10 actual rows and an estimate of ~10 (the NDV
+  // sketch is near-exact, not exact, at tiny cardinalities).
+  const std::string& last = rows.back();
+  const size_t sep = last.find('|');
+  ASSERT_NE(sep, std::string::npos) << last;
+  EXPECT_EQ(last.substr(0, sep), "10");
+  EXPECT_NEAR(std::stod(last.substr(sep + 1)), 10.0, 1.0) << last;
+  // The JSONL rendering carries it too.
+  const telemetry::SlowQueryRecord rec =
+      SlowQueryLog::Global().Snapshot().back();
+  EXPECT_NE(rec.ToJsonLine().find("\"est_rows\":"), std::string::npos)
+      << rec.ToJsonLine();
 }
 
 TEST_F(ObservabilityTest, CollectionsRelationListsLiveCollections) {

@@ -1,0 +1,103 @@
+#include "stats/operator_costs.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.h"
+
+namespace fsdm::stats {
+namespace {
+
+class OperatorCostsTest : public ::testing::Test {
+ protected:
+  // The model is process-global; every test starts from the seeds.
+  void SetUp() override { OperatorCostModel::Global().Reset(); }
+  void TearDown() override { OperatorCostModel::Global().Reset(); }
+};
+
+TEST_F(OperatorCostsTest, SeedsOrderTheAccessPathsSensibly) {
+  OperatorCostModel& m = OperatorCostModel::Global();
+  // Vectorized scans are cheapest per row, document scans sit in the
+  // middle, per-document JSON predicate evaluation is the most expensive.
+  EXPECT_LT(m.UsPerRow("ImcFilterScan"), m.UsPerRow("Scan"));
+  EXPECT_LT(m.UsPerRow("Scan"), m.UsPerRow("IndexedValueScan"));
+  EXPECT_LT(m.UsPerRow("IndexedValueScan"), m.UsPerRow("Filter"));
+  // Unseeded operators default to 1 us/row.
+  EXPECT_DOUBLE_EQ(m.UsPerRow("SomethingNew"), 1.0);
+}
+
+TEST_F(OperatorCostsTest, FirstSampleReplacesSeedThenEwmaSmooths) {
+  OperatorCostModel& m = OperatorCostModel::Global();
+  m.Record("Filter", 100, 1000.0);  // 10 us/row
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Filter"), 10.0);
+  m.Record("Filter", 100, 2000.0);  // 20 us/row, alpha = 0.2
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Filter"), 0.8 * 10.0 + 0.2 * 20.0);
+
+  auto snap = m.Snapshot();
+  EXPECT_EQ(snap.at("Filter").samples, 2u);
+  EXPECT_EQ(snap.at("Filter").rows_total, 200u);
+  EXPECT_DOUBLE_EQ(snap.at("Filter").last_us_per_row, 20.0);
+  EXPECT_DOUBLE_EQ(snap.at("Filter").seed_us_per_row, 2.0);
+}
+
+TEST_F(OperatorCostsTest, ZeroRowsAndClamping) {
+  OperatorCostModel& m = OperatorCostModel::Global();
+  m.Record("Scan", 0, 500.0);  // no rows -> no information
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Scan"), 0.5);
+  // Clock-granularity zero must not collapse the estimate to 0.
+  m.Record("Scan", 1000, 0.0);
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Scan"), 0.001);
+}
+
+TEST_F(OperatorCostsTest, FrozenModelIgnoresMeasurements) {
+  OperatorCostModel& m = OperatorCostModel::Global();
+  m.set_frozen(true);
+  m.Record("Scan", 10, 10000.0);
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Scan"), 0.5);
+  m.set_frozen(false);
+  m.Record("Scan", 10, 10000.0);
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Scan"), 1000.0);  // clamped raw obs
+}
+
+TEST_F(OperatorCostsTest, RecordSpanTreeUsesExclusiveTimeAndRowBasis) {
+  // Filter(10 rows out) over Scan(40 rows out): the Filter's exclusive
+  // time is 100 - 60 = 40us over 40 consumed rows = 1 us/row; the leaf
+  // Scan processed its 40 emitted rows in 60us = 1.5 us/row.
+  auto scan = telemetry::MakeSpan("Scan", "");
+  scan->rows_out = 40;
+  scan->elapsed_us = 60.0;
+  auto filter = telemetry::MakeSpan("Filter", "");
+  filter->rows_out = 10;
+  filter->elapsed_us = 100.0;
+  filter->children.push_back(std::move(scan));
+
+  OperatorCostModel& m = OperatorCostModel::Global();
+  m.RecordSpanTree(*filter);
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Filter"), 1.0);
+  EXPECT_DOUBLE_EQ(m.UsPerRow("Scan"), 1.5);
+}
+
+TEST_F(OperatorCostsTest, RecordSpanTreeSkipsImcReplaySpans) {
+  auto imc = telemetry::MakeSpan("ImcFilterScan", "");
+  imc->rows_out = 5;
+  imc->elapsed_us = 1000.0;
+  OperatorCostModel& m = OperatorCostModel::Global();
+  m.RecordSpanTree(*imc);
+  // Untouched: the replay span would record result-row basis, not the
+  // scanned-row basis the router records directly.
+  auto snap = m.Snapshot();
+  EXPECT_EQ(snap.at("ImcFilterScan").samples, 0u);
+  EXPECT_DOUBLE_EQ(m.UsPerRow("ImcFilterScan"), 0.05);
+}
+
+TEST_F(OperatorCostsTest, ResetRestoresSeeds) {
+  OperatorCostModel& m = OperatorCostModel::Global();
+  m.Record("IndexedValueScan", 10, 500.0);
+  m.set_frozen(true);
+  m.Reset();
+  EXPECT_FALSE(m.frozen());
+  EXPECT_DOUBLE_EQ(m.UsPerRow("IndexedValueScan"), 0.8);
+  EXPECT_EQ(m.Snapshot().at("IndexedValueScan").samples, 0u);
+}
+
+}  // namespace
+}  // namespace fsdm::stats
