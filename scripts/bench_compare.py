@@ -11,7 +11,9 @@ metric (a column whose name contains "us", "ms", or "sec") regresses by more
 than PCT percent; other columns are report-only. Without --fail-threshold
 the script always exits 0 (report-only mode). --markdown additionally
 writes the comparison as a GitHub-flavored table, which CI appends to the
-job's step summary.
+job's step summary; candidate rows carrying the sharded-execution scaling
+columns ("threads", "speedup vs 1 thread") are rendered as their own
+scaling table there.
 """
 
 import argparse
@@ -103,22 +105,51 @@ def compare(name, base, cand, threshold, table):
     return regressions
 
 
-def write_markdown(path, table, threshold):
+SPEEDUP_COL = "speedup vs 1 thread"
+
+
+def collect_scaling(benches):
+    """Rows carrying the morsel-parallel scaling columns (shards, threads,
+    speedup vs 1 thread) from the sharded-execution ablation."""
+    out = []
+    for name in sorted(benches):
+        for row in benches[name].get("rows", []):
+            cells = numeric_cells(row)
+            if SPEEDUP_COL in cells and "threads" in cells:
+                out.append((name, cells.get("shards"), cells["threads"],
+                            cells.get("ms"), cells[SPEEDUP_COL]))
+    return out
+
+
+def write_scaling_markdown(f, scaling):
+    f.write("\n### Morsel-parallel scaling (speedup vs 1 thread)\n\n")
+    f.write("| bench | shards | threads | ms | speedup |\n")
+    f.write("|---|---:|---:|---:|---:|\n")
+    for name, shards, threads, ms, speedup in scaling:
+        shards_s = f"{shards:g}" if shards is not None else "?"
+        ms_s = f"{ms:g}" if ms is not None else "?"
+        f.write(f"| {name} | {shards_s} | {threads:g} | {ms_s} "
+                f"| {speedup:g}x |\n")
+
+
+def write_markdown(path, table, threshold, scaling=None):
     with open(path, "w", encoding="utf-8") as f:
         f.write("### Bench comparison vs baseline\n\n")
         if not table:
             f.write("No numeric change against the baseline.\n")
-            return
-        f.write("| bench | metric | baseline | candidate | delta | |\n")
-        f.write("|---|---|---:|---:|---:|---|\n")
-        for name, metric, old, new, pct, flag in table:
-            delta = f"{pct:+.1f}%" if pct is not None else "n/a"
-            mark = ":warning:" if flag else ""
-            f.write(f"| {name} | {metric} | {old:g} | {new:g} "
-                    f"| {delta} | {mark} |\n")
-        if threshold is not None:
-            f.write(f"\nFail threshold: +{threshold:g}% on time-like "
-                    f"metrics.\n")
+        else:
+            f.write("| bench | metric | baseline | candidate | delta | |\n")
+            f.write("|---|---|---:|---:|---:|---|\n")
+            for name, metric, old, new, pct, flag in table:
+                delta = f"{pct:+.1f}%" if pct is not None else "n/a"
+                mark = ":warning:" if flag else ""
+                f.write(f"| {name} | {metric} | {old:g} | {new:g} "
+                        f"| {delta} | {mark} |\n")
+            if threshold is not None:
+                f.write(f"\nFail threshold: +{threshold:g}% on time-like "
+                        f"metrics.\n")
+        if scaling:
+            write_scaling_markdown(f, scaling)
 
 
 def main():
@@ -158,7 +189,8 @@ def main():
                                args.fail_threshold, table)
 
     if args.markdown:
-        write_markdown(args.markdown, table, args.fail_threshold)
+        write_markdown(args.markdown, table, args.fail_threshold,
+                       scaling=collect_scaling(cand))
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "

@@ -1,8 +1,10 @@
 #include "collection/collection.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "collection/collections_table.h"
+#include "common/hash.h"
 #include "fault/fault.h"
 #include "json/dom.h"
 #include "json/parser.h"
@@ -37,6 +39,37 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     rdbms::Database* db, const std::string& name,
     const CollectionOptions& options) {
   if (db == nullptr) return Status::InvalidArgument("null database");
+
+  if (options.shard_count > 1) {
+    // Sharded facade (ISSUE 6): N full single-shard stacks behind one
+    // object. The children are ordinary collections named "<name>$s<i>"
+    // but stay out of the CollectionRegistry — TELEMETRY$COLLECTIONS
+    // shows one row for the facade with a per-shard health rollup.
+    std::unique_ptr<JsonCollection> facade(
+        new JsonCollection(db, name, options));
+    CollectionOptions shard_options = options;
+    shard_options.shard_count = 1;
+    for (size_t i = 0; i < options.shard_count; ++i) {
+      Result<std::unique_ptr<JsonCollection>> shard = Create(
+          db, name + "$s" + std::to_string(i), shard_options);
+      if (!shard.ok()) {
+        // Unwind every shard already built; each child drops its own
+        // table through the same path a failed single-shard Create uses.
+        for (std::unique_ptr<JsonCollection>& built : facade->shards_) {
+          built->Detach();
+          (void)db->DropTable(built->name());
+        }
+        return shard.status();
+      }
+      CollectionRegistry::Global().Unregister(shard.value().get());
+      facade->shards_.push_back(std::move(shard).value());
+    }
+    if (options.install_oson_column) facade->oson_column_ = kOsonColumnName;
+    facade->health();  // publish the initial health gauge
+    CollectionRegistry::Global().Register(facade.get());
+    return facade;
+  }
+
   std::vector<rdbms::ColumnDef> columns = {
       {.name = options.key_column, .type = rdbms::ColumnType::kNumber},
       {.name = options.json_column,
@@ -99,6 +132,7 @@ JsonCollection::~JsonCollection() { Detach(); }
 void JsonCollection::Detach() {
   if (detached_) return;
   CollectionRegistry::Global().Unregister(this);
+  for (std::unique_ptr<JsonCollection>& shard : shards_) shard->Detach();
   if (table_ != nullptr && dml_observer_ != nullptr) {
     table_->RemoveObserver(dml_observer_.get());
   }
@@ -107,6 +141,13 @@ void JsonCollection::Detach() {
 }
 
 size_t JsonCollection::document_count() const {
+  if (sharded()) {
+    size_t n = 0;
+    for (const std::unique_ptr<JsonCollection>& s : shards_) {
+      n += s->document_count();
+    }
+    return n;
+  }
   size_t n = 0;
   for (size_t r = 0; r < table_->row_count(); ++r) {
     if (table_->IsLive(r)) ++n;
@@ -114,11 +155,41 @@ size_t JsonCollection::document_count() const {
   return n;
 }
 
+size_t JsonCollection::ShardForKey(const Value& key) const {
+  if (!sharded()) return 0;
+  return static_cast<size_t>(ShardPlacementHash(key.ToDisplayString()) %
+                             shards_.size());
+}
+
 // --- Health & crash consistency ---------------------------------------------
 
 CollectionHealth JsonCollection::health() const {
   CollectionHealth h = CollectionHealth::kHealthy;
-  if (quarantined_) {
+  if (sharded()) {
+    // Per-shard degradation: ONE bad shard degrades the collection
+    // instead of killing it. All healthy -> healthy; all quarantined ->
+    // quarantined; anything in between -> index-degraded (the router then
+    // falls back per shard, so healthy shards keep their fast paths).
+    size_t quarantined = 0;
+    size_t healthy = 0;
+    for (const std::unique_ptr<JsonCollection>& s : shards_) {
+      switch (s->health()) {
+        case CollectionHealth::kHealthy:
+          ++healthy;
+          break;
+        case CollectionHealth::kQuarantined:
+          ++quarantined;
+          break;
+        case CollectionHealth::kIndexDegraded:
+          break;
+      }
+    }
+    if (quarantined == shards_.size()) {
+      h = CollectionHealth::kQuarantined;
+    } else if (healthy < shards_.size()) {
+      h = CollectionHealth::kIndexDegraded;
+    }
+  } else if (quarantined_) {
     h = CollectionHealth::kQuarantined;
   } else if (index_ != nullptr && index_->degraded()) {
     h = CollectionHealth::kIndexDegraded;
@@ -127,7 +198,28 @@ CollectionHealth JsonCollection::health() const {
   return h;
 }
 
+size_t JsonCollection::healthy_shard_count() const {
+  if (!sharded()) {
+    return health() == CollectionHealth::kHealthy ? 1 : 0;
+  }
+  size_t healthy = 0;
+  for (const std::unique_ptr<JsonCollection>& s : shards_) {
+    if (s->health() == CollectionHealth::kHealthy) ++healthy;
+  }
+  return healthy;
+}
+
 std::string JsonCollection::health_reason() const {
+  if (sharded()) {
+    std::string reason;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::string shard_reason = shards_[i]->health_reason();
+      if (shard_reason.empty()) continue;
+      if (!reason.empty()) reason += "; ";
+      reason += "shard " + std::to_string(i) + ": " + shard_reason;
+    }
+    return reason;
+  }
   if (quarantined_) return quarantine_reason_;
   if (index_ != nullptr && index_->degraded()) {
     return index_->degraded_reason();
@@ -136,6 +228,7 @@ std::string JsonCollection::health_reason() const {
 }
 
 void JsonCollection::Quarantine(std::string reason) {
+  for (std::unique_ptr<JsonCollection>& s : shards_) s->Quarantine(reason);
   quarantined_ = true;
   quarantine_reason_ = std::move(reason);
   FSDM_TRACE_INSTANT_TEXT("collection", "collection.quarantine", "name",
@@ -146,6 +239,23 @@ void JsonCollection::Quarantine(std::string reason) {
 Status JsonCollection::RebuildIndex() {
   FSDM_TRACE_SPAN(span, "collection", "index.rebuild");
   span.AddTextArg("name", name_);
+  if (sharded()) {
+    // Per-shard rebuild with collection-level aggregation: every shard
+    // rebuilds (a failure on shard i must not leave shard i+1 degraded),
+    // and the first failure is reported.
+    Status first_error = Status::Ok();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Status rebuilt = shards_[i]->RebuildIndex();
+      if (!rebuilt.ok() && first_error.ok()) first_error = rebuilt;
+    }
+    if (first_error.ok()) {
+      last_rebuild_ts_us_ = telemetry::MonotonicNowUs();
+      quarantined_ = false;
+      quarantine_reason_.clear();
+    }
+    health();
+    return first_error;
+  }
   if (index_ != nullptr) {
     // Rebuild() re-feeds every live document through the DataGuide walk —
     // and therefore through the statistics sink. Reset the repository
@@ -178,6 +288,43 @@ Status JsonCollection::CheckWritable() const {
 ConsistencyReport JsonCollection::CheckConsistency() const {
   FSDM_TIME_SCOPE_US("fsdm_collection_check_consistency_us");
   ConsistencyReport report;
+  if (sharded()) {
+    // Per-shard checks with collection-level aggregation, plus the one
+    // cross-shard invariant: every live document must sit on the shard
+    // its key hashes to.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const JsonCollection& s = *shards_[i];
+      ConsistencyReport sub = s.CheckConsistency();
+      report.live_rows += sub.live_rows;
+      report.indexed_docs += sub.indexed_docs;
+      for (std::string& p : sub.problems) {
+        report.problems.push_back("shard " + std::to_string(i) + ": " +
+                                  std::move(p));
+      }
+      const rdbms::Table* t = s.table();
+      size_t key_pos = 0;
+      for (size_t c = 0; c < t->physical_columns().size(); ++c) {
+        if (t->columns()[t->physical_columns()[c]].name ==
+            options_.key_column) {
+          key_pos = c;
+          break;
+        }
+      }
+      for (size_t r = 0; r < t->row_count(); ++r) {
+        if (!t->IsLive(r)) continue;
+        const Value& key = t->StoredRow(r)[key_pos];
+        const size_t expected = ShardForKey(key);
+        if (expected != i) {
+          report.problems.push_back(
+              "shard " + std::to_string(i) + ": document with key " +
+              key.ToDisplayString() + " belongs on shard " +
+              std::to_string(expected) + " by placement hash");
+        }
+      }
+    }
+    report.consistent = report.problems.empty();
+    return report;
+  }
   size_t non_null = 0;
   dataguide::DataGuide shadow;
   for (size_t r = 0; r < table_->row_count(); ++r) {
@@ -247,6 +394,16 @@ ConsistencyReport JsonCollection::CheckConsistency() const {
 // --- DML --------------------------------------------------------------------
 
 Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
+  if (sharded()) {
+    // Hash placement + row-id encoding: global = local * N + shard, the
+    // identity mapping at N = 1. The child carries telemetry and its own
+    // writability check.
+    const size_t s = ShardForKey(key);
+    FSDM_ASSIGN_OR_RETURN(
+        size_t local, shards_[s]->Insert(std::move(key),
+                                         std::move(json_text)));
+    return local * shards_.size() + s;
+  }
   FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_inserts_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_insert_us");
@@ -257,11 +414,16 @@ Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
 }
 
 Result<size_t> JsonCollection::Insert(std::string json_text) {
-  // Delegates to the keyed overload, which carries the telemetry.
+  // Delegates to the keyed overload, which carries the telemetry (and the
+  // shard placement when sharded). The facade owns the auto-key sequence
+  // so keys stay collection-unique across shards.
   return Insert(Value::Int64(next_auto_key_++), std::move(json_text));
 }
 
 Status JsonCollection::Delete(size_t row_id) {
+  if (sharded()) {
+    return shards_[row_id % shards_.size()]->Delete(row_id / shards_.size());
+  }
   FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_deletes_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_delete_us");
@@ -272,6 +434,20 @@ Status JsonCollection::Delete(size_t row_id) {
 
 Status JsonCollection::Replace(size_t row_id, Value key,
                                std::string json_text) {
+  if (sharded()) {
+    const size_t s = row_id % shards_.size();
+    if (ShardForKey(key) != s) {
+      // A key change that re-hashes to another shard would need a
+      // cross-shard delete+insert; refuse instead of silently breaking
+      // the placement invariant CheckConsistency() verifies.
+      return Status::InvalidArgument(
+          "replace would move document to shard " +
+          std::to_string(ShardForKey(key)) + " (row lives on shard " +
+          std::to_string(s) + "); delete and re-insert instead");
+    }
+    return shards_[s]->Replace(row_id / shards_.size(), std::move(key),
+                               std::move(json_text));
+  }
   FSDM_RETURN_NOT_OK(CheckWritable());
   FSDM_COUNT("fsdm_collection_replaces_total", 1);
   FSDM_TIME_SCOPE_US("fsdm_collection_replace_us");
@@ -346,6 +522,16 @@ Status JsonCollection::MaintainOwnGuide(const Value& doc_value) {
 Result<std::string> JsonCollection::AddVirtualColumn(
     std::string column_name, const std::string& path,
     sqljson::Returning returning, bool hidden) {
+  if (sharded()) {
+    // Schema changes fan out so every shard stays structurally identical
+    // (the parallel union requires one shared schema).
+    for (std::unique_ptr<JsonCollection>& s : shards_) {
+      FSDM_RETURN_NOT_OK(
+          s->AddVirtualColumn(column_name, path, returning, hidden).status());
+    }
+    vc_for_path_[path] = column_name;
+    return column_name;
+  }
   rdbms::ColumnDef def;
   def.name = column_name;
   def.type = returning == sqljson::Returning::kNumber
@@ -363,6 +549,26 @@ Result<std::string> JsonCollection::AddVirtualColumn(
 
 Result<std::vector<std::string>> JsonCollection::AddInferredVirtualColumns(
     const dataguide::GenerateOptions& options) {
+  if (sharded()) {
+    // Each shard infers from its own DataGuide; skewed shards may add
+    // different sets. The union (first-seen order, deduplicated) is what
+    // the facade reports and records for VirtualColumnFor().
+    std::vector<std::string> added_union;
+    for (std::unique_ptr<JsonCollection>& s : shards_) {
+      FSDM_ASSIGN_OR_RETURN(std::vector<std::string> added,
+                            s->AddInferredVirtualColumns(options));
+      for (std::string& name : added) {
+        if (std::find(added_union.begin(), added_union.end(), name) ==
+            added_union.end()) {
+          added_union.push_back(std::move(name));
+        }
+      }
+      for (const auto& [path, vc] : s->vc_for_path_) {
+        vc_for_path_.emplace(path, vc);
+      }
+    }
+    return added_union;
+  }
   std::vector<std::string> paths;
   FSDM_ASSIGN_OR_RETURN(
       std::vector<std::string> added,
@@ -378,6 +584,11 @@ Result<std::vector<std::string>> JsonCollection::AddInferredVirtualColumns(
 Result<dataguide::DmdvView> JsonCollection::CreateView(
     const std::string& root_path, const std::string& view_name,
     const dataguide::GenerateOptions& options) const {
+  if (sharded()) {
+    return Status::InvalidArgument(
+        "views are not supported on sharded collections (a DMDV is bound "
+        "to one backing table); create per-shard views via shard(i)");
+  }
   return dataguide::CreateViewOnPath(table_, options_.json_column,
                                      sqljson::JsonStorage::kText, dataguide(),
                                      root_path, view_name, options);
@@ -385,6 +596,11 @@ Result<dataguide::DmdvView> JsonCollection::CreateView(
 
 Result<std::vector<dataguide::DmdvView>> JsonCollection::CreateViews(
     const dataguide::GenerateOptions& options) const {
+  if (sharded()) {
+    return Status::InvalidArgument(
+        "views are not supported on sharded collections (a DMDV is bound "
+        "to one backing table); create per-shard views via shard(i)");
+  }
   std::vector<dataguide::DmdvView> views;
   FSDM_ASSIGN_OR_RETURN(dataguide::DmdvView root,
                         CreateView("$", name_ + "_RV", options));
@@ -420,6 +636,12 @@ std::vector<std::string> JsonCollection::DefaultImcColumns() const {
 }
 
 Status JsonCollection::PopulateImc(std::vector<std::string> columns) {
+  if (sharded()) {
+    for (std::unique_ptr<JsonCollection>& s : shards_) {
+      FSDM_RETURN_NOT_OK(s->PopulateImc(columns));
+    }
+    return Status::Ok();
+  }
   if (columns.empty()) columns = DefaultImcColumns();
   FSDM_ASSIGN_OR_RETURN(imc::ColumnStore store,
                         imc::ColumnStore::Populate(*table_, columns));
@@ -429,7 +651,38 @@ Status JsonCollection::PopulateImc(std::vector<std::string> columns) {
   return Status::Ok();
 }
 
+bool JsonCollection::imc_valid() const {
+  if (!sharded()) return imc_valid_ && imc_.has_value();
+  for (const std::unique_ptr<JsonCollection>& s : shards_) {
+    if (!s->imc_valid()) return false;
+  }
+  return true;
+}
+
+bool JsonCollection::imc_populated() const {
+  if (!sharded()) return imc_.has_value();
+  for (const std::unique_ptr<JsonCollection>& s : shards_) {
+    if (!s->imc_populated()) return false;
+  }
+  return true;
+}
+
+size_t JsonCollection::imc_invalidations() const {
+  if (!sharded()) return static_cast<size_t>(imc_invalidations_.value());
+  size_t n = 0;
+  for (const std::unique_ptr<JsonCollection>& s : shards_) {
+    n += s->imc_invalidations();
+  }
+  return n;
+}
+
 Result<const imc::ColumnStore*> JsonCollection::EnsureImc() {
+  if (sharded()) {
+    for (std::unique_ptr<JsonCollection>& s : shards_) {
+      FSDM_RETURN_NOT_OK(s->EnsureImc().status());
+    }
+    return shards_[0]->imc();
+  }
   if (imc_valid()) return &*imc_;
   FSDM_RETURN_NOT_OK(PopulateImc(imc_columns_));
   return &*imc_;
@@ -437,12 +690,25 @@ Result<const imc::ColumnStore*> JsonCollection::EnsureImc() {
 
 Result<imc::ColumnStore> JsonCollection::MaterializeColumns(
     const std::vector<std::string>& columns) const {
+  if (sharded()) {
+    return Status::InvalidArgument(
+        "MaterializeColumns spans one backing table; materialize per shard "
+        "via shard(i)");
+  }
   return imc::ColumnStore::Populate(*table_, columns);
 }
 
 // --- Query ------------------------------------------------------------------
 
 rdbms::OperatorPtr JsonCollection::Scan(bool include_hidden) const {
+  if (sharded()) {
+    std::vector<rdbms::OperatorPtr> children;
+    children.reserve(shards_.size());
+    for (const std::unique_ptr<JsonCollection>& s : shards_) {
+      children.push_back(s->Scan(include_hidden));
+    }
+    return rdbms::UnionAll(std::move(children));
+  }
   return rdbms::Scan(table_, include_hidden);
 }
 

@@ -75,6 +75,15 @@ struct CollectionOptions {
   /// only posting-backed access paths are unavailable.
   bool attach_search_index = true;
   index::JsonSearchIndex::Options index_options;
+
+  /// Number of backing shards (ISSUE 6). 1 (the default) builds the
+  /// classic single-table stack with behavior identical to every earlier
+  /// release. N > 1 builds a sharded facade: N full per-shard stacks
+  /// (table "<name>$s<i>" + OSON VC + search index/DataGuide + IMC + path
+  /// statistics + health state), documents hash-placed by key via
+  /// fsdm::ShardPlacementHash, and Route() fanning out one costed
+  /// sub-plan per shard, drained morsel-parallel on the worker pool.
+  size_t shard_count = 1;
 };
 
 /// The per-collection document stack of the paper (§3, §5.2) behind one
@@ -87,7 +96,16 @@ struct CollectionOptions {
 ///
 /// Lifetime: the Database (and with it the backing table) must outlive the
 /// collection; destroying the collection detaches every observer it
-/// registered. Single-threaded, like the engine underneath.
+/// registered. DML is single-threaded, like the engine underneath; routed
+/// query plans of a sharded collection drain on the worker pool.
+///
+/// Sharding (ISSUE 6): with CollectionOptions::shard_count = N > 1 this
+/// object becomes a facade over N single-shard JsonCollections. Document
+/// placement is ShardPlacementHash(key display string) % N; row ids
+/// returned by Insert encode (local_row * N + shard), which is the
+/// identity mapping at N = 1. Per-shard accessors are shard()/shard_count();
+/// table() and imc() return nullptr on a facade (there is no single
+/// backing table — go through the shards).
 class JsonCollection {
  public:
   /// Creates the backing table `name` inside `db` and wires the stack
@@ -103,26 +121,54 @@ class JsonCollection {
   void Detach();
 
   // --- Components -------------------------------------------------------
+  /// The backing table; nullptr on a sharded facade (use shard(i)->table()).
   rdbms::Table* table() const { return table_; }
   const std::string& name() const { return name_; }
   const std::string& key_column() const { return options_.key_column; }
   const std::string& json_column() const { return options_.json_column; }
+  const CollectionOptions& options() const { return options_; }
   /// Hidden OSON virtual column name; empty when not installed.
   const std::string& oson_column() const { return oson_column_; }
-  /// nullptr when the collection was created without a search index.
-  const index::JsonSearchIndex* search_index() const { return index_.get(); }
+  /// nullptr when the collection was created without a search index. On a
+  /// sharded facade: shard 0's index, as a representative.
+  const index::JsonSearchIndex* search_index() const {
+    return sharded() ? shards_[0]->search_index() : index_.get();
+  }
   /// The live DataGuide: the search index's persistent guide, or the
-  /// collection-maintained guide when no index is attached.
+  /// collection-maintained guide when no index is attached. On a sharded
+  /// facade: shard 0's guide, as a representative (shards see disjoint
+  /// document subsets; per-shard guides via shard(i)->dataguide()).
   const dataguide::DataGuide& dataguide() const {
+    if (sharded()) return shards_[0]->dataguide();
     return index_ != nullptr ? index_->dataguide() : own_guide_;
   }
+
+  // --- Sharding (ISSUE 6) -----------------------------------------------
+  /// True when this collection is a facade over multiple backing shards.
+  bool sharded() const { return !shards_.empty(); }
+  size_t shard_count() const { return sharded() ? shards_.size() : 1; }
+  /// The i-th backing shard; `this` on a single-shard collection (i must
+  /// be 0 then). Each shard is a full single-shard JsonCollection.
+  const JsonCollection* shard(size_t i) const {
+    return sharded() ? shards_[i].get() : this;
+  }
+  JsonCollection* shard(size_t i) {
+    return sharded() ? shards_[i].get() : this;
+  }
+  /// Shard a document key places on: ShardPlacementHash over the key's
+  /// canonical display string, modulo shard_count(). Stable across
+  /// platforms and runs (see common/hash.h).
+  size_t ShardForKey(const Value& key) const;
   /// Per-path value statistics (ISSUE 5): document frequency, NDV sketch,
   /// min/max, and a bounded histogram per scalar path, fed from the same
   /// DataGuide walk the DML path already pays for. The router's
   /// selectivity estimates read from here. Additive like the DataGuide
   /// (§3.4): deletes and rollbacks never retract counts, so ratios stay
-  /// approximately right; RebuildIndex() resets and re-feeds them.
-  const stats::PathStatsRepository& path_stats() const { return path_stats_; }
+  /// approximately right; RebuildIndex() resets and re-feeds them. On a
+  /// sharded facade: shard 0's repository (per-shard via shard(i)).
+  const stats::PathStatsRepository& path_stats() const {
+    return sharded() ? shards_[0]->path_stats_ : path_stats_;
+  }
   size_t document_count() const;
 
   // --- Health & crash consistency ---------------------------------------
@@ -144,6 +190,10 @@ class JsonCollection {
   /// MonotonicNowUs() timestamp of the last successful RebuildIndex();
   /// 0 until one happens (NULL in TELEMETRY$COLLECTIONS).
   uint64_t last_rebuild_ts_us() const { return last_rebuild_ts_us_; }
+
+  /// Number of shards currently healthy (== shard_count() when healthy;
+  /// rendered into TELEMETRY$COLLECTIONS' per-shard rollup).
+  size_t healthy_shard_count() const;
 
   /// Cross-checks the base table against every maintained side structure:
   /// posting lists, indexed-document count, DataGuide (additive semantics:
@@ -196,28 +246,34 @@ class JsonCollection {
   /// store through the observer hook; EnsureImc() repopulates on demand.
   Status PopulateImc(std::vector<std::string> columns = {});
   /// The managed store when populated AND still valid, else nullptr.
+  /// Always nullptr on a sharded facade (each shard manages its own store;
+  /// shard(i)->imc()).
   const imc::ColumnStore* imc() const {
+    if (sharded()) return nullptr;
     return imc_valid_ && imc_.has_value() ? &*imc_ : nullptr;
   }
-  bool imc_valid() const { return imc_valid_ && imc_.has_value(); }
+  /// Facade: true when EVERY shard's store is valid.
+  bool imc_valid() const;
   /// Populated at least once (possibly since invalidated — "stale" in
-  /// TELEMETRY$COLLECTIONS terms).
-  bool imc_populated() const { return imc_.has_value(); }
-  /// Lazily (re)populates the managed store and returns it.
+  /// TELEMETRY$COLLECTIONS terms). Facade: every shard populated.
+  bool imc_populated() const;
+  /// Lazily (re)populates the managed store and returns it. On a sharded
+  /// facade, ensures every shard's store and returns shard 0's as a
+  /// representative.
   Result<const imc::ColumnStore*> EnsureImc();
   /// Number of times DML invalidated a populated store. Backed by a
   /// telemetry::Counter; the engine-wide registry additionally aggregates
   /// the same events under fsdm_collection_imc_invalidations_total.
-  size_t imc_invalidations() const {
-    return static_cast<size_t>(imc_invalidations_.value());
-  }
+  /// Facade: sum over shards.
+  size_t imc_invalidations() const;
   /// Ad-hoc unmanaged store over arbitrary columns (benchmarks comparing
   /// several population sets side by side); not invalidation-tracked.
   Result<imc::ColumnStore> MaterializeColumns(
       const std::vector<std::string>& columns) const;
 
   // --- Query ------------------------------------------------------------
-  /// Row source over the backing table.
+  /// Row source over the backing table; on a sharded facade, a sequential
+  /// UnionAll over every shard's scan in shard order.
   rdbms::OperatorPtr Scan(bool include_hidden = false) const;
   /// JSON_VALUE / JSON_EXISTS expressions over the text document column.
   Result<rdbms::ExprPtr> JsonValueExpr(
@@ -225,6 +281,8 @@ class JsonCollection {
       sqljson::Returning returning = sqljson::Returning::kAny) const;
   Result<rdbms::ExprPtr> JsonExistsExpr(const std::string& path) const;
   /// Access-path routed execution of a predicate conjunction (router.h).
+  /// On a sharded facade this fans out one costed sub-plan per shard,
+  /// merged through an order-preserving morsel-parallel union.
   Result<RoutedPlan> Route(const std::vector<PathPredicate>& predicates) const {
     return RoutePredicates(*this, predicates);
   }
@@ -280,6 +338,10 @@ class JsonCollection {
   bool detached_ = false;
   bool quarantined_ = false;
   std::string quarantine_reason_;
+  /// Backing shards when this is a sharded facade (empty otherwise). Each
+  /// is a full single-shard collection named "<name>$s<i>", kept out of
+  /// the CollectionRegistry — only the facade is registered.
+  std::vector<std::unique_ptr<JsonCollection>> shards_;
 };
 
 }  // namespace fsdm::collection

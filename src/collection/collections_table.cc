@@ -32,7 +32,8 @@ class CollectionsScanOp final : public rdbms::Operator {
  public:
   CollectionsScanOp() {
     schema_ = rdbms::Schema({"NAME", "HEALTH", "DOC_COUNT", "INDEX_PATHS",
-                             "IMC_STATE", "LAST_REBUILD_TS"});
+                             "IMC_STATE", "LAST_REBUILD_TS", "SHARDS",
+                             "SHARDS_HEALTHY"});
   }
 
   Status Open() override {
@@ -52,7 +53,9 @@ class CollectionsScanOp final : public rdbms::Operator {
            Value::String(imc_state),
            c->last_rebuild_ts_us() == 0
                ? Value::Null()
-               : Value::Int64(static_cast<int64_t>(c->last_rebuild_ts_us()))});
+               : Value::Int64(static_cast<int64_t>(c->last_rebuild_ts_us())),
+           Value::Int64(static_cast<int64_t>(c->shard_count())),
+           Value::Int64(static_cast<int64_t>(c->healthy_shard_count()))});
     }
     return Status::Ok();
   }

@@ -34,9 +34,12 @@ class CollectionRegistry {
 };
 
 /// Row source over the registry. Schema: (NAME, HEALTH, DOC_COUNT,
-/// INDEX_PATHS, IMC_STATE, LAST_REBUILD_TS) — INDEX_PATHS is the live
-/// DataGuide's distinct path count, IMC_STATE is valid/stale/unpopulated,
-/// LAST_REBUILD_TS is NULL until the first successful RebuildIndex().
+/// INDEX_PATHS, IMC_STATE, LAST_REBUILD_TS, SHARDS, SHARDS_HEALTHY) —
+/// INDEX_PATHS is the live DataGuide's distinct path count, IMC_STATE is
+/// valid/stale/unpopulated, LAST_REBUILD_TS is NULL until the first
+/// successful RebuildIndex(). SHARDS is the shard count (1 for unsharded
+/// collections) and SHARDS_HEALTHY the per-shard health rollup: how many
+/// shards currently report kHealthy (ISSUE 6).
 rdbms::OperatorPtr CollectionsScan();
 
 }  // namespace fsdm::collection

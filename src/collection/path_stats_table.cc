@@ -17,7 +17,7 @@ namespace {
 class PathStatsScanOp final : public rdbms::Operator {
  public:
   PathStatsScanOp() {
-    schema_ = rdbms::Schema({"COLLECTION", "PATH", "DOCS_SEEN",
+    schema_ = rdbms::Schema({"COLLECTION", "SHARD", "PATH", "DOCS_SEEN",
                              "DOC_FREQUENCY", "VALUE_COUNT", "NULL_COUNT",
                              "NDV", "MIN", "MAX", "HIST_TOTAL", "HIST_LO",
                              "HIST_HI"});
@@ -27,26 +27,34 @@ class PathStatsScanOp final : public rdbms::Operator {
     rows_.clear();
     next_ = 0;
     for (const JsonCollection* c : CollectionRegistry::Global().collections()) {
-      const stats::PathStatsRepository& repo = c->path_stats();
-      for (const auto& [path, s] : repo.paths()) {
-        rows_.push_back(
-            {Value::String(c->name()), Value::String(path),
-             Value::Int64(static_cast<int64_t>(repo.docs_seen())),
-             Value::Int64(static_cast<int64_t>(s.doc_frequency)),
-             Value::Int64(static_cast<int64_t>(s.value_count)),
-             Value::Int64(static_cast<int64_t>(s.null_count)),
-             Value::Int64(static_cast<int64_t>(std::llround(s.ndv.Estimate()))),
-             s.min_value.has_value()
-                 ? Value::String(s.min_value->ToDisplayString())
-                 : Value::Null(),
-             s.max_value.has_value()
-                 ? Value::String(s.max_value->ToDisplayString())
-                 : Value::Null(),
-             Value::Int64(static_cast<int64_t>(s.histogram.total())),
-             s.histogram.frozen() ? Value::Double(s.histogram.lo())
-                                  : Value::Null(),
-             s.histogram.frozen() ? Value::Double(s.histogram.hi())
-                                  : Value::Null()});
+      // Sharded collections (ISSUE 6) keep one PathStatsRepository per
+      // shard — the router costs each shard against its own statistics —
+      // so emit one row-set per shard. Single-shard collections report
+      // SHARD = 0.
+      for (size_t shard = 0; shard < c->shard_count(); ++shard) {
+        const stats::PathStatsRepository& repo = c->shard(shard)->path_stats();
+        for (const auto& [path, s] : repo.paths()) {
+          rows_.push_back(
+              {Value::String(c->name()),
+               Value::Int64(static_cast<int64_t>(shard)), Value::String(path),
+               Value::Int64(static_cast<int64_t>(repo.docs_seen())),
+               Value::Int64(static_cast<int64_t>(s.doc_frequency)),
+               Value::Int64(static_cast<int64_t>(s.value_count)),
+               Value::Int64(static_cast<int64_t>(s.null_count)),
+               Value::Int64(
+                   static_cast<int64_t>(std::llround(s.ndv.Estimate()))),
+               s.min_value.has_value()
+                   ? Value::String(s.min_value->ToDisplayString())
+                   : Value::Null(),
+               s.max_value.has_value()
+                   ? Value::String(s.max_value->ToDisplayString())
+                   : Value::Null(),
+               Value::Int64(static_cast<int64_t>(s.histogram.total())),
+               s.histogram.frozen() ? Value::Double(s.histogram.lo())
+                                    : Value::Null(),
+               s.histogram.frozen() ? Value::Double(s.histogram.hi())
+                                    : Value::Null()});
+        }
       }
     }
     return Status::Ok();

@@ -12,11 +12,14 @@ namespace fsdm::collection {
 inline constexpr const char* kPathStatsTableName = "TELEMETRY$PATH_STATS";
 
 /// Row source over every registered collection's PathStatsRepository, one
-/// row per (collection, scalar path). Schema: (COLLECTION, PATH, DOCS_SEEN,
-/// DOC_FREQUENCY, VALUE_COUNT, NULL_COUNT, NDV, MIN, MAX, HIST_TOTAL,
-/// HIST_LO, HIST_HI) — NDV is the HyperLogLog estimate rounded to an
-/// integer; MIN/MAX are display strings (NULL when the path held only
-/// nulls); HIST_LO/HI are NULL until the histogram freezes its range.
+/// row per (collection, shard, scalar path). Schema: (COLLECTION, SHARD,
+/// PATH, DOCS_SEEN, DOC_FREQUENCY, VALUE_COUNT, NULL_COUNT, NDV, MIN, MAX,
+/// HIST_TOTAL, HIST_LO, HIST_HI) — sharded collections (ISSUE 6) keep one
+/// repository per shard, so each shard contributes its own row-set with
+/// its shard index in SHARD (0 for unsharded collections); NDV is the
+/// HyperLogLog estimate rounded to an integer; MIN/MAX are display strings
+/// (NULL when the path held only nulls); HIST_LO/HI are NULL until the
+/// histogram freezes its range.
 rdbms::OperatorPtr PathStatsScan();
 
 }  // namespace fsdm::collection

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "collection/collection.h"
+#include "rdbms/parallel.h"
 #include "stats/operator_costs.h"
 #include "stats/path_stats.h"
 #include "telemetry/flight_recorder.h"
@@ -28,6 +29,8 @@ const char* AccessPathName(AccessPath path) {
       return "imc-filter-scan";
     case AccessPath::kFullScan:
       return "full-scan";
+    case AccessPath::kShardedUnion:
+      return "sharded-union";
   }
   return "?";
 }
@@ -316,16 +319,24 @@ class RoutedQueryProbe final : public rdbms::Operator {
   bool closed_ = false;
 };
 
-}  // namespace
-
-Result<RoutedPlan> RoutePredicates(
-    const JsonCollection& coll, const std::vector<PathPredicate>& predicates) {
-  FSDM_TRACE_SPAN(route_span, "router", "router.route");
+std::string BuildQueryText(const std::vector<PathPredicate>& predicates) {
   std::string query_text;
   for (const PathPredicate& p : predicates) {
     if (!query_text.empty()) query_text += " AND ";
     query_text += PredicateText(p);
   }
+  return query_text;
+}
+
+/// Routes one single-shard collection. `wrap_probe` = false is the
+/// sharded fan-out asking for a bare sub-plan: the facade stacks ONE
+/// probe over the stitched tree, so shard plans must not feed the cost
+/// model or the slow-query log on their own.
+Result<RoutedPlan> RouteSingle(const JsonCollection& coll,
+                               const std::vector<PathPredicate>& predicates,
+                               bool wrap_probe) {
+  FSDM_TRACE_SPAN(route_span, "router", "router.route");
+  std::string query_text = BuildQueryText(predicates);
   route_span.AddNumberArg("predicates",
                           static_cast<double>(predicates.size()));
 
@@ -395,7 +406,7 @@ Result<RoutedPlan> RoutePredicates(
 
   const index::JsonSearchIndex* index = coll.search_index();
   const bool postings_maintained =
-      index != nullptr && coll.options_.index_options.maintain_postings;
+      index != nullptr && coll.options().index_options.maintain_postings;
   // Health is a routing input (ISSUE 3): a degraded index's postings may
   // be missing rows, so every posting-backed candidate drops out and the
   // conjunction falls through to the always-correct full scan until
@@ -552,6 +563,7 @@ Result<RoutedPlan> RoutePredicates(
   // Marks candidate `idx` as the winner, freezes the legacy reason string,
   // and stacks the feedback/slow-query probe on the finished plan
   // (routed.plan and routed.trace.root are always set before finish runs).
+  // Shard sub-plans (wrap_probe = false) stay bare — see RouteSingle doc.
   auto finish = [&](size_t idx, AccessPath path, std::string reason) {
     decision.candidates[idx].chosen = true;
     decision.winner = AccessPathName(path);
@@ -561,9 +573,11 @@ Result<RoutedPlan> RoutePredicates(
     route_span.AddTextArg("winner", decision.winner);
     FSDM_TRACE_INSTANT_TEXT("router", "router.winner", "path",
                             decision.winner);
-    routed.plan = std::make_unique<RoutedQueryProbe>(
-        std::move(routed.plan), query_text, decision,
-        routed.trace.root.get());
+    if (wrap_probe) {
+      routed.plan = std::make_unique<RoutedQueryProbe>(
+          std::move(routed.plan), query_text, decision,
+          routed.trace.root.get());
+    }
   };
 
   switch (winner) {
@@ -692,6 +706,123 @@ Result<RoutedPlan> RoutePredicates(
     }
   }
   return routed;
+}
+
+void StampShard(telemetry::OperatorSpan* span, int shard) {
+  span->shard = shard;
+  for (auto& c : span->children) StampShard(c.get(), shard);
+}
+
+void StampWorker(telemetry::OperatorSpan* span, int worker) {
+  span->worker = worker;
+  for (auto& c : span->children) StampWorker(c.get(), worker);
+}
+
+/// Sharded fan-out (ISSUE 6): one RouteSingle sub-plan per shard — each
+/// costed against that shard's own statistics — drained morsel-parallel
+/// through the order-preserving ParallelUnionAll. The facade decision
+/// lists every shard's winner as a candidate row plus a chosen
+/// "sharded-union" row whose cost is max-over-shards + merge: shards
+/// drain concurrently, so the parallel cost is the slowest shard, not the
+/// sum. The per-shard span trees move under one "ParallelUnion" root
+/// span; shard ids are stamped here, worker ids by each drain worker the
+/// moment its morsel finishes (while it still exclusively owns the
+/// subtree).
+Result<RoutedPlan> RouteSharded(const JsonCollection& coll,
+                                const std::vector<PathPredicate>& predicates) {
+  FSDM_TRACE_SPAN(route_span, "router", "router.route_sharded");
+  const size_t n = coll.shard_count();
+  route_span.AddNumberArg("shards", static_cast<double>(n));
+  std::string query_text = BuildQueryText(predicates);
+
+  RoutedPlan routed;
+  telemetry::RouterDecision& decision = routed.trace.decision;
+  decision.est_out_rows = 0;
+
+  std::unique_ptr<telemetry::OperatorSpan> root =
+      telemetry::MakeSpan("ParallelUnion");
+  std::vector<rdbms::OperatorPtr> children;
+  children.reserve(n);
+  // Shared with the on_morsel_done callback; raw pointers stay valid
+  // because the spans live in routed.trace (stable heap nodes) and every
+  // morsel finishes before the plan can be destroyed.
+  auto shard_roots =
+      std::make_shared<std::vector<telemetry::OperatorSpan*>>();
+
+  double max_shard_cost = 0;
+  for (size_t i = 0; i < n; ++i) {
+    FSDM_ASSIGN_OR_RETURN(
+        RoutedPlan sub,
+        RouteSingle(*coll.shard(i), predicates, /*wrap_probe=*/false));
+    double sub_cost = -1;
+    for (const telemetry::RouterCandidate& c : sub.trace.decision.candidates) {
+      if (c.chosen) sub_cost = c.est_cost_us;
+    }
+    max_shard_cost = std::max(max_shard_cost, std::max(0.0, sub_cost));
+    if (sub.trace.decision.est_out_rows > 0) {
+      decision.est_out_rows += sub.trace.decision.est_out_rows;
+    }
+
+    telemetry::RouterCandidate cand;
+    cand.access_path =
+        "shard " + std::to_string(i) + " -> " + sub.trace.decision.winner;
+    cand.eligible = true;
+    cand.est_rows = sub.trace.decision.est_out_rows;
+    cand.est_cost_us = sub_cost;
+    cand.detail = sub.reason;
+    decision.candidates.push_back(std::move(cand));
+
+    StampShard(sub.trace.root.get(), static_cast<int>(i));
+    shard_roots->push_back(sub.trace.root.get());
+    root->children.push_back(std::move(sub.trace.root));
+    children.push_back(std::move(sub.plan));
+  }
+
+  const double merge_cost =
+      std::max(0.0, decision.est_out_rows) *
+      stats::OperatorCostModel::Global().UsPerRow("ParallelUnion");
+  telemetry::RouterCandidate union_cand;
+  union_cand.access_path = AccessPathName(AccessPath::kShardedUnion);
+  union_cand.eligible = true;
+  union_cand.chosen = true;
+  union_cand.est_rows = decision.est_out_rows;
+  union_cand.est_cost_us = max_shard_cost + merge_cost;
+  union_cand.detail = "parallel cost = max over shards + merge";
+  decision.candidates.push_back(std::move(union_cand));
+
+  decision.winner = AccessPathName(AccessPath::kShardedUnion);
+  decision.reason = "fan-out over " + std::to_string(n) +
+                    " shards (est cost = max over shard costs " +
+                    Fmt2(max_shard_cost) + " us + merge " + Fmt2(merge_cost) +
+                    " us)";
+  routed.access_path = AccessPath::kShardedUnion;
+  routed.reason = decision.reason;
+
+  size_t workers = rdbms::WorkerPool::Global().worker_count();
+  if (workers == 0) workers = rdbms::WorkerPool::DefaultWorkerCount();
+  root->detail =
+      std::to_string(n) + " shards on " + std::to_string(workers) + " workers";
+
+  rdbms::OperatorPtr union_op = rdbms::ParallelUnionAll(
+      std::move(children), [shard_roots](size_t child, int worker) {
+        StampWorker((*shard_roots)[child], worker);
+      });
+  routed.plan = rdbms::Instrument(std::move(union_op), root.get());
+  routed.trace.root = std::move(root);
+
+  route_span.AddTextArg("winner", decision.winner);
+  FSDM_TRACE_INSTANT_TEXT("router", "router.winner", "path", decision.winner);
+  routed.plan = std::make_unique<RoutedQueryProbe>(
+      std::move(routed.plan), query_text, decision, routed.trace.root.get());
+  return routed;
+}
+
+}  // namespace
+
+Result<RoutedPlan> RoutePredicates(
+    const JsonCollection& coll, const std::vector<PathPredicate>& predicates) {
+  if (coll.sharded()) return RouteSharded(coll, predicates);
+  return RouteSingle(coll, predicates, /*wrap_probe=*/true);
 }
 
 }  // namespace fsdm::collection

@@ -26,6 +26,7 @@ enum class AccessPath : uint8_t {
   kPostingIntersectScan,  ///< intersection of several posting lists
   kImcFilterScan,         ///< vectorized IMC scan over materialized VCs
   kFullScan,              ///< table scan + JSON_EXISTS/JSON_VALUE filter
+  kShardedUnion,          ///< per-shard routed plans, morsel-parallel union
 };
 
 const char* AccessPathName(AccessPath path);
@@ -106,6 +107,18 @@ struct RoutedPlan {
 /// feeds measured span times back into the operator cost model, compares
 /// estimated to actual output rows (bumping fsdm_router_misestimates_total
 /// past a 4x ratio), and captures slow queries.
+///
+/// Sharded collections (ISSUE 6) route as a fan-out: each shard costs the
+/// five candidates above against its OWN statistics (skewed shards may
+/// pick different access paths), the per-shard plans execute as morsels
+/// on the shared worker pool behind an order-preserving ParallelUnionAll,
+/// and the facade decision reports access path "sharded-union" with
+/// estimated cost = max over shard costs + est_out_rows x the measured
+/// "ParallelUnion" per-row merge cost (parallel drain: max, not sum). The
+/// per-shard span trees are stitched under one ParallelUnion root span,
+/// every span tagged with its shard and draining worker, and ONE probe on
+/// the stitched tree feeds the cost model — shard sub-plans carry no
+/// probes of their own, so nothing is double-counted.
 Result<RoutedPlan> RoutePredicates(const JsonCollection& coll,
                                    const std::vector<PathPredicate>& predicates);
 

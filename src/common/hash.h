@@ -29,6 +29,22 @@ inline uint64_t Hash64(std::string_view data, uint64_t seed = 0) {
   return h;
 }
 
+/// Seed for shard placement hashing (ISSUE 6). A fixed, documented value —
+/// NOT std::hash, whose result is implementation-defined — so a document
+/// key lands on the same shard on every platform, build, and run, and the
+/// placement regression test can pin exact shard assignments. Arbitrary
+/// odd constant; changing it re-shards every existing collection, so it is
+/// part of the on-disk-equivalent contract and must never change.
+inline constexpr uint64_t kShardPlacementSeed = 0x5344'4d53'4841'5244ull;
+
+/// Placement hash for sharded collections: shard = ShardPlacementHash(key)
+/// % shard_count, where `key` is the document key's canonical display
+/// string (Value::ToDisplayString), so integer key 7 and string key "7"
+/// hash identically to their SQL-visible representation. Seeded FNV-1a 64.
+inline uint64_t ShardPlacementHash(std::string_view key) {
+  return Hash64(key, kShardPlacementSeed);
+}
+
 }  // namespace fsdm
 
 #endif  // FSDM_COMMON_HASH_H_

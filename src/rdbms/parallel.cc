@@ -1,0 +1,259 @@
+#include "rdbms/parallel.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/telemetry.h"
+
+namespace fsdm::rdbms {
+
+namespace {
+
+/// Worker identity for span/trace tagging; -1 off the pool.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+struct WorkerPool::Impl {
+  mutable std::mutex mu;
+  std::condition_variable work_cv;   // workers wait for tasks / stop
+  std::condition_variable idle_cv;   // Resize waits for quiescence
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> threads;
+  size_t target_workers = 0;  // size threads are (re)launched to
+  size_t active = 0;          // tasks currently running on workers
+  bool stopping = false;
+
+  void RunWorker(int index) {
+    tls_worker_index = index;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) {
+        if (stopping) return;
+        continue;
+      }
+      std::function<void()> task = std::move(queue.front());
+      queue.pop_front();
+      ++active;
+      lock.unlock();
+      task();
+      lock.lock();
+      --active;
+      if (queue.empty() && active == 0) idle_cv.notify_all();
+    }
+  }
+
+  void Launch(size_t workers) {
+    stopping = false;
+    target_workers = workers;
+    threads.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      threads.emplace_back([this, i] { RunWorker(static_cast<int>(i)); });
+    }
+    FSDM_GAUGE_SET("fsdm_worker_pool_size", workers);
+  }
+
+  void Shutdown() {
+    std::vector<std::thread> joinable;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      idle_cv.wait(lock, [&] { return queue.empty() && active == 0; });
+      stopping = true;
+      work_cv.notify_all();
+      joinable.swap(threads);
+    }
+    for (std::thread& t : joinable) t.join();
+  }
+};
+
+WorkerPool::WorkerPool() : impl_(new Impl()) {}
+
+WorkerPool::~WorkerPool() {
+  impl_->Shutdown();
+  delete impl_;
+}
+
+WorkerPool& WorkerPool::Global() {
+  // Leaked like the other process-wide singletons so worker threads never
+  // outlive their pool during static destruction.
+  static WorkerPool* pool = new WorkerPool();
+  return *pool;
+}
+
+size_t WorkerPool::DefaultWorkerCount() {
+  if (const char* env = std::getenv("FSDM_WORKERS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return v > 16 ? 16 : static_cast<size_t>(v);
+    }
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return hw > 16 ? 16 : hw;
+}
+
+size_t WorkerPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->threads.empty() ? impl_->target_workers
+                                : impl_->threads.size();
+}
+
+void WorkerPool::Resize(size_t workers) {
+  impl_->Shutdown();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->Launch(workers == 0 ? 1 : workers);
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  if (tls_worker_index >= 0) {
+    // A pool worker submitting to its own pool runs the task inline: the
+    // submitter would otherwise block in ParallelUnionAll waiting for a
+    // queue slot that only it could drain (nested-parallelism deadlock).
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->threads.empty()) impl_->Launch(DefaultWorkerCount());
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->work_cv.notify_one();
+}
+
+int WorkerPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+// ---------------------------------------------------------------------------
+// ParallelUnionAll
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ParallelUnionOp final : public Operator {
+ public:
+  ParallelUnionOp(std::vector<OperatorPtr> children,
+                  std::function<void(size_t, int)> on_morsel_done)
+      : children_(std::move(children)),
+        on_morsel_done_(std::move(on_morsel_done)) {
+    if (!children_.empty()) schema_ = children_[0]->schema();
+  }
+
+  ~ParallelUnionOp() override { WaitAll(); }
+
+  Status Open() override {
+    WaitAll();  // a re-Open must not race a previous drain
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_.clear();
+      slots_.resize(children_.size());
+      launched_ = children_.size();
+    }
+    cursor_child_ = 0;
+    cursor_row_ = 0;
+    FSDM_COUNT("fsdm_parallel_union_opens_total", 1);
+    for (size_t i = 0; i < children_.size(); ++i) {
+      WorkerPool::Global().Submit([this, i] { DrainChild(i); });
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> Next(Row* out) override {
+    while (cursor_child_ < slots_.size()) {
+      Slot& slot = slots_[cursor_child_];
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] { return slot.done; });
+      }
+      if (!slot.status.ok()) return slot.status;
+      if (cursor_row_ < slot.rows.size()) {
+        *out = std::move(slot.rows[cursor_row_++]);
+        return true;
+      }
+      ++cursor_child_;
+      cursor_row_ = 0;
+    }
+    return false;
+  }
+
+  void Close() override {
+    // Every morsel must finish before the children (and this operator)
+    // can be torn down, drained or not.
+    WaitAll();
+  }
+
+ private:
+  struct Slot {
+    std::vector<Row> rows;
+    Status status = Status::Ok();
+    bool done = false;
+  };
+
+  void DrainChild(size_t i) {
+    const int worker = WorkerPool::CurrentWorkerIndex();
+    FSDM_TRACE_SPAN(span, "exec", "morsel.drain");
+    span.AddNumberArg("shard", static_cast<double>(i));
+    span.AddNumberArg("worker", static_cast<double>(worker));
+
+    std::vector<Row> rows;
+    Operator* child = children_[i].get();
+    Status status = child->Open();
+    if (status.ok()) {
+      Row row;
+      for (;;) {
+        Result<bool> has = child->Next(&row);
+        if (!has.ok()) {
+          status = has.status();
+          break;
+        }
+        if (!has.value()) break;
+        rows.push_back(std::move(row));
+      }
+      child->Close();
+    }
+    if (on_morsel_done_) on_morsel_done_(i, worker);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[i].rows = std::move(rows);
+    slots_[i].status = std::move(status);
+    slots_[i].done = true;
+    --launched_;
+    done_cv_.notify_all();
+  }
+
+  void WaitAll() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return launched_ == 0; });
+  }
+
+  std::vector<OperatorPtr> children_;
+  std::function<void(size_t, int)> on_morsel_done_;
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<Slot> slots_;
+  size_t launched_ = 0;  // morsels submitted but not yet done
+
+  size_t cursor_child_ = 0;
+  size_t cursor_row_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr ParallelUnionAll(
+    std::vector<OperatorPtr> children,
+    std::function<void(size_t child, int worker)> on_morsel_done) {
+  return std::make_unique<ParallelUnionOp>(std::move(children),
+                                           std::move(on_morsel_done));
+}
+
+}  // namespace fsdm::rdbms

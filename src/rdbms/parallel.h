@@ -1,0 +1,84 @@
+#ifndef FSDM_RDBMS_PARALLEL_H_
+#define FSDM_RDBMS_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rdbms/executor.h"
+
+/// Morsel-parallel drain layer (ISSUE 6 tentpole): a shared worker pool
+/// plus an order-preserving parallel union operator. The sharded
+/// collection facade fans a routed query out into one plan per shard;
+/// each shard plan is one *morsel* — a unit of work a worker drains to
+/// completion — and ParallelUnionAll merges the per-shard results back
+/// into a single row stream in shard order, so a parallel drain returns
+/// exactly the rows (and row order) a sequential UnionAll would.
+///
+/// Everything a morsel touches while draining must be safe for
+/// concurrent reads: the rdbms::Table is immutable during query
+/// execution (the engine has no concurrent DML), telemetry counters are
+/// atomic, and each shard plan's OperatorSpan subtree is written only by
+/// the worker draining that shard (the completion handoff publishes the
+/// writes to the consumer).
+
+namespace fsdm::rdbms {
+
+/// Process-wide pool of drain workers. Threads start lazily on the first
+/// Submit(); Resize() joins and relaunches, which benches use to measure
+/// scaling at 1/2/4/... workers. Submitting from a pool worker runs the
+/// task inline (a morsel never waits on the queue it is served from, so
+/// nested parallel plans cannot deadlock the pool).
+class WorkerPool {
+ public:
+  static WorkerPool& Global();
+
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Default size: the FSDM_WORKERS environment variable when set, else
+  /// std::thread::hardware_concurrency(), clamped to [1, 16].
+  static size_t DefaultWorkerCount();
+
+  size_t worker_count() const;
+
+  /// Joins every worker (after the queue drains) and relaunches with
+  /// `workers` threads (clamped to >= 1). Callers must not hold
+  /// unfinished submissions of their own when resizing.
+  void Resize(size_t workers);
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Index of the calling pool worker in [0, worker_count()), or -1 when
+  /// called from a non-pool thread — the `worker` tag stamped onto spans
+  /// and trace events.
+  static int CurrentWorkerIndex();
+
+ private:
+  WorkerPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Order-preserving parallel union (the sharded facade's merge operator):
+/// all children share one schema; Open() submits one drain-morsel per
+/// child to WorkerPool::Global(), and Next() replays child 0's rows, then
+/// child 1's, ... — blocking only when the next child in order has not
+/// finished. The first child error surfaces from Next(); Close() always
+/// waits for every morsel so no worker touches a destroyed operator.
+///
+/// `on_morsel_done(child, worker)` (optional) runs on the worker thread
+/// right after it drains child `child`, before the result is published —
+/// the router uses it to stamp shard/worker ids onto the child's
+/// OperatorSpan subtree while it is still exclusively owned by that
+/// worker.
+OperatorPtr ParallelUnionAll(
+    std::vector<OperatorPtr> children,
+    std::function<void(size_t child, int worker)> on_morsel_done = nullptr);
+
+}  // namespace fsdm::rdbms
+
+#endif  // FSDM_RDBMS_PARALLEL_H_

@@ -15,6 +15,7 @@ constexpr struct {
   double us_per_row;
 } kSeeds[] = {
     {"ImcFilterScan", 0.05},       // vectorized compare per stored row
+    {"ParallelUnion", 0.05},       // per-row merge cost of the shard union
     {"PostingIntersect", 0.05},    // sorted-list merge step per posting
     {"Scan", 0.5},                 // base-table row materialization
     {"IndexedValueScan", 0.8},     // posting fetch + row materialization
@@ -25,7 +26,9 @@ constexpr struct {
 
 }  // namespace
 
-OperatorCostModel::OperatorCostModel() {
+OperatorCostModel::OperatorCostModel() { SeedLocked(); }
+
+void OperatorCostModel::SeedLocked() {
   for (const auto& seed : kSeeds) {
     Entry e;
     e.us_per_row = seed.us_per_row;
@@ -40,12 +43,14 @@ OperatorCostModel& OperatorCostModel::Global() {
 }
 
 double OperatorCostModel::UsPerRow(const std::string& op_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(op_name);
   return it == entries_.end() ? 1.0 : it->second.us_per_row;
 }
 
 void OperatorCostModel::Record(const std::string& op_name, uint64_t rows,
                                double us) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (frozen_ || rows == 0) return;
   const double obs = std::min(
       1000.0, std::max(0.001, us / static_cast<double>(rows)));
@@ -64,7 +69,7 @@ void OperatorCostModel::Record(const std::string& op_name, uint64_t rows,
 }
 
 void OperatorCostModel::RecordSpanTree(const telemetry::OperatorSpan& root) {
-  if (frozen_) return;
+  if (frozen()) return;
   double child_us = 0;
   for (const auto& c : root.children) {
     child_us += c->elapsed_us;
@@ -77,18 +82,15 @@ void OperatorCostModel::RecordSpanTree(const telemetry::OperatorSpan& root) {
 }
 
 void OperatorCostModel::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   frozen_ = false;
   entries_.clear();
-  for (const auto& seed : kSeeds) {
-    Entry e;
-    e.us_per_row = seed.us_per_row;
-    e.seed_us_per_row = seed.us_per_row;
-    entries_[seed.name] = e;
-  }
+  SeedLocked();
 }
 
 std::map<std::string, OperatorCostModel::Entry> OperatorCostModel::Snapshot()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "telemetry/trace.h"
@@ -40,8 +41,14 @@ class OperatorCostModel {
 
   /// Freezing makes Record()/RecordSpanTree() no-ops, pinning every
   /// estimate — the router determinism test routes under a frozen model.
-  void set_frozen(bool frozen) { frozen_ = frozen; }
-  bool frozen() const { return frozen_; }
+  void set_frozen(bool frozen) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frozen_ = frozen;
+  }
+  bool frozen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frozen_;
+  }
 
   /// Drops all measurements back to the seed defaults (and unfreezes).
   void Reset();
@@ -60,8 +67,13 @@ class OperatorCostModel {
  private:
   OperatorCostModel();
 
+  void SeedLocked();
+
   static constexpr double kAlpha = 0.2;  // EWMA weight of a new sample
 
+  // Guards entries_ and frozen_: routed sub-plans on different worker
+  // threads can feed measurements concurrently (ISSUE 6).
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;  // seeds pre-inserted
   bool frozen_ = false;
 };

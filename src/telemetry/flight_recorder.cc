@@ -26,6 +26,7 @@ ThreadRing::ThreadRing(uint32_t tid, size_t capacity) : tid_(tid) {
 }
 
 std::vector<TraceEvent> ThreadRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   const size_t cap = slots_.size();
   const uint64_t live = next_ < cap ? next_ : cap;

@@ -1,6 +1,7 @@
 #ifndef FSDM_TELEMETRY_FLIGHT_RECORDER_H_
 #define FSDM_TELEMETRY_FLIGHT_RECORDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -26,10 +27,12 @@
 /// constant false.
 ///
 /// Readers (Chrome exporter, TELEMETRY$EVENTS, slow-query capture) take a
-/// merged timestamp-sorted snapshot under the registration mutex. The
-/// engine is effectively single-threaded today, so snapshot-vs-write races
-/// are not a concern; the per-thread design is for the ROADMAP's async
-/// index maintenance, where it becomes load-bearing.
+/// merged timestamp-sorted snapshot under the registration mutex. Since
+/// ISSUE 6 the worker pool drains shard morsels concurrently, so each
+/// ring carries its own mutex for the push/snapshot handoff: writes stay
+/// per-thread (no contention in steady state — each worker owns its
+/// ring), and a snapshot taken mid-query sees each ring at a consistent
+/// event boundary.
 
 namespace fsdm::telemetry {
 
@@ -41,6 +44,7 @@ class ThreadRing {
   ThreadRing(uint32_t tid, size_t capacity);
 
   void Push(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mu_);
     slots_[next_ % slots_.size()] = e;
     ++next_;
   }
@@ -48,17 +52,25 @@ class ThreadRing {
   uint32_t tid() const { return tid_; }
   size_t capacity() const { return slots_.size(); }
   /// Total events ever pushed (monotonic; > capacity once wrapped).
-  uint64_t total_pushed() const { return next_; }
+  uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
   uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return next_ > slots_.size() ? next_ - slots_.size() : 0;
   }
 
   /// Live events, oldest first.
   std::vector<TraceEvent> Snapshot() const;
-  void Clear() { next_ = 0; }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_ = 0;
+  }
 
  private:
   uint32_t tid_;
+  mutable std::mutex mu_;  // push/snapshot handoff; uncontended per-thread
   std::vector<TraceEvent> slots_;
   uint64_t next_ = 0;
 };
@@ -93,10 +105,13 @@ class FlightRecorder {
   static FlightRecorder& Global();
 
   /// Arm/disarm recording. Arming is what benches, tests and the examples
-  /// do explicitly; the engine never arms itself.
-  void Arm() { armed_ = kEnabled; }
-  void Disarm() { armed_ = false; }
-  bool armed() const { return kEnabled && armed_; }
+  /// do explicitly; the engine never arms itself. Atomic so a worker
+  /// thread reading armed() mid-drain never races a test's Disarm().
+  void Arm() { armed_.store(kEnabled, std::memory_order_relaxed); }
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const {
+    return kEnabled && armed_.load(std::memory_order_relaxed);
+  }
 
   /// The calling thread's ring, created (and registered) on first use.
   /// Macros cache the returned pointer in a thread_local.
@@ -137,7 +152,7 @@ class FlightRecorder {
   mutable std::mutex mu_;  // guards rings_ registration and snapshots
   std::vector<std::unique_ptr<ThreadRing>> rings_;
   size_t ring_capacity_ = 16384;
-  bool armed_ = false;
+  std::atomic<bool> armed_{false};
   uint32_t next_tid_ = 1;
 };
 

@@ -44,12 +44,14 @@ SlowQueryLog::SlowQueryLog() {
 }
 
 void SlowQueryLog::SetCapacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = n == 0 ? 1 : n;
   while (records_.size() > capacity_) records_.pop_front();
 }
 
 void SlowQueryLog::Record(SlowQueryRecord rec) {
   FSDM_COUNT("fsdm_slow_queries_total", 1);
+  std::lock_guard<std::mutex> lock(mu_);
   if (!jsonl_path_.empty()) {
     std::ofstream f(jsonl_path_, std::ios::app);
     if (f.is_open()) f << rec.ToJsonLine() << "\n";
@@ -60,10 +62,12 @@ void SlowQueryLog::Record(SlowQueryRecord rec) {
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return std::vector<SlowQueryRecord>(records_.begin(), records_.end());
 }
 
 void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   records_.clear();
   total_captured_ = 0;
 }

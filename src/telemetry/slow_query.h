@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,33 +31,54 @@ struct SlowQueryRecord {
 };
 
 /// Process-wide bounded log. Capacity evicts oldest; total_captured() keeps
-/// counting so tests and TELEMETRY$METRICS can see evictions.
+/// counting so tests and TELEMETRY$METRICS can see evictions. Mutex-guarded:
+/// with the ISSUE 6 worker pool, probes on different threads may capture
+/// concurrently.
 class SlowQueryLog {
  public:
   static SlowQueryLog& Global();
 
   /// Queries at or above this wall time get captured. Default 10ms, or the
   /// FSDM_SLOW_QUERY_US environment variable when set at first use.
-  uint64_t threshold_us() const { return threshold_us_; }
-  void SetThresholdUs(uint64_t us) { threshold_us_ = us; }
+  uint64_t threshold_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return threshold_us_;
+  }
+  void SetThresholdUs(uint64_t us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threshold_us_ = us;
+  }
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
   void SetCapacity(size_t n);
 
   /// Path for the optional JSONL sink; empty disables it. Records are
   /// appended as they are captured.
-  void SetJsonlSink(std::string path) { jsonl_path_ = std::move(path); }
-  const std::string& jsonl_sink() const { return jsonl_path_; }
+  void SetJsonlSink(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    jsonl_path_ = std::move(path);
+  }
+  std::string jsonl_sink() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jsonl_path_;
+  }
 
   void Record(SlowQueryRecord rec);
 
   std::vector<SlowQueryRecord> Snapshot() const;
-  uint64_t total_captured() const { return total_captured_; }
+  uint64_t total_captured() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_captured_;
+  }
   void Clear();
 
  private:
   SlowQueryLog();
 
+  mutable std::mutex mu_;
   std::deque<SlowQueryRecord> records_;
   size_t capacity_ = 32;
   uint64_t threshold_us_ = 10000;

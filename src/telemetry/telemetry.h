@@ -1,10 +1,12 @@
 #ifndef FSDM_TELEMETRY_TELEMETRY_H_
 #define FSDM_TELEMETRY_TELEMETRY_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,27 +33,35 @@ inline constexpr bool kEnabled = false;
 inline constexpr bool kEnabled = true;
 #endif
 
-/// Monotonic event count. Single-threaded like the engine underneath.
+/// Monotonic event count. Atomic (relaxed) since ISSUE 6: DML stays
+/// single-threaded, but routed queries now drain shard morsels on the
+/// worker pool, and the probe/operator counters fire on worker threads.
 class Counter {
  public:
-  void Add(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Last-set instantaneous value (bytes resident, rows populated, ...).
+/// Atomic like Counter; Add() is a CAS loop (rare — gauges are mostly Set).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double d) { value_ += d; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed-bucket histogram: `bounds` are ascending bucket upper edges, with
@@ -59,26 +69,32 @@ class Gauge {
 /// Percentile(p) interpolates linearly inside the hit bucket (lower edge of
 /// bucket 0 is 0) and clamps to the observed [min, max], so a
 /// single-observation histogram reports that observation for every p.
+/// Observe() and the readers take a per-histogram mutex (worker-pool
+/// drains observe latency histograms concurrently); bucket_counts()
+/// returns a copy for the same reason.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double v);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0 : min_; }
-  double max() const { return count_ == 0 ? 0 : max_; }
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
   double Percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the +Inf overflow bucket.
-  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  std::vector<uint64_t> bucket_counts() const;
 
   void Reset();
 
  private:
+  double PercentileLocked(double p) const;
+
   std::vector<double> bounds_;
+  mutable std::mutex mu_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;
   double sum_ = 0;
@@ -142,7 +158,10 @@ class SnapshotHistory {
 
 /// Name -> metric maps with stable handle pointers: Reset() zeroes values
 /// but never invalidates a pointer returned by a Get*() call, so the
-/// macros below can cache them in function-local statics.
+/// macros below can cache them in function-local statics. A mutex guards
+/// the maps themselves (Get*() may be called from pool workers the first
+/// time a metric fires on a worker thread); the metrics are individually
+/// thread-safe, so cached handles never need the lock again.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -161,6 +180,10 @@ class MetricsRegistry {
   double GaugeValue(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
 
+  /// Direct map access for iteration (exposition, SnapshotHistory::Tick,
+  /// TELEMETRY$METRICS). Callers must not race a first-use Get*() on
+  /// another thread; in practice iteration happens between queries, when
+  /// the worker pool is idle.
   const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
     return counters_;
   }
@@ -188,6 +211,7 @@ class MetricsRegistry {
   void TickHistory() { history_.Tick(*this); }
 
  private:
+  mutable std::mutex mu_;  // guards the three maps, not the metrics
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -41,6 +41,11 @@ void RenderSpanTree(const OperatorSpan& span, int depth, std::string* out) {
                 static_cast<unsigned long long>(span.rows_out));
   *out += buf;
   *out += FormatUs(span.elapsed_us);
+  if (span.shard >= 0) {
+    std::snprintf(buf, sizeof(buf), " [shard=%d worker=%d]", span.shard,
+                  span.worker);
+    *out += buf;
+  }
   *out += "\n";
   for (const std::unique_ptr<OperatorSpan>& c : span.children) {
     RenderSpanTree(*c, depth + 1, out);

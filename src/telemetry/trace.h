@@ -25,6 +25,12 @@ struct OperatorSpan {
   /// Inclusive wall time (children's time counts toward their ancestors,
   /// like EXPLAIN ANALYZE "actual time").
   double elapsed_us = 0;
+  /// Sharded execution tags (ISSUE 6): which shard's sub-plan this span
+  /// belongs to and which pool worker drained it. -1 = not sharded /
+  /// drained on the submitting thread. The router stamps these when it
+  /// stitches per-shard span trees under the ParallelUnion root.
+  int shard = -1;
+  int worker = -1;
   std::vector<std::unique_ptr<OperatorSpan>> children;
 
   /// Rows this operator consumed: the sum of its children's rows_out

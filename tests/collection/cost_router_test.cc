@@ -50,6 +50,11 @@ class CostRouterTest : public ::testing::Test {
 TEST_F(CostRouterTest, ConjunctionRoutesToPostingIntersection) {
   auto coll = JsonCollection::Create(&db_, "C").MoveValue();
   Load(coll.get());
+  // This test is about the routing decision, not cost learning (covered by
+  // DrainingARoutedPlanFeedsTheCostModel). Freeze the model so the drain
+  // between the two routes can't feed back sanitizer-inflated timings and
+  // flip the second decision.
+  stats::OperatorCostModel::Global().set_frozen(true);
 
   // Two index-answerable conjuncts: an equality and an existence test.
   // Neither alone is selective enough to beat intersecting ~70 postings

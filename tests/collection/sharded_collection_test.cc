@@ -1,0 +1,307 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collection/collection.h"
+#include "collection/collections_table.h"
+#include "collection/path_stats_table.h"
+#include "common/hash.h"
+#include "rdbms/executor.h"
+#include "stats/operator_costs.h"
+
+namespace fsdm::collection {
+namespace {
+
+CollectionOptions Sharded(size_t n) {
+  CollectionOptions opts;
+  opts.shard_count = n;
+  return opts;
+}
+
+std::string Doc(int i) {
+  return "{\"num\":" + std::to_string(i * 10) + ",\"tag\":\"t" +
+         std::to_string(i % 7) + "\"}";
+}
+
+/// Sorted DID display strings a plan emits.
+std::vector<std::string> DrainKeys(rdbms::Operator* plan) {
+  auto rows = rdbms::Collect(plan);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  std::vector<std::string> keys;
+  if (rows.ok()) {
+    for (const rdbms::Row& row : rows.value())
+      keys.push_back(row[0].ToDisplayString());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+class ShardedCollectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { stats::OperatorCostModel::Global().Reset(); }
+  rdbms::Database db_;
+};
+
+// The placement contract: seeded FNV-1a 64 over the key's display string,
+// modulo the shard count. These exact values are part of the on-disk-
+// equivalent contract — if this test breaks, kShardPlacementSeed or the
+// hash changed, which re-shards every existing collection.
+TEST_F(ShardedCollectionTest, PlacementIsPinnedBySeededHash) {
+  EXPECT_EQ(ShardPlacementHash("7"), 16291685135482983714ull);
+  EXPECT_EQ(ShardPlacementHash("order-1001") % 4, 0u);
+
+  auto c4 = JsonCollection::Create(&db_, "P4", Sharded(4)).MoveValue();
+  const size_t expected4[] = {0, 1, 2, 3, 0, 1, 2, 3};  // keys 1..8
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_EQ(c4->ShardForKey(Value::Int64(k)), expected4[k - 1])
+        << "key " << k;
+    // Integer key and its display string place identically.
+    EXPECT_EQ(c4->ShardForKey(Value::String(std::to_string(k))),
+              expected4[k - 1]);
+  }
+
+  auto c8 = JsonCollection::Create(&db_, "P8", Sharded(8)).MoveValue();
+  const size_t expected8[] = {0, 1, 6, 7, 4, 5, 2, 3};  // keys 1..8
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_EQ(c8->ShardForKey(Value::Int64(k)), expected8[k - 1])
+        << "key " << k;
+  }
+}
+
+TEST_F(ShardedCollectionTest, SingleShardIsNotAFacade) {
+  auto coll = JsonCollection::Create(&db_, "ONE", Sharded(1)).MoveValue();
+  EXPECT_FALSE(coll->sharded());
+  EXPECT_EQ(coll->shard_count(), 1u);
+  EXPECT_EQ(coll->shard(0), coll.get());  // shard(0) is the collection
+  ASSERT_NE(coll->table(), nullptr);      // classic single-table stack
+  // Row ids are the identity mapping at N = 1.
+  auto rid = coll->Insert(Value::Int64(5), Doc(5));
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(rid.value(), 0u);
+}
+
+TEST_F(ShardedCollectionTest, RowIdsEncodeShardAndRoundTrip) {
+  auto coll = JsonCollection::Create(&db_, "RT", Sharded(4)).MoveValue();
+  EXPECT_TRUE(coll->sharded());
+  EXPECT_EQ(coll->table(), nullptr);  // facade has no single backing table
+
+  std::vector<size_t> row_ids;
+  for (int k = 1; k <= 8; ++k) {
+    auto rid = coll->Insert(Value::Int64(k), Doc(k));
+    ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+    // row_id encodes (local * N + shard).
+    EXPECT_EQ(rid.value() % 4, coll->ShardForKey(Value::Int64(k)));
+    row_ids.push_back(rid.value());
+  }
+  EXPECT_EQ(coll->document_count(), 8u);
+
+  // Replace through the facade-encoded row id, keeping the key on its
+  // shard, then delete through it.
+  ASSERT_TRUE(coll->Replace(row_ids[0], Value::Int64(1), Doc(100)).ok());
+  EXPECT_EQ(coll->document_count(), 8u);
+  ASSERT_TRUE(coll->Delete(row_ids[3]).ok());
+  EXPECT_EQ(coll->document_count(), 7u);
+}
+
+TEST_F(ShardedCollectionTest, CrossShardReplaceIsRejected) {
+  auto coll = JsonCollection::Create(&db_, "XS", Sharded(4)).MoveValue();
+  auto rid = coll->Insert(Value::Int64(1), Doc(1));  // shard 0
+  ASSERT_TRUE(rid.ok());
+  // Key 2 places on shard 1: a Replace may not migrate the document.
+  Status moved = coll->Replace(rid.value(), Value::Int64(2), Doc(2));
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.code(), StatusCode::kInvalidArgument);
+  // Same-shard re-key is fine (key 5 also places on shard 0).
+  EXPECT_TRUE(coll->Replace(rid.value(), Value::Int64(5), Doc(5)).ok());
+}
+
+// The tentpole equivalence: a routed query over a sharded collection
+// returns exactly the rows a forced full scan returns, at every shard
+// count — the parallel fan-out changes the plan shape, never the answer.
+TEST_F(ShardedCollectionTest, RoutedMatchesForcedFullScanAcrossShardCounts) {
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto coll = JsonCollection::Create(
+                    &db_, "EQ" + std::to_string(shards), Sharded(shards))
+                    .MoveValue();
+    for (int i = 1; i <= 60; ++i) {
+      ASSERT_TRUE(coll->Insert(Value::Int64(i), Doc(i)).ok());
+    }
+
+    // Forced full scan: JSON_VALUE($.num) >= 300 over the raw scan.
+    auto jv = coll->JsonValueExpr("$.num", sqljson::Returning::kNumber);
+    ASSERT_TRUE(jv.ok());
+    auto full = rdbms::Filter(coll->Scan(),
+                              rdbms::Ge(jv.value(),
+                                        rdbms::Lit(Value::Int64(300))));
+    std::vector<std::string> expected = DrainKeys(full.get());
+    ASSERT_EQ(expected.size(), 31u);  // nums 300,310,...,600
+
+    auto routed = coll->Route({PathPredicate::Compare(
+        "$.num", rdbms::CompareOp::kGe, Value::Int64(300))});
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    if (shards > 1) {
+      EXPECT_EQ(routed.value().access_path, AccessPath::kShardedUnion);
+    }
+    EXPECT_EQ(DrainKeys(routed.value().plan.get()), expected)
+        << "shards=" << shards;
+  }
+}
+
+// One quarantined shard degrades the collection instead of killing it:
+// reads keep flowing (including a plan routed before the quarantine),
+// writes to the sick shard bounce, writes elsewhere proceed, and a
+// facade RebuildIndex() heals everything.
+TEST_F(ShardedCollectionTest, QuarantinedShardDegradesNotKills) {
+  auto coll = JsonCollection::Create(&db_, "DEG", Sharded(4)).MoveValue();
+  for (int i = 1; i <= 40; ++i) {
+    ASSERT_TRUE(coll->Insert(Value::Int64(i), Doc(i)).ok());
+  }
+  EXPECT_EQ(coll->health(), CollectionHealth::kHealthy);
+  EXPECT_EQ(coll->healthy_shard_count(), 4u);
+
+  // Route first, then degrade shard 2 mid-query (between routing and the
+  // drain): the already-built plan must still complete.
+  auto routed = coll->Route({PathPredicate::Compare(
+      "$.num", rdbms::CompareOp::kGe, Value::Int64(10))});
+  ASSERT_TRUE(routed.ok());
+  coll->shard(2)->Quarantine("forced by test");
+
+  EXPECT_EQ(coll->health(), CollectionHealth::kIndexDegraded);
+  EXPECT_EQ(coll->healthy_shard_count(), 3u);
+  EXPECT_NE(coll->health_reason().find("shard 2"), std::string::npos);
+
+  EXPECT_EQ(DrainKeys(routed.value().plan.get()).size(), 40u);
+
+  // A fresh routed query also still answers (the sick shard routes in
+  // degraded mode — full scan — rather than failing the collection).
+  auto after = coll->Route({PathPredicate::Compare(
+      "$.num", rdbms::CompareOp::kGe, Value::Int64(10))});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(DrainKeys(after.value().plan.get()).size(), 40u);
+
+  // Writes: key 3 places on shard 2 (quarantined) and bounces; key 43
+  // places on shard 0 and proceeds.
+  ASSERT_EQ(coll->ShardForKey(Value::Int64(3)), 2u);
+  EXPECT_FALSE(coll->Insert(Value::Int64(3), Doc(3)).ok());
+  ASSERT_EQ(coll->ShardForKey(Value::Int64(43)), 0u);
+  EXPECT_TRUE(coll->Insert(Value::Int64(43), Doc(43)).ok());
+
+  // Facade rebuild heals every shard.
+  ASSERT_TRUE(coll->RebuildIndex().ok());
+  EXPECT_EQ(coll->health(), CollectionHealth::kHealthy);
+  EXPECT_EQ(coll->healthy_shard_count(), 4u);
+  EXPECT_TRUE(coll->Insert(Value::Int64(3), Doc(3)).ok());
+}
+
+TEST_F(ShardedCollectionTest, AllShardsQuarantinedIsQuarantined) {
+  auto coll = JsonCollection::Create(&db_, "QALL", Sharded(2)).MoveValue();
+  ASSERT_TRUE(coll->Insert(Value::Int64(1), Doc(1)).ok());
+  coll->Quarantine("ops hold");  // facade call fans out to every shard
+  EXPECT_EQ(coll->health(), CollectionHealth::kQuarantined);
+  EXPECT_EQ(coll->healthy_shard_count(), 0u);
+  EXPECT_FALSE(coll->Insert(Value::Int64(2), Doc(2)).ok());
+}
+
+// Post-chaos consistency: after a DML storm the per-shard structures and
+// the placement invariant all check out; a document smuggled onto the
+// wrong shard is caught by the placement cross-check.
+TEST_F(ShardedCollectionTest, CheckConsistencyCoversShardsAndPlacement) {
+  auto coll = JsonCollection::Create(&db_, "CC", Sharded(4)).MoveValue();
+  std::vector<size_t> rids;
+  for (int i = 1; i <= 40; ++i) {
+    auto rid = coll->Insert(Value::Int64(i), Doc(i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  for (int i = 0; i < 40; i += 5) ASSERT_TRUE(coll->Delete(rids[i]).ok());
+  for (int i = 1; i < 40; i += 7) {
+    if (i % 5 == 0) continue;  // that row was deleted above
+    ASSERT_TRUE(
+        coll->Replace(rids[i], Value::Int64(i + 1), Doc(1000 + i)).ok());
+  }
+
+  ConsistencyReport report = coll->CheckConsistency();
+  EXPECT_TRUE(report.consistent) << report.ToString();
+  EXPECT_EQ(report.live_rows, 32u);
+
+  // Smuggle a document onto shard 3 whose key belongs on shard 0 (key 9),
+  // bypassing the facade via the shard's raw table.
+  ASSERT_EQ(coll->ShardForKey(Value::Int64(9)), 0u);
+  ASSERT_TRUE(coll->shard(3)
+                  ->table()
+                  ->Insert({Value::Int64(9), Value::String(Doc(9))})
+                  .ok());
+  ConsistencyReport bad = coll->CheckConsistency();
+  EXPECT_FALSE(bad.consistent);
+  bool flagged = false;
+  for (const std::string& p : bad.problems) {
+    if (p.find("placement") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged) << bad.ToString();
+}
+
+TEST_F(ShardedCollectionTest, TelemetryTablesExposeShardColumns) {
+  auto plain = JsonCollection::Create(&db_, "T1").MoveValue();
+  auto facade = JsonCollection::Create(&db_, "T4", Sharded(4)).MoveValue();
+  for (int i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(plain->Insert(Value::Int64(i), Doc(i)).ok());
+    ASSERT_TRUE(facade->Insert(Value::Int64(i), Doc(i)).ok());
+  }
+  facade->shard(1)->Quarantine("test");
+
+  auto colls = CollectionsScan();
+  const rdbms::Schema& cs = colls->schema();
+  size_t name_at = cs.IndexOf("NAME");
+  size_t shards_at = cs.IndexOf("SHARDS");
+  size_t healthy_at = cs.IndexOf("SHARDS_HEALTHY");
+  ASSERT_NE(shards_at, rdbms::Schema::npos);
+  ASSERT_NE(healthy_at, rdbms::Schema::npos);
+  auto rows = rdbms::Collect(colls.get()).MoveValue();
+  bool saw_plain = false, saw_facade = false;
+  for (const rdbms::Row& row : rows) {
+    if (row[name_at].ToDisplayString() == "T1") {
+      saw_plain = true;
+      EXPECT_EQ(row[shards_at].AsInt64(), 1);
+      EXPECT_EQ(row[healthy_at].AsInt64(), 1);
+    }
+    if (row[name_at].ToDisplayString() == "T4") {
+      saw_facade = true;
+      EXPECT_EQ(row[shards_at].AsInt64(), 4);
+      EXPECT_EQ(row[healthy_at].AsInt64(), 3);  // shard 1 quarantined
+    }
+  }
+  EXPECT_TRUE(saw_plain);
+  EXPECT_TRUE(saw_facade);
+  // Shard backing collections stay out of the registry: only facades show.
+  for (const rdbms::Row& row : rows) {
+    EXPECT_EQ(row[name_at].ToDisplayString().find("$s"), std::string::npos);
+  }
+
+  auto stats = PathStatsScan();
+  const rdbms::Schema& ps = stats->schema();
+  size_t coll_at = ps.IndexOf("COLLECTION");
+  size_t shard_at = ps.IndexOf("SHARD");
+  ASSERT_NE(shard_at, rdbms::Schema::npos);
+  auto stat_rows = rdbms::Collect(stats.get()).MoveValue();
+  std::vector<int64_t> facade_shards;
+  for (const rdbms::Row& row : stat_rows) {
+    if (row[coll_at].ToDisplayString() == "T4") {
+      facade_shards.push_back(row[shard_at].AsInt64());
+    } else if (row[coll_at].ToDisplayString() == "T1") {
+      EXPECT_EQ(row[shard_at].AsInt64(), 0);
+    }
+  }
+  std::sort(facade_shards.begin(), facade_shards.end());
+  facade_shards.erase(
+      std::unique(facade_shards.begin(), facade_shards.end()),
+      facade_shards.end());
+  // 12 documents over 4 shards: every shard saw documents, so every shard
+  // contributes its own statistics rows.
+  EXPECT_EQ(facade_shards, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fsdm::collection
