@@ -5,7 +5,9 @@
 #include "bson/bson.h"
 #include "oson/oson.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/workload_repo.h"
 
 namespace fsdm::benchutil {
 
@@ -73,6 +75,10 @@ void BenchJson::Init(const std::string& name) {
   // (TRACE_<name>.json) is part of the machine-readable output, and fig7
   // doubles as the armed-tracing overhead measurement (DESIGN.md).
   telemetry::FlightRecorder::Global().Arm();
+  // And with the ASH sampler running (FSDM_ASH_HZ tunes the rate, 0
+  // disables): its ring becomes the "ash" section of BENCH_<name>.json,
+  // and the per-row workload snapshots diff against it.
+  telemetry::ActivitySampler::Global().Start();
   atexit(WriteGlobalBenchJson);
 }
 
@@ -84,6 +90,10 @@ void BenchJson::AddRowCells(const std::vector<std::string>& cells) {
   // One metrics-history tick per printed row: the snapshot ring then holds
   // per-phase deltas (counter_rates_per_sec in the JSON output).
   telemetry::MetricsRegistry::Global().TickHistory();
+  // And one workload-repository snapshot, labeled by the row's first cell,
+  // so ash_report.py can diff any two row boundaries.
+  telemetry::WorkloadRepository::Global().TakeSnapshot(
+      cells.empty() ? "row-" + std::to_string(rows_.size() + 1) : cells[0]);
   BeginRow();
   for (size_t i = 0; i < cells.size(); ++i) {
     const std::string key =
@@ -117,6 +127,11 @@ void BenchJson::Str(const std::string& key, const std::string& v) {
 
 void BenchJson::Write() const {
   if (name_.empty()) return;
+  // Final snapshot so the tail window (last row -> exit) is captured, then
+  // stop the sampler — its thread must not keep mutating the ring while
+  // the sections below serialize it.
+  telemetry::WorkloadRepository::Global().TakeSnapshot("bench-end");
+  telemetry::ActivitySampler::Global().Stop();
   std::string path;
   const char* dir = getenv("FSDM_BENCH_JSON_DIR");
   if (dir != nullptr && dir[0] != '\0') {
@@ -152,6 +167,27 @@ void BenchJson::Write() const {
     }
     out += "}";
   }
+
+  // ASH time model over the whole run plus the AWR-style per-row workload
+  // snapshots (ISSUE 7). Present — with zero samples — even when the
+  // sampler is disabled, so consumers can rely on the shape.
+  const telemetry::ActivitySampler& sampler =
+      telemetry::ActivitySampler::Global();
+  out += ",\"ash\":{\"sampler_hz\":";
+  telemetry::AppendJsonNumber(&out, sampler.hz());
+  out += ",\"ticks\":" + std::to_string(sampler.ticks());
+  out += ",\"db_samples_total\":" + std::to_string(sampler.db_samples_total());
+  out += ",\"window\":" + telemetry::AshAggregateJson(sampler.Aggregate());
+  out += "}";
+
+  std::vector<telemetry::WorkloadSnapshot> snaps =
+      telemetry::WorkloadRepository::Global().Snapshots();
+  out += ",\"workload_snapshots\":[";
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    if (i > 0) out += ",";
+    out += telemetry::WorkloadRepository::SnapshotJson(snaps[i]);
+  }
+  out += "]";
   out += "}\n";
 
   FILE* f = fopen(path.c_str(), "w");

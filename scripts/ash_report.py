@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""AWR-style workload report from a BENCH_*.json workload repository.
+
+Usage: ash_report.py BENCH_file.json [--from SNAP] [--to SNAP] [-o FILE.md]
+
+The bench harness ticks one workload snapshot per printed row (plus a final
+"bench-end" snapshot); each snapshot binds a full metrics dump to the ASH
+samples of the window since the previous snapshot. This script diffs two of
+them — by default the first and the last — and renders the window between
+as markdown: elapsed time, DB-time by wait class, the per-collection time
+model, top queries by sampled DB-time, shard skew, and the biggest counter
+and histogram movements.
+
+SNAP selects a snapshot by numeric id or by label (first match). The window
+reported is (from, to]: the ASH aggregates of every snapshot after `from`
+up to and including `to` are merged.
+
+Exits 1 when the file carries fewer than two workload snapshots (nothing to
+diff), 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg, code=2):
+    print(f"ash_report: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def pick(snaps, token, default_index):
+    if token is None:
+        return snaps[default_index]
+    for snap in snaps:
+        if str(snap.get("id")) == token:
+            return snap
+    for snap in snaps:
+        if snap.get("label") == token:
+            return snap
+    fail(f"no snapshot with id or label {token!r}")
+
+
+def merge_ash(snaps):
+    """Sums the per-snapshot ASH windows into one (from, to] aggregate."""
+    total = {"db_samples": 0, "wait_classes": {}, "time_model": {},
+             "top_queries": {}, "shard_samples": {}}
+    for snap in snaps:
+        ash = snap.get("ash", {})
+        total["db_samples"] += ash.get("db_samples", 0)
+        for cls, n in ash.get("wait_classes", {}).items():
+            total["wait_classes"][cls] = total["wait_classes"].get(cls, 0) + n
+        for cell in ash.get("time_model", []):
+            key = (cell.get("collection", "?"), cell.get("state", "?"),
+                   cell.get("class", "?"))
+            total["time_model"][key] = (total["time_model"].get(key, 0)
+                                        + cell.get("samples", 0))
+        for q in ash.get("top_queries", []):
+            name = q.get("query", "?")
+            total["top_queries"][name] = (total["top_queries"].get(name, 0)
+                                          + q.get("samples", 0))
+        for shard, n in ash.get("shard_samples", {}).items():
+            total["shard_samples"][shard] = (
+                total["shard_samples"].get(shard, 0) + n)
+    return total
+
+
+def fmt_pct(part, whole):
+    return f"{100.0 * part / whole:.1f}%" if whole else "n/a"
+
+
+def render(doc, from_snap, to_snap, window):
+    hz = doc.get("ash", {}).get("sampler_hz", 0)
+    db = window["db_samples"]
+    elapsed_s = max(to_snap["ts_us"] - from_snap["ts_us"], 0) / 1e6
+    lines = []
+    out = lines.append
+
+    out(f"## ASH workload report — {doc.get('bench', '?')}")
+    out("")
+    out(f"Window: snapshot {from_snap['id']} (`{from_snap['label']}`) → "
+        f"snapshot {to_snap['id']} (`{to_snap['label']}`), "
+        f"{elapsed_s:.3f}s elapsed.")
+    samples_note = (f"~{db / hz:.3f}s DB-time at {hz:g} Hz"
+                    if hz else "sampler disabled")
+    out(f"DB-time samples in window: {db} ({samples_note}).")
+    out("")
+
+    out("### DB-time by wait class")
+    out("")
+    if not window["wait_classes"]:
+        out("No active-session samples landed in this window.")
+    else:
+        out("| wait class | samples | % of DB-time |")
+        out("|---|---:|---:|")
+        for cls, n in sorted(window["wait_classes"].items(),
+                             key=lambda kv: (-kv[1], kv[0])):
+            out(f"| {cls} | {n} | {fmt_pct(n, db)} |")
+    out("")
+
+    out("### Time model (collection × wait state)")
+    out("")
+    if not window["time_model"]:
+        out("Empty.")
+    else:
+        out("| collection | state | class | samples | % of DB-time |")
+        out("|---|---|---|---:|---:|")
+        cells = sorted(window["time_model"].items(),
+                       key=lambda kv: (-kv[1], kv[0]))
+        for (coll, state, cls), n in cells[:20]:
+            out(f"| {coll} | {state} | {cls} | {n} | {fmt_pct(n, db)} |")
+        if len(cells) > 20:
+            out(f"| … {len(cells) - 20} more rows elided … | | | | |")
+    out("")
+
+    out("### Top queries by sampled DB-time")
+    out("")
+    if not window["top_queries"]:
+        out("No sampled work carried a query text.")
+    else:
+        out("| query | samples | % of DB-time |")
+        out("|---|---:|---:|")
+        top = sorted(window["top_queries"].items(),
+                     key=lambda kv: (-kv[1], kv[0]))
+        for query, n in top[:10]:
+            text = query if len(query) <= 80 else query[:77] + "…"
+            out(f"| `{text}` | {n} | {fmt_pct(n, db)} |")
+    out("")
+
+    if window["shard_samples"]:
+        shards = window["shard_samples"]
+        mean = sum(shards.values()) / len(shards)
+        skew = max(shards.values()) / mean if mean else 0
+        out(f"### Shard skew: {skew:.2f}x (max/mean over "
+            f"{len(shards)} shards)")
+        out("")
+        out("| shard | samples |")
+        out("|---:|---:|")
+        for shard, n in sorted(shards.items(), key=lambda kv: int(kv[0])):
+            out(f"| {shard} | {n} |")
+        out("")
+
+    # Counter / histogram movements between the two snapshot endpoints.
+    from_counters = from_snap.get("counters", {})
+    deltas = []
+    for name, value in to_snap.get("counters", {}).items():
+        d = value - from_counters.get(name, 0)
+        if d:
+            deltas.append((name, d))
+    out("### Top counter deltas")
+    out("")
+    if not deltas:
+        out("No counter moved in this window.")
+    else:
+        out("| counter | delta |")
+        out("|---|---:|")
+        for name, d in sorted(deltas, key=lambda kv: (-abs(kv[1]), kv[0]))[:15]:
+            out(f"| {name} | {d:+} |")
+    out("")
+
+    from_hists = from_snap.get("histograms", {})
+    hist_rows = []
+    for name, point in to_snap.get("histograms", {}).items():
+        prev = from_hists.get(name, {})
+        dc = point.get("count", 0) - prev.get("count", 0)
+        ds = point.get("sum", 0) - prev.get("sum", 0)
+        if dc > 0:
+            hist_rows.append((name, dc, ds, ds / dc))
+    out("### Histogram windows (mean from count/sum deltas)")
+    out("")
+    if not hist_rows:
+        out("No histogram observed values in this window.")
+    else:
+        out("| histogram | observations | sum | window mean |")
+        out("|---|---:|---:|---:|")
+        for name, dc, ds, mean in sorted(hist_rows,
+                                         key=lambda r: (-r[1], r[0]))[:15]:
+            out(f"| {name} | {dc} | {ds:g} | {mean:g} |")
+    out("")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--from", dest="from_snap", default=None, metavar="SNAP",
+                    help="window start: snapshot id or label "
+                         "(default: first)")
+    ap.add_argument("--to", dest="to_snap", default=None, metavar="SNAP",
+                    help="window end: snapshot id or label (default: last)")
+    ap.add_argument("-o", "--output", default=None, metavar="FILE",
+                    help="write markdown here instead of stdout")
+    args = ap.parse_args()
+
+    try:
+        with open(args.bench_json, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.bench_json}: {e}")
+
+    snaps = doc.get("workload_snapshots")
+    if not isinstance(snaps, list):
+        fail(f"{args.bench_json}: no 'workload_snapshots' section")
+    if len(snaps) < 2:
+        fail(f"{args.bench_json}: {len(snaps)} workload snapshot(s) — "
+             f"need at least 2 to diff", code=1)
+
+    from_snap = pick(snaps, args.from_snap, 0)
+    to_snap = pick(snaps, args.to_snap, -1)
+    if to_snap["id"] <= from_snap["id"]:
+        fail(f"window end (snapshot {to_snap['id']}) must come after "
+             f"window start (snapshot {from_snap['id']})")
+
+    window = merge_ash([s for s in snaps
+                        if from_snap["id"] < s["id"] <= to_snap["id"]])
+    text = render(doc, from_snap, to_snap, window)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        print(f"ash_report: wrote {args.output} "
+              f"(snapshots {from_snap['id']}→{to_snap['id']}, "
+              f"{window['db_samples']} samples)")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

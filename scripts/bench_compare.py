@@ -13,7 +13,9 @@ the script always exits 0 (report-only mode). --markdown additionally
 writes the comparison as a GitHub-flavored table, which CI appends to the
 job's step summary; candidate rows carrying the sharded-execution scaling
 columns ("threads", "speedup vs 1 thread") are rendered as their own
-scaling table there.
+scaling table there, and each candidate bench's ASH window contributes a
+"top wait class per bench" table (DB-time samples, cpu share, dominant
+non-CPU wait class).
 """
 
 import argparse
@@ -105,6 +107,40 @@ def compare(name, base, cand, threshold, table):
     return regressions
 
 
+def collect_wait_classes(benches):
+    """Per-bench ASH summary from the whole-run "ash" window: DB-time
+    samples, CPU share, and the dominant non-CPU wait class."""
+    out = []
+    for name in sorted(benches):
+        window = benches[name].get("ash", {}).get("window")
+        if not isinstance(window, dict):
+            continue
+        db = window.get("db_samples", 0)
+        classes = window.get("wait_classes", {})
+        cpu = classes.get("cpu", 0)
+        waits = {cls: n for cls, n in classes.items() if cls != "cpu"}
+        top = max(waits.items(), key=lambda kv: kv[1]) if waits else None
+        out.append((name, db, cpu, top))
+    return out
+
+
+def write_wait_class_markdown(f, wait_classes):
+    f.write("\n### Top wait class per bench (ASH)\n\n")
+    f.write("| bench | DB-time samples | cpu % | top wait class | wait % |\n")
+    f.write("|---|---:|---:|---|---:|\n")
+    for name, db, cpu, top in wait_classes:
+        if db == 0:
+            f.write(f"| {name} | 0 | n/a | (no samples) | n/a |\n")
+            continue
+        cpu_pct = f"{100.0 * cpu / db:.1f}%"
+        if top is None:
+            f.write(f"| {name} | {db} | {cpu_pct} | (none) | n/a |\n")
+        else:
+            cls, n = top
+            f.write(f"| {name} | {db} | {cpu_pct} | {cls} "
+                    f"| {100.0 * n / db:.1f}% |\n")
+
+
 SPEEDUP_COL = "speedup vs 1 thread"
 
 
@@ -132,7 +168,7 @@ def write_scaling_markdown(f, scaling):
                 f"| {speedup:g}x |\n")
 
 
-def write_markdown(path, table, threshold, scaling=None):
+def write_markdown(path, table, threshold, scaling=None, wait_classes=None):
     with open(path, "w", encoding="utf-8") as f:
         f.write("### Bench comparison vs baseline\n\n")
         if not table:
@@ -150,6 +186,8 @@ def write_markdown(path, table, threshold, scaling=None):
                         f"metrics.\n")
         if scaling:
             write_scaling_markdown(f, scaling)
+        if wait_classes:
+            write_wait_class_markdown(f, wait_classes)
 
 
 def main():
@@ -190,7 +228,8 @@ def main():
 
     if args.markdown:
         write_markdown(args.markdown, table, args.fail_threshold,
-                       scaling=collect_scaling(cand))
+                       scaling=collect_scaling(cand),
+                       wait_classes=collect_wait_classes(cand))
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "

@@ -5,9 +5,17 @@ Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 
 Each file must parse as JSON and carry the harness schema:
   {"bench": str, "docs": int, "rows": [obj, ...], "metrics":
-   {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+   {"counters": {...}, "gauges": {...}, "histograms": {...}},
+   "ash": {"sampler_hz": num, "ticks": int, "db_samples_total": int,
+           "window": {"db_samples": ..., "wait_classes": ..., ...}},
+   "workload_snapshots": [{"id": ..., "ash": ..., "counters": ...,
+                           "histograms": {name: {"count", "sum"}}}, ...]}
 with at least one row and at least one fsdm_-prefixed counter (proof the
-instrumented engine actually ran). Exits non-zero on the first violation.
+instrumented engine actually ran). Histogram dumps must carry "sum" and
+"mean" so mean latency is derivable from any exposure. The "ash" and
+"workload_snapshots" sections must be present (zeroed when the sampler is
+off) with the shapes scripts/ash_report.py consumes. Exits non-zero on the
+first violation.
 """
 
 import json
@@ -47,8 +55,92 @@ def check(path):
             fail(path, f"metrics.{section} missing or not an object")
     if not any(name.startswith("fsdm_") for name in metrics["counters"]):
         fail(path, "no fsdm_-prefixed counter in the metrics snapshot")
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "sum", "mean"):
+            if not isinstance(hist.get(key), (int, float)):
+                fail(path, f"metrics.histograms.{name} missing numeric "
+                           f"'{key}'")
+
+    check_ash(path, doc)
+    snaps = doc.get("workload_snapshots")
+    if not isinstance(snaps, list):
+        fail(path, "missing 'workload_snapshots' array")
+    last_id = 0
+    for i, snap in enumerate(snaps):
+        where = f"workload_snapshots[{i}]"
+        if not isinstance(snap, dict):
+            fail(path, f"{where} is not an object")
+        for key, want in (("id", int), ("ts_us", int), ("label", str),
+                          ("sampler_ticks", int), ("counters", dict),
+                          ("histograms", dict)):
+            if not isinstance(snap.get(key), want):
+                fail(path, f"{where} missing or mistyped '{key}'")
+        if snap["id"] <= last_id:
+            fail(path, f"{where} ids not strictly increasing")
+        last_id = snap["id"]
+        check_ash_window(path, where, snap.get("ash"))
+        for name, hist in snap["histograms"].items():
+            if not isinstance(hist.get("count"), int) \
+                    or not isinstance(hist.get("sum"), (int, float)):
+                fail(path, f"{where}.histograms.{name} needs (count, sum)")
+
+    ash = doc["ash"]
     print(f"{path}: ok ({len(doc['rows'])} rows, "
-          f"{len(metrics['counters'])} counters)")
+          f"{len(metrics['counters'])} counters, "
+          f"{len(snaps)} snapshots, "
+          f"{ash['window'].get('db_samples', 0)} ash samples)")
+
+
+WAIT_CLASSES = {"idle", "cpu", "scheduler", "concurrency", "fault"}
+
+
+def check_ash_window(path, where, window):
+    """One AshAggregateJson object: the bench window or a snapshot's."""
+    if not isinstance(window, dict):
+        fail(path, f"{where} missing ash aggregate object")
+    if not isinstance(window.get("db_samples"), int):
+        fail(path, f"{where}.db_samples missing or not an int")
+    classes = window.get("wait_classes")
+    if not isinstance(classes, dict):
+        fail(path, f"{where}.wait_classes missing or not an object")
+    unknown = set(classes) - WAIT_CLASSES
+    if unknown:
+        fail(path, f"{where}.wait_classes has unknown classes {unknown}")
+    model = window.get("time_model")
+    if not isinstance(model, list):
+        fail(path, f"{where}.time_model missing or not an array")
+    model_total = 0
+    for j, cell in enumerate(model):
+        for key in ("collection", "state", "class"):
+            if not isinstance(cell.get(key), str):
+                fail(path, f"{where}.time_model[{j}] missing '{key}'")
+        if not isinstance(cell.get("samples"), int):
+            fail(path, f"{where}.time_model[{j}] missing 'samples'")
+        if not isinstance(cell.get("pct"), (int, float)):
+            fail(path, f"{where}.time_model[{j}] missing 'pct'")
+        model_total += cell["samples"]
+    if model_total != window["db_samples"]:
+        fail(path, f"{where}.time_model sums to {model_total}, "
+                   f"db_samples says {window['db_samples']}")
+    if sum(classes.values()) != window["db_samples"]:
+        fail(path, f"{where}.wait_classes sums to {sum(classes.values())}, "
+                   f"db_samples says {window['db_samples']}")
+    if not isinstance(window.get("top_queries"), list):
+        fail(path, f"{where}.top_queries missing or not an array")
+    if not isinstance(window.get("shard_samples"), dict):
+        fail(path, f"{where}.shard_samples missing or not an object")
+
+
+def check_ash(path, doc):
+    ash = doc.get("ash")
+    if not isinstance(ash, dict):
+        fail(path, "missing 'ash' section")
+    if not isinstance(ash.get("sampler_hz"), (int, float)):
+        fail(path, "ash.sampler_hz missing or not a number")
+    for key in ("ticks", "db_samples_total"):
+        if not isinstance(ash.get(key), int):
+            fail(path, f"ash.{key} missing or not an int")
+    check_ash_window(path, "ash.window", ash.get("window"))
 
 
 def main():

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Gates the ASH sampler's overhead on a bench (ISSUE 7 acceptance).
+
+Usage: check_sampler_overhead.py --on BENCH.json [BENCH.json ...]
+                                 --off BENCH.json [BENCH.json ...]
+                                 [--max-pct 3.0]
+
+`--on` files come from runs with the sampler active (FSDM_ASH_HZ=1000),
+`--off` files from runs with it disabled (FSDM_ASH_HZ=0). For each side the
+score is the sum of every time-like cell ("ms"/"us" columns) across the
+bench rows, minimized over the given files (min-of-N absorbs machine
+noise, same as the bench harness's own best-of-reps timing). Fails when
+    (on - off) / off * 100 > max-pct
+i.e. when turning the sampler on costs more than the budgeted percentage.
+
+Also sanity-checks the files: --on runs must have started the sampler
+(ash.sampler_hz > 0 — ticks may be 0 because the sampler parks in
+tickless idle while no query leases are active, e.g. the insert-only
+fig7 bench), --off runs must show no sampler activity (sampler_hz == 0,
+ticks == 0) — a guard against the CI job measuring the same
+configuration twice.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_sampler_overhead: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def time_score(doc, path):
+    total = 0.0
+    cells = 0
+    for row in doc.get("rows", []):
+        for col, value in row.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            lowered = col.lower()
+            if "ms" in lowered or "us" in lowered:
+                total += float(value)
+                cells += 1
+    if cells == 0:
+        fail(f"{path}: no time-like cells to score")
+    return total
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--on", nargs="+", required=True, metavar="BENCH.json",
+                    help="runs with the sampler enabled")
+    ap.add_argument("--off", nargs="+", required=True, metavar="BENCH.json",
+                    help="runs with the sampler disabled")
+    ap.add_argument("--max-pct", type=float, default=3.0,
+                    help="maximum tolerated sampler-on slowdown in percent")
+    args = ap.parse_args()
+
+    on_scores, off_scores = [], []
+    for path in args.on:
+        doc = load(path)
+        ash = doc.get("ash", {})
+        if not ash.get("sampler_hz", 0):
+            fail(f"{path}: sampler-on run never started the sampler "
+                 f"(was FSDM_ASH_HZ=0 leaking into the on-side?)")
+        on_scores.append(time_score(doc, path))
+    for path in args.off:
+        doc = load(path)
+        ash = doc.get("ash", {})
+        if ash.get("sampler_hz", 0) or ash.get("ticks", 0):
+            fail(f"{path}: sampler-off run shows sampler activity "
+                 f"(hz={ash.get('sampler_hz')}, ticks={ash.get('ticks')})")
+        off_scores.append(time_score(doc, path))
+
+    on = min(on_scores)
+    off = min(off_scores)
+    if off <= 0:
+        fail("off-side time score is zero — nothing to compare")
+    pct = (on - off) / off * 100.0
+    print(f"sampler off: {off:g} (min of {len(off_scores)}), "
+          f"on: {on:g} (min of {len(on_scores)}), "
+          f"overhead: {pct:+.2f}% (budget {args.max_pct:g}%)")
+    if pct > args.max_pct:
+        fail(f"sampler overhead {pct:+.2f}% exceeds budget "
+             f"{args.max_pct:g}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,8 +9,10 @@ flight recorder exports:
                     "cat": str, "name": str, ...}, ...],
    "displayTimeUnit": "ms"}
 Per-thread B/E events must nest (balanced, never negative depth), and every
-"E" with a dur_us arg must report a non-negative duration. Exits non-zero on
-the first violation.
+"E" with a dur_us arg must report a non-negative duration. Counter samples
+("C" events — e.g. the ASH sampler's ash.active_sessions series) must carry
+a numeric, non-negative args.value so trace viewers can chart them. Exits
+non-zero on the first violation.
 """
 
 import json
@@ -61,6 +63,14 @@ def check(path):
             dur = e.get("args", {}).get("dur_us")
             if dur is not None and dur < 0:
                 fail(path, f"traceEvents[{i}] has negative dur_us {dur}")
+        elif ph == "C":
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(path, f"traceEvents[{i}] counter sample lacks a "
+                           f"numeric args.value")
+            if value < 0:
+                fail(path, f"traceEvents[{i}] counter sample is negative "
+                           f"({value})")
 
     unbalanced = {tid: d for tid, d in depth.items() if d != 0}
     if unbalanced:

@@ -10,6 +10,7 @@
 #include "rdbms/parallel.h"
 #include "stats/operator_costs.h"
 #include "stats/path_stats.h"
+#include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
@@ -230,10 +231,11 @@ Result<rdbms::OperatorPtr> ApplyResiduals(
 /// trace member with it) while the plan runs.
 class RoutedQueryProbe final : public rdbms::Operator {
  public:
-  RoutedQueryProbe(rdbms::OperatorPtr child, std::string query,
-                   telemetry::RouterDecision decision,
+  RoutedQueryProbe(rdbms::OperatorPtr child, std::string collection,
+                   std::string query, telemetry::RouterDecision decision,
                    const telemetry::OperatorSpan* root)
       : child_(std::move(child)),
+        collection_(std::move(collection)),
         query_(std::move(query)),
         decision_(std::move(decision)),
         root_(root) {
@@ -245,7 +247,15 @@ class RoutedQueryProbe final : public rdbms::Operator {
     closed_ = false;
     open_ts_us_ = telemetry::MonotonicNowUs();
     watch_.Restart();
-    return child_->Open();
+    // Publish this drain on the consumer thread's activity record so the
+    // ASH sampler can attribute its time. The lease member also releases
+    // on destruction, covering plans dropped on an error path before
+    // Close() (ISSUE 7 satellite: no dangling active records).
+    lease_ = telemetry::ActivityLease::Begin(
+        collection_, decision_.winner, "RoutedQueryProbe", query_);
+    Status status = child_->Open();
+    if (!status.ok()) lease_.Release();
+    return status;
   }
 
   Result<bool> Next(rdbms::Row* out) override {
@@ -256,6 +266,7 @@ class RoutedQueryProbe final : public rdbms::Operator {
 
   void Close() override {
     child_->Close();
+    lease_.Release();
     if (closed_) return;
     closed_ = true;
     const uint64_t elapsed = static_cast<uint64_t>(watch_.ElapsedUs());
@@ -310,10 +321,12 @@ class RoutedQueryProbe final : public rdbms::Operator {
   }
 
   rdbms::OperatorPtr child_;
+  std::string collection_;
   std::string query_;
   telemetry::RouterDecision decision_;
   const telemetry::OperatorSpan* root_;
   telemetry::Stopwatch watch_;
+  telemetry::ActivityLease lease_;
   uint64_t open_ts_us_ = 0;
   uint64_t rows_ = 0;
   bool closed_ = false;
@@ -575,7 +588,7 @@ Result<RoutedPlan> RouteSingle(const JsonCollection& coll,
                             decision.winner);
     if (wrap_probe) {
       routed.plan = std::make_unique<RoutedQueryProbe>(
-          std::move(routed.plan), query_text, decision,
+          std::move(routed.plan), coll.name(), query_text, decision,
           routed.trace.root.get());
     }
   };
@@ -775,7 +788,12 @@ Result<RoutedPlan> RouteSharded(const JsonCollection& coll,
     StampShard(sub.trace.root.get(), static_cast<int>(i));
     shard_roots->push_back(sub.trace.root.get());
     root->children.push_back(std::move(sub.trace.root));
-    children.push_back(std::move(sub.plan));
+    // The ActivityScope publishes the drain worker's activity record for
+    // this morsel: collection, the shard's own winning access path, shard
+    // id, and (stamped at Open time) the pool worker index.
+    children.push_back(rdbms::ActivityScope(
+        std::move(sub.plan), coll.name(), sub.trace.decision.winner,
+        "morsel.drain", query_text, static_cast<int>(i)));
   }
 
   const double merge_cost =
@@ -813,7 +831,8 @@ Result<RoutedPlan> RouteSharded(const JsonCollection& coll,
   route_span.AddTextArg("winner", decision.winner);
   FSDM_TRACE_INSTANT_TEXT("router", "router.winner", "path", decision.winner);
   routed.plan = std::make_unique<RoutedQueryProbe>(
-      std::move(routed.plan), query_text, decision, routed.trace.root.get());
+      std::move(routed.plan), coll.name(), query_text, decision,
+      routed.trace.root.get());
   return routed;
 }
 

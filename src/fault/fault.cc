@@ -1,7 +1,10 @@
 #include "fault/fault.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
@@ -68,6 +71,13 @@ Status FaultPoint::Fire() {
   ++FaultRegistry::Global().triggers_total_;
   FSDM_COUNT("fsdm_fault_injections_total", 1);
   FSDM_TRACE_INSTANT_TEXT("fault", "fault.fire", "point", name_);
+  if (spec_.stall_us > 0) {
+    // Latency injection: park the site for the configured stall, charged
+    // to the fault wait class so it shows up in the ASH time model.
+    telemetry::ScopedWaitState wait(telemetry::WaitState::kFaultStall);
+    FSDM_COUNT("fsdm_fault_stall_us_total", spec_.stall_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(spec_.stall_us));
+  }
   if (disarm_after ||
       (spec_.max_triggers != 0 && armed_triggers_ >= spec_.max_triggers)) {
     armed_ = false;

@@ -64,10 +64,15 @@ struct FaultSpec {
   /// kAlways / kProbability: self-disarm after this many injected
   /// failures (0 = never).
   uint64_t max_triggers = 0;
-  /// Status the injected failure carries.
+  /// Status the injected failure carries. kOk makes the fault latency-only:
+  /// the point stalls (see stall_us) but the site continues normally.
   StatusCode code = StatusCode::kInternal;
   /// Error message; empty = "injected fault at <point>".
   std::string message;
+  /// Sleep this long inside Fire() when the fault triggers, published to
+  /// the ASH sampler as a fault-stall wait. Combine with code = kOk for
+  /// pure latency injection (no error surfaces).
+  uint64_t stall_us = 0;
 
   static FaultSpec Once(StatusCode code = StatusCode::kInternal) {
     FaultSpec s;
@@ -95,6 +100,16 @@ struct FaultSpec {
     s.probability = p;
     s.seed = seed;
     s.code = code;
+    return s;
+  }
+  /// Latency-only fault: every hit stalls `stall_us` microseconds and then
+  /// proceeds (code kOk never early-returns at the site).
+  static FaultSpec StallUs(uint64_t stall_us,
+                           TriggerMode mode = TriggerMode::kAlways) {
+    FaultSpec s;
+    s.mode = mode;
+    s.code = StatusCode::kOk;
+    s.stall_us = stall_us;
     return s;
   }
 };

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
@@ -32,6 +33,7 @@ struct WorkerPool::Impl {
   size_t target_workers = 0;  // size threads are (re)launched to
   size_t active = 0;          // tasks currently running on workers
   bool stopping = false;
+  bool shutting_down = false;  // a Shutdown() is joining old workers
 
   void RunWorker(int index) {
     tls_worker_index = index;
@@ -46,7 +48,14 @@ struct WorkerPool::Impl {
       queue.pop_front();
       ++active;
       lock.unlock();
-      task();
+      {
+        // Publish "this worker is busy" for the ASH sampler; the morsel's
+        // own ActivityScope lease stacks on top with the real identity.
+        telemetry::ActivityLease lease = telemetry::ActivityLease::Begin(
+            /*collection=*/"", /*access_path=*/"", /*op=*/"worker.task",
+            /*query=*/"", /*shard=*/-1, /*worker=*/index);
+        task();
+      }
       lock.lock();
       --active;
       if (queue.empty() && active == 0) idle_cv.notify_all();
@@ -69,10 +78,16 @@ struct WorkerPool::Impl {
       std::unique_lock<std::mutex> lock(mu);
       idle_cv.wait(lock, [&] { return queue.empty() && active == 0; });
       stopping = true;
+      // Block Submit's lazy relaunch until the join below finishes: a
+      // relaunch would reset `stopping` while the old workers still read
+      // it, leaving one looping forever and the join stuck.
+      shutting_down = true;
       work_cv.notify_all();
       joinable.swap(threads);
     }
     for (std::thread& t : joinable) t.join();
+    std::lock_guard<std::mutex> lock(mu);
+    shutting_down = false;
   }
 };
 
@@ -110,9 +125,18 @@ size_t WorkerPool::worker_count() const {
 }
 
 void WorkerPool::Resize(size_t workers) {
-  impl_->Shutdown();
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->Launch(workers == 0 ? 1 : workers);
+  // A Submit racing the resize can lazily relaunch the pool between our
+  // Shutdown() and Launch(); launching on top of those threads would
+  // duplicate worker indices. Retry the shutdown until the pool is
+  // observed empty under the lock, and launch under that same lock.
+  for (;;) {
+    impl_->Shutdown();
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->threads.empty()) {
+      impl_->Launch(workers == 0 ? 1 : workers);
+      return;
+    }
+  }
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
@@ -125,7 +149,12 @@ void WorkerPool::Submit(std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    if (impl_->threads.empty()) impl_->Launch(DefaultWorkerCount());
+    // During a Shutdown's join window the task only queues; the caller's
+    // Resize (or the old workers, which drain the queue before exiting)
+    // picks it up. Relaunching here would wake the dying workers back up.
+    if (impl_->threads.empty() && !impl_->shutting_down) {
+      impl_->Launch(DefaultWorkerCount());
+    }
     impl_->queue.push_back(std::move(task));
   }
   impl_->work_cv.notify_one();
@@ -172,7 +201,13 @@ class ParallelUnionOp final : public Operator {
       Slot& slot = slots_[cursor_child_];
       {
         std::unique_lock<std::mutex> lock(mu_);
-        done_cv_.wait(lock, [&] { return slot.done; });
+        if (!slot.done) {
+          // The consumer is stalled on morsel completion — charge the
+          // wait to the scheduler class, not to on-cpu time.
+          telemetry::ScopedWaitState wait(
+              telemetry::WaitState::kPoolQueueWait);
+          done_cv_.wait(lock, [&] { return slot.done; });
+        }
       }
       if (!slot.status.ok()) return slot.status;
       if (cursor_row_ < slot.rows.size()) {
@@ -232,6 +267,8 @@ class ParallelUnionOp final : public Operator {
 
   void WaitAll() {
     std::unique_lock<std::mutex> lock(mu_);
+    if (launched_ == 0) return;
+    telemetry::ScopedWaitState wait(telemetry::WaitState::kPoolQueueWait);
     done_cv_.wait(lock, [&] { return launched_ == 0; });
   }
 
@@ -247,6 +284,55 @@ class ParallelUnionOp final : public Operator {
   size_t cursor_row_ = 0;
 };
 
+// Publishes activity identity for whichever thread drains the child. The
+// lease begins in Open() (on the draining thread — for a morsel that is
+// the pool worker, thanks to DrainChild running Open/Next/Close on one
+// thread) and ends in Close(). The destructor releases too, so a plan
+// torn down on an error path before Close() never leaves a dangling
+// active record (ISSUE 7 satellite f); in the normal path that release
+// is a no-op because Close() already ran.
+class ActivityScopeOp final : public Operator {
+ public:
+  ActivityScopeOp(OperatorPtr child, std::string collection,
+                  std::string access_path, std::string op, std::string query,
+                  int shard)
+      : child_(std::move(child)),
+        collection_(std::move(collection)),
+        access_path_(std::move(access_path)),
+        op_(std::move(op)),
+        query_(std::move(query)),
+        shard_(shard) {
+    schema_ = child_->schema();
+  }
+
+  Status Open() override {
+    lease_ = telemetry::ActivityLease::Begin(
+        collection_, access_path_, op_, query_, shard_,
+        WorkerPool::CurrentWorkerIndex());
+    Status status = child_->Open();
+    // A failed Open never sees Close(), so release here or the record
+    // would stay active forever.
+    if (!status.ok()) lease_.Release();
+    return status;
+  }
+
+  Result<bool> Next(Row* out) override { return child_->Next(out); }
+
+  void Close() override {
+    child_->Close();
+    lease_.Release();
+  }
+
+ private:
+  OperatorPtr child_;
+  std::string collection_;
+  std::string access_path_;
+  std::string op_;
+  std::string query_;
+  int shard_;
+  telemetry::ActivityLease lease_;
+};
+
 }  // namespace
 
 OperatorPtr ParallelUnionAll(
@@ -254,6 +340,14 @@ OperatorPtr ParallelUnionAll(
     std::function<void(size_t child, int worker)> on_morsel_done) {
   return std::make_unique<ParallelUnionOp>(std::move(children),
                                            std::move(on_morsel_done));
+}
+
+OperatorPtr ActivityScope(OperatorPtr child, std::string collection,
+                          std::string access_path, std::string op,
+                          std::string query, int shard) {
+  return std::make_unique<ActivityScopeOp>(
+      std::move(child), std::move(collection), std::move(access_path),
+      std::move(op), std::move(query), shard);
 }
 
 }  // namespace fsdm::rdbms

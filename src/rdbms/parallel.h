@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "rdbms/executor.h"
@@ -78,6 +79,17 @@ class WorkerPool {
 OperatorPtr ParallelUnionAll(
     std::vector<OperatorPtr> children,
     std::function<void(size_t child, int worker)> on_morsel_done = nullptr);
+
+/// Transparent operator that publishes the draining thread's activity
+/// record (telemetry/activity.h) for the lifetime of `child`'s drain:
+/// Open() begins a lease stamped with the collection / access path / op /
+/// query / shard and the current pool worker, Close() (or destruction,
+/// for plans torn down on an error path before Close) releases it. The
+/// router wraps each shard morsel in one of these so the ASH sampler can
+/// attribute worker time to collections and shards.
+OperatorPtr ActivityScope(OperatorPtr child, std::string collection,
+                          std::string access_path, std::string op,
+                          std::string query, int shard = -1);
 
 }  // namespace fsdm::rdbms
 

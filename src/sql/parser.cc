@@ -6,6 +6,7 @@
 #include "collection/collections_table.h"
 #include "collection/path_stats_table.h"
 #include "stats/stats_table.h"
+#include "telemetry/ash_table.h"
 #include "telemetry/metrics_table.h"
 
 namespace fsdm::sql {
@@ -214,6 +215,12 @@ class Planner {
     } else if (Lexer::EqualsIgnoreCase(table_name_,
                                        stats::kOperatorCostsTableName)) {
       virtual_table_ = VirtualTable::kOperatorCosts;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kAshTableName)) {
+      virtual_table_ = VirtualTable::kAsh;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kSnapshotsTableName)) {
+      virtual_table_ = VirtualTable::kSnapshots;
     } else {
       return table_or.status();
     }
@@ -312,6 +319,12 @@ class Planner {
         break;
       case VirtualTable::kOperatorCosts:
         plan = stats::OperatorCostsScan();
+        break;
+      case VirtualTable::kAsh:
+        plan = telemetry::AshScan();
+        break;
+      case VirtualTable::kSnapshots:
+        plan = telemetry::SnapshotsScan();
         break;
     }
     if (where) plan = rdbms::Filter(std::move(plan), std::move(where));
@@ -731,7 +744,8 @@ class Planner {
   /// Which TELEMETRY$ relation the FROM clause named (kNone = a real
   /// table; table_ is set).
   enum class VirtualTable { kNone, kMetrics, kEvents, kSlowQueries,
-                            kCollections, kPathStats, kOperatorCosts };
+                            kCollections, kPathStats, kOperatorCosts,
+                            kAsh, kSnapshots };
 
   std::string table_name_;
   rdbms::Table* table_ = nullptr;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <fstream>
 
+#include "telemetry/activity.h"
+
 namespace fsdm::telemetry {
 
 namespace {
@@ -142,6 +144,9 @@ void EmitCounterSample(const char* category, const char* name, double value) {
 std::vector<TraceEvent> FlightRecorder::Snapshot() const {
   std::vector<TraceEvent> out;
   {
+    // A snapshot walks every thread ring under the recorder mutex — a
+    // query thread landing here (slow-query capture) is lock-waiting.
+    ScopedWaitState wait(WaitState::kLockWait);
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& ring : rings_) {
       std::vector<TraceEvent> part = ring->Snapshot();

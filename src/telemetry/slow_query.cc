@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "telemetry/activity.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::telemetry {
@@ -51,6 +52,7 @@ void SlowQueryLog::SetCapacity(size_t n) {
 
 void SlowQueryLog::Record(SlowQueryRecord rec) {
   FSDM_COUNT("fsdm_slow_queries_total", 1);
+  ScopedWaitState wait(WaitState::kLockWait);
   std::lock_guard<std::mutex> lock(mu_);
   if (!jsonl_path_.empty()) {
     std::ofstream f(jsonl_path_, std::ios::app);
@@ -62,6 +64,7 @@ void SlowQueryLog::Record(SlowQueryRecord rec) {
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  ScopedWaitState wait(WaitState::kLockWait);
   std::lock_guard<std::mutex> lock(mu_);
   return std::vector<SlowQueryRecord>(records_.begin(), records_.end());
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "telemetry/activity.h"
 #include "telemetry/trace_event.h"
 
 namespace fsdm::telemetry {
@@ -115,9 +116,10 @@ const std::vector<double>& DefaultSizeBounds() {
 SnapshotHistory::SnapshotHistory(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
-void SnapshotHistory::Tick(const MetricsRegistry& registry) {
+MetricsSnapshot TakeMetricsSnapshot(const MetricsRegistry& registry) {
   MetricsSnapshot snap;
   snap.ts_us = MonotonicNowUs();
+  std::lock_guard<std::mutex> lock(registry.mu_);
   for (const auto& [name, c] : registry.counters()) {
     snap.counters[name] = c->value();
   }
@@ -127,7 +129,11 @@ void SnapshotHistory::Tick(const MetricsRegistry& registry) {
   for (const auto& [name, h] : registry.histograms()) {
     snap.histograms[name] = {h->count(), h->sum()};
   }
-  ring_.push_back(std::move(snap));
+  return snap;
+}
+
+void SnapshotHistory::Tick(const MetricsRegistry& registry) {
+  ring_.push_back(TakeMetricsSnapshot(registry));
   if (ring_.size() > capacity_) ring_.erase(ring_.begin());
 }
 
@@ -168,6 +174,10 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  // Handle lookups happen once per call site (the macros cache them), so
+  // charging the registry mutex to the lock-wait class costs nothing on
+  // the steady-state path.
+  ScopedWaitState wait(WaitState::kLockWait);
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -175,6 +185,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  ScopedWaitState wait(WaitState::kLockWait);
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -183,6 +194,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
+  ScopedWaitState wait(WaitState::kLockWait);
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
@@ -278,10 +290,16 @@ void AppendJsonNumber(std::string* out, double v) {
 namespace {
 
 void AppendHistogramJson(std::string* out, const Histogram& h) {
+  const uint64_t count = h.count();
+  const double sum = h.sum();
   *out += "{\"count\":";
-  AppendJsonNumber(out, static_cast<double>(h.count()));
+  AppendJsonNumber(out, static_cast<double>(count));
   *out += ",\"sum\":";
-  AppendJsonNumber(out, h.sum());
+  AppendJsonNumber(out, sum);
+  // Mean spelled out so dashboards (and the sum-exposition unit test)
+  // never have to re-derive it from a racing count/sum pair.
+  *out += ",\"mean\":";
+  AppendJsonNumber(out, count > 0 ? sum / static_cast<double>(count) : 0.0);
   *out += ",\"min\":";
   AppendJsonNumber(out, h.min());
   *out += ",\"max\":";
@@ -298,6 +316,7 @@ void AppendHistogramJson(std::string* out, const Histogram& h) {
 }  // namespace
 
 std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -327,6 +346,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   auto number = [](double v) {
     std::string s;

@@ -124,6 +124,11 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramPoint> histograms;
 };
 
+/// One full-registry snapshot, timestamped now — what SnapshotHistory
+/// ticks and the workload repository (workload_repo.h) embeds per
+/// snapshot.
+MetricsSnapshot TakeMetricsSnapshot(const MetricsRegistry& registry);
+
 /// Explicitly-ticked ring of metrics snapshots (ISSUE 4): callers (the
 /// bench harness, tests, a future maintenance thread) call Tick() at the
 /// cadence they care about; delta/rate queries then read change-over-time
@@ -183,7 +188,9 @@ class MetricsRegistry {
   /// Direct map access for iteration (exposition, SnapshotHistory::Tick,
   /// TELEMETRY$METRICS). Callers must not race a first-use Get*() on
   /// another thread; in practice iteration happens between queries, when
-  /// the worker pool is idle.
+  /// the worker pool is idle, and the background ASH sampler pre-registers
+  /// its own metrics before its thread starts (ToJson/ToPrometheusText/
+  /// TakeMetricsSnapshot additionally hold the registry mutex).
   const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
     return counters_;
   }
@@ -211,6 +218,8 @@ class MetricsRegistry {
   void TickHistory() { history_.Tick(*this); }
 
  private:
+  friend MetricsSnapshot TakeMetricsSnapshot(const MetricsRegistry&);
+
   mutable std::mutex mu_;  // guards the three maps, not the metrics
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

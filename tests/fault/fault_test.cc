@@ -1,5 +1,6 @@
 #include "fault/fault.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -176,6 +177,50 @@ TEST_F(FaultTest, TriggersFeedTelemetryAndRegistryTotals) {
   EXPECT_EQ(telemetry::MetricsRegistry::Global().CounterValue(
                 "fsdm_fault_injections_total"),
             before_metric + 1);
+}
+
+TEST_F(FaultTest, StallSpecInjectsLatencyWithoutError) {
+  // ISSUE 7: latency-only injection — the point stalls (charged to the
+  // fault-stall wait class) but returns Ok, so callers proceed normally.
+  FaultSpec spec = FaultSpec::StallUs(2000);
+  spec.max_triggers = 3;
+  FaultRegistry::Global().Arm("test.status", spec);
+  const FaultPoint* p = FaultRegistry::Global().Find("test.status");
+  ASSERT_NE(p, nullptr);
+  const uint64_t triggers_before = p->triggers();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(HitStatus().ok());
+  const auto elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_us, 3 * 2000);
+  // Self-disarmed after max_triggers; no more stalls and still Ok.
+  EXPECT_TRUE(HitStatus().ok());
+  EXPECT_FALSE(p->armed());
+  EXPECT_EQ(p->triggers(), triggers_before + 3);
+
+  if (telemetry::kEnabled) {
+    EXPECT_GE(telemetry::MetricsRegistry::Global().CounterValue(
+                  "fsdm_fault_stall_us_total"),
+              uint64_t{3} * 2000);
+  }
+}
+
+TEST_F(FaultTest, StallComposesWithErrorCode) {
+  // A stall plus a non-Ok code: sleep first, then surface the fault.
+  FaultSpec spec = FaultSpec::Once(StatusCode::kUnavailable);
+  spec.stall_us = 1000;
+  FaultRegistry::Global().Arm("test.status", spec);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(HitStatus().code(), StatusCode::kUnavailable);
+  const auto elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_us, 1000);
+  EXPECT_TRUE(HitStatus().ok());
 }
 
 TEST_F(FaultTest, InjectionCounterVisibleThroughMetricsTable) {

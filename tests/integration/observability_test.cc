@@ -14,9 +14,12 @@
 #include "rdbms/executor.h"
 #include "sql/parser.h"
 #include "stats/operator_costs.h"
+#include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/sampler.h"
 #include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/workload_repo.h"
 
 /// End-to-end checks for the ISSUE 4 flight recorder: one collection
 /// insert must show up in the exported chrome trace as a nested span tree,
@@ -282,6 +285,74 @@ TEST_F(ObservabilityTest, CollectionsRelationListsLiveCollections) {
   rows = Q(&db_, "SELECT NAME FROM TELEMETRY$COLLECTIONS "
                  "WHERE NAME = 'OBSC'");
   EXPECT_TRUE(rows.empty());
+}
+
+// ISSUE 7 acceptance: the ASH ring and the workload repository answer
+// through the SQL mini-engine.
+TEST_F(ObservabilityTest, AshRelationQueryableFromSql) {
+  telemetry::ActivitySampler& sampler = telemetry::ActivitySampler::Global();
+  sampler.Stop();
+  sampler.ClearRing();
+  {
+    // Deterministic "active session": hold a lease and tick the sampler by
+    // hand instead of racing the background thread.
+    telemetry::ActivityLease lease = telemetry::ActivityLease::Begin(
+        "ASHQ", "indexed-value-scan", "RoutedQueryProbe", "SELECT 1",
+        /*shard=*/3, /*worker=*/-1);
+    for (int i = 0; i < 4; ++i) ASSERT_GE(sampler.SampleOnce(), 1u);
+  }
+
+  std::vector<std::string> rows =
+      Q(&db_, "SELECT COLLECTION, WAIT_STATE, WAIT_CLASS, ACCESS_PATH, SHARD "
+              "FROM TELEMETRY$ASH WHERE COLLECTION = 'ASHQ'");
+  ASSERT_EQ(rows.size(), 4u);
+  for (const std::string& row : rows) {
+    EXPECT_EQ(row, "ASHQ|on-cpu|cpu|indexed-value-scan|3");
+  }
+  // Off-pool samples carry a NULL worker; released leases stop sampling.
+  rows = Q(&db_, "SELECT TS_US FROM TELEMETRY$ASH "
+                 "WHERE COLLECTION = 'ASHQ' AND WORKER IS NULL");
+  EXPECT_EQ(rows.size(), 4u);
+  sampler.ClearRing();
+  (void)sampler.SampleOnce();
+  rows = Q(&db_, "SELECT TS_US FROM TELEMETRY$ASH "
+                 "WHERE COLLECTION = 'ASHQ'");
+  EXPECT_TRUE(rows.empty());
+  sampler.ClearRing();
+}
+
+TEST_F(ObservabilityTest, SnapshotsRelationQueryableFromSql) {
+  telemetry::ActivitySampler& sampler = telemetry::ActivitySampler::Global();
+  telemetry::WorkloadRepository& repo =
+      telemetry::WorkloadRepository::Global();
+  sampler.Stop();
+  sampler.ClearRing();
+  repo.Clear();
+
+  {
+    telemetry::ActivityLease lease = telemetry::ActivityLease::Begin(
+        "AWRQ", "full-scan", "probe", "SELECT COUNT(*) FROM AWRQ");
+    for (int i = 0; i < 3; ++i) ASSERT_GE(sampler.SampleOnce(), 1u);
+    telemetry::ScopedWaitState wait(telemetry::WaitState::kLockWait);
+    ASSERT_GE(sampler.SampleOnce(), 1u);
+  }
+  (void)repo.TakeSnapshot("sql-phase");
+
+  std::vector<std::string> rows =
+      Q(&db_,
+        "SELECT LABEL, DB_SAMPLES, TOP_WAIT_CLASS, TOP_QUERY FROM "
+        "TELEMETRY$SNAPSHOTS WHERE LABEL = 'sql-phase'");
+  ASSERT_EQ(rows.size(), 1u);
+  // 4 samples: 3 on-cpu, 1 lock-wait -> dominant wait class concurrency.
+  EXPECT_EQ(rows[0],
+            "sql-phase|4|concurrency|SELECT COUNT(*) FROM AWRQ");
+  rows = Q(&db_, "SELECT CPU_PCT FROM TELEMETRY$SNAPSHOTS "
+                 "WHERE LABEL = 'sql-phase'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0]), 75.0);
+
+  sampler.ClearRing();
+  repo.Clear();
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rdbms/executor.h"
+#include "telemetry/activity.h"
 
 namespace fsdm::rdbms {
 namespace {
@@ -137,6 +139,92 @@ TEST(ParallelUnionTest, ErrorInOneChildSurfacesFromDrain) {
   auto rows = Collect(op.get());
   ASSERT_FALSE(rows.ok());
   EXPECT_NE(rows.status().message().find("boom"), std::string::npos);
+}
+
+TEST(ParallelUnionTest, ResizeWhileQueriesDrainKeepsOrderAndNoDanglingActivity) {
+  // ISSUE 7 satellite: shrink and grow the pool while parallel queries are
+  // draining on other threads. Every drain must still return its children's
+  // rows in child order with valid worker stamps, and once the drains
+  // finish no activity record may be left active (the RAII leases released
+  // on every path).
+  WorkerPool& pool = WorkerPool::Global();
+  pool.Resize(4);
+
+  constexpr int kDrivers = 3;
+  constexpr int kIters = 12;
+  std::atomic<bool> order_ok{true};
+  std::atomic<bool> workers_ok{true};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      for (int it = 0; it < kIters; ++it) {
+        std::vector<OperatorPtr> children;
+        std::atomic<int> stamped{0};
+        for (int64_t c = 0; c < 6; ++c) {
+          children.push_back(ActivityScope(
+              NumberSource(c * 100, 20), "RESIZE_" + std::to_string(d),
+              "values", "morsel.drain", "q", static_cast<int>(c)));
+        }
+        auto op = ParallelUnionAll(
+            std::move(children), [&](size_t, int worker) {
+              if (worker < 0) workers_ok = false;
+              stamped.fetch_add(1);
+            });
+        std::vector<int64_t> got = DrainInts(op.get());
+        std::vector<int64_t> want;
+        for (int64_t c = 0; c < 6; ++c) {
+          for (int64_t i = 0; i < 20; ++i) want.push_back(c * 100 + i);
+        }
+        if (got != want) order_ok = false;
+        if (stamped.load() != 6) workers_ok = false;
+      }
+    });
+  }
+  // Churn the pool size under the drains: each Resize drains the queue,
+  // joins the old workers and relaunches — drains in flight must ride
+  // through the worker-index reshuffle.
+  for (size_t w : {2u, 6u, 1u, 4u}) {
+    pool.Resize(w);
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_TRUE(order_ok.load());
+  EXPECT_TRUE(workers_ok.load());
+  pool.Resize(4);  // final barrier: everything submitted has run
+  EXPECT_EQ(telemetry::ActivityRegistry::Global().ActiveCount(), 0u);
+}
+
+TEST(ParallelUnionTest, ActivityScopeForwardsRowsAndReleasesOnOpenFailure) {
+  // Transparent wrapper: same rows, same schema.
+  auto wrapped = ActivityScope(NumberSource(5, 3), "COLL", "values",
+                               "morsel.drain", "q", /*shard=*/0);
+  EXPECT_EQ(wrapped->schema().columns(), std::vector<std::string>{"N"});
+  EXPECT_EQ(DrainInts(wrapped.get()), (std::vector<int64_t>{5, 6, 7}));
+  EXPECT_EQ(telemetry::ActivityRegistry::Global().ActiveCount(), 0u);
+
+  // A child whose Open fails never sees Close(); the scope must release
+  // its lease on that path too (ISSUE 7 satellite f).
+  class FailingOp final : public Operator {
+   public:
+    FailingOp() { schema_ = Schema({"N"}); }
+    Status Open() override { return Status::Internal("open-fail"); }
+    Result<bool> Next(Row*) override { return false; }
+    void Close() override {}
+  };
+  auto failing = ActivityScope(std::make_unique<FailingOp>(), "COLL",
+                               "values", "morsel.drain", "q", 0);
+  EXPECT_FALSE(failing->Open().ok());
+  EXPECT_EQ(telemetry::ActivityRegistry::Global().ActiveCount(), 0u);
+
+  // An abandoned drain (Open ok, no Close) releases via the destructor.
+  {
+    auto abandoned = ActivityScope(NumberSource(0, 2), "COLL", "values",
+                                   "morsel.drain", "q", 0);
+    ASSERT_TRUE(abandoned->Open().ok());
+    if (telemetry::kEnabled) {
+      EXPECT_EQ(telemetry::ActivityRegistry::Global().ActiveCount(), 1u);
+    }
+  }
+  EXPECT_EQ(telemetry::ActivityRegistry::Global().ActiveCount(), 0u);
 }
 
 }  // namespace

@@ -7,11 +7,15 @@
 
 #include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rdbms/parallel.h"
+#include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/workload_repo.h"
 
 namespace fsdm::telemetry {
 namespace {
@@ -102,6 +106,54 @@ TEST(TelemetryConcurrencyTest, FlightRecorderRingsAcrossWorkers) {
   // Every span completed (rings are big enough not to wrap here).
   EXPECT_EQ(span_ends, size_t{kTasks} * 50);
   EXPECT_EQ(rec.TotalDropped(), 0u);
+}
+
+TEST(TelemetryConcurrencyTest, SamplerReadsRaceLeaseChurnSafely) {
+  if (!kEnabled) GTEST_SKIP() << "built with -DFSDM_TELEMETRY=OFF";
+  // ISSUE 7 satellite: the ASH sampler reads every activity record while
+  // pool workers churn leases and flip wait states. The ring, the record
+  // identity strings and the relaxed state bytes must all survive TSan.
+  ActivitySampler& sampler = ActivitySampler::Global();
+  sampler.Stop();
+  sampler.ClearRing();
+  rdbms::WorkerPool& pool = rdbms::WorkerPool::Global();
+  pool.Resize(4);
+
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    while (!stop.load()) {
+      (void)sampler.SampleOnce();
+      (void)sampler.Snapshot();
+      (void)sampler.Aggregate();
+      (void)ActivityRegistry::Global().Samples();
+    }
+  });
+
+  constexpr int kTasks = 48;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([t] {
+      for (int i = 0; i < 100; ++i) {
+        ActivityLease lease = ActivityLease::Begin(
+            "CONC_" + std::to_string(t % 4), "path", "op",
+            "q" + std::to_string(i % 8), /*shard=*/t % 4,
+            rdbms::WorkerPool::CurrentWorkerIndex());
+        ScopedWaitState wait(i % 2 == 0 ? WaitState::kLockWait
+                                        : WaitState::kFaultStall);
+      }
+    });
+  }
+  // Snapshots taken mid-churn exercise the repo's sampler-then-metrics
+  // lock ordering against concurrent first-use registrations.
+  (void)WorkloadRepository::Global().TakeSnapshot("conc-mid");
+  pool.Resize(4);  // barrier: every task drained
+  stop = true;
+  hammer.join();
+  (void)WorkloadRepository::Global().TakeSnapshot("conc-end");
+
+  // No task leaked a lease: nothing is active once the pool is quiet.
+  EXPECT_EQ(ActivityRegistry::Global().ActiveCount(), 0u);
+  sampler.ClearRing();
+  WorkloadRepository::Global().Clear();
 }
 
 }  // namespace

@@ -125,6 +125,43 @@ TEST(MetricsRegistryTest, ExposuresContainRegisteredMetrics) {
   EXPECT_NE(prom.find("quantile=\"0.95\""), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, HistogramExposuresCarrySumAndDerivableMean) {
+  // Mean latency must be derivable from every exposure surface: the JSON
+  // dump carries sum and a precomputed mean, the Prometheus text carries
+  // the classic _sum/_count pair, and MetricsSnapshot carries (count, sum)
+  // so snapshot deltas yield per-window means.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("test_mean_pin_us");
+  h->Reset();
+  h->Observe(10);
+  h->Observe(20);
+  h->Observe(60);
+
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"test_mean_pin_us\":{\"count\":3,\"sum\":90,"
+                      "\"mean\":30"),
+            std::string::npos)
+      << json;
+
+  std::string prom = reg.ToPrometheusText();
+  EXPECT_NE(prom.find("test_mean_pin_us_sum 90"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("test_mean_pin_us_count 3"), std::string::npos) << prom;
+
+  MetricsSnapshot snap = TakeMetricsSnapshot(reg);
+  auto it = snap.histograms.find("test_mean_pin_us");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count, 3u);
+  EXPECT_DOUBLE_EQ(it->second.sum, 90.0);
+
+  // Empty histogram: mean reports 0, not NaN.
+  h->Reset();
+  json = reg.ToJson();
+  EXPECT_NE(json.find("\"test_mean_pin_us\":{\"count\":0,\"sum\":0,"
+                      "\"mean\":0"),
+            std::string::npos)
+      << json;
+}
+
 TEST(MetricsRegistryTest, MacrosFeedTheGlobalRegistry) {
   if (!kEnabled) GTEST_SKIP() << "built with FSDM_TELEMETRY=OFF";
   MetricsRegistry& reg = MetricsRegistry::Global();
