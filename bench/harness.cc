@@ -125,6 +125,17 @@ void BenchJson::Str(const std::string& key, const std::string& v) {
          telemetry::JsonEscape(v) + "\"";
 }
 
+void BenchJson::SetExtraSection(const std::string& key,
+                                const std::string& json) {
+  for (auto& [k, v] : extra_sections_) {
+    if (k == key) {
+      v = json;
+      return;
+    }
+  }
+  extra_sections_.emplace_back(key, json);
+}
+
 void BenchJson::Write() const {
   if (name_.empty()) return;
   // Final snapshot so the tail window (last row -> exit) is captured, then
@@ -148,6 +159,10 @@ void BenchJson::Write() const {
   }
   out += "],\"metrics\":";
   out += telemetry::MetricsRegistry::Global().ToJson();
+
+  for (const auto& [key, json] : extra_sections_) {
+    out += ",\"" + telemetry::JsonEscape(key) + "\":" + json;
+  }
 
   // Whole-run counter rates from the snapshot history (one tick per row);
   // absent when fewer than two ticks happened.

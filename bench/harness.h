@@ -71,6 +71,12 @@ class BenchJson {
   void Num(const std::string& key, double v);
   void Str(const std::string& key, const std::string& v);
 
+  /// Attaches a bench-specific top-level section: `"key": <json>` emitted
+  /// verbatim next to "rows"/"metrics". `json` must be a complete JSON
+  /// value (the WAL bench uses this for its durability summary, which
+  /// check_bench_json.py validates under the "wal" key).
+  void SetExtraSection(const std::string& key, const std::string& json);
+
   /// Writes BENCH_<name>.json; no-op before Init().
   void Write() const;
 
@@ -79,6 +85,7 @@ class BenchJson {
   size_t docs_ = 0;
   std::vector<std::string> header_;
   std::vector<std::string> rows_;  // encoded JSON object bodies
+  std::vector<std::pair<std::string, std::string>> extra_sections_;
 };
 
 /// The §6.3 purchase-order dataset in all four storage methods. The TEXT

@@ -168,7 +168,64 @@ def write_scaling_markdown(f, scaling):
                 f"| {speedup:g}x |\n")
 
 
-def write_markdown(path, table, threshold, scaling=None, wait_classes=None):
+def collect_wal(base, cand):
+    """Durable-ingest throughput per fsync policy plus recovery time from
+    the "wal" section bench_wal_durability attaches. Rows pair the
+    candidate numbers with the baseline's (when the baseline ran the
+    bench) so fsync-path regressions show up next to the policy name."""
+    ingest = []
+    recovery = None
+    for name in sorted(cand):
+        wal = cand[name].get("wal")
+        if not isinstance(wal, dict):
+            continue
+        base_wal = base.get(name, {}).get("wal", {})
+        base_by_policy = {e.get("policy"): e
+                          for e in base_wal.get("ingest", [])
+                          if isinstance(e, dict)}
+        for entry in wal.get("ingest", []):
+            if not isinstance(entry, dict):
+                continue
+            old = base_by_policy.get(entry.get("policy"), {})
+            ingest.append((name, entry.get("policy", "?"),
+                           old.get("docs_per_sec"),
+                           entry.get("docs_per_sec"),
+                           entry.get("fsyncs")))
+        rec = wal.get("recovery")
+        if isinstance(rec, dict):
+            recovery = (name, base_wal.get("recovery", {}).get("ms"),
+                        rec.get("ms"), rec.get("lsns_replayed"),
+                        rec.get("docs"))
+    if not ingest and recovery is None:
+        return None
+    return ingest, recovery
+
+
+def write_wal_markdown(f, wal):
+    ingest, recovery = wal
+    f.write("\n### WAL durable ingest (docs/sec per fsync policy)\n\n")
+    f.write("| bench | policy | baseline | candidate | delta | fsyncs |\n")
+    f.write("|---|---|---:|---:|---:|---:|\n")
+    for name, policy, old, new, fsyncs in ingest:
+        old_s = f"{old:g}" if old is not None else "n/a"
+        new_s = f"{new:g}" if new is not None else "?"
+        if old and new:
+            delta = f"{100.0 * (new - old) / old:+.1f}%"
+        else:
+            delta = "n/a"
+        fsyncs_s = f"{fsyncs:d}" if fsyncs is not None else "?"
+        f.write(f"| {name} | {policy} | {old_s} | {new_s} | {delta} "
+                f"| {fsyncs_s} |\n")
+    if recovery is not None:
+        name, old_ms, new_ms, lsns, docs = recovery
+        old_s = f"{old_ms:g} ms" if old_ms is not None else "n/a"
+        f.write(f"\nRecovery ({name}): {new_ms:g} ms to replay "
+                f"{lsns} LSNs into {docs} docs "
+                f"(baseline {old_s}).\n")
+
+
+def write_markdown(path, table, threshold, scaling=None, wait_classes=None,
+                   wal=None):
     with open(path, "w", encoding="utf-8") as f:
         f.write("### Bench comparison vs baseline\n\n")
         if not table:
@@ -186,6 +243,8 @@ def write_markdown(path, table, threshold, scaling=None, wait_classes=None):
                         f"metrics.\n")
         if scaling:
             write_scaling_markdown(f, scaling)
+        if wal:
+            write_wal_markdown(f, wal)
         if wait_classes:
             write_wait_class_markdown(f, wait_classes)
 
@@ -229,7 +288,8 @@ def main():
     if args.markdown:
         write_markdown(args.markdown, table, args.fail_threshold,
                        scaling=collect_scaling(cand),
-                       wait_classes=collect_wait_classes(cand))
+                       wait_classes=collect_wait_classes(cand),
+                       wal=collect_wal(base, cand))
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "

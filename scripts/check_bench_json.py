@@ -62,6 +62,7 @@ def check(path):
                            f"'{key}'")
 
     check_ash(path, doc)
+    check_wal(path, doc)
     snaps = doc.get("workload_snapshots")
     if not isinstance(snaps, list):
         fail(path, "missing 'workload_snapshots' array")
@@ -91,7 +92,7 @@ def check(path):
           f"{ash['window'].get('db_samples', 0)} ash samples)")
 
 
-WAIT_CLASSES = {"idle", "cpu", "scheduler", "concurrency", "fault"}
+WAIT_CLASSES = {"idle", "cpu", "scheduler", "concurrency", "fault", "io"}
 
 
 def check_ash_window(path, where, window):
@@ -141,6 +142,47 @@ def check_ash(path, doc):
         if not isinstance(ash.get(key), int):
             fail(path, f"ash.{key} missing or not an int")
     check_ash_window(path, "ash.window", ash.get("window"))
+
+
+def check_wal(path, doc):
+    """The "wal" section bench_wal_durability attaches: durable-ingest
+    throughput per fsync policy plus recovery time. Optional — only the
+    WAL bench emits it — but when present the shape is enforced so
+    bench_compare.py can diff it."""
+    wal = doc.get("wal")
+    if wal is None:
+        return
+    if not isinstance(wal, dict):
+        fail(path, "'wal' is not an object")
+    ingest = wal.get("ingest")
+    if not isinstance(ingest, list) or not ingest:
+        fail(path, "wal.ingest missing or empty")
+    policies = set()
+    for i, entry in enumerate(ingest):
+        where = f"wal.ingest[{i}]"
+        if not isinstance(entry, dict):
+            fail(path, f"{where} is not an object")
+        if not isinstance(entry.get("policy"), str):
+            fail(path, f"{where} missing 'policy'")
+        for key in ("docs_per_sec", "ingest_ms"):
+            if not isinstance(entry.get(key), (int, float)) \
+                    or entry[key] <= 0:
+                fail(path, f"{where} missing positive '{key}'")
+        if not isinstance(entry.get("fsyncs"), int):
+            fail(path, f"{where} missing int 'fsyncs'")
+        policies.add(entry["policy"])
+    missing = {"off", "group", "always"} - policies
+    if missing:
+        fail(path, f"wal.ingest missing policies {missing}")
+    recovery = wal.get("recovery")
+    if not isinstance(recovery, dict):
+        fail(path, "wal.recovery missing or not an object")
+    if not isinstance(recovery.get("ms"), (int, float)):
+        fail(path, "wal.recovery.ms missing or not a number")
+    for key in ("lsns_replayed", "docs"):
+        if not isinstance(recovery.get(key), int) or recovery[key] <= 0:
+            fail(path, f"wal.recovery.{key} missing or not positive — "
+                       f"the recovery leg replayed nothing")
 
 
 def main():

@@ -1,6 +1,8 @@
 #include "collection/collection.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "collection/collections_table.h"
@@ -8,6 +10,9 @@
 #include "fault/fault.h"
 #include "json/dom.h"
 #include "json/parser.h"
+#include "json/serializer.h"
+#include "oson/oson.h"
+#include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/trace_event.h"
 
@@ -49,6 +54,10 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
         new JsonCollection(db, name, options));
     CollectionOptions shard_options = options;
     shard_options.shard_count = 1;
+    // The facade owns the write-ahead log for every shard (one LSN
+    // sequence makes cross-shard replay ordering trivial); the children
+    // must not open their own.
+    shard_options.wal_dir.clear();
     for (size_t i = 0; i < options.shard_count; ++i) {
       Result<std::unique_ptr<JsonCollection>> shard = Create(
           db, name + "$s" + std::to_string(i), shard_options);
@@ -62,9 +71,20 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
         return shard.status();
       }
       CollectionRegistry::Global().Unregister(shard.value().get());
+      shard.value()->is_shard_ = true;
       facade->shards_.push_back(std::move(shard).value());
     }
     if (options.install_oson_column) facade->oson_column_ = kOsonColumnName;
+    if (!options.wal_dir.empty()) {
+      Status walled = facade->InitWal();
+      if (!walled.ok()) {
+        for (std::unique_ptr<JsonCollection>& built : facade->shards_) {
+          built->Detach();
+          (void)db->DropTable(built->name());
+        }
+        return walled;
+      }
+    }
     facade->health();  // publish the initial health gauge
     CollectionRegistry::Global().Register(facade.get());
     return facade;
@@ -122,6 +142,17 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     (void)db->DropTable(name);
     return wired;
   }
+  if (!options.wal_dir.empty()) {
+    // Open (and, on an existing log, replay) the WAL only once the whole
+    // stack is wired: replay drives the ordinary DML paths so the index,
+    // DataGuide, IMC state and path statistics rebuild as a side effect.
+    Status walled = coll->InitWal();
+    if (!walled.ok()) {
+      coll->Detach();
+      (void)db->DropTable(name);
+      return walled;
+    }
+  }
   coll->health();  // publish the initial health gauge
   CollectionRegistry::Global().Register(coll.get());
   return coll;
@@ -131,6 +162,7 @@ JsonCollection::~JsonCollection() { Detach(); }
 
 void JsonCollection::Detach() {
   if (detached_) return;
+  if (wal_ != nullptr && !wal_->failed()) (void)wal_->Flush();
   CollectionRegistry::Global().Unregister(this);
   for (std::unique_ptr<JsonCollection>& shard : shards_) shard->Detach();
   if (table_ != nullptr && dml_observer_ != nullptr) {
@@ -393,7 +425,43 @@ ConsistencyReport JsonCollection::CheckConsistency() const {
 
 // --- DML --------------------------------------------------------------------
 
+// The public Insert/Delete/Replace are thin wrappers since ISSUE 8: they
+// publish the operation as leased activity (so write-heavy workloads show
+// up in the ASH time model — the PR 7 follow-up) and, on a durable
+// collection, append the operation to the WAL *before* applying it. Shard
+// children skip both — the facade already logged and leased — and go
+// straight to the Apply* bodies, which are the pre-ISSUE-8 DML paths.
+//
+// Append-then-apply protocol: the OSON image is encoded first (an encode
+// failure logs nothing), the record is appended (under fsync=always the
+// ack implies durability), and only then does the engine apply. An apply
+// failure appends a best-effort kAbort compensation so replay will not
+// resurrect an operation the client saw fail. Between append and apply
+// sits the "wal.apply.crash" fault point: it returns an error WITHOUT
+// compensation, leaving exactly the on-disk state a crash at that instant
+// would — the redo of such a record is what the durable-collection tests
+// assert.
+
 Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
+  if (is_shard_) return ApplyInsert(std::move(key), std::move(json_text));
+  telemetry::ActivityLease lease =
+      telemetry::ActivityLease::Begin(name_, "dml", "collection.insert", "");
+  uint64_t lsn = 0;
+  const bool logged = wal_ != nullptr && !wal_replaying_;
+  if (logged) {
+    FSDM_ASSIGN_OR_RETURN(std::string oson_image,
+                          oson::EncodeFromText(json_text));
+    FSDM_ASSIGN_OR_RETURN(
+        lsn, wal_->AppendInsert(static_cast<uint32_t>(ShardForKey(key)), key,
+                                oson_image));
+    FSDM_FAULT_POINT("wal.apply.crash");
+  }
+  Result<size_t> row = ApplyInsert(std::move(key), std::move(json_text));
+  if (logged && !row.ok()) wal_->AppendAbort(lsn);
+  return row;
+}
+
+Result<size_t> JsonCollection::ApplyInsert(Value key, std::string json_text) {
   if (sharded()) {
     // Hash placement + row-id encoding: global = local * N + shard, the
     // identity mapping at N = 1. The child carries telemetry and its own
@@ -414,13 +482,30 @@ Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
 }
 
 Result<size_t> JsonCollection::Insert(std::string json_text) {
-  // Delegates to the keyed overload, which carries the telemetry (and the
-  // shard placement when sharded). The facade owns the auto-key sequence
-  // so keys stay collection-unique across shards.
+  // Delegates to the keyed overload, which carries the telemetry, the WAL
+  // append, and the shard placement when sharded. The facade owns the
+  // auto-key sequence so keys stay collection-unique across shards.
   return Insert(Value::Int64(next_auto_key_++), std::move(json_text));
 }
 
 Status JsonCollection::Delete(size_t row_id) {
+  if (is_shard_) return ApplyDelete(row_id);
+  telemetry::ActivityLease lease =
+      telemetry::ActivityLease::Begin(name_, "dml", "collection.delete", "");
+  uint64_t lsn = 0;
+  const bool logged = wal_ != nullptr && !wal_replaying_;
+  if (logged) {
+    const uint32_t s =
+        sharded() ? static_cast<uint32_t>(row_id % shards_.size()) : 0;
+    FSDM_ASSIGN_OR_RETURN(lsn, wal_->AppendDelete(s, row_id));
+    FSDM_FAULT_POINT("wal.apply.crash");
+  }
+  Status applied = ApplyDelete(row_id);
+  if (logged && !applied.ok()) wal_->AppendAbort(lsn);
+  return applied;
+}
+
+Status JsonCollection::ApplyDelete(size_t row_id) {
   if (sharded()) {
     return shards_[row_id % shards_.size()]->Delete(row_id / shards_.size());
   }
@@ -434,6 +519,29 @@ Status JsonCollection::Delete(size_t row_id) {
 
 Status JsonCollection::Replace(size_t row_id, Value key,
                                std::string json_text) {
+  if (is_shard_) {
+    return ApplyReplace(row_id, std::move(key), std::move(json_text));
+  }
+  telemetry::ActivityLease lease =
+      telemetry::ActivityLease::Begin(name_, "dml", "collection.replace", "");
+  uint64_t lsn = 0;
+  const bool logged = wal_ != nullptr && !wal_replaying_;
+  if (logged) {
+    const uint32_t s =
+        sharded() ? static_cast<uint32_t>(row_id % shards_.size()) : 0;
+    FSDM_ASSIGN_OR_RETURN(std::string oson_image,
+                          oson::EncodeFromText(json_text));
+    FSDM_ASSIGN_OR_RETURN(lsn,
+                          wal_->AppendReplace(s, row_id, key, oson_image));
+    FSDM_FAULT_POINT("wal.apply.crash");
+  }
+  Status applied = ApplyReplace(row_id, std::move(key), std::move(json_text));
+  if (logged && !applied.ok()) wal_->AppendAbort(lsn);
+  return applied;
+}
+
+Status JsonCollection::ApplyReplace(size_t row_id, Value key,
+                                    std::string json_text) {
   if (sharded()) {
     const size_t s = row_id % shards_.size();
     if (ShardForKey(key) != s) {
@@ -455,6 +563,255 @@ Status JsonCollection::Replace(size_t row_id, Value key,
   span.AddTextArg("name", name_);
   return table_->Replace(
       row_id, {std::move(key), Value::String(std::move(json_text))});
+}
+
+// --- Durability (ISSUE 8) ---------------------------------------------------
+
+namespace {
+
+/// Replay-side payload decode: OSON image -> canonical JSON text, which is
+/// exactly what the stored JDOC of the original insert canonicalizes to
+/// after its own OSON round trip — replayed state is byte-identical.
+Result<std::string> OsonImageToText(const std::string& oson_image) {
+  FSDM_ASSIGN_OR_RETURN(std::unique_ptr<json::JsonNode> node,
+                        oson::Decode(oson_image));
+  return json::Serialize(*node);
+}
+
+}  // namespace
+
+Status JsonCollection::InitWal() {
+  wal::WalOptions wal_options;
+  wal_options.dir = options_.wal_dir;
+  wal_options.segment_bytes = options_.wal_segment_bytes;
+  wal_options.group_ops = options_.wal_group_ops;
+  wal_options.fsync = options_.wal_fsync.has_value()
+                          ? *options_.wal_fsync
+                          : wal::FsyncPolicyFromEnv();
+  FSDM_ASSIGN_OR_RETURN(wal::Wal::OpenResult opened,
+                        wal::Wal::Open(std::move(wal_options)));
+  wal_ = std::move(opened.wal);
+  if (!opened.replay.empty()) {
+    FSDM_RETURN_NOT_OK(ReplayWal(opened.replay));
+  }
+  return Status::Ok();
+}
+
+Status JsonCollection::ReplayWal(const std::vector<wal::Record>& records) {
+  FSDM_TRACE_SPAN(span, "wal", "wal.replay");
+  span.AddTextArg("name", name_);
+  FSDM_TIME_SCOPE_US("fsdm_wal_replay_us");
+  telemetry::ActivityLease lease =
+      telemetry::ActivityLease::Begin(name_, "dml", "collection.recover", "");
+  wal::RecoveryInfo* info = wal_->mutable_recovery();
+  const uint64_t t0 = telemetry::MonotonicNowUs();
+
+  // Analysis pass: collect compensated LSNs (their operations appended
+  // but never applied) and find the last *complete* checkpoint — a Begin
+  // whose End made it into the durable prefix. An interrupted checkpoint
+  // is skipped entirely; replay falls back to the records before it.
+  std::unordered_set<uint64_t> aborted;
+  size_t start = 0;
+  bool from_checkpoint = false;
+  {
+    size_t begin_idx = SIZE_MAX;
+    for (size_t i = 0; i < records.size(); ++i) {
+      const wal::Record& r = records[i];
+      if (r.type == wal::RecordType::kAbort) aborted.insert(r.ref_id);
+      if (r.type == wal::RecordType::kCheckpointBegin) begin_idx = i;
+      if (r.type == wal::RecordType::kCheckpointEnd && begin_idx != SIZE_MAX) {
+        start = begin_idx;
+        from_checkpoint = true;
+        begin_idx = SIZE_MAX;
+      }
+    }
+  }
+
+  // Redo pass. Row ids in the log are the ids the original process
+  // observed; replaying only the successful operations in order against
+  // the append-only table reproduces them exactly — except after a
+  // checkpoint, where dead rows compact away. The checkpoint carries
+  // everything needed to translate: each CheckpointDoc maps its logged id
+  // to the id replay assigns, and post-checkpoint inserts are matched by
+  // counting against the per-shard row high-water marks the Begin record
+  // snapshotted.
+  std::unordered_map<uint64_t, uint64_t> idmap;
+  const size_t nshards = shard_count();
+  std::vector<uint64_t> highwater(nshards, 0);
+  std::vector<uint64_t> ck_inserts(nshards, 0);
+  bool in_chosen_checkpoint = false;
+  wal_replaying_ = true;
+  Status replayed = [&]() -> Status {
+    for (size_t i = start; i < records.size(); ++i) {
+      const wal::Record& r = records[i];
+      if (aborted.count(r.lsn) > 0) {
+        ++info->aborted_skipped;
+        continue;
+      }
+      switch (r.type) {
+        case wal::RecordType::kAbort:
+          continue;
+        case wal::RecordType::kCheckpointBegin:
+          if (i == start) {
+            in_chosen_checkpoint = true;
+            next_auto_key_ = static_cast<int64_t>(r.next_auto_key);
+            for (size_t s = 0;
+                 s < nshards && s < r.shard_highwater.size(); ++s) {
+              highwater[s] = r.shard_highwater[s];
+            }
+          }
+          continue;
+        case wal::RecordType::kCheckpointEnd:
+          if (in_chosen_checkpoint) {
+            in_chosen_checkpoint = false;
+            if (r.ref_id != idmap.size()) {
+              return Status::Corruption(
+                  "WAL checkpoint declares " + std::to_string(r.ref_id) +
+                  " documents, replayed " + std::to_string(idmap.size()));
+            }
+          }
+          continue;
+        case wal::RecordType::kCheckpointDoc: {
+          // Docs of an interrupted checkpoint (not the chosen start) are
+          // state the surrounding DML records already cover; skip them.
+          if (!in_chosen_checkpoint) continue;
+          FSDM_ASSIGN_OR_RETURN(std::string text, OsonImageToText(r.oson));
+          Result<size_t> actual = Insert(Value(r.key), std::move(text));
+          if (!actual.ok()) {
+            return Status::Corruption(
+                "WAL replay: checkpoint doc at LSN " + std::to_string(r.lsn) +
+                " failed to apply: " + actual.status().message());
+          }
+          idmap[r.ref_id] = actual.value();
+          ++info->records_applied;
+          continue;
+        }
+        case wal::RecordType::kInsert: {
+          FSDM_ASSIGN_OR_RETURN(std::string text, OsonImageToText(r.oson));
+          if (r.key.type() == ScalarType::kInt64 &&
+              r.key.AsInt64() >= next_auto_key_) {
+            next_auto_key_ = r.key.AsInt64() + 1;
+          }
+          Result<size_t> actual = Insert(Value(r.key), std::move(text));
+          if (!actual.ok()) {
+            return Status::Corruption(
+                "WAL replay: insert at LSN " + std::to_string(r.lsn) +
+                " failed to apply: " + actual.status().message());
+          }
+          if (from_checkpoint) {
+            const size_t s = r.shard < nshards ? r.shard : 0;
+            const uint64_t orig_local = highwater[s] + ck_inserts[s]++;
+            idmap[nshards > 1 ? orig_local * nshards + s : orig_local] =
+                actual.value();
+          }
+          ++info->records_applied;
+          continue;
+        }
+        case wal::RecordType::kDelete:
+        case wal::RecordType::kReplace: {
+          uint64_t row_id = r.ref_id;
+          if (from_checkpoint) {
+            auto it = idmap.find(row_id);
+            if (it == idmap.end()) {
+              return Status::Corruption(
+                  "WAL replay: LSN " + std::to_string(r.lsn) +
+                  " references row " + std::to_string(row_id) +
+                  " the checkpoint does not cover");
+            }
+            row_id = it->second;
+          }
+          Status applied;
+          if (r.type == wal::RecordType::kDelete) {
+            applied = Delete(static_cast<size_t>(row_id));
+          } else {
+            FSDM_ASSIGN_OR_RETURN(std::string text, OsonImageToText(r.oson));
+            applied = Replace(static_cast<size_t>(row_id), Value(r.key),
+                              std::move(text));
+          }
+          if (!applied.ok()) {
+            return Status::Corruption(
+                "WAL replay: " + std::string(RecordTypeName(r.type)) +
+                " at LSN " + std::to_string(r.lsn) +
+                " failed to apply: " + applied.message());
+          }
+          ++info->records_applied;
+          continue;
+        }
+      }
+      return Status::Corruption("WAL replay: unknown record type at LSN " +
+                                std::to_string(r.lsn));
+    }
+    return Status::Ok();
+  }();
+  wal_replaying_ = false;
+  if (!replayed.ok()) return replayed;
+  info->replay_ms =
+      static_cast<double>(telemetry::MonotonicNowUs() - t0) / 1000.0;
+
+  // The replayed stack must agree with itself before it is handed out.
+  ConsistencyReport report = CheckConsistency();
+  if (!report.consistent) {
+    return Status::Corruption("WAL replay left collection inconsistent:\n" +
+                              report.ToString());
+  }
+  // Re-anchor: a fresh checkpoint makes the ids the *next* replay assigns
+  // line up with the snapshot (this generation may have compacted dead
+  // rows away), and truncates the history just replayed.
+  return Checkpoint();
+}
+
+size_t JsonCollection::KeyPhysicalPos(const rdbms::Table* t) const {
+  for (size_t c = 0; c < t->physical_columns().size(); ++c) {
+    if (t->columns()[t->physical_columns()[c]].name == options_.key_column) {
+      return c;
+    }
+  }
+  return 0;
+}
+
+Status JsonCollection::AppendCheckpointDocs(uint64_t* doc_count) {
+  const size_t nshards = shard_count();
+  for (size_t s = 0; s < nshards; ++s) {
+    const rdbms::Table* t = shard(s)->table();
+    const size_t key_pos = KeyPhysicalPos(t);
+    const size_t json_pos = shard(s)->json_physical_pos_;
+    for (size_t r = 0; r < t->row_count(); ++r) {
+      if (!t->IsLive(r)) continue;
+      const Value& key = t->StoredRow(r)[key_pos];
+      const Value& doc = t->StoredRow(r)[json_pos];
+      FSDM_ASSIGN_OR_RETURN(
+          std::string oson_image,
+          oson::EncodeFromText(doc.is_null() ? "null" : doc.AsString()));
+      const uint64_t global = nshards > 1 ? r * nshards + s : r;
+      FSDM_RETURN_NOT_OK(wal_->CheckpointDoc(static_cast<uint32_t>(s), global,
+                                             key, oson_image));
+      ++*doc_count;
+    }
+  }
+  return Status::Ok();
+}
+
+Status JsonCollection::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("collection " + name_ +
+                                   " has no write-ahead log");
+  }
+  FSDM_TRACE_SPAN(span, "wal", "wal.checkpoint");
+  span.AddTextArg("name", name_);
+  FSDM_TIME_SCOPE_US("fsdm_wal_checkpoint_us");
+  const size_t nshards = shard_count();
+  std::vector<uint64_t> highwater(nshards, 0);
+  for (size_t s = 0; s < nshards; ++s) {
+    // row_count() counts tombstones too: the high-water mark is the next
+    // local row id the shard will assign, which is what the replay-side
+    // insert matching needs.
+    highwater[s] = shard(s)->table()->row_count();
+  }
+  FSDM_RETURN_NOT_OK(wal_->CheckpointBegin(
+      static_cast<uint64_t>(next_auto_key_), highwater));
+  uint64_t docs = 0;
+  FSDM_RETURN_NOT_OK(AppendCheckpointDocs(&docs));
+  return wal_->CheckpointEnd(docs);
 }
 
 // --- Observer ---------------------------------------------------------------

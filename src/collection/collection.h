@@ -19,6 +19,7 @@
 #include "sqljson/operators.h"
 #include "stats/path_stats.h"
 #include "telemetry/telemetry.h"
+#include "wal/wal.h"
 
 namespace fsdm::collection {
 
@@ -84,6 +85,22 @@ struct CollectionOptions {
   /// fsdm::ShardPlacementHash, and Route() fanning out one costed
   /// sub-plan per shard, drained morsel-parallel on the worker pool.
   size_t shard_count = 1;
+
+  /// Directory for the collection's write-ahead log (ISSUE 8). Empty (the
+  /// default) keeps the collection purely in-memory, like every earlier
+  /// release. When set, every DML appends a CRC-framed record (the
+  /// document as a self-contained OSON image) *before* applying it, and
+  /// Create() on a directory holding an existing log replays it — torn
+  /// tail truncated, aborted operations skipped — to rebuild the full
+  /// per-shard stack, finishing with CheckConsistency(). One collection
+  /// per directory; the facade owns the log for all its shards.
+  std::string wal_dir;
+  /// Fsync policy; unset reads FSDM_WAL_FSYNC (always|group|off) and
+  /// defaults to always — an acknowledged DML is durable.
+  std::optional<wal::FsyncPolicy> wal_fsync;
+  /// Segment rotation threshold and group-commit batch size (see wal.h).
+  size_t wal_segment_bytes = 1u << 20;
+  size_t wal_group_ops = 32;
 };
 
 /// The per-collection document stack of the paper (§3, §5.2) behind one
@@ -201,6 +218,17 @@ class JsonCollection {
   /// when populated and valid.
   ConsistencyReport CheckConsistency() const;
 
+  // --- Durability (ISSUE 8) ---------------------------------------------
+  /// The collection's write-ahead log; nullptr when created without
+  /// wal_dir (and on the shards of a durable facade — the facade logs).
+  const wal::Wal* wal() const { return wal_.get(); }
+  /// Writes a full-snapshot checkpoint into the log and truncates every
+  /// older segment, bounding both log size and replay time. Replay after
+  /// a checkpoint starts from the snapshot, so recovered row ids compact
+  /// to the live documents (keys are the stable identity, as everywhere).
+  /// InvalidArgument on a collection without a WAL.
+  Status Checkpoint();
+
   // --- DML --------------------------------------------------------------
   /// Inserts one document; returns the new row id. Runs the IS JSON check,
   /// index/DataGuide maintenance, and IMC invalidation in the DML path.
@@ -317,6 +345,26 @@ class JsonCollection {
   /// DML guard: Unavailable while quarantined, OK otherwise.
   Status CheckWritable() const;
 
+  /// The pre-ISSUE-8 DML bodies: shard dispatch + the single-shard apply.
+  /// The public Insert/Delete/Replace wrap them with the activity lease
+  /// and the WAL append (top-level only — shard children apply directly).
+  Result<size_t> ApplyInsert(Value key, std::string json_text);
+  Status ApplyDelete(size_t row_id);
+  Status ApplyReplace(size_t row_id, Value key, std::string json_text);
+
+  /// Opens (or replays) the WAL configured in options_.wal_dir. Called by
+  /// Create() after the stack is fully wired; failure unwinds creation.
+  Status InitWal();
+  /// Redo pass over the durable prefix Open() returned: applies every
+  /// non-aborted record from the last complete checkpoint, translating
+  /// logged row ids to live ones, then verifies with CheckConsistency()
+  /// and writes a fresh checkpoint.
+  Status ReplayWal(const std::vector<wal::Record>& records);
+  /// Row-id -> (shard, key, OSON image) for every live document, shared
+  /// by Checkpoint() and consistency-oblivious callers.
+  Status AppendCheckpointDocs(uint64_t* doc_count);
+  size_t KeyPhysicalPos(const rdbms::Table* t) const;
+
   rdbms::Database* db_;
   std::string name_;
   CollectionOptions options_;
@@ -338,6 +386,13 @@ class JsonCollection {
   bool detached_ = false;
   bool quarantined_ = false;
   std::string quarantine_reason_;
+  /// This collection is a shard child of a durable facade: DML arrives
+  /// pre-logged and pre-leased, so the public wrappers pass through.
+  bool is_shard_ = false;
+  std::unique_ptr<wal::Wal> wal_;
+  /// Set while ReplayWal drives the DML paths: suppresses re-appending
+  /// the operations being replayed.
+  bool wal_replaying_ = false;
   /// Backing shards when this is a sharded facade (empty otherwise). Each
   /// is a full single-shard collection named "<name>$s<i>", kept out of
   /// the CollectionRegistry — only the facade is registered.

@@ -1,0 +1,25 @@
+#ifndef FSDM_COLLECTION_WAL_TABLE_H_
+#define FSDM_COLLECTION_WAL_TABLE_H_
+
+#include "rdbms/executor.h"
+
+/// TELEMETRY$WAL (ISSUE 8): one row per durable collection's write-ahead
+/// log, so durability state — LSN positions, segment counts, fsync and
+/// checkpoint activity, torn-tail repairs — is visible from SQL alongside
+/// the other TELEMETRY$ relations. Collections without a WAL do not appear.
+
+namespace fsdm::collection {
+
+inline constexpr const char* kWalTableName = "TELEMETRY$WAL";
+
+/// Row source over the registry's durable collections. Schema:
+/// (NAME, POLICY, SEGMENTS, LAST_LSN, DURABLE_LSN, APPENDS, APPEND_BYTES,
+/// FSYNCS, CHECKPOINTS, ABORTS, RECOVERED_RECORDS, TORN_TAIL) —
+/// POLICY is the fsync policy name, DURABLE_LSN trails LAST_LSN under group
+/// commit, RECOVERED_RECORDS is how many records the last Open() replayed
+/// and TORN_TAIL whether it had to truncate one (0/1).
+rdbms::OperatorPtr WalScan();
+
+}  // namespace fsdm::collection
+
+#endif  // FSDM_COLLECTION_WAL_TABLE_H_

@@ -1,6 +1,7 @@
 #include "fault/fault.h"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 #include <utility>
 
@@ -82,9 +83,16 @@ Status FaultPoint::Fire() {
       (spec_.max_triggers != 0 && armed_triggers_ >= spec_.max_triggers)) {
     armed_ = false;
   }
-  return MakeStatus(spec_.code, spec_.message.empty()
-                                    ? "injected fault at " + name_
-                                    : spec_.message);
+  std::string msg =
+      spec_.message.empty() ? "injected fault at " + name_ : spec_.message;
+  if (spec_.err_no != 0) {
+    // Errno payload: make the message read like the kernel produced it, so
+    // error-handling paths written for real EIO/ENOSPC see the same text
+    // shape they would in production.
+    msg += ": ";
+    msg += std::strerror(spec_.err_no);
+  }
+  return MakeStatus(spec_.code, std::move(msg));
 }
 
 FaultRegistry& FaultRegistry::Global() {

@@ -73,6 +73,13 @@ struct FaultSpec {
   /// the ASH sampler as a fault-stall wait. Combine with code = kOk for
   /// pure latency injection (no error surfaces).
   uint64_t stall_us = 0;
+  /// Errno-style I/O failure payload (ISSUE 8): when non-zero, the injected
+  /// status message carries strerror(err_no) — e.g. "Input/output error",
+  /// "No space left on device" — so filesystem fault points (WAL append,
+  /// fsync) surface errors indistinguishable from the real kernel ones
+  /// their handlers are written for. The code defaults to kUnavailable,
+  /// matching what the WAL's own errno paths return.
+  int err_no = 0;
 
   static FaultSpec Once(StatusCode code = StatusCode::kInternal) {
     FaultSpec s;
@@ -110,6 +117,17 @@ struct FaultSpec {
     s.mode = mode;
     s.code = StatusCode::kOk;
     s.stall_us = stall_us;
+    return s;
+  }
+  /// Realistic filesystem failure: the injected status reads like the
+  /// kernel produced it, e.g. Errno(ENOSPC) at "wal.fsync" yields
+  /// Unavailable("injected fault at wal.fsync: No space left on device").
+  static FaultSpec Errno(int err_no, TriggerMode mode = TriggerMode::kOnce,
+                         StatusCode code = StatusCode::kUnavailable) {
+    FaultSpec s;
+    s.mode = mode;
+    s.code = code;
+    s.err_no = err_no;
     return s;
   }
 };

@@ -5,6 +5,7 @@
 
 #include "collection/collections_table.h"
 #include "collection/path_stats_table.h"
+#include "collection/wal_table.h"
 #include "stats/stats_table.h"
 #include "telemetry/ash_table.h"
 #include "telemetry/metrics_table.h"
@@ -221,6 +222,9 @@ class Planner {
     } else if (Lexer::EqualsIgnoreCase(table_name_,
                                        telemetry::kSnapshotsTableName)) {
       virtual_table_ = VirtualTable::kSnapshots;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       collection::kWalTableName)) {
+      virtual_table_ = VirtualTable::kWal;
     } else {
       return table_or.status();
     }
@@ -325,6 +329,9 @@ class Planner {
         break;
       case VirtualTable::kSnapshots:
         plan = telemetry::SnapshotsScan();
+        break;
+      case VirtualTable::kWal:
+        plan = collection::WalScan();
         break;
     }
     if (where) plan = rdbms::Filter(std::move(plan), std::move(where));
@@ -745,7 +752,7 @@ class Planner {
   /// table; table_ is set).
   enum class VirtualTable { kNone, kMetrics, kEvents, kSlowQueries,
                             kCollections, kPathStats, kOperatorCosts,
-                            kAsh, kSnapshots };
+                            kAsh, kSnapshots, kWal };
 
   std::string table_name_;
   rdbms::Table* table_ = nullptr;

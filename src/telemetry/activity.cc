@@ -16,6 +16,8 @@ const char* WaitStateName(WaitState s) {
       return "lock-wait";
     case WaitState::kFaultStall:
       return "fault-stall";
+    case WaitState::kWalFsync:
+      return "wal-fsync";
   }
   return "?";
 }
@@ -32,6 +34,8 @@ const char* WaitClassName(WaitState s) {
       return "concurrency";
     case WaitState::kFaultStall:
       return "fault";
+    case WaitState::kWalFsync:
+      return "io";
   }
   return "?";
 }

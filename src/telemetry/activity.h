@@ -47,14 +47,16 @@ enum class WaitState : uint8_t {
   kPoolQueueWait,   ///< blocked on WorkerPool morsel completion
   kLockWait,        ///< blocked on a telemetry/registry mutex
   kFaultStall,      ///< sleeping inside an injected fault stall
+  kWalFsync,        ///< inside the write-ahead log's fsync (ISSUE 8)
 };
 
-inline constexpr size_t kWaitStateCount = 5;
+inline constexpr size_t kWaitStateCount = 6;
 
-/// "idle", "on-cpu", "pool-queue-wait", "lock-wait", "fault-stall".
+/// "idle", "on-cpu", "pool-queue-wait", "lock-wait", "fault-stall",
+/// "wal-fsync".
 const char* WaitStateName(WaitState s);
 /// Coarse reporting class: "idle", "cpu", "scheduler", "concurrency",
-/// "fault" — the AWR-style wait-class taxonomy DESIGN.md documents.
+/// "fault", "io" — the AWR-style wait-class taxonomy DESIGN.md documents.
 const char* WaitClassName(WaitState s);
 
 /// Point-in-time copy of one record, as the sampler sees it.

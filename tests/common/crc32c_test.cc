@@ -1,0 +1,50 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fsdm {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix / every
+  // Castagnoli implementation in the wild).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  // 32 bytes of zeros, per the iSCSI test vectors.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalSeedMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t c = Crc32c(data.data(), split);
+    c = Crc32c(data.data() + split, data.size() - split, c);
+    EXPECT_EQ(c, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (uint32_t c : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0x8A9136AAu}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(c)), c);
+    EXPECT_NE(Crc32cMask(c), c);
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlips) {
+  std::string data = "payload under test";
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32c(data.data(), data.size()), base) << "flip at " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace fsdm

@@ -1,6 +1,8 @@
 #include "fault/fault.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -221,6 +223,31 @@ TEST_F(FaultTest, StallComposesWithErrorCode) {
           .count();
   EXPECT_GE(elapsed_us, 1000);
   EXPECT_TRUE(HitStatus().ok());
+}
+
+TEST_F(FaultTest, ErrnoSpecCarriesStrerrorPayload) {
+  // The WAL's filesystem fault points (ISSUE 8) inject errors that read
+  // like the kernel produced them; handlers written for real EIO/ENOSPC
+  // must see the same text shape.
+  FaultRegistry::Global().Arm("test.status", FaultSpec::Errno(ENOSPC));
+  Status st = HitStatus();
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("injected fault at test.status"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find(std::strerror(ENOSPC)), std::string::npos)
+      << st.message();
+  EXPECT_TRUE(HitStatus().ok()) << "Errno defaults to one-shot";
+
+  // A custom message keeps the errno suffix; a custom code wins.
+  FaultSpec spec = FaultSpec::Errno(EIO, TriggerMode::kOnce,
+                                    StatusCode::kCorruption);
+  spec.message = "torn page";
+  FaultRegistry::Global().Arm("test.status", spec);
+  st = HitStatus();
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(st.message(),
+            std::string("torn page: ") + std::strerror(EIO));
 }
 
 TEST_F(FaultTest, InjectionCounterVisibleThroughMetricsTable) {

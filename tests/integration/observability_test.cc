@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -285,6 +286,40 @@ TEST_F(ObservabilityTest, CollectionsRelationListsLiveCollections) {
   rows = Q(&db_, "SELECT NAME FROM TELEMETRY$COLLECTIONS "
                  "WHERE NAME = 'OBSC'");
   EXPECT_TRUE(rows.empty());
+}
+
+// ISSUE 8: TELEMETRY$WAL exposes per-collection log state; collections
+// without a WAL contribute no rows.
+TEST_F(ObservabilityTest, WalRelationListsDurableCollections) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "obs_wal_relation";
+  fs::remove_all(dir);
+  collection::CollectionOptions opts;
+  opts.wal_dir = dir.string();
+  opts.wal_fsync = wal::FsyncPolicy::kOff;
+  auto durable =
+      collection::JsonCollection::Create(&db_, "OBSW", opts).MoveValue();
+  auto transient = collection::JsonCollection::Create(&db_, "OBST").MoveValue();
+  ASSERT_TRUE(durable->Insert("{\"a\":1}").ok());
+  ASSERT_TRUE(durable->Insert("{\"a\":2}").ok());
+  ASSERT_TRUE(transient->Insert("{\"a\":3}").ok());
+
+  std::vector<std::string> rows =
+      Q(&db_, "SELECT NAME, POLICY, SEGMENTS, APPENDS, TORN_TAIL "
+              "FROM TELEMETRY$WAL");
+  ASSERT_EQ(rows.size(), 1u);  // only the durable collection has a log
+  EXPECT_EQ(rows[0], "OBSW|off|1|2|0");
+
+  ASSERT_TRUE(durable->Checkpoint().ok());
+  rows = Q(&db_, "SELECT CHECKPOINTS, LAST_LSN FROM TELEMETRY$WAL "
+                 "WHERE NAME = 'OBSW'");
+  ASSERT_EQ(rows.size(), 1u);
+  // Checkpoint = begin + one doc record per live doc + end: LSN 2+4=6.
+  EXPECT_EQ(rows[0], "1|6");
+
+  durable.reset();
+  transient.reset();
+  fs::remove_all(dir);
 }
 
 // ISSUE 7 acceptance: the ASH ring and the workload repository answer

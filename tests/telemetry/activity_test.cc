@@ -33,12 +33,14 @@ TEST(WaitStateTest, NamesAndClassesCoverEveryState) {
   EXPECT_STREQ(WaitStateName(WaitState::kPoolQueueWait), "pool-queue-wait");
   EXPECT_STREQ(WaitStateName(WaitState::kLockWait), "lock-wait");
   EXPECT_STREQ(WaitStateName(WaitState::kFaultStall), "fault-stall");
+  EXPECT_STREQ(WaitStateName(WaitState::kWalFsync), "wal-fsync");
 
   EXPECT_STREQ(WaitClassName(WaitState::kIdle), "idle");
   EXPECT_STREQ(WaitClassName(WaitState::kOnCpu), "cpu");
   EXPECT_STREQ(WaitClassName(WaitState::kPoolQueueWait), "scheduler");
   EXPECT_STREQ(WaitClassName(WaitState::kLockWait), "concurrency");
   EXPECT_STREQ(WaitClassName(WaitState::kFaultStall), "fault");
+  EXPECT_STREQ(WaitClassName(WaitState::kWalFsync), "io");
 }
 
 TEST(ActivityLeaseTest, BeginPublishesAndReleaseRestores) {
