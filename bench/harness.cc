@@ -5,6 +5,7 @@
 #include "bson/bson.h"
 #include "oson/oson.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/memory_tracker.h"
 #include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/workload_repo.h"
@@ -138,6 +139,13 @@ void BenchJson::SetExtraSection(const std::string& key,
 
 void BenchJson::Write() const {
   if (name_.empty()) return;
+  // Capture the memory section BEFORE the final workload snapshot ticks:
+  // the "bench-end" snapshot re-reads the tracker, so ordering this way
+  // makes the "memory" section and the snapshot's MEM_* columns agree.
+  const uint64_t mem_total = telemetry::MemoryTracker::Global().Refresh();
+  const uint64_t mem_peak = telemetry::MemoryTracker::Global().PeakBytes();
+  const std::vector<telemetry::MemoryTracker::Entry> mem_entries =
+      telemetry::MemoryTracker::Global().Entries();
   // Final snapshot so the tail window (last row -> exit) is captured, then
   // stop the sampler — its thread must not keep mutating the ring while
   // the sections below serialize it.
@@ -194,6 +202,28 @@ void BenchJson::Write() const {
   out += ",\"db_samples_total\":" + std::to_string(sampler.db_samples_total());
   out += ",\"window\":" + telemetry::AshAggregateJson(sampler.Aggregate());
   out += "}";
+
+  // Memory attribution (ISSUE 9). Always all eight subsystems, in enum
+  // order, zeros included — consumers (check_bench_json.py,
+  // bench_compare.py) rely on the shape, telemetry-off builds included.
+  out += ",\"memory\":{\"total_bytes\":" + std::to_string(mem_total);
+  out += ",\"peak_bytes\":" + std::to_string(mem_peak);
+  out += ",\"subsystems\":{";
+  for (size_t i = 0; i < telemetry::kMemSubsystemCount; ++i) {
+    const auto subsystem = static_cast<telemetry::MemSubsystem>(i);
+    uint64_t bytes = 0;
+    uint64_t peak = 0;
+    for (const telemetry::MemoryTracker::Entry& e : mem_entries) {
+      if (e.subsystem != subsystem) continue;
+      bytes += e.bytes;
+      peak += e.peak_bytes;
+    }
+    if (i > 0) out += ",";
+    out += "\"" + std::string(telemetry::MemSubsystemName(subsystem)) +
+           "\":{\"bytes\":" + std::to_string(bytes) +
+           ",\"peak_bytes\":" + std::to_string(peak) + "}";
+  }
+  out += "}}";
 
   std::vector<telemetry::WorkloadSnapshot> snaps =
       telemetry::WorkloadRepository::Global().Snapshots();

@@ -224,8 +224,42 @@ def write_wal_markdown(f, wal):
                 f"(baseline {old_s}).\n")
 
 
+def collect_memory(base, cand):
+    """Per-bench memory footprint deltas from the "memory" section
+    (ISSUE 9): tracker total and peak, paired with the baseline's when the
+    baseline ran the bench. Report-only — memory is workload-sized, not a
+    pass/fail latency."""
+    out = []
+    for name in sorted(cand):
+        mem = cand[name].get("memory")
+        if not isinstance(mem, dict):
+            continue
+        base_mem = base.get(name, {}).get("memory", {})
+        out.append((name, base_mem.get("total_bytes"),
+                    mem.get("total_bytes"), base_mem.get("peak_bytes"),
+                    mem.get("peak_bytes")))
+    return out
+
+
+def write_memory_markdown(f, memory):
+    f.write("\n### Memory footprint (tracker total / peak)\n\n")
+    f.write("| bench | baseline total | candidate total | delta "
+            "| baseline peak | candidate peak |\n")
+    f.write("|---|---:|---:|---:|---:|---:|\n")
+    for name, old_total, new_total, old_peak, new_peak in memory:
+        def fmt(v):
+            return f"{v:,}" if isinstance(v, int) else "n/a"
+        if isinstance(old_total, int) and old_total > 0 \
+                and isinstance(new_total, int):
+            delta = f"{100.0 * (new_total - old_total) / old_total:+.1f}%"
+        else:
+            delta = "n/a"
+        f.write(f"| {name} | {fmt(old_total)} | {fmt(new_total)} | {delta} "
+                f"| {fmt(old_peak)} | {fmt(new_peak)} |\n")
+
+
 def write_markdown(path, table, threshold, scaling=None, wait_classes=None,
-                   wal=None):
+                   wal=None, memory=None):
     with open(path, "w", encoding="utf-8") as f:
         f.write("### Bench comparison vs baseline\n\n")
         if not table:
@@ -245,6 +279,8 @@ def write_markdown(path, table, threshold, scaling=None, wait_classes=None,
             write_scaling_markdown(f, scaling)
         if wal:
             write_wal_markdown(f, wal)
+        if memory:
+            write_memory_markdown(f, memory)
         if wait_classes:
             write_wait_class_markdown(f, wait_classes)
 
@@ -289,7 +325,8 @@ def main():
         write_markdown(args.markdown, table, args.fail_threshold,
                        scaling=collect_scaling(cand),
                        wait_classes=collect_wait_classes(cand),
-                       wal=collect_wal(base, cand))
+                       wal=collect_wal(base, cand),
+                       memory=collect_memory(base, cand))
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "

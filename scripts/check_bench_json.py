@@ -63,6 +63,7 @@ def check(path):
 
     check_ash(path, doc)
     check_wal(path, doc)
+    check_memory(path, doc)
     snaps = doc.get("workload_snapshots")
     if not isinstance(snaps, list):
         fail(path, "missing 'workload_snapshots' array")
@@ -183,6 +184,37 @@ def check_wal(path, doc):
         if not isinstance(recovery.get(key), int) or recovery[key] <= 0:
             fail(path, f"wal.recovery.{key} missing or not positive — "
                        f"the recovery leg replayed nothing")
+
+
+MEM_SUBSYSTEMS = {"table-heap", "oson-vc", "index-postings", "dataguide",
+                  "imc", "path-stats", "wal-buffers", "plan-working-set"}
+
+
+def check_memory(path, doc):
+    """The "memory" section (ISSUE 9): tracker totals plus the
+    per-subsystem split. Required on every bench — the harness always
+    emits it, with all-zero values under -DFSDM_TELEMETRY=OFF."""
+    mem = doc.get("memory")
+    if not isinstance(mem, dict):
+        fail(path, "missing 'memory' section")
+    for key in ("total_bytes", "peak_bytes"):
+        if not isinstance(mem.get(key), int) or mem[key] < 0:
+            fail(path, f"memory.{key} missing or not a non-negative int")
+    subs = mem.get("subsystems")
+    if not isinstance(subs, dict):
+        fail(path, "memory.subsystems missing or not an object")
+    if set(subs) != MEM_SUBSYSTEMS:
+        fail(path, f"memory.subsystems keys {sorted(subs)} != expected "
+                   f"{sorted(MEM_SUBSYSTEMS)}")
+    for name, entry in subs.items():
+        for key in ("bytes", "peak_bytes"):
+            if not isinstance(entry.get(key), int) or entry[key] < 0:
+                fail(path, f"memory.subsystems.{name}.{key} missing or "
+                           f"not a non-negative int")
+    split = sum(entry["bytes"] for entry in subs.values())
+    if split > mem["total_bytes"]:
+        fail(path, f"memory.subsystems sum to {split} bytes, more than "
+                   f"total_bytes {mem['total_bytes']}")
 
 
 def main():

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Checks the README metrics reference against the metrics the engine
+actually emits (ISSUE 9 satellite).
+
+Usage: check_metrics_doc.py [REPO_ROOT]
+
+Emitted metrics are every string literal matching "fsdm_[a-z0-9_]+ inside
+src/ (.h/.cc). Documented metrics are the first-column `fsdm_*` entries of
+the "### Metrics reference" table in README.md. The check is
+bidirectional: an emitted-but-undocumented metric fails (document it), and
+a documented-but-gone metric fails too (the table went stale). Exits
+non-zero listing every violation.
+"""
+
+import os
+import re
+import sys
+
+EMIT_RE = re.compile(r'"(fsdm_[a-z0-9_]+)')
+DOC_RE = re.compile(r"^\|\s*`(fsdm_[a-z0-9_]+)`")
+
+
+def emitted_metrics(src_dir):
+    out = {}
+    for root, _dirs, files in os.walk(src_dir):
+        for name in sorted(files):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(root, name)
+            with open(path, encoding="utf-8") as f:
+                for metric in EMIT_RE.findall(f.read()):
+                    out.setdefault(metric, os.path.relpath(path, src_dir))
+    return out
+
+
+def documented_metrics(readme_path):
+    out = set()
+    in_section = False
+    with open(readme_path, encoding="utf-8") as f:
+        for line in f:
+            if line.startswith("#"):
+                in_section = line.strip() == "### Metrics reference"
+                continue
+            if not in_section:
+                continue
+            m = DOC_RE.match(line)
+            if m:
+                out.add(m.group(1))
+    return out
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    src_dir = os.path.join(root, "src")
+    readme = os.path.join(root, "README.md")
+    if not os.path.isdir(src_dir) or not os.path.isfile(readme):
+        print(f"check_metrics_doc: {root} is not the repo root "
+              f"(need src/ and README.md)", file=sys.stderr)
+        sys.exit(2)
+
+    emitted = emitted_metrics(src_dir)
+    documented = documented_metrics(readme)
+    if not documented:
+        print("check_metrics_doc: README.md has no '### Metrics reference' "
+              "table", file=sys.stderr)
+        sys.exit(1)
+
+    failures = []
+    for metric in sorted(set(emitted) - documented):
+        failures.append(f"undocumented: {metric} (emitted in "
+                        f"src/{emitted[metric]}) — add it to README.md "
+                        f"'Metrics reference'")
+    for metric in sorted(documented - set(emitted)):
+        failures.append(f"stale doc: {metric} documented in README.md but "
+                        f"no longer emitted anywhere in src/")
+    if failures:
+        for f in failures:
+            print(f"check_metrics_doc: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_metrics_doc: ok ({len(emitted)} metrics emitted, "
+          f"all documented, no stale entries)")
+
+
+if __name__ == "__main__":
+    main()

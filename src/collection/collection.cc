@@ -14,6 +14,7 @@
 #include "oson/oson.h"
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/memory_tracker.h"
 #include "telemetry/trace_event.h"
 
 namespace fsdm::collection {
@@ -72,6 +73,10 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
       }
       CollectionRegistry::Global().Unregister(shard.value().get());
       shard.value()->is_shard_ = true;
+      // The facade's reporters sum over the shards; the children's own
+      // registrations (made by the recursive Create) would double-count
+      // every byte in the tracker.
+      shard.value()->mem_scopes_.clear();
       facade->shards_.push_back(std::move(shard).value());
     }
     if (options.install_oson_column) facade->oson_column_ = kOsonColumnName;
@@ -86,6 +91,7 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
       }
     }
     facade->health();  // publish the initial health gauge
+    facade->RegisterMemoryReporters();
     CollectionRegistry::Global().Register(facade.get());
     return facade;
   }
@@ -154,6 +160,7 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     }
   }
   coll->health();  // publish the initial health gauge
+  coll->RegisterMemoryReporters();
   CollectionRegistry::Global().Register(coll.get());
   return coll;
 }
@@ -162,6 +169,9 @@ JsonCollection::~JsonCollection() { Detach(); }
 
 void JsonCollection::Detach() {
   if (detached_) return;
+  // Drop the memory reporters first: they poll the structures Detach is
+  // about to let go of.
+  mem_scopes_.clear();
   if (wal_ != nullptr && !wal_->failed()) (void)wal_->Flush();
   CollectionRegistry::Global().Unregister(this);
   for (std::unique_ptr<JsonCollection>& shard : shards_) shard->Detach();
@@ -170,6 +180,65 @@ void JsonCollection::Detach() {
   }
   if (index_ != nullptr) index_->Detach();
   detached_ = true;
+}
+
+void JsonCollection::RegisterMemoryReporters() {
+#if !defined(FSDM_TELEMETRY_DISABLED)
+  using telemetry::MemSubsystem;
+  using telemetry::MemoryScope;
+  // Every reporter sums over shard(i), which is `this` on a single-shard
+  // collection — one code path for both shapes. The scopes capture `this`;
+  // Detach() clears them before any polled structure goes away.
+  auto sum = [this](uint64_t (*per_shard)(const JsonCollection&)) {
+    return [this, per_shard]() {
+      uint64_t total = 0;
+      for (size_t s = 0; s < shard_count(); ++s) {
+        total += per_shard(*shard(s));
+      }
+      return total;
+    };
+  };
+  mem_scopes_.emplace_back(
+      MemSubsystem::kTableHeap, name_,
+      sum(+[](const JsonCollection& c) {
+        return c.table_ != nullptr ? c.table_->HeapBytes() : uint64_t{0};
+      }));
+  mem_scopes_.emplace_back(
+      MemSubsystem::kIndexPostings, name_,
+      sum(+[](const JsonCollection& c) {
+        return c.index_ != nullptr ? c.index_->MemoryBytes() : uint64_t{0};
+      }));
+  mem_scopes_.emplace_back(
+      MemSubsystem::kDataGuide, name_,
+      sum(+[](const JsonCollection& c) -> uint64_t {
+        // The live guide plus, when the index persists it, the $DG side
+        // table's heap (the guide's durable image).
+        if (c.index_ != nullptr) {
+          uint64_t bytes = c.index_->dataguide().MemoryBytes();
+          if (c.index_->dg_table() != nullptr) {
+            bytes += c.index_->dg_table()->HeapBytes();
+          }
+          return bytes;
+        }
+        return c.own_guide_.MemoryBytes();
+      }));
+  mem_scopes_.emplace_back(
+      MemSubsystem::kImc, name_,
+      sum(+[](const JsonCollection& c) -> uint64_t {
+        return c.imc_valid_ && c.imc_.has_value() ? c.imc_->MemoryBytes()
+                                                  : uint64_t{0};
+      }));
+  mem_scopes_.emplace_back(
+      MemSubsystem::kPathStats, name_,
+      sum(+[](const JsonCollection& c) {
+        return c.path_stats_.MemoryBytes();
+      }));
+  mem_scopes_.emplace_back(
+      MemSubsystem::kWalBuffers, name_,
+      sum(+[](const JsonCollection& c) {
+        return c.wal_ != nullptr ? c.wal_->MemoryBytes() : uint64_t{0};
+      }));
+#endif  // !FSDM_TELEMETRY_DISABLED
 }
 
 size_t JsonCollection::document_count() const {
@@ -451,6 +520,10 @@ Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
   if (logged) {
     FSDM_ASSIGN_OR_RETURN(std::string oson_image,
                           oson::EncodeFromText(json_text));
+    // ISSUE 9: the hidden OSON column is virtual — images only ever exist
+    // transiently, here and at the other encode choke points.
+    telemetry::MemoryCharge oson_charge(telemetry::MemSubsystem::kOsonVc,
+                                        oson_image.size());
     FSDM_ASSIGN_OR_RETURN(
         lsn, wal_->AppendInsert(static_cast<uint32_t>(ShardForKey(key)), key,
                                 oson_image));
@@ -531,6 +604,8 @@ Status JsonCollection::Replace(size_t row_id, Value key,
         sharded() ? static_cast<uint32_t>(row_id % shards_.size()) : 0;
     FSDM_ASSIGN_OR_RETURN(std::string oson_image,
                           oson::EncodeFromText(json_text));
+    telemetry::MemoryCharge oson_charge(telemetry::MemSubsystem::kOsonVc,
+                                        oson_image.size());
     FSDM_ASSIGN_OR_RETURN(lsn,
                           wal_->AppendReplace(s, row_id, key, oson_image));
     FSDM_FAULT_POINT("wal.apply.crash");
@@ -782,6 +857,8 @@ Status JsonCollection::AppendCheckpointDocs(uint64_t* doc_count) {
       FSDM_ASSIGN_OR_RETURN(
           std::string oson_image,
           oson::EncodeFromText(doc.is_null() ? "null" : doc.AsString()));
+      telemetry::MemoryCharge oson_charge(telemetry::MemSubsystem::kOsonVc,
+                                          oson_image.size());
       const uint64_t global = nshards > 1 ? r * nshards + s : r;
       FSDM_RETURN_NOT_OK(wal_->CheckpointDoc(static_cast<uint32_t>(s), global,
                                              key, oson_image));

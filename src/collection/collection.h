@@ -18,6 +18,7 @@
 #include "rdbms/table.h"
 #include "sqljson/operators.h"
 #include "stats/path_stats.h"
+#include "telemetry/memory_tracker.h"
 #include "telemetry/telemetry.h"
 #include "wal/wal.h"
 
@@ -364,6 +365,12 @@ class JsonCollection {
   /// by Checkpoint() and consistency-oblivious callers.
   Status AppendCheckpointDocs(uint64_t* doc_count);
   size_t KeyPhysicalPos(const rdbms::Table* t) const;
+  /// Registers the ISSUE 9 memory reporters (table heap, index postings,
+  /// DataGuide, IMC, path statistics, WAL writer) with the global
+  /// MemoryTracker, labeled with the collection name. Called at the end of
+  /// Create() on the top-level object only — facade reporters sum over the
+  /// shards, which stay unregistered to avoid double counting.
+  void RegisterMemoryReporters();
 
   rdbms::Database* db_;
   std::string name_;
@@ -397,6 +404,9 @@ class JsonCollection {
   /// is a full single-shard collection named "<name>$s<i>", kept out of
   /// the CollectionRegistry — only the facade is registered.
   std::vector<std::unique_ptr<JsonCollection>> shards_;
+  /// Live memory-reporter registrations (RAII — Detach()/destruction
+  /// unregisters them before the structures they poll go away).
+  std::vector<telemetry::MemoryScope> mem_scopes_;
 };
 
 }  // namespace fsdm::collection

@@ -7,11 +7,14 @@
 #include <utility>
 
 #include "collection/collection.h"
+#include "fault/fault.h"
 #include "rdbms/parallel.h"
 #include "stats/operator_costs.h"
 #include "stats/path_stats.h"
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/memory_tracker.h"
+#include "telemetry/query_monitor.h"
 #include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_event.h"
@@ -233,13 +236,21 @@ class RoutedQueryProbe final : public rdbms::Operator {
  public:
   RoutedQueryProbe(rdbms::OperatorPtr child, std::string collection,
                    std::string query, telemetry::RouterDecision decision,
-                   const telemetry::OperatorSpan* root)
+                   const telemetry::OperatorSpan* root, uint64_t query_id)
       : child_(std::move(child)),
         collection_(std::move(collection)),
         query_(std::move(query)),
         decision_(std::move(decision)),
-        root_(root) {
+        root_(root),
+        query_id_(query_id) {
     schema_ = child_->schema();
+  }
+
+  ~RoutedQueryProbe() override {
+    // Plans dropped without Close() (error paths) must still leave the
+    // monitor: a dangling entry would let TELEMETRY$QUERY_MONITOR walk a
+    // destroyed span tree.
+    if (registered_) telemetry::QueryMonitor::Global().Unregister(query_id_);
   }
 
   Status Open() override {
@@ -252,29 +263,63 @@ class RoutedQueryProbe final : public rdbms::Operator {
     // on destruction, covering plans dropped on an error path before
     // Close() (ISSUE 7 satellite: no dangling active records).
     lease_ = telemetry::ActivityLease::Begin(
-        collection_, decision_.winner, "RoutedQueryProbe", query_);
+        collection_, decision_.winner, "RoutedQueryProbe", query_,
+        /*shard=*/-1, /*worker=*/-1, query_id_);
+    // Register in the in-flight monitor (ISSUE 9 tentpole): from here
+    // until Close() a concurrent session sees this drain — and its live
+    // per-operator progress — in TELEMETRY$QUERY_MONITOR.
+    telemetry::QueryMonitor::Global().Register(query_id_, collection_, query_,
+                                               decision_.winner,
+                                               decision_.est_out_rows, root_);
+    registered_ = true;
+    // Refresh pulls every registered memory reporter once so the peak this
+    // query records reflects resident state (table heap, postings, IMC),
+    // not just transient charges. O(reporters), off the DML fast path.
+    telemetry::MemoryTracker::Global().Refresh();
+    peak_mem_bytes_ = telemetry::MemoryTracker::Global().CurrentBytes();
     Status status = child_->Open();
-    if (!status.ok()) lease_.Release();
+    if (!status.ok()) {
+      lease_.Release();
+      telemetry::QueryMonitor::Global().Unregister(query_id_);
+      registered_ = false;
+    }
     return status;
   }
 
   Result<bool> Next(rdbms::Row* out) override {
+    // Drain-path injection point (ISSUE 9): latency-only specs
+    // (FaultSpec::StallUs) hold the query in flight so tests can watch it
+    // through TELEMETRY$QUERY_MONITOR mid-drain.
+    FSDM_FAULT_POINT("router.drain.next");
     FSDM_ASSIGN_OR_RETURN(bool has, child_->Next(out));
-    if (has) ++rows_;
+    if (has) {
+      ++rows_;
+      if ((rows_ & 0xff) == 0) SampleMemoryPeak();
+    }
     return has;
   }
 
   void Close() override {
     child_->Close();
     lease_.Release();
+    if (registered_) {
+      telemetry::QueryMonitor::Global().Unregister(query_id_);
+      registered_ = false;
+    }
     if (closed_) return;
     closed_ = true;
+    SampleMemoryPeak();
     const uint64_t elapsed = static_cast<uint64_t>(watch_.ElapsedUs());
     HarvestFeedback();
     MaybeCaptureSlowQuery(elapsed);
   }
 
  private:
+  void SampleMemoryPeak() {
+    const uint64_t cur = telemetry::MemoryTracker::Global().CurrentBytes();
+    if (cur > peak_mem_bytes_) peak_mem_bytes_ = cur;
+  }
+
   void HarvestFeedback() {
     FSDM_COUNT("fsdm_router_routed_queries_total", 1);
     if (root_ != nullptr) {
@@ -294,6 +339,8 @@ class RoutedQueryProbe final : public rdbms::Operator {
     if (elapsed < log.threshold_us()) return;
     telemetry::SlowQueryRecord rec;
     rec.ts_us = telemetry::MonotonicNowUs();
+    rec.query_id = query_id_;
+    rec.peak_mem_bytes = peak_mem_bytes_;
     rec.query = query_;
     rec.access_path = decision_.winner;
     rec.elapsed_us = elapsed;
@@ -325,11 +372,14 @@ class RoutedQueryProbe final : public rdbms::Operator {
   std::string query_;
   telemetry::RouterDecision decision_;
   const telemetry::OperatorSpan* root_;
+  uint64_t query_id_ = 0;
   telemetry::Stopwatch watch_;
   telemetry::ActivityLease lease_;
   uint64_t open_ts_us_ = 0;
   uint64_t rows_ = 0;
+  uint64_t peak_mem_bytes_ = 0;
   bool closed_ = false;
+  bool registered_ = false;
 };
 
 std::string BuildQueryText(const std::vector<PathPredicate>& predicates) {
@@ -589,7 +639,8 @@ Result<RoutedPlan> RouteSingle(const JsonCollection& coll,
     if (wrap_probe) {
       routed.plan = std::make_unique<RoutedQueryProbe>(
           std::move(routed.plan), coll.name(), query_text, decision,
-          routed.trace.root.get());
+          routed.trace.root.get(),
+          telemetry::QueryMonitor::Global().AllocateQueryId());
     }
   };
 
@@ -747,6 +798,9 @@ Result<RoutedPlan> RouteSharded(const JsonCollection& coll,
   const size_t n = coll.shard_count();
   route_span.AddNumberArg("shards", static_cast<double>(n));
   std::string query_text = BuildQueryText(predicates);
+  // One monitor id for the whole fan-out: shard morsels tag their ASH
+  // samples with it, and the facade probe registers it at Open.
+  const uint64_t query_id = telemetry::QueryMonitor::Global().AllocateQueryId();
 
   RoutedPlan routed;
   telemetry::RouterDecision& decision = routed.trace.decision;
@@ -793,7 +847,7 @@ Result<RoutedPlan> RouteSharded(const JsonCollection& coll,
     // id, and (stamped at Open time) the pool worker index.
     children.push_back(rdbms::ActivityScope(
         std::move(sub.plan), coll.name(), sub.trace.decision.winner,
-        "morsel.drain", query_text, static_cast<int>(i)));
+        "morsel.drain", query_text, static_cast<int>(i), query_id));
   }
 
   const double merge_cost =
@@ -832,7 +886,7 @@ Result<RoutedPlan> RouteSharded(const JsonCollection& coll,
   FSDM_TRACE_INSTANT_TEXT("router", "router.winner", "path", decision.winner);
   routed.plan = std::make_unique<RoutedQueryProbe>(
       std::move(routed.plan), coll.name(), query_text, decision,
-      routed.trace.root.get());
+      routed.trace.root.get(), query_id);
   return routed;
 }
 

@@ -5,6 +5,7 @@
 
 #include "json/parser.h"
 #include "json/serializer.h"
+#include "telemetry/memory_tracker.h"
 
 namespace fsdm::dataguide {
 
@@ -260,6 +261,17 @@ std::vector<const PathEntry*> DataGuide::SortedEntries() const {
               return a->under_array < b->under_array;
             });
   return out;
+}
+
+uint64_t DataGuide::MemoryBytes() const {
+  // Hash node overhead (bucket pointer + node header) plus the entry
+  // payload; the path string is owned twice, by the Key and the PathEntry.
+  constexpr uint64_t kEntryBytes = 2 * sizeof(void*) + sizeof(PathEntry);
+  uint64_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    total += kEntryBytes + 2 * telemetry::OwnedStringBytes(entry.path);
+  }
+  return total;
 }
 
 const PathEntry* DataGuide::Find(std::string_view path, json::NodeKind kind,

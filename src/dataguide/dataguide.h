@@ -92,6 +92,13 @@ class DataGuide {
   uint64_t document_count() const { return doc_count_; }
   size_t distinct_path_count() const { return entries_.size(); }
 
+  /// In-memory footprint of the guide (ISSUE 9 memory attribution):
+  /// per-entry node overhead plus the path string twice (the hash Key and
+  /// the PathEntry each own a copy). Deterministic size-based formula;
+  /// min/max sample Values are excluded (bounded per entry, and their
+  /// variant payloads would make the formula value-dependent). O(entries).
+  uint64_t MemoryBytes() const;
+
   /// Entries sorted by path (then container-before-leaf).
   std::vector<const PathEntry*> SortedEntries() const;
 

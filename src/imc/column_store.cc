@@ -328,6 +328,9 @@ Result<ColumnStore> ColumnStore::Populate(
     store.index_[columns[c]] = c;
   }
   FSDM_COUNT("fsdm_imc_populated_rows_total", store.row_count_);
+  size_t bytes = 0;
+  for (const ColumnVector& c : store.columns_) bytes += c.MemoryBytes();
+  store.memory_bytes_ = bytes;
   FSDM_GAUGE_SET("fsdm_imc_bytes", store.MemoryBytes());
   return store;
 }
@@ -335,12 +338,6 @@ Result<ColumnStore> ColumnStore::Populate(
 const ColumnVector* ColumnStore::column(const std::string& name) const {
   auto it = index_.find(name);
   return it == index_.end() ? nullptr : &columns_[it->second];
-}
-
-size_t ColumnStore::MemoryBytes() const {
-  size_t n = 0;
-  for (const ColumnVector& c : columns_) n += c.MemoryBytes();
-  return n;
 }
 
 namespace {

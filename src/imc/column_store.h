@@ -95,7 +95,11 @@ class ColumnStore {
   /// nullptr when absent.
   const ColumnVector* column(const std::string& name) const;
 
-  size_t MemoryBytes() const;
+  /// Columnar image footprint. Computed once at Populate() (the vectors
+  /// are immutable afterwards) and served from a cached value, so the
+  /// ISSUE 9 memory reporters can poll it per refresh without re-walking
+  /// every dictionary string.
+  size_t MemoryBytes() const { return memory_bytes_; }
 
   /// Row-source over the store (optionally only `columns`), so ordinary
   /// executor plans can consume IMC data.
@@ -123,6 +127,7 @@ class ColumnStore {
   std::map<std::string, size_t> index_;
   std::vector<ColumnVector> columns_;
   size_t row_count_ = 0;
+  size_t memory_bytes_ = 0;  // cached at Populate; columns are immutable
 };
 
 }  // namespace fsdm::imc

@@ -8,24 +8,54 @@
 #include "fault/fault.h"
 #include "json/parser.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/memory_tracker.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::index {
 
 namespace {
 
-void InsertPosting(std::vector<size_t>* postings, size_t row_id) {
+/// Accounting constant for one posting-map entry: red-black node overhead
+/// plus the inline vector header. An approximation, but the same one on
+/// the incremental and recompute sides, so reconciliation is exact.
+constexpr uint64_t kPostingEntryBytes =
+    4 * sizeof(void*) + sizeof(std::vector<size_t>);
+
+uint64_t PostingKeyBytes(const std::string& key) {
+  return telemetry::OwnedStringBytes(key);
+}
+
+uint64_t PostingKeyBytes(const std::pair<std::string, std::string>& key) {
+  return telemetry::OwnedStringBytes(key.first) +
+         telemetry::OwnedStringBytes(key.second);
+}
+
+/// Looks up (creating if absent) the posting list for `key`, charging new
+/// entries to the incremental byte counter. Both the insert and the erase
+/// paths create entries — operator[] semantics predate the accounting.
+template <typename Map, typename Key>
+std::vector<size_t>* PostingSlot(Map* map, const Key& key, uint64_t* bytes) {
+  auto [it, inserted] = map->try_emplace(key);
+  if (inserted) *bytes += kPostingEntryBytes + PostingKeyBytes(it->first);
+  return &it->second;
+}
+
+void InsertPosting(std::vector<size_t>* postings, size_t row_id,
+                   uint64_t* bytes) {
   auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
   if (it == postings->end() || *it != row_id) {
     postings->insert(it, row_id);
+    *bytes += sizeof(size_t);
     FSDM_COUNT("fsdm_index_postings_appended_total", 1);
   }
 }
 
-void ErasePosting(std::vector<size_t>* postings, size_t row_id) {
+void ErasePosting(std::vector<size_t>* postings, size_t row_id,
+                  uint64_t* bytes) {
   auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
   if (it != postings->end() && *it == row_id) {
     postings->erase(it);
+    *bytes -= sizeof(size_t);
     FSDM_COUNT("fsdm_index_postings_erased_total", 1);
   }
 }
@@ -198,25 +228,35 @@ Result<JsonSearchIndex::DocPostings> JsonSearchIndex::StagePostings(
 
 void JsonSearchIndex::ApplyPostings(const DocPostings& staged, size_t row_id) {
   for (const std::string& p : staged.paths) {
-    InsertPosting(&path_postings_[p], row_id);
+    InsertPosting(PostingSlot(&path_postings_, p, &postings_bytes_), row_id,
+                  &postings_bytes_);
   }
   for (const auto& [p, display] : staged.values) {
-    InsertPosting(&value_postings_[{p, display}], row_id);
+    InsertPosting(PostingSlot(&value_postings_, std::make_pair(p, display),
+                              &postings_bytes_),
+                  row_id, &postings_bytes_);
   }
   for (const auto& [p, tok] : staged.keywords) {
-    InsertPosting(&keyword_postings_[{p, tok}], row_id);
+    InsertPosting(PostingSlot(&keyword_postings_, std::make_pair(p, tok),
+                              &postings_bytes_),
+                  row_id, &postings_bytes_);
   }
 }
 
 void JsonSearchIndex::ErasePostings(const DocPostings& staged, size_t row_id) {
   for (const std::string& p : staged.paths) {
-    ErasePosting(&path_postings_[p], row_id);
+    ErasePosting(PostingSlot(&path_postings_, p, &postings_bytes_), row_id,
+                 &postings_bytes_);
   }
   for (const auto& [p, display] : staged.values) {
-    ErasePosting(&value_postings_[{p, display}], row_id);
+    ErasePosting(PostingSlot(&value_postings_, std::make_pair(p, display),
+                             &postings_bytes_),
+                 row_id, &postings_bytes_);
   }
   for (const auto& [p, tok] : staged.keywords) {
-    ErasePosting(&keyword_postings_[{p, tok}], row_id);
+    ErasePosting(PostingSlot(&keyword_postings_, std::make_pair(p, tok),
+                             &postings_bytes_),
+                 row_id, &postings_bytes_);
   }
 }
 
@@ -470,6 +510,7 @@ Status JsonSearchIndex::Rebuild() {
   path_postings_.clear();
   value_postings_.clear();
   keyword_postings_.clear();
+  postings_bytes_ = 0;
   indexed_docs_ = 0;
   Status failure;
   for (size_t r = 0; r < table_->row_count() && failure.ok(); ++r) {
@@ -513,6 +554,7 @@ Status JsonSearchIndex::Rebuild() {
     path_postings_.clear();
     value_postings_.clear();
     keyword_postings_.clear();
+    postings_bytes_ = 0;
     indexed_docs_ = 0;
     if (!degraded_) FSDM_COUNT("fsdm_index_degraded_total", 1);
     degraded_ = true;
@@ -764,6 +806,20 @@ size_t JsonSearchIndex::posting_count() const {
   for (const auto& [k, v] : value_postings_) n += v.size();
   for (const auto& [k, v] : keyword_postings_) n += v.size();
   return n;
+}
+
+uint64_t JsonSearchIndex::RecomputeMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& [k, v] : path_postings_) {
+    total += kPostingEntryBytes + PostingKeyBytes(k) + v.size() * sizeof(size_t);
+  }
+  for (const auto& [k, v] : value_postings_) {
+    total += kPostingEntryBytes + PostingKeyBytes(k) + v.size() * sizeof(size_t);
+  }
+  for (const auto& [k, v] : keyword_postings_) {
+    total += kPostingEntryBytes + PostingKeyBytes(k) + v.size() * sizeof(size_t);
+  }
+  return total;
 }
 
 }  // namespace fsdm::index

@@ -131,6 +131,16 @@ class JsonSearchIndex final : public rdbms::TableObserver {
   // --- Introspection ----------------------------------------------------
   size_t indexed_document_count() const { return indexed_docs_; }
   size_t posting_count() const;
+
+  /// In-memory footprint of the posting maps (ISSUE 9 memory attribution):
+  /// per-entry node overhead + owned key strings (by size()) + row-id
+  /// payloads. Maintained incrementally on every posting mutation, O(1) to
+  /// read — the collection's index-postings memory reporter polls this.
+  uint64_t MemoryBytes() const { return postings_bytes_; }
+  /// Exact O(postings) walk with the same formula; the accounting unit
+  /// test pins MemoryBytes() == RecomputeMemoryBytes() across DML mixes,
+  /// rollbacks and rebuilds.
+  uint64_t RecomputeMemoryBytes() const;
   /// Number of $DG persistence events (documents that introduced at least
   /// one new path) — what Figures 7/8 measure indirectly.
   size_t dg_write_count() const { return dg_writes_; }
@@ -189,6 +199,8 @@ class JsonSearchIndex final : public rdbms::TableObserver {
       keyword_postings_;
 
   dataguide::DataGuide dataguide_;
+  // Incremental accounting over the three posting maps; reset with them.
+  uint64_t postings_bytes_ = 0;
   // The persistent $DG side table (§3.2.1): one row per distinct path,
   // appended when a document introduces new structure.
   std::unique_ptr<rdbms::Table> dg_table_;

@@ -7,6 +7,7 @@
 #include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_event.h"
 
 namespace fsdm::rdbms {
 
@@ -674,8 +675,16 @@ class InstrumentOp final : public Operator {
     // (the span tree dies with its RoutedPlan; ring events outlive it).
     FSDM_TRACE_SPAN(trace_span, "rdbms", "op.open");
     trace_span.AddTextArg("op", span_->name);
-    span_->rows_out = 0;
+    span_->rows_out.store(0, std::memory_order_relaxed);
     span_->elapsed_us = 0;
+    // Live-progress mirror for the query monitor: mark the operator open
+    // before the child opens so a concurrent TELEMETRY$QUERY_MONITOR scan
+    // never sees rows ticking on a "pending" operator.
+    span_->live_elapsed_us.store(0, std::memory_order_relaxed);
+    span_->live_open_ts_us.store(telemetry::MonotonicNowUs(),
+                                 std::memory_order_relaxed);
+    span_->live_state.store(telemetry::OperatorSpan::kOpen,
+                            std::memory_order_relaxed);
     telemetry::Stopwatch w;
     Status st = child_->Open();
     span_->elapsed_us += w.ElapsedUs();
@@ -686,17 +695,25 @@ class InstrumentOp final : public Operator {
     telemetry::Stopwatch w;
     Result<bool> more = child_->Next(out);
     span_->elapsed_us += w.ElapsedUs();
-    if (more.ok() && more.value()) ++span_->rows_out;
+    if (more.ok() && more.value()) {
+      span_->rows_out.fetch_add(1, std::memory_order_relaxed);
+    }
     return more;
   }
 
   void Close() override {
     FSDM_TRACE_SPAN(trace_span, "rdbms", "op.close");
     trace_span.AddTextArg("op", span_->name);
-    trace_span.AddNumberArg("rows", static_cast<double>(span_->rows_out));
+    trace_span.AddNumberArg(
+        "rows", static_cast<double>(
+                    span_->rows_out.load(std::memory_order_relaxed)));
     telemetry::Stopwatch w;
     child_->Close();
     span_->elapsed_us += w.ElapsedUs();
+    span_->live_elapsed_us.store(static_cast<uint64_t>(span_->elapsed_us),
+                                 std::memory_order_relaxed);
+    span_->live_state.store(telemetry::OperatorSpan::kDone,
+                            std::memory_order_relaxed);
   }
 
  private:

@@ -9,6 +9,7 @@
 
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/memory_tracker.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::rdbms {
@@ -168,6 +169,18 @@ int WorkerPool::CurrentWorkerIndex() { return tls_worker_index; }
 
 namespace {
 
+/// Accounting size of a buffered row: container overhead plus owned string
+/// payloads (size, not capacity — see telemetry::OwnedStringBytes).
+uint64_t BufferedRowBytes(const Row& row) {
+  uint64_t bytes = sizeof(Row) + row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    const ScalarType t = v.type();
+    if (t == ScalarType::kString) bytes += v.AsString().size();
+    if (t == ScalarType::kBinary) bytes += v.AsBinary().size();
+  }
+  return bytes;
+}
+
 class ParallelUnionOp final : public Operator {
  public:
   ParallelUnionOp(std::vector<OperatorPtr> children,
@@ -231,6 +244,9 @@ class ParallelUnionOp final : public Operator {
     std::vector<Row> rows;
     Status status = Status::Ok();
     bool done = false;
+    /// Plan-working-set attribution for the buffered rows; releases when
+    /// the slot is cleared on re-Open or operator destruction.
+    telemetry::MemoryCharge charge;
   };
 
   void DrainChild(size_t i) {
@@ -240,6 +256,7 @@ class ParallelUnionOp final : public Operator {
     span.AddNumberArg("worker", static_cast<double>(worker));
 
     std::vector<Row> rows;
+    uint64_t buffered_bytes = 0;
     Operator* child = children_[i].get();
     Status status = child->Open();
     if (status.ok()) {
@@ -251,6 +268,7 @@ class ParallelUnionOp final : public Operator {
           break;
         }
         if (!has.value()) break;
+        buffered_bytes += BufferedRowBytes(row);
         rows.push_back(std::move(row));
       }
       child->Close();
@@ -260,6 +278,11 @@ class ParallelUnionOp final : public Operator {
     std::lock_guard<std::mutex> lock(mu_);
     slots_[i].rows = std::move(rows);
     slots_[i].status = std::move(status);
+    // The charge covers the handoff window: rows buffered on the worker
+    // until the consumer replays (and frees) them. Peak ratchets at charge
+    // time, so even a fast drain's working set shows in peak gauges.
+    slots_[i].charge = telemetry::MemoryCharge(
+        telemetry::MemSubsystem::kPlanWorkingSet, buffered_bytes);
     slots_[i].done = true;
     --launched_;
     done_cv_.notify_all();
@@ -295,20 +318,21 @@ class ActivityScopeOp final : public Operator {
  public:
   ActivityScopeOp(OperatorPtr child, std::string collection,
                   std::string access_path, std::string op, std::string query,
-                  int shard)
+                  int shard, uint64_t query_id)
       : child_(std::move(child)),
         collection_(std::move(collection)),
         access_path_(std::move(access_path)),
         op_(std::move(op)),
         query_(std::move(query)),
-        shard_(shard) {
+        shard_(shard),
+        query_id_(query_id) {
     schema_ = child_->schema();
   }
 
   Status Open() override {
     lease_ = telemetry::ActivityLease::Begin(
         collection_, access_path_, op_, query_, shard_,
-        WorkerPool::CurrentWorkerIndex());
+        WorkerPool::CurrentWorkerIndex(), query_id_);
     Status status = child_->Open();
     // A failed Open never sees Close(), so release here or the record
     // would stay active forever.
@@ -330,6 +354,7 @@ class ActivityScopeOp final : public Operator {
   std::string op_;
   std::string query_;
   int shard_;
+  uint64_t query_id_;
   telemetry::ActivityLease lease_;
 };
 
@@ -344,10 +369,10 @@ OperatorPtr ParallelUnionAll(
 
 OperatorPtr ActivityScope(OperatorPtr child, std::string collection,
                           std::string access_path, std::string op,
-                          std::string query, int shard) {
+                          std::string query, int shard, uint64_t query_id) {
   return std::make_unique<ActivityScopeOp>(
       std::move(child), std::move(collection), std::move(access_path),
-      std::move(op), std::move(query), shard);
+      std::move(op), std::move(query), shard, query_id);
 }
 
 }  // namespace fsdm::rdbms

@@ -86,10 +86,12 @@ OperatorPtr ParallelUnionAll(
 /// query / shard and the current pool worker, Close() (or destruction,
 /// for plans torn down on an error path before Close) releases it. The
 /// router wraps each shard morsel in one of these so the ASH sampler can
-/// attribute worker time to collections and shards.
+/// attribute worker time to collections and shards. `query_id` cross-links
+/// the morsel's samples to the owning query's TELEMETRY$QUERY_MONITOR row.
 OperatorPtr ActivityScope(OperatorPtr child, std::string collection,
                           std::string access_path, std::string op,
-                          std::string query, int shard = -1);
+                          std::string query, int shard = -1,
+                          uint64_t query_id = 0);
 
 }  // namespace fsdm::rdbms
 

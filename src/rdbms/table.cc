@@ -11,6 +11,19 @@ namespace {
 
 enum class DmlKind { kInsert, kDelete, kReplace };
 
+/// Accounting footprint of one stored row: container overhead plus owned
+/// string/binary payloads (size, not capacity, so the incremental counter
+/// and the recompute walk agree exactly).
+uint64_t RowHeapBytes(const Row& row) {
+  uint64_t bytes = sizeof(Row) + row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    const ScalarType t = v.type();
+    if (t == ScalarType::kString) bytes += v.AsString().size();
+    if (t == ScalarType::kBinary) bytes += v.AsBinary().size();
+  }
+  return bytes;
+}
+
 /// Compensates a partially fanned-out DML: calls the matching Undo* hook
 /// on the first `completed` observers in reverse registration order. Undo
 /// failures are the observer's to absorb (degraded state); here they are
@@ -134,6 +147,7 @@ Result<size_t> Table::Insert(Row physical_values) {
   size_t row_id = rows_.size();
   rows_.push_back(std::move(physical_values));
   live_.push_back(true);
+  heap_bytes_ += RowHeapBytes(rows_.back());
   Status failure;
   size_t completed = 0;
   for (TableObserver* obs : observers_) {
@@ -146,6 +160,7 @@ Result<size_t> Table::Insert(Row physical_values) {
     // roll the row back, so storage and side structures stay consistent.
     RollbackObservers(observers_, completed, DmlKind::kInsert, row_id,
                       rows_.back(), rows_.back());
+    heap_bytes_ -= RowHeapBytes(rows_.back());
     rows_.pop_back();
     live_.pop_back();
     dml_parsed_.clear();
@@ -208,7 +223,9 @@ Status Table::Replace(size_t row_id, Row physical_values) {
     dml_parsed_.clear();
     return failure;
   }
+  heap_bytes_ -= RowHeapBytes(rows_[row_id]);
   rows_[row_id] = std::move(physical_values);
+  heap_bytes_ += RowHeapBytes(rows_[row_id]);
   dml_parsed_.clear();
   return Status::Ok();
 }
@@ -287,6 +304,12 @@ size_t ValueStorageBytes(const Value& v) {
       return v.AsBinary().size() + 2;
   }
   return 0;
+}
+
+uint64_t Table::RecomputeHeapBytes() const {
+  uint64_t total = 0;
+  for (const Row& row : rows_) total += RowHeapBytes(row);
+  return total;
 }
 
 size_t Table::EstimateStorageBytes() const {

@@ -136,6 +136,16 @@ class Table {
   /// This is what the storage-size comparisons (Fig. 4) report.
   size_t EstimateStorageBytes() const;
 
+  /// In-memory heap footprint of the row store (ISSUE 9 memory
+  /// attribution): container overhead plus owned string payloads, by
+  /// size() not capacity(). Maintained incrementally by DML; tombstoned
+  /// rows stay counted because Delete() only marks them dead — their
+  /// memory is not reclaimed.
+  uint64_t HeapBytes() const { return heap_bytes_; }
+  /// Exact O(rows) walk with the same formula; the accounting unit test
+  /// pins HeapBytes() == RecomputeHeapBytes() across DML mixes.
+  uint64_t RecomputeHeapBytes() const;
+
  private:
   Status ValidateRow(const Row& physical_values);
 
@@ -144,6 +154,7 @@ class Table {
   std::vector<size_t> physical_;  // indexes of stored columns
   std::vector<Row> rows_;        // stored values, physical order
   std::vector<bool> live_;       // tombstones for Delete
+  uint64_t heap_bytes_ = 0;      // incremental accounting over rows_
   std::vector<TableObserver*> observers_;
   // Parse results of the current DML's IS JSON checks, shared with
   // observers; cleared after the callbacks run.

@@ -225,6 +225,12 @@ class Planner {
     } else if (Lexer::EqualsIgnoreCase(table_name_,
                                        collection::kWalTableName)) {
       virtual_table_ = VirtualTable::kWal;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kQueryMonitorTableName)) {
+      virtual_table_ = VirtualTable::kQueryMonitor;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kMemoryTableName)) {
+      virtual_table_ = VirtualTable::kMemory;
     } else {
       return table_or.status();
     }
@@ -332,6 +338,12 @@ class Planner {
         break;
       case VirtualTable::kWal:
         plan = collection::WalScan();
+        break;
+      case VirtualTable::kQueryMonitor:
+        plan = telemetry::QueryMonitorScan();
+        break;
+      case VirtualTable::kMemory:
+        plan = telemetry::MemoryScan();
         break;
     }
     if (where) plan = rdbms::Filter(std::move(plan), std::move(where));
@@ -752,7 +764,8 @@ class Planner {
   /// table; table_ is set).
   enum class VirtualTable { kNone, kMetrics, kEvents, kSlowQueries,
                             kCollections, kPathStats, kOperatorCosts,
-                            kAsh, kSnapshots, kWal };
+                            kAsh, kSnapshots, kWal, kQueryMonitor,
+                            kMemory };
 
   std::string table_name_;
   rdbms::Table* table_ = nullptr;

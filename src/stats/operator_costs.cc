@@ -1,6 +1,7 @@
 #include "stats/operator_costs.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace fsdm::stats {
 
@@ -76,7 +77,9 @@ void OperatorCostModel::RecordSpanTree(const telemetry::OperatorSpan& root) {
     RecordSpanTree(*c);
   }
   if (root.name == "ImcFilterScan") return;  // see header
-  const uint64_t rows = root.children.empty() ? root.rows_out : root.RowsIn();
+  const uint64_t rows = root.children.empty()
+                            ? root.rows_out.load(std::memory_order_relaxed)
+                            : root.RowsIn();
   const double exclusive_us = std::max(0.0, root.elapsed_us - child_us);
   Record(root.name, rows, exclusive_us);
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/memory_tracker.h"
+
 namespace fsdm::stats {
 
 // --- ValueHistogram ---------------------------------------------------------
@@ -120,6 +122,17 @@ std::optional<double> PathStatsRepository::ExistenceSelectivity(
 double PathStatsRepository::NdvEstimate(const std::string& path) const {
   const PathStats* s = Find(path);
   return s == nullptr ? 0.0 : s->ndv.Estimate();
+}
+
+uint64_t PathStatsRepository::MemoryBytes() const {
+  // Map node overhead (parent/child pointers + color) per entry.
+  constexpr uint64_t kNodeBytes = 4 * sizeof(void*);
+  uint64_t total = 0;
+  for (const auto& [path, stats] : paths_) {
+    total += kNodeBytes + telemetry::OwnedStringBytes(path) +
+             sizeof(PathStats) + stats.histogram.HeapBytes();
+  }
+  return total;
 }
 
 void PathStatsRepository::Clear() {

@@ -48,6 +48,12 @@ class ValueHistogram {
 
   void Clear();
 
+  /// Heap bytes behind the seed buffer / frozen buckets (size-based, for
+  /// the ISSUE 9 memory attribution; the object header is the owner's).
+  uint64_t HeapBytes() const {
+    return buffer_.size() * sizeof(double) + counts_.size() * sizeof(uint64_t);
+  }
+
  private:
   void Freeze();
 
@@ -100,6 +106,12 @@ class PathStatsRepository final : public dataguide::ScalarSink {
 
   /// NDV estimate for the path's non-null values; 0 when unknown.
   double NdvEstimate(const std::string& path) const;
+
+  /// In-memory footprint (ISSUE 9 memory attribution): per-path map node
+  /// overhead + owned path string (by size()) + the PathStats payload
+  /// (the Hll registers are an inline array) + histogram heap bytes.
+  /// Min/max sample Values excluded, as in DataGuide::MemoryBytes().
+  uint64_t MemoryBytes() const;
 
   void Clear();
 

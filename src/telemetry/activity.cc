@@ -55,6 +55,7 @@ ActivitySample ActivityRecord::Snap() const {
   s.query = query_;
   s.shard = shard_;
   s.worker = worker_;
+  s.query_id = query_id_;
   return s;
 }
 
@@ -169,13 +170,15 @@ ActivityLease& ActivityLease::operator=(ActivityLease&& other) noexcept {
   prev_query_ = std::move(other.prev_query_);
   prev_shard_ = other.prev_shard_;
   prev_worker_ = other.prev_worker_;
+  prev_query_id_ = other.prev_query_id_;
   other.rec_ = nullptr;
   return *this;
 }
 
 ActivityLease ActivityLease::Begin(std::string collection,
                                    std::string access_path, std::string op,
-                                   std::string query, int shard, int worker) {
+                                   std::string query, int shard, int worker,
+                                   uint64_t query_id) {
   ActivityRecord* rec = ActivityRegistry::Global().ForThisThread();
   ActivityLease lease;
   lease.rec_ = rec;
@@ -190,6 +193,7 @@ ActivityLease ActivityLease::Begin(std::string collection,
     lease.prev_query_ = std::move(rec->query_);
     lease.prev_shard_ = rec->shard_;
     lease.prev_worker_ = rec->worker_;
+    lease.prev_query_id_ = rec->query_id_;
     rec->begin_ts_us_ = MonotonicNowUs();
     rec->collection_ = std::move(collection);
     rec->access_path_ = std::move(access_path);
@@ -197,6 +201,7 @@ ActivityLease ActivityLease::Begin(std::string collection,
     rec->query_ = std::move(query);
     rec->shard_ = shard;
     rec->worker_ = worker;
+    rec->query_id_ = query_id;
   }
   rec->active_.store(true, std::memory_order_relaxed);
   rec->set_state(WaitState::kOnCpu);
@@ -217,6 +222,7 @@ void ActivityLease::Release() {
     rec->query_ = std::move(prev_query_);
     rec->shard_ = prev_shard_;
     rec->worker_ = prev_worker_;
+    rec->query_id_ = prev_query_id_;
   }
   rec->active_.store(prev_active_, std::memory_order_relaxed);
   rec->set_state(prev_state_);

@@ -71,6 +71,10 @@ struct ActivitySample {
   std::string query;
   int shard = -1;
   int worker = -1;
+  /// Query-monitor id of the routed query this work belongs to (ISSUE 9):
+  /// cross-links ASH samples to TELEMETRY$QUERY_MONITOR rows and
+  /// slow-query records. 0 = not part of a monitored query.
+  uint64_t query_id = 0;
 };
 
 #if !defined(FSDM_TELEMETRY_DISABLED)
@@ -116,6 +120,7 @@ class ActivityRecord {
   std::string query_;
   int shard_ = -1;
   int worker_ = -1;
+  uint64_t query_id_ = 0;
 };
 
 /// Process-wide list of activity records, one per thread that ever
@@ -203,10 +208,12 @@ class ActivityLease {
   ActivityLease& operator=(const ActivityLease&) = delete;
 
   /// Publishes `collection`/`access_path`/`op`/`query` (+ shard/worker
-  /// tags) on the calling thread's record and marks it active, on-cpu.
+  /// tags and the query-monitor id) on the calling thread's record and
+  /// marks it active, on-cpu.
   static ActivityLease Begin(std::string collection, std::string access_path,
                              std::string op, std::string query,
-                             int shard = -1, int worker = -1);
+                             int shard = -1, int worker = -1,
+                             uint64_t query_id = 0);
 
   /// Restores the record's pre-Begin contents. Idempotent.
   void Release();
@@ -225,6 +232,7 @@ class ActivityLease {
   std::string prev_query_;
   int prev_shard_ = -1;
   int prev_worker_ = -1;
+  uint64_t prev_query_id_ = 0;
 };
 
 /// RAII wait-state flip at a blocking choke point: sets `s` on the calling
@@ -281,7 +289,8 @@ class ActivityLease {
  public:
   ActivityLease() = default;
   static ActivityLease Begin(std::string, std::string, std::string,
-                             std::string, int = -1, int = -1) {
+                             std::string, int = -1, int = -1,
+                             uint64_t = 0) {
     return {};
   }
   void Release() {}

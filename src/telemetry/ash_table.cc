@@ -20,7 +20,7 @@ class AshScanOp final : public rdbms::Operator {
   AshScanOp() {
     schema_ = rdbms::Schema({"TS_US", "THREAD", "WAIT_STATE", "WAIT_CLASS",
                              "COLLECTION", "ACCESS_PATH", "OP", "QUERY",
-                             "SHARD", "WORKER"});
+                             "QUERY_ID", "SHARD", "WORKER"});
   }
 
   Status Open() override {
@@ -33,6 +33,8 @@ class AshScanOp final : public rdbms::Operator {
            Value::String(WaitStateName(s.state)),
            Value::String(WaitClassName(s.state)), StrOrNull(s.collection),
            StrOrNull(s.access_path), StrOrNull(s.op), StrOrNull(s.query),
+           s.query_id != 0 ? Value::Int64(static_cast<int64_t>(s.query_id))
+                           : Value::Null(),
            s.shard >= 0 ? Value::Int64(s.shard) : Value::Null(),
            s.worker >= 0 ? Value::Int64(s.worker) : Value::Null()});
     }
@@ -58,7 +60,7 @@ class SnapshotsScanOp final : public rdbms::Operator {
     schema_ = rdbms::Schema({"SNAP_ID", "TS_US", "LABEL", "SAMPLER_TICKS",
                              "DB_SAMPLES", "CPU_PCT", "TOP_WAIT_CLASS",
                              "TOP_WAIT_PCT", "TOP_QUERY", "TOP_QUERY_SAMPLES",
-                             "SHARD_SKEW"});
+                             "SHARD_SKEW", "MEM_BYTES", "MEM_PEAK_BYTES"});
   }
 
   Status Open() override {
@@ -108,7 +110,10 @@ class SnapshotsScanOp final : public rdbms::Operator {
                        std::move(cpu_pct), std::move(top_class),
                        std::move(top_pct), std::move(top_query),
                        std::move(top_query_samples),
-                       skew > 0 ? Value::Double(skew) : Value::Null()});
+                       skew > 0 ? Value::Double(skew) : Value::Null(),
+                       Value::Int64(static_cast<int64_t>(snap.mem_total_bytes)),
+                       Value::Int64(
+                           static_cast<int64_t>(snap.mem_peak_bytes))});
     }
     return Status::Ok();
   }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "telemetry/flight_recorder.h"
+#include "telemetry/memory_tracker.h"
+#include "telemetry/query_monitor.h"
 #include "telemetry/slow_query.h"
 #include "telemetry/telemetry.h"
 
@@ -101,8 +103,9 @@ class EventsScanOp final : public rdbms::Operator {
 class SlowQueriesScanOp final : public rdbms::Operator {
  public:
   SlowQueriesScanOp() {
-    schema_ = rdbms::Schema({"TS_US", "QUERY", "ACCESS_PATH", "ELAPSED_US",
-                             "ROWS", "EST_ROWS", "EVENT_COUNT", "TRACE"});
+    schema_ = rdbms::Schema({"TS_US", "QUERY_ID", "QUERY", "ACCESS_PATH",
+                             "ELAPSED_US", "ROWS", "EST_ROWS",
+                             "PEAK_MEM_BYTES", "EVENT_COUNT", "TRACE"});
   }
 
   Status Open() override {
@@ -110,13 +113,104 @@ class SlowQueriesScanOp final : public rdbms::Operator {
     next_ = 0;
     for (const SlowQueryRecord& r : SlowQueryLog::Global().Snapshot()) {
       rows_.push_back({Value::Int64(static_cast<int64_t>(r.ts_us)),
+                       r.query_id != 0
+                           ? Value::Int64(static_cast<int64_t>(r.query_id))
+                           : Value::Null(),
                        Value::String(r.query), Value::String(r.access_path),
                        Value::Int64(static_cast<int64_t>(r.elapsed_us)),
                        Value::Int64(static_cast<int64_t>(r.rows)),
                        r.est_rows >= 0 ? Value::Double(r.est_rows)
                                        : Value::Null(),
+                       Value::Int64(static_cast<int64_t>(r.peak_mem_bytes)),
                        Value::Int64(static_cast<int64_t>(r.event_count)),
                        Value::String(r.trace_text)});
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  std::vector<rdbms::Row> rows_;
+  size_t next_ = 0;
+};
+
+class QueryMonitorScanOp final : public rdbms::Operator {
+ public:
+  QueryMonitorScanOp() {
+    schema_ = rdbms::Schema({"QUERY_ID", "COLLECTION", "QUERY", "ACCESS_PATH",
+                             "OPERATOR", "DEPTH", "SHARD", "WORKER", "STATE",
+                             "ROWS_OUT", "EST_ROWS", "ELAPSED_US"});
+  }
+
+  Status Open() override {
+    rows_.clear();
+    next_ = 0;
+    for (const MonitoredQuery& q : QueryMonitor::Global().Snapshot()) {
+      // Query summary row: OPERATOR/DEPTH/SHARD/WORKER NULL.
+      rows_.push_back({Value::Int64(static_cast<int64_t>(q.query_id)),
+                       Value::String(q.collection), Value::String(q.query),
+                       Value::String(q.access_path), Value::Null(),
+                       Value::Null(), Value::Null(), Value::Null(),
+                       Value::String("open"),
+                       Value::Int64(static_cast<int64_t>(q.rows_out)),
+                       q.est_rows >= 0 ? Value::Double(q.est_rows)
+                                       : Value::Null(),
+                       Value::Int64(static_cast<int64_t>(q.elapsed_us))});
+      for (const OperatorProgress& op : q.operators) {
+        std::string name = op.name;
+        if (!op.detail.empty()) name += "(" + op.detail + ")";
+        rows_.push_back(
+            {Value::Int64(static_cast<int64_t>(q.query_id)),
+             Value::String(q.collection), Value::Null(), Value::Null(),
+             Value::String(std::move(name)), Value::Int64(op.depth),
+             op.shard >= 0 ? Value::Int64(op.shard) : Value::Null(),
+             op.worker >= 0 ? Value::Int64(op.worker) : Value::Null(),
+             Value::String(OperatorLiveStateName(op.state)),
+             Value::Int64(static_cast<int64_t>(op.rows_out)), Value::Null(),
+             Value::Int64(static_cast<int64_t>(op.elapsed_us))});
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> Next(rdbms::Row* out) override {
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  std::vector<rdbms::Row> rows_;
+  size_t next_ = 0;
+};
+
+class MemoryScanOp final : public rdbms::Operator {
+ public:
+  MemoryScanOp() {
+    schema_ =
+        rdbms::Schema({"SUBSYSTEM", "COLLECTION", "BYTES", "PEAK_BYTES"});
+  }
+
+  Status Open() override {
+    rows_.clear();
+    next_ = 0;
+    // Poll the reporters so BYTES reflects the moment of the scan, not the
+    // last incidental refresh.
+    MemoryTracker::Global().Refresh();
+    for (const MemoryTracker::Entry& e : MemoryTracker::Global().Entries()) {
+      rows_.push_back({Value::String(MemSubsystemName(e.subsystem)),
+                       Value::String(e.collection),
+                       Value::Int64(static_cast<int64_t>(e.bytes)),
+                       Value::Int64(static_cast<int64_t>(e.peak_bytes))});
     }
     return Status::Ok();
   }
@@ -143,5 +237,11 @@ rdbms::OperatorPtr EventsScan() { return std::make_unique<EventsScanOp>(); }
 rdbms::OperatorPtr SlowQueriesScan() {
   return std::make_unique<SlowQueriesScanOp>();
 }
+
+rdbms::OperatorPtr QueryMonitorScan() {
+  return std::make_unique<QueryMonitorScanOp>();
+}
+
+rdbms::OperatorPtr MemoryScan() { return std::make_unique<MemoryScanOp>(); }
 
 }  // namespace fsdm::telemetry

@@ -23,12 +23,33 @@ rdbms::OperatorPtr MetricsScan();
 inline constexpr const char* kEventsTableName = "TELEMETRY$EVENTS";
 rdbms::OperatorPtr EventsScan();
 
-/// Slow-query log as a relation (ISSUE 4). Schema: (TS_US, QUERY,
-/// ACCESS_PATH, ELAPSED_US, ROWS, EST_ROWS, EVENT_COUNT, TRACE) —
+/// Slow-query log as a relation (ISSUE 4; ISSUE 9 added QUERY_ID and
+/// PEAK_MEM_BYTES). Schema: (TS_US, QUERY_ID, QUERY, ACCESS_PATH,
+/// ELAPSED_US, ROWS, EST_ROWS, PEAK_MEM_BYTES, EVENT_COUNT, TRACE) —
 /// EST_ROWS is the router's cardinality estimate (ISSUE 5), NULL for
-/// queries captured without one.
+/// queries captured without one; QUERY_ID is NULL for records captured
+/// outside routed execution; PEAK_MEM_BYTES is the tracker high-water the
+/// probe sampled over the drain.
 inline constexpr const char* kSlowQueriesTableName = "TELEMETRY$SLOW_QUERIES";
 rdbms::OperatorPtr SlowQueriesScan();
+
+/// Live query monitor as a relation (ISSUE 9 tentpole, V$SQL_MONITOR
+/// style). One row per in-flight routed query (OPERATOR is NULL there)
+/// followed by one row per operator in its plan, pre-order with DEPTH.
+/// Schema: (QUERY_ID, COLLECTION, QUERY, ACCESS_PATH, OPERATOR, DEPTH,
+/// SHARD, WORKER, STATE, ROWS_OUT, EST_ROWS, ELAPSED_US). SHARD/WORKER are
+/// NULL off the morsel-parallel path; STATE is pending/open/done.
+inline constexpr const char* kQueryMonitorTableName =
+    "TELEMETRY$QUERY_MONITOR";
+rdbms::OperatorPtr QueryMonitorScan();
+
+/// Memory attribution as a relation (ISSUE 9). One row per registered
+/// reporter (long-lived structures, labeled with their collection) plus
+/// one per push-model subsystem with transient charges (COLLECTION "-").
+/// Open() refreshes the tracker, so BYTES is current as of the scan.
+/// Schema: (SUBSYSTEM, COLLECTION, BYTES, PEAK_BYTES).
+inline constexpr const char* kMemoryTableName = "TELEMETRY$MEMORY";
+rdbms::OperatorPtr MemoryScan();
 
 }  // namespace fsdm::telemetry
 

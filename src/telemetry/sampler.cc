@@ -163,6 +163,7 @@ size_t ActivitySampler::SampleOnce() {
       slot.query = std::move(s.query);
       slot.shard = s.shard;
       slot.worker = s.worker;
+      slot.query_id = s.query_id;
     }
   }
   // Counters after the ring unlock: a first-use GetCounter takes the

@@ -49,6 +49,7 @@ struct AshSample {
   std::string query;
   int shard = -1;
   int worker = -1;
+  uint64_t query_id = 0;  ///< TELEMETRY$QUERY_MONITOR cross-link; 0 = none
 };
 
 /// Per-collection/per-state DB-time accounting over a set of ASH samples —

@@ -11,6 +11,10 @@ namespace fsdm::telemetry {
 std::string SlowQueryRecord::ToJsonLine() const {
   std::string out = "{\"ts_us\":";
   AppendJsonNumber(&out, static_cast<double>(ts_us));
+  if (query_id != 0) {
+    out += ",\"query_id\":";
+    AppendJsonNumber(&out, static_cast<double>(query_id));
+  }
   out += ",\"query\":\"" + JsonEscape(query) + "\"";
   out += ",\"access_path\":\"" + JsonEscape(access_path) + "\"";
   out += ",\"elapsed_us\":";
@@ -21,6 +25,8 @@ std::string SlowQueryRecord::ToJsonLine() const {
     out += ",\"est_rows\":";
     AppendJsonNumber(&out, est_rows);
   }
+  out += ",\"peak_mem_bytes\":";
+  AppendJsonNumber(&out, static_cast<double>(peak_mem_bytes));
   out += ",\"event_count\":";
   AppendJsonNumber(&out, static_cast<double>(event_count));
   out += ",\"trace\":\"" + JsonEscape(trace_text) + "\"";

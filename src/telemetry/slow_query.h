@@ -17,11 +17,18 @@ namespace fsdm::telemetry {
 
 struct SlowQueryRecord {
   uint64_t ts_us = 0;       // capture time, MonotonicNowUs() clock
+  /// Query-monitor id (ISSUE 9): the id the query held in
+  /// TELEMETRY$QUERY_MONITOR while in flight, cross-linking this record to
+  /// ASH samples carrying the same id. 0 = pre-monitor record.
+  uint64_t query_id = 0;
   std::string query;        // predicate/query description from the router
   std::string access_path;  // winning access path name
   uint64_t elapsed_us = 0;  // measured wall time of the routed plan
   uint64_t rows = 0;        // rows produced
   double est_rows = -1;     // router's cardinality estimate; -1 = none
+  /// High-water MemoryTracker::CurrentBytes() observed while the plan
+  /// drained (sampled at open, every 256 rows, and at close).
+  uint64_t peak_mem_bytes = 0;
   std::string trace_text;   // rendered EXPLAIN ANALYZE (router + spans)
   std::string events_json;  // chrome-style JSON array of the trace slice
   uint64_t event_count = 0;

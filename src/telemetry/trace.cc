@@ -6,7 +6,9 @@ namespace fsdm::telemetry {
 
 uint64_t OperatorSpan::RowsIn() const {
   uint64_t n = 0;
-  for (const std::unique_ptr<OperatorSpan>& c : children) n += c->rows_out;
+  for (const std::unique_ptr<OperatorSpan>& c : children) {
+    n += c->rows_out.load(std::memory_order_relaxed);
+  }
   return n;
 }
 
@@ -38,12 +40,13 @@ void RenderSpanTree(const OperatorSpan& span, int depth, std::string* out) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "  rows_in=%llu rows_out=%llu time=",
                 static_cast<unsigned long long>(span.RowsIn()),
-                static_cast<unsigned long long>(span.rows_out));
+                static_cast<unsigned long long>(
+                    span.rows_out.load(std::memory_order_relaxed)));
   *out += buf;
   *out += FormatUs(span.elapsed_us);
   if (span.shard >= 0) {
     std::snprintf(buf, sizeof(buf), " [shard=%d worker=%d]", span.shard,
-                  span.worker);
+                  span.worker.load(std::memory_order_relaxed));
     *out += buf;
   }
   *out += "\n";
@@ -85,7 +88,8 @@ std::string QueryTrace::Render() const {
     std::snprintf(line, sizeof(line),
                   "estimated rows: %.1f  actual rows: %llu\n",
                   decision.est_out_rows,
-                  static_cast<unsigned long long>(root->rows_out));
+                  static_cast<unsigned long long>(
+                      root->rows_out.load(std::memory_order_relaxed)));
     out += line;
   }
   if (root != nullptr) {

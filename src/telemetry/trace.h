@@ -1,6 +1,7 @@
 #ifndef FSDM_TELEMETRY_TRACE_H_
 #define FSDM_TELEMETRY_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -19,18 +20,37 @@ namespace fsdm::telemetry {
 /// rdbms::Instrument stay stable while the owning QueryTrace moves around
 /// inside a RoutedPlan.
 struct OperatorSpan {
+  /// Live-progress states for the query monitor (ISSUE 9). Stored in
+  /// `live_state` with relaxed atomics: the draining thread publishes,
+  /// TELEMETRY$QUERY_MONITOR scans read from other threads.
+  enum LiveState : uint8_t { kPending = 0, kOpen = 1, kDone = 2 };
+
   std::string name;    // "Filter", "IndexedValueScan", ...
   std::string detail;  // predicate text, posting statistics, ...
-  uint64_t rows_out = 0;
+  /// Emitted rows. Atomic (relaxed) so the query monitor can watch an
+  /// in-flight drain from another thread; the owning InstrumentOp is the
+  /// only writer.
+  std::atomic<uint64_t> rows_out{0};
   /// Inclusive wall time (children's time counts toward their ancestors,
-  /// like EXPLAIN ANALYZE "actual time").
+  /// like EXPLAIN ANALYZE "actual time"). Accumulated per Next() by the
+  /// draining thread only — cross-thread readers must use the live_*
+  /// fields instead (this double is not atomic).
   double elapsed_us = 0;
   /// Sharded execution tags (ISSUE 6): which shard's sub-plan this span
   /// belongs to and which pool worker drained it. -1 = not sharded /
-  /// drained on the submitting thread. The router stamps these when it
-  /// stitches per-shard span trees under the ParallelUnion root.
+  /// drained on the submitting thread. The router stamps the shard when it
+  /// stitches per-shard span trees under the ParallelUnion root (before
+  /// the drain starts); the draining pool worker stamps `worker` mid-drain,
+  /// hence the atomic.
   int shard = -1;
-  int worker = -1;
+  std::atomic<int> worker{-1};
+  /// Cross-thread progress mirror: kPending until Open(), kOpen while
+  /// draining (live_open_ts_us holds the open timestamp), kDone after
+  /// Close() (live_elapsed_us holds the final inclusive time in whole
+  /// microseconds). All relaxed — a monitor snapshot is statistical.
+  std::atomic<uint8_t> live_state{kPending};
+  std::atomic<uint64_t> live_open_ts_us{0};
+  std::atomic<uint64_t> live_elapsed_us{0};
   std::vector<std::unique_ptr<OperatorSpan>> children;
 
   /// Rows this operator consumed: the sum of its children's rows_out

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/memory_tracker.h"
 #include "telemetry/trace_event.h"
 
 namespace fsdm::telemetry {
@@ -107,6 +108,10 @@ uint64_t WorkloadRepository::TakeSnapshot(std::string label) {
   std::vector<AshSample> samples = sampler.Snapshot();
   const uint64_t ticks = sampler.ticks();
   MetricsSnapshot metrics = TakeMetricsSnapshot(MetricsRegistry::Global());
+  // Poll the memory reporters outside our mutex too (a reporter could, in
+  // principle, take a snapshot-reading lock of its own).
+  const uint64_t mem_total = MemoryTracker::Global().Refresh();
+  const uint64_t mem_peak = MemoryTracker::Global().PeakBytes();
 
   std::lock_guard<std::mutex> lock(mu_);
   WorkloadSnapshot snap;
@@ -115,6 +120,8 @@ uint64_t WorkloadRepository::TakeSnapshot(std::string label) {
   snap.label = std::move(label);
   snap.metrics = std::move(metrics);
   snap.sampler_ticks = ticks;
+  snap.mem_total_bytes = mem_total;
+  snap.mem_peak_bytes = mem_peak;
   snap.ash = AggregateAsh(samples, last_ts_us_, snap.ts_us);
   last_ts_us_ = snap.ts_us;
   const uint64_t id = snap.id;
@@ -138,6 +145,8 @@ std::string WorkloadRepository::SnapshotJson(const WorkloadSnapshot& snap) {
   out += ",\"ts_us\":" + std::to_string(snap.ts_us);
   out += ",\"label\":\"" + JsonEscape(snap.label) + "\"";
   out += ",\"sampler_ticks\":" + std::to_string(snap.sampler_ticks);
+  out += ",\"mem_total_bytes\":" + std::to_string(snap.mem_total_bytes);
+  out += ",\"mem_peak_bytes\":" + std::to_string(snap.mem_peak_bytes);
   // The window's time model, in the same shape the bench-level "ash"
   // section uses (scripts/ash_report.py reads both).
   out += ",\"ash\":" + AshAggregateJson(snap.ash);

@@ -55,6 +55,10 @@ struct WorkloadSnapshot {
   MetricsSnapshot metrics;   ///< full registry values at the tick
   uint64_t sampler_ticks = 0;  ///< cumulative sampler ticks at the tick
   AshAggregate ash;          ///< ASH window since the previous snapshot
+  /// Memory tracker readings at the tick (ISSUE 9): refreshed grand total
+  /// and the process high-water. Both 0 under -DFSDM_TELEMETRY=OFF.
+  uint64_t mem_total_bytes = 0;
+  uint64_t mem_peak_bytes = 0;
 
   /// Top-`n` queries of the window by sampled DB-time, descending.
   std::vector<std::pair<std::string, uint64_t>> TopQueries(size_t n) const;

@@ -15,6 +15,7 @@
 #include "fault/fault.h"
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/memory_tracker.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_event.h"
 
@@ -726,6 +727,16 @@ void Wal::AppendAbort(uint64_t aborted_lsn) {
   if (options_.fsync != FsyncPolicy::kOff) {
     if (Fsync().ok()) durable_lsn_ = lsn;
   }
+}
+
+uint64_t Wal::MemoryBytes() const {
+  uint64_t total = sizeof(Wal) + telemetry::OwnedStringBytes(options_.dir) -
+                   sizeof(std::string);  // dir's object header is in sizeof(Wal)
+  total += segments_.size() * sizeof(uint64_t);
+  for (const std::string& note : recovery_.notes) {
+    total += telemetry::OwnedStringBytes(note);
+  }
+  return total;
 }
 
 Status Wal::Flush() {

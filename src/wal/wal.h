@@ -202,6 +202,12 @@ class Wal {
   const RecoveryInfo& recovery() const { return recovery_; }
   RecoveryInfo* mutable_recovery() { return &recovery_; }
 
+  /// In-memory writer state (ISSUE 9 memory attribution): the WAL streams
+  /// records straight to the segment fd — it keeps no record buffers — so
+  /// this is the writer object, the live segment list, the directory path
+  /// string and the retained recovery notes. Small and deterministic.
+  uint64_t MemoryBytes() const;
+
   uint64_t appends() const { return appends_; }
   uint64_t append_bytes() const { return append_bytes_; }
   uint64_t fsyncs() const { return fsyncs_; }

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "collection/collections_table.h"
+#include "collection/path_stats_table.h"
+#include "collection/wal_table.h"
+#include "rdbms/executor.h"
+#include "stats/stats_table.h"
+#include "telemetry/ash_table.h"
+#include "telemetry/metrics_table.h"
+
+/// Golden-schema test (ISSUE 9 satellite): pins the column names *and
+/// order* of every TELEMETRY$ virtual relation. These schemas are a public
+/// SQL surface — dashboards, the README table and scripts/ash_report.py
+/// all address columns positionally or by name — so changing one must be a
+/// conscious, test-visible act. Add a column at the end; never rename or
+/// reorder silently.
+
+namespace fsdm {
+namespace {
+
+using Columns = std::vector<std::string>;
+
+Columns SchemaOf(rdbms::OperatorPtr op) { return op->schema().columns(); }
+
+TEST(TelemetrySchemaTest, Metrics) {
+  EXPECT_EQ(SchemaOf(telemetry::MetricsScan()),
+            (Columns{"NAME", "KIND", "VALUE", "COUNT", "SUM", "MIN", "MAX",
+                     "P50", "P95", "P99"}));
+}
+
+TEST(TelemetrySchemaTest, Events) {
+  EXPECT_EQ(SchemaOf(telemetry::EventsScan()),
+            (Columns{"TS_US", "THREAD", "CATEGORY", "NAME", "PHASE", "DUR_US",
+                     "ARGS"}));
+}
+
+TEST(TelemetrySchemaTest, SlowQueries) {
+  EXPECT_EQ(SchemaOf(telemetry::SlowQueriesScan()),
+            (Columns{"TS_US", "QUERY_ID", "QUERY", "ACCESS_PATH", "ELAPSED_US",
+                     "ROWS", "EST_ROWS", "PEAK_MEM_BYTES", "EVENT_COUNT",
+                     "TRACE"}));
+}
+
+TEST(TelemetrySchemaTest, QueryMonitor) {
+  EXPECT_EQ(SchemaOf(telemetry::QueryMonitorScan()),
+            (Columns{"QUERY_ID", "COLLECTION", "QUERY", "ACCESS_PATH",
+                     "OPERATOR", "DEPTH", "SHARD", "WORKER", "STATE",
+                     "ROWS_OUT", "EST_ROWS", "ELAPSED_US"}));
+}
+
+TEST(TelemetrySchemaTest, Memory) {
+  EXPECT_EQ(SchemaOf(telemetry::MemoryScan()),
+            (Columns{"SUBSYSTEM", "COLLECTION", "BYTES", "PEAK_BYTES"}));
+}
+
+TEST(TelemetrySchemaTest, Ash) {
+  EXPECT_EQ(SchemaOf(telemetry::AshScan()),
+            (Columns{"TS_US", "THREAD", "WAIT_STATE", "WAIT_CLASS",
+                     "COLLECTION", "ACCESS_PATH", "OP", "QUERY", "QUERY_ID",
+                     "SHARD", "WORKER"}));
+}
+
+TEST(TelemetrySchemaTest, Snapshots) {
+  EXPECT_EQ(SchemaOf(telemetry::SnapshotsScan()),
+            (Columns{"SNAP_ID", "TS_US", "LABEL", "SAMPLER_TICKS",
+                     "DB_SAMPLES", "CPU_PCT", "TOP_WAIT_CLASS", "TOP_WAIT_PCT",
+                     "TOP_QUERY", "TOP_QUERY_SAMPLES", "SHARD_SKEW",
+                     "MEM_BYTES", "MEM_PEAK_BYTES"}));
+}
+
+TEST(TelemetrySchemaTest, Collections) {
+  EXPECT_EQ(SchemaOf(collection::CollectionsScan()),
+            (Columns{"NAME", "HEALTH", "DOC_COUNT", "INDEX_PATHS", "IMC_STATE",
+                     "LAST_REBUILD_TS", "SHARDS", "SHARDS_HEALTHY"}));
+}
+
+TEST(TelemetrySchemaTest, PathStats) {
+  EXPECT_EQ(SchemaOf(collection::PathStatsScan()),
+            (Columns{"COLLECTION", "SHARD", "PATH", "DOCS_SEEN",
+                     "DOC_FREQUENCY", "VALUE_COUNT", "NULL_COUNT", "NDV",
+                     "MIN", "MAX", "HIST_TOTAL", "HIST_LO", "HIST_HI"}));
+}
+
+TEST(TelemetrySchemaTest, OperatorCosts) {
+  EXPECT_EQ(SchemaOf(stats::OperatorCostsScan()),
+            (Columns{"OPERATOR", "US_PER_ROW", "SEED_US_PER_ROW", "SAMPLES",
+                     "ROWS_OBSERVED", "LAST_US_PER_ROW"}));
+}
+
+TEST(TelemetrySchemaTest, Wal) {
+  EXPECT_EQ(SchemaOf(collection::WalScan()),
+            (Columns{"NAME", "POLICY", "SEGMENTS", "LAST_LSN", "DURABLE_LSN",
+                     "APPENDS", "APPEND_BYTES", "FSYNCS", "CHECKPOINTS",
+                     "ABORTS", "RECOVERED_RECORDS", "TORN_TAIL"}));
+}
+
+// The relation names themselves are part of the contract.
+TEST(TelemetrySchemaTest, RelationNames) {
+  EXPECT_STREQ(telemetry::kMetricsTableName, "TELEMETRY$METRICS");
+  EXPECT_STREQ(telemetry::kEventsTableName, "TELEMETRY$EVENTS");
+  EXPECT_STREQ(telemetry::kSlowQueriesTableName, "TELEMETRY$SLOW_QUERIES");
+  EXPECT_STREQ(telemetry::kQueryMonitorTableName, "TELEMETRY$QUERY_MONITOR");
+  EXPECT_STREQ(telemetry::kMemoryTableName, "TELEMETRY$MEMORY");
+  EXPECT_STREQ(telemetry::kAshTableName, "TELEMETRY$ASH");
+  EXPECT_STREQ(telemetry::kSnapshotsTableName, "TELEMETRY$SNAPSHOTS");
+  EXPECT_STREQ(collection::kCollectionsTableName, "TELEMETRY$COLLECTIONS");
+  EXPECT_STREQ(collection::kPathStatsTableName, "TELEMETRY$PATH_STATS");
+  EXPECT_STREQ(stats::kOperatorCostsTableName, "TELEMETRY$OPERATOR_COSTS");
+  EXPECT_STREQ(collection::kWalTableName, "TELEMETRY$WAL");
+}
+
+}  // namespace
+}  // namespace fsdm
