@@ -144,8 +144,6 @@ void BenchJson::Write() const {
   // makes the "memory" section and the snapshot's MEM_* columns agree.
   const uint64_t mem_total = telemetry::MemoryTracker::Global().Refresh();
   const uint64_t mem_peak = telemetry::MemoryTracker::Global().PeakBytes();
-  const std::vector<telemetry::MemoryTracker::Entry> mem_entries =
-      telemetry::MemoryTracker::Global().Entries();
   // Final snapshot so the tail window (last row -> exit) is captured, then
   // stop the sampler — its thread must not keep mutating the ring while
   // the sections below serialize it.
@@ -206,22 +204,21 @@ void BenchJson::Write() const {
   // Memory attribution (ISSUE 9). Always all eight subsystems, in enum
   // order, zeros included — consumers (check_bench_json.py,
   // bench_compare.py) rely on the shape, telemetry-off builds included.
+  // peak_bytes is the tracker's per-subsystem high-water (ratcheted at
+  // Refresh/Charge time), a real simultaneous peak — not a sum of
+  // per-entry peaks reached at different times.
   out += ",\"memory\":{\"total_bytes\":" + std::to_string(mem_total);
   out += ",\"peak_bytes\":" + std::to_string(mem_peak);
   out += ",\"subsystems\":{";
   for (size_t i = 0; i < telemetry::kMemSubsystemCount; ++i) {
     const auto subsystem = static_cast<telemetry::MemSubsystem>(i);
-    uint64_t bytes = 0;
-    uint64_t peak = 0;
-    for (const telemetry::MemoryTracker::Entry& e : mem_entries) {
-      if (e.subsystem != subsystem) continue;
-      bytes += e.bytes;
-      peak += e.peak_bytes;
-    }
+    const telemetry::MemoryTracker& tracker =
+        telemetry::MemoryTracker::Global();
     if (i > 0) out += ",";
     out += "\"" + std::string(telemetry::MemSubsystemName(subsystem)) +
-           "\":{\"bytes\":" + std::to_string(bytes) +
-           ",\"peak_bytes\":" + std::to_string(peak) + "}";
+           "\":{\"bytes\":" + std::to_string(tracker.SubsystemBytes(subsystem)) +
+           ",\"peak_bytes\":" +
+           std::to_string(tracker.SubsystemPeakBytes(subsystem)) + "}";
   }
   out += "}}";
 

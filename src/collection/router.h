@@ -62,16 +62,22 @@ struct PathPredicate {
 /// explanation of why the router picked it.
 struct RoutedPlan {
   AccessPath access_path = AccessPath::kFullScan;
-  rdbms::OperatorPtr plan;
-  /// Legacy one-line explanation; identical to trace.decision.reason.
-  std::string reason;
   /// EXPLAIN ANALYZE trace: the router's full candidate ranking — with the
   /// cost model's estimated rows and cost per candidate — plus one
   /// OperatorSpan per plan node. The spans fill in (rows, elapsed time) as
   /// `plan` executes, so call trace.Render() after draining the plan. The
   /// trace owns the spans the operators point into — keep the RoutedPlan
   /// alive while the plan runs (moving it is fine; spans are stable).
+  ///
+  /// Declared BEFORE `plan` so it is destroyed AFTER it: the probe at the
+  /// root of `plan` unregisters the query from the QueryMonitor in its
+  /// destructor (covering plans dropped without Close() on error paths),
+  /// and that must happen while the spans the monitor walks are still
+  /// alive.
   telemetry::QueryTrace trace;
+  rdbms::OperatorPtr plan;
+  /// Legacy one-line explanation; identical to trace.decision.reason.
+  std::string reason;
 };
 
 /// Chooses an access path for the conjunction of `predicates` over `coll`

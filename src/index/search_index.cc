@@ -34,28 +34,32 @@ uint64_t PostingKeyBytes(const std::pair<std::string, std::string>& key) {
 /// entries to the incremental byte counter. Both the insert and the erase
 /// paths create entries — operator[] semantics predate the accounting.
 template <typename Map, typename Key>
-std::vector<size_t>* PostingSlot(Map* map, const Key& key, uint64_t* bytes) {
+std::vector<size_t>* PostingSlot(Map* map, const Key& key,
+                                 std::atomic<uint64_t>* bytes) {
   auto [it, inserted] = map->try_emplace(key);
-  if (inserted) *bytes += kPostingEntryBytes + PostingKeyBytes(it->first);
+  if (inserted) {
+    bytes->fetch_add(kPostingEntryBytes + PostingKeyBytes(it->first),
+                     std::memory_order_relaxed);
+  }
   return &it->second;
 }
 
 void InsertPosting(std::vector<size_t>* postings, size_t row_id,
-                   uint64_t* bytes) {
+                   std::atomic<uint64_t>* bytes) {
   auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
   if (it == postings->end() || *it != row_id) {
     postings->insert(it, row_id);
-    *bytes += sizeof(size_t);
+    bytes->fetch_add(sizeof(size_t), std::memory_order_relaxed);
     FSDM_COUNT("fsdm_index_postings_appended_total", 1);
   }
 }
 
 void ErasePosting(std::vector<size_t>* postings, size_t row_id,
-                  uint64_t* bytes) {
+                  std::atomic<uint64_t>* bytes) {
   auto it = std::lower_bound(postings->begin(), postings->end(), row_id);
   if (it != postings->end() && *it == row_id) {
     postings->erase(it);
-    *bytes -= sizeof(size_t);
+    bytes->fetch_sub(sizeof(size_t), std::memory_order_relaxed);
     FSDM_COUNT("fsdm_index_postings_erased_total", 1);
   }
 }
@@ -510,7 +514,7 @@ Status JsonSearchIndex::Rebuild() {
   path_postings_.clear();
   value_postings_.clear();
   keyword_postings_.clear();
-  postings_bytes_ = 0;
+  postings_bytes_.store(0, std::memory_order_relaxed);
   indexed_docs_ = 0;
   Status failure;
   for (size_t r = 0; r < table_->row_count() && failure.ok(); ++r) {
@@ -554,7 +558,7 @@ Status JsonSearchIndex::Rebuild() {
     path_postings_.clear();
     value_postings_.clear();
     keyword_postings_.clear();
-    postings_bytes_ = 0;
+    postings_bytes_.store(0, std::memory_order_relaxed);
     indexed_docs_ = 0;
     if (!degraded_) FSDM_COUNT("fsdm_index_degraded_total", 1);
     degraded_ = true;

@@ -1,6 +1,7 @@
 #ifndef FSDM_INDEX_SEARCH_INDEX_H_
 #define FSDM_INDEX_SEARCH_INDEX_H_
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <set>
@@ -136,7 +137,9 @@ class JsonSearchIndex final : public rdbms::TableObserver {
   /// per-entry node overhead + owned key strings (by size()) + row-id
   /// payloads. Maintained incrementally on every posting mutation, O(1) to
   /// read — the collection's index-postings memory reporter polls this.
-  uint64_t MemoryBytes() const { return postings_bytes_; }
+  uint64_t MemoryBytes() const {
+    return postings_bytes_.load(std::memory_order_relaxed);
+  }
   /// Exact O(postings) walk with the same formula; the accounting unit
   /// test pins MemoryBytes() == RecomputeMemoryBytes() across DML mixes,
   /// rollbacks and rebuilds.
@@ -200,7 +203,10 @@ class JsonSearchIndex final : public rdbms::TableObserver {
 
   dataguide::DataGuide dataguide_;
   // Incremental accounting over the three posting maps; reset with them.
-  uint64_t postings_bytes_ = 0;
+  // Atomic (relaxed) because DML mutates it while MemoryTracker reporter
+  // callbacks read it from other threads (workload-snapshot tick,
+  // TELEMETRY$MEMORY refresh).
+  std::atomic<uint64_t> postings_bytes_{0};
   // The persistent $DG side table (§3.2.1): one row per distinct path,
   // appended when a document introduces new structure.
   std::unique_ptr<rdbms::Table> dg_table_;

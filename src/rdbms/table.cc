@@ -147,7 +147,8 @@ Result<size_t> Table::Insert(Row physical_values) {
   size_t row_id = rows_.size();
   rows_.push_back(std::move(physical_values));
   live_.push_back(true);
-  heap_bytes_ += RowHeapBytes(rows_.back());
+  heap_bytes_.fetch_add(RowHeapBytes(rows_.back()),
+                        std::memory_order_relaxed);
   Status failure;
   size_t completed = 0;
   for (TableObserver* obs : observers_) {
@@ -160,7 +161,8 @@ Result<size_t> Table::Insert(Row physical_values) {
     // roll the row back, so storage and side structures stay consistent.
     RollbackObservers(observers_, completed, DmlKind::kInsert, row_id,
                       rows_.back(), rows_.back());
-    heap_bytes_ -= RowHeapBytes(rows_.back());
+    heap_bytes_.fetch_sub(RowHeapBytes(rows_.back()),
+                          std::memory_order_relaxed);
     rows_.pop_back();
     live_.pop_back();
     dml_parsed_.clear();
@@ -223,9 +225,11 @@ Status Table::Replace(size_t row_id, Row physical_values) {
     dml_parsed_.clear();
     return failure;
   }
-  heap_bytes_ -= RowHeapBytes(rows_[row_id]);
+  heap_bytes_.fetch_sub(RowHeapBytes(rows_[row_id]),
+                        std::memory_order_relaxed);
   rows_[row_id] = std::move(physical_values);
-  heap_bytes_ += RowHeapBytes(rows_[row_id]);
+  heap_bytes_.fetch_add(RowHeapBytes(rows_[row_id]),
+                        std::memory_order_relaxed);
   dml_parsed_.clear();
   return Status::Ok();
 }

@@ -1,6 +1,7 @@
 #ifndef FSDM_RDBMS_TABLE_H_
 #define FSDM_RDBMS_TABLE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -141,7 +142,9 @@ class Table {
   /// size() not capacity(). Maintained incrementally by DML; tombstoned
   /// rows stay counted because Delete() only marks them dead — their
   /// memory is not reclaimed.
-  uint64_t HeapBytes() const { return heap_bytes_; }
+  uint64_t HeapBytes() const {
+    return heap_bytes_.load(std::memory_order_relaxed);
+  }
   /// Exact O(rows) walk with the same formula; the accounting unit test
   /// pins HeapBytes() == RecomputeHeapBytes() across DML mixes.
   uint64_t RecomputeHeapBytes() const;
@@ -154,7 +157,10 @@ class Table {
   std::vector<size_t> physical_;  // indexes of stored columns
   std::vector<Row> rows_;        // stored values, physical order
   std::vector<bool> live_;       // tombstones for Delete
-  uint64_t heap_bytes_ = 0;      // incremental accounting over rows_
+  // Incremental accounting over rows_. Atomic (relaxed) because DML
+  // mutates it while MemoryTracker reporter callbacks read it from other
+  // threads (workload-snapshot tick, TELEMETRY$MEMORY refresh).
+  std::atomic<uint64_t> heap_bytes_{0};
   std::vector<TableObserver*> observers_;
   // Parse results of the current DML's IS JSON checks, shared with
   // observers; cleared after the callbacks run.

@@ -89,6 +89,8 @@ void MemoryTracker::Charge(MemSubsystem subsystem, uint64_t bytes) {
          !charged_peak_[idx].compare_exchange_weak(
              peak, now_u, std::memory_order_relaxed)) {
   }
+  RatchetSubsystemPeak(
+      idx, reported_[idx].load(std::memory_order_relaxed) + now_u);
   RatchetTotals(CurrentBytes());
 }
 
@@ -103,6 +105,14 @@ void MemoryTracker::RatchetTotals(uint64_t current) {
   while (current > peak &&
          !peak_total_.compare_exchange_weak(peak, current,
                                             std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::RatchetSubsystemPeak(size_t idx, uint64_t current) {
+  uint64_t peak = subsystem_peak_[idx].load(std::memory_order_relaxed);
+  while (current > peak &&
+         !subsystem_peak_[idx].compare_exchange_weak(
+             peak, current, std::memory_order_relaxed)) {
   }
 }
 
@@ -124,9 +134,11 @@ uint64_t MemoryTracker::Refresh() {
   uint64_t total = 0;
   for (size_t i = 0; i < kMemSubsystemCount; ++i) {
     reported_[i].store(by_subsystem[i], std::memory_order_relaxed);
-    total += by_subsystem[i];
+    uint64_t subsystem_now = by_subsystem[i];
     const int64_t charged = charged_[i].load(std::memory_order_relaxed);
-    if (charged > 0) total += static_cast<uint64_t>(charged);
+    if (charged > 0) subsystem_now += static_cast<uint64_t>(charged);
+    RatchetSubsystemPeak(i, subsystem_now);
+    total += subsystem_now;
   }
   reported_total_.store(total, std::memory_order_relaxed);
   RatchetTotals(total);
@@ -186,6 +198,7 @@ void MemoryTracker::ResetPeaks() {
   for (Reporter& r : reporters_) r.peak_bytes = r.last_bytes;
   for (size_t i = 0; i < kMemSubsystemCount; ++i) {
     charged_peak_[i].store(0, std::memory_order_relaxed);
+    subsystem_peak_[i].store(0, std::memory_order_relaxed);
   }
   peak_total_.store(0, std::memory_order_relaxed);
 }

@@ -106,6 +106,14 @@ class MemoryTracker {
   }
   /// Last refreshed bytes for one subsystem (reporters + live charges).
   uint64_t SubsystemBytes(MemSubsystem s) const;
+  /// High-water of SubsystemBytes(s), ratcheted at Refresh() and Charge()
+  /// time — an actual simultaneous per-subsystem peak, unlike summing
+  /// per-entry peaks (which were reached at different times and can exceed
+  /// any real high-water). The bench "memory" section reports this.
+  uint64_t SubsystemPeakBytes(MemSubsystem s) const {
+    return subsystem_peak_[static_cast<size_t>(s)].load(
+        std::memory_order_relaxed);
+  }
 
   /// Every entry: one per reporter (as of its last Refresh) plus one per
   /// charge-model subsystem with a nonzero current or peak.
@@ -133,6 +141,7 @@ class MemoryTracker {
   };
 
   void RatchetTotals(uint64_t current);
+  void RatchetSubsystemPeak(size_t idx, uint64_t current);
 
   mutable std::mutex mu_;  // reporters_ and their last/peak fields
   std::vector<Reporter> reporters_;
@@ -143,6 +152,8 @@ class MemoryTracker {
   std::atomic<uint64_t> charged_peak_[kMemSubsystemCount] = {};
   // Reporter bytes per subsystem as of the last Refresh().
   std::atomic<uint64_t> reported_[kMemSubsystemCount] = {};
+  // High-water of SubsystemBytes (reported + live charges), per subsystem.
+  std::atomic<uint64_t> subsystem_peak_[kMemSubsystemCount] = {};
   std::atomic<uint64_t> reported_total_{0};
   std::atomic<uint64_t> peak_total_{0};
 };
@@ -250,6 +261,7 @@ class MemoryTracker {
   uint64_t CurrentBytes() const { return 0; }
   uint64_t PeakBytes() const { return 0; }
   uint64_t SubsystemBytes(MemSubsystem) const { return 0; }
+  uint64_t SubsystemPeakBytes(MemSubsystem) const { return 0; }
   std::vector<Entry> Entries() const { return {}; }
   size_t reporter_count() const { return 0; }
   void ResetPeaks() {}

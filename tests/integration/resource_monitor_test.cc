@@ -147,6 +147,33 @@ TEST_F(ResourceMonitorTest, StalledDrainVisibleInMonitorThenInSlowLog) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(ResourceMonitorTest, DroppedPlanLeavesMonitorBeforeSpansDie) {
+  // Error-path lifetime regression: a plan Open()ed and then destroyed
+  // WITHOUT Close() must leave the monitor via the probe's destructor, and
+  // RoutedPlan's member order guarantees that unregister runs before the
+  // trace (the span tree the monitor walks) is torn down — a snapshot
+  // concurrent with the drop can never chase freed spans.
+  auto coll = collection::JsonCollection::Create(&db_, "RDROP").MoveValue();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(coll->Insert("{\"num\":" + std::to_string(i) + "}").ok());
+  }
+  telemetry::QueryMonitor& m = telemetry::QueryMonitor::Global();
+  const size_t in_flight_before = m.InFlightCount();
+  {
+    auto routed = collection::RoutePredicates(
+                      *coll, {collection::PathPredicate::Compare(
+                                 "$.num", rdbms::CompareOp::kGt,
+                                 Value::Int64(-1))})
+                      .MoveValue();
+    ASSERT_TRUE(routed.plan->Open().ok());
+    EXPECT_EQ(m.InFlightCount(), in_flight_before + 1);
+    rdbms::Row row;
+    ASSERT_TRUE(routed.plan->Next(&row).ok());
+    // Dropped here: no Close().
+  }
+  EXPECT_EQ(m.InFlightCount(), in_flight_before);
+}
+
 TEST_F(ResourceMonitorTest, TrackerReconcilesWithRecomputeWalkOnNobench) {
   collection::CollectionOptions opts;
   opts.shard_count = 2;  // exercises the facade reporters' shard summing

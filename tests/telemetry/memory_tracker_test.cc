@@ -125,6 +125,48 @@ TEST_F(MemoryTrackerTest, ChargesRatchetPeakWithoutRefresh) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(MemoryTrackerTest, SubsystemPeakIsSimultaneousNotSumOfEntryPeaks) {
+  MemoryTracker& t = MemoryTracker::Global();
+  t.Refresh();
+  // Whatever other kImc reporters are alive in this process contribute a
+  // stable baseline to the subsystem total.
+  const uint64_t others = t.SubsystemBytes(MemSubsystem::kImc);
+  // Two reporters whose individual peaks (3000 and 2000) are reached at
+  // different times, never summing past 4000 at any single Refresh. The
+  // per-subsystem high-water must track the largest simultaneous total,
+  // not the 5000 a sum of per-entry peaks would claim.
+  uint64_t a = 3000;
+  uint64_t b = 1000;
+  MemoryScope sa(MemSubsystem::kImc, "MT_PEAK_A", [&a]() { return a; });
+  MemoryScope sb(MemSubsystem::kImc, "MT_PEAK_B", [&b]() { return b; });
+  t.Refresh();  // a=3000, b=1000 -> 4000
+  a = 1000;
+  b = 2000;
+  t.Refresh();  // a=1000, b=2000 -> 3000
+  uint64_t entry_peak_sum = 0;
+  for (const MemoryTracker::Entry& e : t.Entries()) {
+    if (e.collection == "MT_PEAK_A" || e.collection == "MT_PEAK_B") {
+      entry_peak_sum += e.peak_bytes;
+    }
+  }
+  EXPECT_EQ(entry_peak_sum, 5000u);
+  EXPECT_EQ(t.SubsystemPeakBytes(MemSubsystem::kImc), others + 4000);
+}
+
+TEST_F(MemoryTrackerTest, ChargesRatchetSubsystemPeakWithoutRefresh) {
+  MemoryTracker& t = MemoryTracker::Global();
+  const uint64_t base = t.SubsystemPeakBytes(MemSubsystem::kPlanWorkingSet);
+  {
+    MemoryCharge charge(MemSubsystem::kPlanWorkingSet, 6000);
+    EXPECT_GE(t.SubsystemPeakBytes(MemSubsystem::kPlanWorkingSet),
+              base + 6000);
+  }
+  // Released, but the subsystem high-water survives until ResetPeaks().
+  EXPECT_GE(t.SubsystemPeakBytes(MemSubsystem::kPlanWorkingSet), base + 6000);
+  t.ResetPeaks();
+  EXPECT_EQ(t.SubsystemPeakBytes(MemSubsystem::kPlanWorkingSet), 0u);
+}
+
 TEST_F(MemoryTrackerTest, CurrentBytesCombinesReportersAndLiveCharges) {
   MemoryTracker& t = MemoryTracker::Global();
   MemoryScope scope(MemSubsystem::kImc, "MT_MIX", []() { return 300u; });
