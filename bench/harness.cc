@@ -5,6 +5,8 @@
 #include "bson/bson.h"
 #include "oson/oson.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/incident.h"
+#include "telemetry/log.h"
 #include "telemetry/memory_tracker.h"
 #include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
@@ -80,6 +82,9 @@ void BenchJson::Init(const std::string& name) {
   // disables): its ring becomes the "ash" section of BENCH_<name>.json,
   // and the per-row workload snapshots diff against it.
   telemetry::ActivitySampler::Global().Start();
+  // And with the fatal-signal incident hook installed: a bench crash
+  // leaves behind a self-contained diagnosis bundle, not just a core.
+  telemetry::IncidentManager::Global().InstallFatalSignalHandler();
   atexit(WriteGlobalBenchJson);
 }
 
@@ -221,6 +226,18 @@ void BenchJson::Write() const {
            std::to_string(tracker.SubsystemPeakBytes(subsystem)) + "}";
   }
   out += "}}";
+
+  // Structured-log counters (ISSUE 10). Present — all zeros — under
+  // telemetry-off builds too; fig7's overhead gate compares arms that
+  // both carry the instrumented call sites, so these make the log
+  // volume behind a regression visible in bench_compare.py.
+  out += ",\"log\":{\"fsdm_log_records_total\":" +
+         std::to_string(telemetry::EngineLog::Global().total_records());
+  out += ",\"fsdm_log_dropped_total\":" +
+         std::to_string(telemetry::EngineLog::Global().TotalDropped());
+  out += ",\"fsdm_incidents_total\":" +
+         std::to_string(telemetry::IncidentManager::Global().total_raised());
+  out += "}";
 
   std::vector<telemetry::WorkloadSnapshot> snaps =
       telemetry::WorkloadRepository::Global().Snapshots();

@@ -15,7 +15,8 @@ job's step summary; candidate rows carrying the sharded-execution scaling
 columns ("threads", "speedup vs 1 thread") are rendered as their own
 scaling table there, and each candidate bench's ASH window contributes a
 "top wait class per bench" table (DB-time samples, cpu share, dominant
-non-CPU wait class).
+non-CPU wait class). Candidate benches carrying the "log" section are
+summarized in a structured-log volume table (records / drops / incidents).
 """
 
 import argparse
@@ -258,8 +259,43 @@ def write_memory_markdown(f, memory):
                 f"| {fmt(old_peak)} | {fmt(new_peak)} |\n")
 
 
+def collect_log(base, cand):
+    """Per-bench structured-log volume from the "log" section (ISSUE 10):
+    records emitted, records dropped (ring overwrite), and incidents
+    raised, paired with the baseline's when the baseline ran the bench.
+    Report-only — but a jump in log volume or a non-zero incident count
+    on a clean bench run is the first thing to look at when a time-like
+    metric regresses."""
+    out = []
+    for name in sorted(cand):
+        log = cand[name].get("log")
+        if not isinstance(log, dict):
+            continue
+        base_log = base.get(name, {}).get("log", {})
+        out.append((name,
+                    base_log.get("fsdm_log_records_total"),
+                    log.get("fsdm_log_records_total"),
+                    log.get("fsdm_log_dropped_total"),
+                    log.get("fsdm_incidents_total")))
+    return out
+
+
+def write_log_markdown(f, log):
+    f.write("\n### Structured-log volume (records / drops / incidents)\n\n")
+    f.write("| bench | baseline records | candidate records | dropped "
+            "| incidents |\n")
+    f.write("|---|---:|---:|---:|---:|\n")
+    for name, old_records, records, dropped, incidents in log:
+        def fmt(v):
+            return f"{v:,}" if isinstance(v, int) else "n/a"
+        mark = " :warning:" if isinstance(incidents, int) and incidents \
+            else ""
+        f.write(f"| {name} | {fmt(old_records)} | {fmt(records)} "
+                f"| {fmt(dropped)} | {fmt(incidents)}{mark} |\n")
+
+
 def write_markdown(path, table, threshold, scaling=None, wait_classes=None,
-                   wal=None, memory=None):
+                   wal=None, memory=None, log=None):
     with open(path, "w", encoding="utf-8") as f:
         f.write("### Bench comparison vs baseline\n\n")
         if not table:
@@ -281,6 +317,8 @@ def write_markdown(path, table, threshold, scaling=None, wait_classes=None,
             write_wal_markdown(f, wal)
         if memory:
             write_memory_markdown(f, memory)
+        if log:
+            write_log_markdown(f, log)
         if wait_classes:
             write_wait_class_markdown(f, wait_classes)
 
@@ -326,7 +364,8 @@ def main():
                        scaling=collect_scaling(cand),
                        wait_classes=collect_wait_classes(cand),
                        wal=collect_wal(base, cand),
-                       memory=collect_memory(base, cand))
+                       memory=collect_memory(base, cand),
+                       log=collect_log(base, cand))
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "

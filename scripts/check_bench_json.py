@@ -14,8 +14,9 @@ with at least one row and at least one fsdm_-prefixed counter (proof the
 instrumented engine actually ran). Histogram dumps must carry "sum" and
 "mean" so mean latency is derivable from any exposure. The "ash" and
 "workload_snapshots" sections must be present (zeroed when the sampler is
-off) with the shapes scripts/ash_report.py consumes. Exits non-zero on the
-first violation.
+off) with the shapes scripts/ash_report.py consumes, and so must the
+"memory" and "log" sections (all zeros under -DFSDM_TELEMETRY=OFF).
+Exits non-zero on the first violation.
 """
 
 import json
@@ -64,6 +65,7 @@ def check(path):
     check_ash(path, doc)
     check_wal(path, doc)
     check_memory(path, doc)
+    check_log(path, doc)
     snaps = doc.get("workload_snapshots")
     if not isinstance(snaps, list):
         fail(path, "missing 'workload_snapshots' array")
@@ -215,6 +217,22 @@ def check_memory(path, doc):
     if split > mem["total_bytes"]:
         fail(path, f"memory.subsystems sum to {split} bytes, more than "
                    f"total_bytes {mem['total_bytes']}")
+
+
+LOG_COUNTERS = ("fsdm_log_records_total", "fsdm_log_dropped_total",
+                "fsdm_incidents_total")
+
+
+def check_log(path, doc):
+    """The "log" section (ISSUE 10): structured-log and incident volume
+    for the run. Required on every bench — the harness always emits it,
+    all zeros under -DFSDM_TELEMETRY=OFF."""
+    log = doc.get("log")
+    if not isinstance(log, dict):
+        fail(path, "missing 'log' section")
+    for key in LOG_COUNTERS:
+        if not isinstance(log.get(key), int) or log[key] < 0:
+            fail(path, f"log.{key} missing or not a non-negative int")
 
 
 def main():

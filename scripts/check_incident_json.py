@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validates incident bundle JSON files (ISSUE 10 satellite).
+
+Usage: check_incident_json.py [--require-type TYPE] PATH [PATH ...]
+
+PATH is a bundle file or a directory (every incident-*.json inside is
+checked). Each bundle must be a self-contained diagnosis:
+
+  * parses as JSON;
+  * carries all five pillar sections beside the header: "incident",
+    "log", "trace", "ash", "metrics", "engine_state";
+  * the "incident" header has schema_version, a positive id, ts_us,
+    and non-empty type/reason;
+  * every "log" entry matches the structured record schema (ts_us,
+    thread, level, component, event_id, message) with a known level;
+  * the log slice's ts_us values are monotonically non-decreasing
+    (the slice is merge-sorted at capture);
+  * "trace" has an "armed" bool and an "events" array; "ash" a
+    "samples" count; "engine_state" the "memory" and "query_monitor"
+    built-ins.
+
+With --require-type, at least one checked bundle must have that
+incident type — CI uses this to assert that a chaos run actually
+produced, say, a torn-tail incident. Exits non-zero listing every
+violation.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+PILLARS = ("incident", "log", "trace", "ash", "metrics", "engine_state")
+LEVELS = {"debug", "info", "warn", "error"}
+LOG_FIELDS = ("ts_us", "thread", "level", "component", "event_id", "message")
+
+
+def check_bundle(path, failures):
+    """Returns the bundle's incident type, or None on failure."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            bundle = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        failures.append(f"{path}: not valid JSON: {e}")
+        return None
+
+    ok = True
+    for section in PILLARS:
+        if section not in bundle:
+            failures.append(f"{path}: missing section \"{section}\"")
+            ok = False
+    if not ok:
+        return None
+
+    header = bundle["incident"]
+    if header.get("schema_version") != 1:
+        failures.append(f"{path}: incident.schema_version != 1")
+    if not isinstance(header.get("id"), int) or header["id"] < 1:
+        failures.append(f"{path}: incident.id missing or < 1")
+    if not isinstance(header.get("ts_us"), int):
+        failures.append(f"{path}: incident.ts_us missing")
+    for field in ("type", "reason"):
+        if not header.get(field):
+            failures.append(f"{path}: incident.{field} empty")
+
+    log = bundle["log"]
+    if not isinstance(log, list):
+        failures.append(f"{path}: \"log\" is not an array")
+        return header.get("type")
+    prev_ts = 0
+    for i, rec in enumerate(log):
+        for field in LOG_FIELDS:
+            if field not in rec:
+                failures.append(f"{path}: log[{i}] missing \"{field}\"")
+        level = rec.get("level")
+        if level is not None and level not in LEVELS:
+            failures.append(f"{path}: log[{i}] unknown level {level!r}")
+        ts = rec.get("ts_us")
+        if isinstance(ts, int):
+            if ts < prev_ts:
+                failures.append(
+                    f"{path}: log[{i}].ts_us={ts} < previous {prev_ts} "
+                    f"(slice must be time-ordered)")
+            prev_ts = ts
+
+    trace = bundle["trace"]
+    if not isinstance(trace.get("armed"), bool):
+        failures.append(f"{path}: trace.armed missing or not a bool")
+    if not isinstance(trace.get("events"), list):
+        failures.append(f"{path}: trace.events missing or not an array")
+
+    if not isinstance(bundle["ash"].get("samples"), int):
+        failures.append(f"{path}: ash.samples missing")
+
+    state = bundle["engine_state"]
+    for builtin in ("memory", "query_monitor"):
+        if builtin not in state:
+            failures.append(f"{path}: engine_state.{builtin} missing")
+
+    return header.get("type")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--require-type", default=None,
+                        help="fail unless a bundle of this type is present")
+    parser.add_argument("paths", nargs="+")
+    args = parser.parse_args()
+
+    files = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(
+                os.path.join(path, "incident-*.json"))))
+        else:
+            files.append(path)
+    if not files:
+        print("check_incident_json: no bundles found under "
+              f"{' '.join(args.paths)}", file=sys.stderr)
+        sys.exit(1)
+
+    failures = []
+    types = set()
+    for path in files:
+        t = check_bundle(path, failures)
+        if t:
+            types.add(t)
+
+    if args.require_type and args.require_type not in types:
+        failures.append(
+            f"no bundle of required type {args.require_type!r} "
+            f"(saw: {sorted(types) or 'none'})")
+
+    if failures:
+        for f in failures:
+            print(f"check_incident_json: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_incident_json: ok ({len(files)} bundles, "
+          f"types: {', '.join(sorted(types))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Lints the FSDM_LOG event-id space (ISSUE 10 satellite).
+
+Usage: check_log_events.py [REPO_ROOT]
+
+Every FSDM_LOG call site in src/ carries a stable numeric event id. This
+check enforces:
+
+  * every call site's id is an integer literal (greppable, stable);
+  * no id is used by two different call sites (ids key the per-event
+    rate limiter and must stay unique across the tree);
+  * every id appears in README.md's "### Log event reference" table,
+    and every table entry still has a live call site (bidirectional,
+    like check_metrics_doc.py).
+
+Exits non-zero listing every violation.
+"""
+
+import os
+import re
+import sys
+
+# FSDM_LOG(level, "component", 1234, ... — the id is the third argument.
+CALL_RE = re.compile(
+    r'FSDM_LOG\(\s*[^,]+,\s*"([a-z_]+)"\s*,\s*([A-Za-z0-9_]+)\s*,')
+DOC_RE = re.compile(r"^\|\s*`?(\d+)`?\s*\|")
+
+
+def call_sites(src_dir):
+    """{event_id: [(file, component), ...]} for every FSDM_LOG call."""
+    out = {}
+    bad = []
+    for root, _dirs, files in os.walk(src_dir):
+        for name in sorted(files):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, src_dir)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            for component, event_id in CALL_RE.findall(text):
+                if not event_id.isdigit():
+                    bad.append(f"src/{rel}: FSDM_LOG event id {event_id!r} "
+                               f"is not an integer literal")
+                    continue
+                out.setdefault(int(event_id), []).append((rel, component))
+    return out, bad
+
+
+def documented_ids(readme_path):
+    out = set()
+    in_section = False
+    with open(readme_path, encoding="utf-8") as f:
+        for line in f:
+            if line.startswith("#"):
+                in_section = line.strip() == "### Log event reference"
+                continue
+            if not in_section:
+                continue
+            m = DOC_RE.match(line)
+            if m:
+                out.add(int(m.group(1)))
+    return out
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    src_dir = os.path.join(root, "src")
+    readme = os.path.join(root, "README.md")
+    if not os.path.isdir(src_dir) or not os.path.isfile(readme):
+        print(f"check_log_events: {root} is not the repo root "
+              f"(need src/ and README.md)", file=sys.stderr)
+        sys.exit(2)
+
+    sites, failures = call_sites(src_dir)
+    documented = documented_ids(readme)
+    if not documented:
+        print("check_log_events: README.md has no '### Log event reference' "
+              "table", file=sys.stderr)
+        sys.exit(1)
+
+    for event_id, where in sorted(sites.items()):
+        if len(where) > 1:
+            locations = ", ".join(f"src/{f}" for f, _ in where)
+            failures.append(f"event id {event_id} used by {len(where)} call "
+                            f"sites ({locations}) — ids must be unique")
+    for event_id in sorted(set(sites) - documented):
+        f, component = sites[event_id][0]
+        failures.append(f"undocumented: event id {event_id} "
+                        f"(component \"{component}\", src/{f}) — add it to "
+                        f"README.md 'Log event reference'")
+    for event_id in sorted(documented - set(sites)):
+        failures.append(f"stale doc: event id {event_id} documented in "
+                        f"README.md but no FSDM_LOG site uses it")
+
+    if failures:
+        for f in failures:
+            print(f"check_log_events: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_log_events: ok ({len(sites)} event ids, all unique and "
+          f"documented)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,8 @@
 #include "oson/oson.h"
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/incident.h"
+#include "telemetry/log.h"
 #include "telemetry/memory_tracker.h"
 #include "telemetry/trace_event.h"
 
@@ -41,10 +43,71 @@ std::string ConsistencyReport::ToString() const {
   return out;
 }
 
+namespace {
+
+// Incident bundles carry engine state the telemetry layer cannot see on
+// its own: collection health (with the REASON plumbing) and the WAL
+// writers' positions. Registered once, from the first Create() — the
+// providers walk the registry at capture time, so they always reflect the
+// live set.
+void EnsureIncidentStateProviders() {
+  static const bool registered = [] {
+    telemetry::IncidentManager::Global().RegisterStateProvider(
+        "collections", [] {
+          std::string out = "[";
+          for (const JsonCollection* c :
+               CollectionRegistry::Global().collections()) {
+            if (out.size() > 1) out += ",";
+            std::string reason = c->health_reason();
+            if (reason.empty()) reason = c->last_health_cause();
+            out += "{\"name\":\"" + telemetry::JsonEscape(c->name()) + "\"";
+            out += ",\"health\":\"";
+            out += CollectionHealthName(c->health());
+            out += "\",\"reason\":\"" + telemetry::JsonEscape(reason) + "\"";
+            out += ",\"docs\":" + std::to_string(c->document_count());
+            out += ",\"shards\":" + std::to_string(c->shard_count());
+            out += ",\"shards_healthy\":" +
+                   std::to_string(c->healthy_shard_count()) + "}";
+          }
+          out += "]";
+          return out;
+        });
+    telemetry::IncidentManager::Global().RegisterStateProvider("wal", [] {
+      std::string out = "[";
+      for (const JsonCollection* c :
+           CollectionRegistry::Global().collections()) {
+        const wal::Wal* w = c->wal();
+        if (w == nullptr) continue;
+        if (out.size() > 1) out += ",";
+        out += "{\"collection\":\"" + telemetry::JsonEscape(c->name()) + "\"";
+        out += ",\"policy\":\"";
+        out += wal::FsyncPolicyName(w->options().fsync);
+        out += "\",\"segments\":" + std::to_string(w->segment_count());
+        out += ",\"last_lsn\":" + std::to_string(w->last_lsn());
+        out += ",\"durable_lsn\":" + std::to_string(w->durable_lsn());
+        out += ",\"appends\":" + std::to_string(w->appends());
+        out += ",\"fsyncs\":" + std::to_string(w->fsyncs());
+        out += ",\"checkpoints\":" + std::to_string(w->checkpoints());
+        out += ",\"aborts\":" + std::to_string(w->aborts());
+        out += ",\"poisoned\":";
+        out += w->failed() ? "true" : "false";
+        out += "}";
+      }
+      out += "]";
+      return out;
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     rdbms::Database* db, const std::string& name,
     const CollectionOptions& options) {
   if (db == nullptr) return Status::InvalidArgument("null database");
+  EnsureIncidentStateProviders();
 
   if (options.shard_count > 1) {
     // Sharded facade (ISSUE 6): N full single-shard stacks behind one
@@ -93,6 +156,10 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
     facade->health();  // publish the initial health gauge
     facade->RegisterMemoryReporters();
     CollectionRegistry::Global().Register(facade.get());
+    FSDM_LOG(telemetry::LogLevel::kInfo, "collection", 1001,
+             "collection created (sharded facade): " + name,
+             telemetry::LogNum("shards", options.shard_count),
+             telemetry::LogNum("durable", options.wal_dir.empty() ? 0 : 1));
     return facade;
   }
 
@@ -162,6 +229,10 @@ Result<std::unique_ptr<JsonCollection>> JsonCollection::Create(
   coll->health();  // publish the initial health gauge
   coll->RegisterMemoryReporters();
   CollectionRegistry::Global().Register(coll.get());
+  FSDM_LOG(telemetry::LogLevel::kInfo, "collection", 1002,
+           "collection created: " + name,
+           telemetry::LogNum("indexed", options.attach_search_index ? 1 : 0),
+           telemetry::LogNum("durable", options.wal_dir.empty() ? 0 : 1));
   return coll;
 }
 
@@ -332,14 +403,30 @@ void JsonCollection::Quarantine(std::string reason) {
   for (std::unique_ptr<JsonCollection>& s : shards_) s->Quarantine(reason);
   quarantined_ = true;
   quarantine_reason_ = std::move(reason);
+  last_health_cause_ = quarantine_reason_;
   FSDM_TRACE_INSTANT_TEXT("collection", "collection.quarantine", "name",
                           name_);
+  // The facade speaks for its shards: the cascade above already marked
+  // them, and one incident per quarantine is the useful granularity.
+  if (!is_shard_) {
+    FSDM_LOG(telemetry::LogLevel::kError, "collection", 1005,
+             "collection " + name_ + " quarantined: " + quarantine_reason_,
+             telemetry::LogText("name", name_));
+    telemetry::IncidentManager::Global().Raise("quarantine", name_,
+                                               quarantine_reason_);
+  }
   health();
 }
 
 Status JsonCollection::RebuildIndex() {
   FSDM_TRACE_SPAN(span, "collection", "index.rebuild");
   span.AddTextArg("name", name_);
+  // Snapshot the degradation being healed: after a successful rebuild
+  // health_reason() goes empty, but REASON should still be able to say
+  // what the rebuild was for.
+  if (!quarantined_ && index_ != nullptr && index_->degraded()) {
+    last_health_cause_ = index_->degraded_reason();
+  }
   if (sharded()) {
     // Per-shard rebuild with collection-level aggregation: every shard
     // rebuilds (a failure on shard i must not leave shard i+1 degraded),
@@ -353,6 +440,13 @@ Status JsonCollection::RebuildIndex() {
       last_rebuild_ts_us_ = telemetry::MonotonicNowUs();
       quarantined_ = false;
       quarantine_reason_.clear();
+      FSDM_LOG(telemetry::LogLevel::kInfo, "collection", 1006,
+               "index rebuilt on all shards of " + name_,
+               telemetry::LogNum("shards", shards_.size()));
+    } else {
+      FSDM_LOG(telemetry::LogLevel::kError, "collection", 1007,
+               "index rebuild failed on sharded " + name_ + ": " +
+                   first_error.message());
     }
     health();
     return first_error;
@@ -367,6 +461,10 @@ Status JsonCollection::RebuildIndex() {
     if (!rebuilt.ok()) {
       quarantined_ = true;
       quarantine_reason_ = "index rebuild failed: " + rebuilt.message();
+      last_health_cause_ = quarantine_reason_;
+      FSDM_LOG(telemetry::LogLevel::kError, "collection", 1009,
+               "index rebuild failed on " + name_ + ": " + rebuilt.message(),
+               telemetry::LogText("name", name_));
       health();
       return rebuilt;
     }
@@ -374,6 +472,9 @@ Status JsonCollection::RebuildIndex() {
   last_rebuild_ts_us_ = telemetry::MonotonicNowUs();
   quarantined_ = false;
   quarantine_reason_.clear();
+  FSDM_LOG(telemetry::LogLevel::kInfo, "collection", 1008,
+           "index rebuilt: " + name_,
+           telemetry::LogNum("docs", document_count()));
   // The postings were reconstructed from the table the IMC also reads, so
   // a populated store stays valid; nothing else to heal.
   health();
@@ -384,6 +485,18 @@ Status JsonCollection::CheckWritable() const {
   if (!quarantined_) return Status::Ok();
   return Status::Unavailable("collection " + name_ +
                              " quarantined: " + quarantine_reason_);
+}
+
+Status JsonCollection::WalAppendFailed(const Status& append_status) {
+  FSDM_LOG(telemetry::LogLevel::kError, "collection", 1010,
+           "WAL append failed on " + name_ + ": " + append_status.message(),
+           telemetry::LogText("name", name_));
+  if (wal_ != nullptr && wal_->failed() && !quarantined_) {
+    // The writer poisoned itself (short write, failed fsync): nothing
+    // further will reach the log, so nothing further may reach the table.
+    Quarantine("WAL poisoned: " + append_status.message());
+  }
+  return append_status;
 }
 
 ConsistencyReport JsonCollection::CheckConsistency() const {
@@ -524,9 +637,10 @@ Result<size_t> JsonCollection::Insert(Value key, std::string json_text) {
     // transiently, here and at the other encode choke points.
     telemetry::MemoryCharge oson_charge(telemetry::MemSubsystem::kOsonVc,
                                         oson_image.size());
-    FSDM_ASSIGN_OR_RETURN(
-        lsn, wal_->AppendInsert(static_cast<uint32_t>(ShardForKey(key)), key,
-                                oson_image));
+    Result<uint64_t> appended = wal_->AppendInsert(
+        static_cast<uint32_t>(ShardForKey(key)), key, oson_image);
+    if (!appended.ok()) return WalAppendFailed(appended.status());
+    lsn = appended.value();
     FSDM_FAULT_POINT("wal.apply.crash");
   }
   Result<size_t> row = ApplyInsert(std::move(key), std::move(json_text));
@@ -570,7 +684,9 @@ Status JsonCollection::Delete(size_t row_id) {
   if (logged) {
     const uint32_t s =
         sharded() ? static_cast<uint32_t>(row_id % shards_.size()) : 0;
-    FSDM_ASSIGN_OR_RETURN(lsn, wal_->AppendDelete(s, row_id));
+    Result<uint64_t> appended = wal_->AppendDelete(s, row_id);
+    if (!appended.ok()) return WalAppendFailed(appended.status());
+    lsn = appended.value();
     FSDM_FAULT_POINT("wal.apply.crash");
   }
   Status applied = ApplyDelete(row_id);
@@ -606,8 +722,9 @@ Status JsonCollection::Replace(size_t row_id, Value key,
                           oson::EncodeFromText(json_text));
     telemetry::MemoryCharge oson_charge(telemetry::MemSubsystem::kOsonVc,
                                         oson_image.size());
-    FSDM_ASSIGN_OR_RETURN(lsn,
-                          wal_->AppendReplace(s, row_id, key, oson_image));
+    Result<uint64_t> appended = wal_->AppendReplace(s, row_id, key, oson_image);
+    if (!appended.ok()) return WalAppendFailed(appended.status());
+    lsn = appended.value();
     FSDM_FAULT_POINT("wal.apply.crash");
   }
   Status applied = ApplyReplace(row_id, std::move(key), std::move(json_text));
@@ -826,9 +943,21 @@ Status JsonCollection::ReplayWal(const std::vector<wal::Record>& records) {
   // The replayed stack must agree with itself before it is handed out.
   ConsistencyReport report = CheckConsistency();
   if (!report.consistent) {
+    std::string why = report.problems.empty()
+                          ? "consistency check failed"
+                          : report.problems.front();
+    FSDM_LOG(telemetry::LogLevel::kError, "collection", 1004,
+             "WAL replay left " + name_ + " inconsistent: " + why,
+             telemetry::LogNum("live_rows", report.live_rows),
+             telemetry::LogNum("indexed_docs", report.indexed_docs));
+    telemetry::IncidentManager::Global().Raise("consistency", name_, why);
     return Status::Corruption("WAL replay left collection inconsistent:\n" +
                               report.ToString());
   }
+  FSDM_LOG(telemetry::LogLevel::kInfo, "collection", 1003,
+           "WAL recovery complete: " + name_,
+           telemetry::LogNum("records_applied", info->records_applied),
+           telemetry::LogNum("aborted_skipped", info->aborted_skipped));
   // Re-anchor: a fresh checkpoint makes the ids the *next* replay assigns
   // line up with the snapshot (this generation may have compacted dead
   // rows away), and truncates the history just replayed.

@@ -209,6 +209,13 @@ class JsonCollection {
   /// 0 until one happens (NULL in TELEMETRY$COLLECTIONS).
   uint64_t last_rebuild_ts_us() const { return last_rebuild_ts_us_; }
 
+  /// Cause of the most recent health *transition* (quarantine, index
+  /// degradation, rebuild failure). Unlike health_reason() this survives
+  /// healing, so TELEMETRY$COLLECTIONS' REASON column can still say why a
+  /// now-healthy collection was degraded. Empty until the first
+  /// transition.
+  const std::string& last_health_cause() const { return last_health_cause_; }
+
   /// Number of shards currently healthy (== shard_count() when healthy;
   /// rendered into TELEMETRY$COLLECTIONS' per-shard rollup).
   size_t healthy_shard_count() const;
@@ -345,6 +352,11 @@ class JsonCollection {
   std::vector<std::string> DefaultImcColumns() const;
   /// DML guard: Unavailable while quarantined, OK otherwise.
   Status CheckWritable() const;
+  /// Shared failure path for the public DML wrappers' WAL appends: logs
+  /// the failure and, when the append poisoned the writer, quarantines the
+  /// collection (the reason carries the append error, errno text and all)
+  /// so the health transition is attributable through SQL.
+  Status WalAppendFailed(const Status& append_status);
 
   /// The pre-ISSUE-8 DML bodies: shard dispatch + the single-shard apply.
   /// The public Insert/Delete/Replace wrap them with the activity lease
@@ -393,6 +405,7 @@ class JsonCollection {
   bool detached_ = false;
   bool quarantined_ = false;
   std::string quarantine_reason_;
+  std::string last_health_cause_;  // sticky; see last_health_cause()
   /// This collection is a shard child of a durable facade: DML arrives
   /// pre-logged and pre-leased, so the public wrappers pass through.
   bool is_shard_ = false;

@@ -31,9 +31,9 @@ namespace {
 class CollectionsScanOp final : public rdbms::Operator {
  public:
   CollectionsScanOp() {
-    schema_ = rdbms::Schema({"NAME", "HEALTH", "DOC_COUNT", "INDEX_PATHS",
-                             "IMC_STATE", "LAST_REBUILD_TS", "SHARDS",
-                             "SHARDS_HEALTHY"});
+    schema_ = rdbms::Schema({"NAME", "HEALTH", "REASON", "DOC_COUNT",
+                             "INDEX_PATHS", "IMC_STATE", "LAST_REBUILD_TS",
+                             "SHARDS", "SHARDS_HEALTHY"});
   }
 
   Status Open() override {
@@ -44,9 +44,14 @@ class CollectionsScanOp final : public rdbms::Operator {
                                   ? "valid"
                                   : (c->imc_populated() ? "stale"
                                                         : "unpopulated");
+      // REASON: the live degradation cause while unhealthy, else the
+      // last health-transition cause (sticky across healing; ISSUE 10).
+      std::string reason = c->health_reason();
+      if (reason.empty()) reason = c->last_health_cause();
       rows_.push_back(
           {Value::String(c->name()),
            Value::String(CollectionHealthName(c->health())),
+           reason.empty() ? Value::Null() : Value::String(reason),
            Value::Int64(static_cast<int64_t>(c->document_count())),
            Value::Int64(
                static_cast<int64_t>(c->dataguide().distinct_path_count())),

@@ -33,9 +33,12 @@ class CollectionRegistry {
   std::vector<const JsonCollection*> collections_;
 };
 
-/// Row source over the registry. Schema: (NAME, HEALTH, DOC_COUNT,
+/// Row source over the registry. Schema: (NAME, HEALTH, REASON, DOC_COUNT,
 /// INDEX_PATHS, IMC_STATE, LAST_REBUILD_TS, SHARDS, SHARDS_HEALTHY) —
-/// INDEX_PATHS is the live DataGuide's distinct path count, IMC_STATE is
+/// REASON is the current degradation cause, falling back to the last
+/// health-transition cause once healed (NULL until a transition happens;
+/// ISSUE 10). INDEX_PATHS is the live DataGuide's distinct path count,
+/// IMC_STATE is
 /// valid/stale/unpopulated, LAST_REBUILD_TS is NULL until the first
 /// successful RebuildIndex(). SHARDS is the shard count (1 for unsharded
 /// collections) and SHARDS_HEALTHY the per-shard health rollup: how many

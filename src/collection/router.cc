@@ -13,6 +13,7 @@
 #include "stats/path_stats.h"
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/log.h"
 #include "telemetry/memory_tracker.h"
 #include "telemetry/query_monitor.h"
 #include "telemetry/slow_query.h"
@@ -485,6 +486,10 @@ Result<RoutedPlan> RouteSingle(const JsonCollection& coll,
         std::string(CollectionHealthName(health)) + ": " +
         coll.health_reason();
     FSDM_COUNT("fsdm_router_degraded_fallbacks_total", 1);
+    FSDM_LOG(telemetry::LogLevel::kWarn, "router", 1201,
+             "degraded routing fallback on " + coll.name() + " (" +
+                 CollectionHealthName(health) + "): " + coll.health_reason(),
+             telemetry::LogText("collection", coll.name()));
   }
 
   // [1] Value postings: the most selective equality on a path the guide

@@ -7,6 +7,7 @@
 
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/log.h"
 #include "telemetry/telemetry.h"
 
 namespace fsdm::fault {
@@ -72,6 +73,9 @@ Status FaultPoint::Fire() {
   ++FaultRegistry::Global().triggers_total_;
   FSDM_COUNT("fsdm_fault_injections_total", 1);
   FSDM_TRACE_INSTANT_TEXT("fault", "fault.fire", "point", name_);
+  FSDM_LOG(telemetry::LogLevel::kWarn, "fault", 3001,
+           "fault fired at " + name_, telemetry::LogText("point", name_),
+           telemetry::LogNum("trigger", triggers_));
   if (spec_.stall_us > 0) {
     // Latency injection: park the site for the configured stall, charged
     // to the fault wait class so it shows up in the ASH time model.

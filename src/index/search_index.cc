@@ -8,6 +8,7 @@
 #include "fault/fault.h"
 #include "json/parser.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/log.h"
 #include "telemetry/memory_tracker.h"
 #include "telemetry/telemetry.h"
 
@@ -499,6 +500,8 @@ void JsonSearchIndex::MarkDegraded(std::string reason) {
   if (!degraded_) {
     FSDM_COUNT("fsdm_index_degraded_total", 1);
     FSDM_TRACE_INSTANT_TEXT("index", "index.degraded", "reason", reason);
+    FSDM_LOG(telemetry::LogLevel::kWarn, "index", 1101,
+             "search index degraded: " + reason);
   }
   degraded_ = true;
   degraded_reason_ = std::move(reason);

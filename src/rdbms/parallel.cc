@@ -9,6 +9,7 @@
 
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/log.h"
 #include "telemetry/memory_tracker.h"
 #include "telemetry/telemetry.h"
 
@@ -71,6 +72,9 @@ struct WorkerPool::Impl {
       threads.emplace_back([this, i] { RunWorker(static_cast<int>(i)); });
     }
     FSDM_GAUGE_SET("fsdm_worker_pool_size", workers);
+    FSDM_LOG(telemetry::LogLevel::kDebug, "pool", 5002,
+             "worker pool launched",
+             telemetry::LogNum("workers", workers));
   }
 
   void Shutdown() {
@@ -126,6 +130,8 @@ size_t WorkerPool::worker_count() const {
 }
 
 void WorkerPool::Resize(size_t workers) {
+  FSDM_LOG(telemetry::LogLevel::kInfo, "pool", 5001, "worker pool resize",
+           telemetry::LogNum("workers", workers == 0 ? 1 : workers));
   // A Submit racing the resize can lazily relaunch the pool between our
   // Shutdown() and Launch(); launching on top of those threads would
   // duplicate worker indices. Retry the shutdown until the pool is

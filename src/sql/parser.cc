@@ -8,6 +8,7 @@
 #include "collection/wal_table.h"
 #include "stats/stats_table.h"
 #include "telemetry/ash_table.h"
+#include "telemetry/log_table.h"
 #include "telemetry/metrics_table.h"
 
 namespace fsdm::sql {
@@ -231,6 +232,12 @@ class Planner {
     } else if (Lexer::EqualsIgnoreCase(table_name_,
                                        telemetry::kMemoryTableName)) {
       virtual_table_ = VirtualTable::kMemory;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kLogTableName)) {
+      virtual_table_ = VirtualTable::kLog;
+    } else if (Lexer::EqualsIgnoreCase(table_name_,
+                                       telemetry::kIncidentsTableName)) {
+      virtual_table_ = VirtualTable::kIncidents;
     } else {
       return table_or.status();
     }
@@ -344,6 +351,12 @@ class Planner {
         break;
       case VirtualTable::kMemory:
         plan = telemetry::MemoryScan();
+        break;
+      case VirtualTable::kLog:
+        plan = telemetry::LogScan();
+        break;
+      case VirtualTable::kIncidents:
+        plan = telemetry::IncidentsScan();
         break;
     }
     if (where) plan = rdbms::Filter(std::move(plan), std::move(where));
@@ -765,7 +778,7 @@ class Planner {
   enum class VirtualTable { kNone, kMetrics, kEvents, kSlowQueries,
                             kCollections, kPathStats, kOperatorCosts,
                             kAsh, kSnapshots, kWal, kQueryMonitor,
-                            kMemory };
+                            kMemory, kLog, kIncidents };
 
   std::string table_name_;
   rdbms::Table* table_ = nullptr;

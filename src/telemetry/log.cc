@@ -1,0 +1,251 @@
+#include "telemetry/log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+namespace fsdm::telemetry {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+LogLevel LogLevelFromEnv(LogLevel def) {
+  const char* env = std::getenv("FSDM_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return def;
+  const std::string_view v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return def;
+}
+
+namespace {
+
+void AppendLogArg(std::string* out, const TraceArg& a) {
+  *out += '"';
+  *out += JsonEscape(a.key);
+  *out += "\":";
+  if (a.is_text) {
+    *out += '"';
+    *out += JsonEscape(a.text);
+    *out += '"';
+  } else {
+    AppendJsonNumber(out, a.number);
+  }
+}
+
+}  // namespace
+
+std::string LogRecord::ArgsJson() const {
+  std::string out = "{";
+  for (const TraceArg& a : args) {
+    if (a.key == nullptr) break;
+    if (out.size() > 1) out += ",";
+    AppendLogArg(&out, a);
+  }
+  out += "}";
+  return out;
+}
+
+std::string LogRecord::ToJsonLine() const {
+  std::string out = "{\"ts_us\":";
+  AppendJsonNumber(&out, static_cast<double>(ts_us));
+  out += ",\"thread\":";
+  AppendJsonNumber(&out, static_cast<double>(tid));
+  out += ",\"level\":\"";
+  out += LogLevelName(level);
+  out += "\",\"component\":\"";
+  out += JsonEscape(component);
+  out += "\",\"event_id\":";
+  AppendJsonNumber(&out, static_cast<double>(event_id));
+  out += ",\"message\":\"";
+  out += JsonEscape(message);
+  out += "\",\"args\":";
+  out += ArgsJson();
+  out += "}";
+  return out;
+}
+
+#if !defined(FSDM_TELEMETRY_DISABLED)
+
+std::vector<LogRecord> LogRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  const size_t cap = slots_.size();
+  const size_t live = next_ < cap ? static_cast<size_t>(next_) : cap;
+  out.reserve(live);
+  const uint64_t first = next_ < cap ? 0 : next_ - cap;
+  for (uint64_t i = first; i < next_; ++i) {
+    out.push_back(slots_[i % cap]);
+  }
+  return out;
+}
+
+EngineLog& EngineLog::Global() {
+  static EngineLog* log = new EngineLog();
+  return *log;
+}
+
+EngineLog::EngineLog()
+    : level_(static_cast<uint8_t>(LogLevelFromEnv(LogLevel::kInfo))) {}
+
+LogRing* EngineLog::RingForThisThread() {
+  thread_local LogRing* cached = nullptr;
+  if (cached != nullptr) return cached;
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<LogRing>(next_tid_++, ring_capacity_));
+  cached = rings_.back().get();
+  return cached;
+}
+
+void EngineLog::SetRingCapacity(size_t records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = records > 0 ? records : 1;
+}
+
+size_t EngineLog::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
+}
+
+void EngineLog::SetRateLimit(double burst, double per_sec) {
+  std::lock_guard<std::mutex> lock(bucket_mu_);
+  bucket_burst_ = burst > 0 ? burst : 1;
+  bucket_per_sec_ = per_sec >= 0 ? per_sec : 0;
+  buckets_.clear();
+}
+
+void EngineLog::SetJsonlSink(std::string path) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  jsonl_path_ = std::move(path);
+}
+
+std::string EngineLog::jsonl_sink() const {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  return jsonl_path_;
+}
+
+bool EngineLog::Admit(uint16_t event_id, uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(bucket_mu_);
+  auto [it, inserted] =
+      buckets_.try_emplace(event_id, TokenBucket{bucket_burst_, now_us});
+  TokenBucket& b = it->second;
+  if (!inserted) {
+    const double refill = static_cast<double>(now_us - b.last_us) *
+                          bucket_per_sec_ / 1e6;
+    b.tokens = std::min(bucket_burst_, b.tokens + refill);
+    b.last_us = now_us;
+  }
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+void EngineLog::EmitImpl(LogLevel level, const char* component,
+                         uint16_t event_id, std::string_view msg,
+                         const LogArg* a0, const LogArg* a1) {
+  const uint64_t now = MonotonicNowUs();
+  if (!Admit(event_id, now)) {
+    rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    FSDM_COUNT("fsdm_log_dropped_total", 1);
+    return;
+  }
+  LogRing* ring = RingForThisThread();
+  LogRecord rec;
+  rec.ts_us = now;
+  rec.tid = ring->tid();
+  rec.level = level;
+  rec.event_id = event_id;
+  rec.component = component;
+  rec.SetMessage(msg);
+  int slot = 0;
+  for (const LogArg* a : {a0, a1}) {
+    if (a == nullptr || a->key == nullptr) continue;
+    if (a->is_text) {
+      rec.args[slot].SetText(a->key, a->text);
+    } else {
+      rec.args[slot].SetNumber(a->key, a->number);
+    }
+    ++slot;
+  }
+  if (ring->Push(rec)) {
+    FSDM_COUNT("fsdm_log_dropped_total", 1);
+  }
+  total_records_.fetch_add(1, std::memory_order_relaxed);
+  FSDM_COUNT("fsdm_log_records_total", 1);
+
+  // JSONL sink: open-append per record. Log volume is lifecycle/error
+  // paths (and rate-limited), so the open cost is immaterial next to the
+  // durability of having the line on disk when the process dies.
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (!jsonl_path_.empty()) {
+    std::ofstream out(jsonl_path_, std::ios::app);
+    if (out) out << rec.ToJsonLine() << "\n";
+  }
+}
+
+std::vector<LogRecord> EngineLog::Snapshot() const {
+  std::vector<LogRecord> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<LogRing>& ring : rings_) {
+      std::vector<LogRecord> part = ring->Snapshot();
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+  return merged;
+}
+
+std::vector<LogRecord> EngineLog::SnapshotLast(size_t n) const {
+  std::vector<LogRecord> all = Snapshot();
+  if (all.size() > n) {
+    all.erase(all.begin(), all.end() - static_cast<ptrdiff_t>(n));
+  }
+  return all;
+}
+
+uint64_t EngineLog::TotalDropped() const {
+  uint64_t total = rate_limited_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<LogRing>& ring : rings_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+void EngineLog::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::unique_ptr<LogRing>& ring : rings_) ring->Clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(bucket_mu_);
+    buckets_.clear();
+  }
+  total_records_.store(0, std::memory_order_relaxed);
+  rate_limited_.store(0, std::memory_order_relaxed);
+}
+
+#endif  // !FSDM_TELEMETRY_DISABLED
+
+}  // namespace fsdm::telemetry

@@ -1,0 +1,26 @@
+#ifndef FSDM_TELEMETRY_LOG_TABLE_H_
+#define FSDM_TELEMETRY_LOG_TABLE_H_
+
+#include "rdbms/executor.h"
+
+namespace fsdm::telemetry {
+
+/// Structured engine log as a relation (ISSUE 10 tentpole). One row per
+/// live log record across the per-thread rings, merged and sorted by
+/// (TS_US, THREAD). Schema: (TS_US, THREAD, LEVEL, COMPONENT, EVENT_ID,
+/// MESSAGE, ARGS) — LEVEL is "debug"/"info"/"warn"/"error", EVENT_ID the
+/// call site's stable id (README "Log event reference"), ARGS the {"k":v}
+/// JSON rendering of the record's arg slots.
+inline constexpr const char* kLogTableName = "TELEMETRY$LOG";
+rdbms::OperatorPtr LogScan();
+
+/// Incident repository ring as a relation (ISSUE 10 tentpole). Schema:
+/// (ID, TS_US, TYPE, SUBJECT, REASON, BUNDLE_PATH, LOG_RECORDS) —
+/// BUNDLE_PATH is NULL when on-disk capture is disabled or the write
+/// failed; LOG_RECORDS counts the log slice captured into the bundle.
+inline constexpr const char* kIncidentsTableName = "TELEMETRY$INCIDENTS";
+rdbms::OperatorPtr IncidentsScan();
+
+}  // namespace fsdm::telemetry
+
+#endif  // FSDM_TELEMETRY_LOG_TABLE_H_

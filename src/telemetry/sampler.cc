@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "telemetry/flight_recorder.h"
+#include "telemetry/log.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_event.h"
 
@@ -74,6 +75,8 @@ bool ActivitySampler::Start() {
     thread_ = std::thread([this, hz] { RunLoop(hz); });
   }
   FSDM_GAUGE_SET("fsdm_ash_sampler_hz", hz);
+  FSDM_LOG(LogLevel::kInfo, "sampler", 6001, "activity sampler armed",
+           LogNum("hz", hz));
   return true;
 }
 
@@ -121,7 +124,10 @@ void ActivitySampler::RunLoop(double hz) {
       // wakeups per second — on a busy single-core host the wakeups
       // alone cost more than the sampling. The first Begin() notifies,
       // so no active time goes unsampled; the timeout only bounds how
-      // stale the stop check can get.
+      // stale the stop check can get. Rate limiting keeps the park log
+      // from flooding the ring on an idle process.
+      FSDM_LOG(LogLevel::kDebug, "sampler", 6002,
+               "sampler parked: no active sessions");
       registry.WaitForActivity(std::chrono::microseconds(100000));
       continue;
     }

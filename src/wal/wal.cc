@@ -15,6 +15,8 @@
 #include "fault/fault.h"
 #include "telemetry/activity.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/incident.h"
+#include "telemetry/log.h"
 #include "telemetry/memory_tracker.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace_event.h"
@@ -479,6 +481,16 @@ Result<Wal::OpenResult> Wal::Open(WalOptions options) {
       }
     }
     seqs.resize(tear_offset >= kSegmentHeaderSize ? tear_seg + 1 : tear_seg);
+    const std::string why =
+        info.notes.empty() ? std::string("torn tail") : info.notes.back();
+    FSDM_LOG(telemetry::LogLevel::kWarn, "wal", 2002,
+             "torn tail repaired: " + why,
+             telemetry::LogNum("torn_bytes",
+                               static_cast<double>(info.torn_bytes)),
+             telemetry::LogNum("records_kept",
+                               static_cast<double>(info.records_scanned)));
+    telemetry::IncidentManager::Global().Raise("torn-tail",
+                                               wal->options_.dir, why);
   }
   info.max_lsn = prev_lsn;
   if (info.records_scanned > 0) FSDM_COUNT("fsdm_wal_recoveries_total", 1);
@@ -510,6 +522,12 @@ Result<Wal::OpenResult> Wal::Open(WalOptions options) {
     FSDM_RETURN_NOT_OK(wal->OpenSegmentForAppend(1, /*fresh=*/true, 0));
   }
 
+  FSDM_LOG(telemetry::LogLevel::kInfo, "wal", 2001,
+           "WAL opened: " + wal->options_.dir,
+           telemetry::LogNum("segments",
+                             static_cast<double>(wal->segments_.size())),
+           telemetry::LogNum("recovered_records",
+                             static_cast<double>(info.records_scanned)));
   result.wal = std::move(wal);
   return result;
 }
@@ -555,14 +573,15 @@ Status Wal::Fsync() {
   FSDM_TRACE_SPAN(span, "wal", "wal.fsync");
   FSDM_TIME_SCOPE_US("fsdm_wal_fsync_us");
   telemetry::ScopedWaitState wait(telemetry::WaitState::kWalFsync);
-  Status injected = FSDM_FAULT_STATUS("wal.fsync");
-  if (!injected.ok()) {
-    FSDM_COUNT("fsdm_wal_fsync_failures_total", 1);
-    return injected;
+  Status st = FSDM_FAULT_STATUS("wal.fsync");
+  if (st.ok() && ::fsync(fd_) != 0) {
+    st = ErrnoStatus("WAL fsync failed", errno);
   }
-  if (::fsync(fd_) != 0) {
+  if (!st.ok()) {
     FSDM_COUNT("fsdm_wal_fsync_failures_total", 1);
-    return ErrnoStatus("WAL fsync failed", errno);
+    FSDM_LOG(telemetry::LogLevel::kError, "wal", 2005,
+             "WAL fsync failed: " + st.message());
+    return st;
   }
   ++fsyncs_;
   FSDM_COUNT("fsdm_wal_fsyncs_total", 1);
@@ -583,6 +602,11 @@ Status Wal::Rotate() {
   FSDM_RETURN_NOT_OK(OpenSegmentForAppend(cur_seq_ + 1, /*fresh=*/true, 0));
   ++rotations_;
   FSDM_COUNT("fsdm_wal_segments_rotated_total", 1);
+  FSDM_LOG(telemetry::LogLevel::kInfo, "wal", 2003,
+           "WAL segment rotated: " + options_.dir,
+           telemetry::LogNum("segment", static_cast<double>(cur_seq_)),
+           telemetry::LogNum("segments",
+                             static_cast<double>(segments_.size())));
   return Status::Ok();
 }
 
@@ -620,6 +644,12 @@ Result<uint64_t> Wal::AppendRecord(RecordType type, uint32_t shard,
     cur_size_ += buf.size() / 2;
     failed_ = true;
     FSDM_COUNT("fsdm_wal_short_writes_total", 1);
+    FSDM_LOG(telemetry::LogLevel::kError, "wal", 2007,
+             "WAL poisoned by short write: " + short_write.message(),
+             telemetry::LogNum("lsn", static_cast<double>(lsn)));
+    telemetry::IncidentManager::Global().Raise(
+        "wal-poisoned", options_.dir,
+        "short append write: " + short_write.message());
     return short_write;
   }
 
@@ -641,6 +671,12 @@ Result<uint64_t> Wal::AppendRecord(RecordType type, uint32_t shard,
     if (n > 0 &&
         ::ftruncate(fd_, static_cast<off_t>(cur_size_)) != 0) {
       failed_ = true;
+      FSDM_LOG(telemetry::LogLevel::kError, "wal", 2006,
+               "WAL poisoned: partial append could not be repaired",
+               telemetry::LogNum("lsn", static_cast<double>(lsn)));
+      telemetry::IncidentManager::Global().Raise(
+          "wal-poisoned", options_.dir,
+          "partial append write could not be truncated away");
     }
     return ErrnoStatus("WAL append failed", err);
   }
@@ -661,8 +697,19 @@ Result<uint64_t> Wal::AppendRecord(RecordType type, uint32_t shard,
       // The record is written but not durable; compensate so replay skips
       // the op the caller is about to see fail. Best-effort: if the abort
       // cannot be written either, recovery may redo an unacknowledged op
-      // — the safe direction.
+      // — the safe direction. Then the writer poisons itself: after a
+      // failed fsync the kernel may have dropped the dirty pages, so
+      // acking any LATER append would claim durability this file can no
+      // longer promise (the DESIGN.md fsync-gate rule). Reopen to
+      // recover.
       AppendAbort(lsn);
+      failed_ = true;
+      FSDM_LOG(telemetry::LogLevel::kError, "wal", 2008,
+               "WAL poisoned by fsync failure: " + synced.message(),
+               telemetry::LogNum("lsn", static_cast<double>(lsn)));
+      telemetry::IncidentManager::Global().Raise(
+          "wal-poisoned", options_.dir,
+          "fsync failure: " + synced.message());
       return synced;
     }
   }
@@ -833,6 +880,11 @@ Status Wal::CheckpointEnd(uint64_t doc_count) {
   segments_ = std::move(keep);
   ++checkpoints_;
   FSDM_COUNT("fsdm_wal_checkpoints_total", 1);
+  FSDM_LOG(telemetry::LogLevel::kInfo, "wal", 2004,
+           "WAL checkpoint complete: " + options_.dir,
+           telemetry::LogNum("docs", static_cast<double>(doc_count)),
+           telemetry::LogNum("segments",
+                             static_cast<double>(segments_.size())));
   return Status::Ok();
 }
 

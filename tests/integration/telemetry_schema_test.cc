@@ -9,6 +9,7 @@
 #include "rdbms/executor.h"
 #include "stats/stats_table.h"
 #include "telemetry/ash_table.h"
+#include "telemetry/log_table.h"
 #include "telemetry/metrics_table.h"
 
 /// Golden-schema test (ISSUE 9 satellite): pins the column names *and
@@ -72,9 +73,13 @@ TEST(TelemetrySchemaTest, Snapshots) {
 }
 
 TEST(TelemetrySchemaTest, Collections) {
+  // REASON (ISSUE 10) sits beside HEALTH rather than at the end: the two
+  // are read together, and the relation predates any positional consumer
+  // of the columns behind it.
   EXPECT_EQ(SchemaOf(collection::CollectionsScan()),
-            (Columns{"NAME", "HEALTH", "DOC_COUNT", "INDEX_PATHS", "IMC_STATE",
-                     "LAST_REBUILD_TS", "SHARDS", "SHARDS_HEALTHY"}));
+            (Columns{"NAME", "HEALTH", "REASON", "DOC_COUNT", "INDEX_PATHS",
+                     "IMC_STATE", "LAST_REBUILD_TS", "SHARDS",
+                     "SHARDS_HEALTHY"}));
 }
 
 TEST(TelemetrySchemaTest, PathStats) {
@@ -88,6 +93,18 @@ TEST(TelemetrySchemaTest, OperatorCosts) {
   EXPECT_EQ(SchemaOf(stats::OperatorCostsScan()),
             (Columns{"OPERATOR", "US_PER_ROW", "SEED_US_PER_ROW", "SAMPLES",
                      "ROWS_OBSERVED", "LAST_US_PER_ROW"}));
+}
+
+TEST(TelemetrySchemaTest, Log) {
+  EXPECT_EQ(SchemaOf(telemetry::LogScan()),
+            (Columns{"TS_US", "THREAD", "LEVEL", "COMPONENT", "EVENT_ID",
+                     "MESSAGE", "ARGS"}));
+}
+
+TEST(TelemetrySchemaTest, Incidents) {
+  EXPECT_EQ(SchemaOf(telemetry::IncidentsScan()),
+            (Columns{"ID", "TS_US", "TYPE", "SUBJECT", "REASON", "BUNDLE_PATH",
+                     "LOG_RECORDS"}));
 }
 
 TEST(TelemetrySchemaTest, Wal) {
@@ -110,6 +127,8 @@ TEST(TelemetrySchemaTest, RelationNames) {
   EXPECT_STREQ(collection::kPathStatsTableName, "TELEMETRY$PATH_STATS");
   EXPECT_STREQ(stats::kOperatorCostsTableName, "TELEMETRY$OPERATOR_COSTS");
   EXPECT_STREQ(collection::kWalTableName, "TELEMETRY$WAL");
+  EXPECT_STREQ(telemetry::kLogTableName, "TELEMETRY$LOG");
+  EXPECT_STREQ(telemetry::kIncidentsTableName, "TELEMETRY$INCIDENTS");
 }
 
 }  // namespace

@@ -360,7 +360,7 @@ TEST_F(WalTest, TornWriteFaultIsSilentUntilRecovery) {
   EXPECT_TRUE(reopened.wal->recovery().torn_tail);
 }
 
-TEST_F(WalTest, FsyncFaultCarriesErrnoAndCompensates) {
+TEST_F(WalTest, FsyncFaultCarriesErrnoAndPoisons) {
   if (!fault::kEnabled) GTEST_SKIP() << "built with -DFSDM_FAULTS=OFF";
   auto opened = Wal::Open(Options(FsyncPolicy::kAlways)).MoveValue();
   Wal* w = opened.wal.get();
@@ -373,17 +373,22 @@ TEST_F(WalTest, FsyncFaultCarriesErrnoAndCompensates) {
               std::string::npos)
         << r.status().message();
   }
-  // The failed append was compensated: replay sees insert + abort and the
-  // writer is still usable (fsync failure is not a hole in the file).
+  // The failed append was compensated, and the writer poisoned itself:
+  // after a failed fsync the kernel may have dropped the dirty pages, so
+  // no later "successful" fsync can vouch for them (the fsyncgate rule —
+  // see DESIGN.md). Durability resumes only through reopen + replay.
   EXPECT_EQ(w->aborts(), 1u);
-  EXPECT_FALSE(w->failed());
-  ASSERT_TRUE(w->AppendInsert(0, Value::Int64(3), Oson("{\"x\":3}")).ok());
-  ASSERT_TRUE(w->Flush().ok());
+  EXPECT_TRUE(w->failed());
+  EXPECT_FALSE(w->AppendInsert(0, Value::Int64(3), Oson("{\"x\":3}")).ok());
   opened.wal.reset();
   auto reopened = Wal::Open(Options()).MoveValue();
-  ASSERT_EQ(reopened.replay.size(), 4u);
+  // Replay: insert 1, the compensated insert 2, its abort. The post-
+  // poisoning append was refused, so nothing after.
+  ASSERT_EQ(reopened.replay.size(), 3u);
+  EXPECT_EQ(reopened.replay[0].key.AsInt64(), 1);
   EXPECT_EQ(reopened.replay[2].type, RecordType::kAbort);
   EXPECT_EQ(reopened.replay[2].ref_id, reopened.replay[1].lsn);
+  EXPECT_FALSE(reopened.wal->failed());
 }
 
 TEST_F(WalTest, FsyncPolicyFromEnv) {
